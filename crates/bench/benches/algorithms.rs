@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks for the algorithmic cores: admission control
+//! (Algorithm 1), resource allocation (Algorithm 2), buddy placement with
+//! defragmentation, and full simulator runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use elasticflow_cluster::{ClusterSpec, ClusterState};
+use elasticflow_core::{
+    AdmissionController, ElasticFlowScheduler, PlanningJob, ResourceAllocator, SlotGrid,
+};
+use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
+use elasticflow_sim::{SimConfig, Simulation};
+use elasticflow_trace::{JobId, TraceConfig};
+
+fn planning_jobs(n: usize, total_gpus: u32) -> Vec<PlanningJob> {
+    let net = Interconnect::paper_testbed();
+    let models = [
+        (DnnModel::ResNet50, 256u32),
+        (DnnModel::Vgg16, 128),
+        (DnnModel::Bert, 128),
+        (DnnModel::Gpt2, 256),
+    ];
+    (0..n)
+        .map(|i| {
+            let (model, gbs) = models[i % models.len()];
+            let curve = ScalingCurve::build_with_max(model, gbs, &net, total_gpus);
+            let tput = curve.iters_per_sec(1).unwrap();
+            PlanningJob {
+                id: JobId::new(i as u64),
+                curve,
+                remaining_iterations: tput * 1_800.0 * ((i % 5) + 1) as f64,
+                deadline_slot: 60 + 30 * (i % 7),
+            }
+        })
+        .collect()
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_control");
+    for n in [10usize, 50, 200] {
+        let jobs = planning_jobs(n, 128);
+        let grid = SlotGrid::uniform(60.0);
+        let ac = AdmissionController::new(128);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| ac.check(jobs, &grid).is_admitted())
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_allocation");
+    for n in [10usize, 50, 200] {
+        let jobs = planning_jobs(n, 128);
+        let grid = SlotGrid::uniform(60.0);
+        let alloc = ResourceAllocator::new(128);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| alloc.allocate(jobs, &grid).slot0_gpus())
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy_placement");
+    group.bench_function("alloc_release_churn_128", |b| {
+        b.iter(|| {
+            let mut cluster =
+                ClusterState::new(ClusterSpec::paper_testbed().build_topology());
+            for owner in 0..32u64 {
+                let size = 1u32 << (owner % 4);
+                cluster.allocate_with_defrag(owner, size).unwrap();
+            }
+            for owner in (0..32u64).step_by(2) {
+                cluster.release(owner).unwrap();
+            }
+            // Defrag-forcing growth (48 GPUs idle after the releases).
+            for owner in 100..105u64 {
+                cluster.allocate_with_defrag(owner, 8).unwrap();
+            }
+            cluster.used_gpus()
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(7).generate(&Interconnect::from_spec(&spec));
+    group.bench_function("elasticflow_25_jobs_32_gpus", |b| {
+        b.iter(|| {
+            let mut s = ElasticFlowScheduler::new();
+            Simulation::new(spec.clone(), SimConfig::default())
+                .run(&trace, &mut s)
+                .deadline_satisfactory_ratio()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_admission,
+    bench_allocation,
+    bench_placement,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! `guarantee-audit` — inspect how well ElasticFlow's §3.1 performance
+//! guarantee holds under scheduling-pause drift on a given cluster size.
+//!
+//! ```text
+//! guarantee-audit [servers] [seed]
+//! ```
+//!
+//! Prints every admitted-but-missed job with how late it was, its pause
+//! budget and scale-event count, plus aggregate churn statistics.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_core::ElasticFlowScheduler;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sim::{SimConfig, Simulation};
+use elasticflow_trace::TraceConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let servers: u32 = args.next().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(2023);
+    let spec = ClusterSpec::with_servers(servers, 8);
+    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    let mut ef = ElasticFlowScheduler::new();
+    let r = Simulation::new(spec, SimConfig::default()).run(&trace, &mut ef);
+
+    let mut missed = 0;
+    for o in r.outcomes() {
+        if !o.dropped && o.deadline.is_finite() && !o.met_deadline() {
+            missed += 1;
+            let ft = o.finish_time.unwrap_or(f64::NAN);
+            println!(
+                "missed {:?}: finish-deadline={:.0}s paused={:.0}s scale_events={}",
+                o.id,
+                ft - o.deadline,
+                o.paused_seconds,
+                o.scale_events
+            );
+        }
+    }
+    let n = r.outcomes().len() as f64;
+    let avg_events: f64 = r.outcomes().iter().map(|o| o.scale_events as f64).sum::<f64>() / n;
+    let avg_pause: f64 = r.outcomes().iter().map(|o| o.paused_seconds).sum::<f64>() / n;
+    let admitted = r.outcomes().iter().filter(|o| !o.dropped).count();
+    println!(
+        "admitted={admitted}/{} missed={missed} avg_scale_events={avg_events:.1} \
+         avg_paused={avg_pause:.0}s total_pause={:.0}s migrations={}",
+        r.outcomes().len(),
+        r.total_pause_seconds(),
+        r.migrations()
+    );
+}

@@ -1,0 +1,154 @@
+//! `tracegen` — generate, inspect, and persist workload traces.
+//!
+//! ```text
+//! tracegen generate <preset> [--seed N] [--jobs N] [--be F] [--soft F] -o trace.jsonl
+//! tracegen stat <trace.jsonl>
+//! tracegen list
+//! ```
+//!
+//! Presets: `small` (25 jobs / 32 GPUs), `large` (195 jobs / 128 GPUs),
+//! `production-1` … `production-10`, `philly`.
+
+use std::process::ExitCode;
+
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_trace::{philly_like_config, JobKind, Trace, TraceConfig};
+
+fn preset(name: &str, seed: u64) -> Option<TraceConfig> {
+    match name {
+        "small" => Some(TraceConfig::testbed_small(seed)),
+        "large" => Some(TraceConfig::testbed_large(seed)),
+        "philly" => Some(philly_like_config(seed)),
+        other => other
+            .strip_prefix("production-")
+            .and_then(|i| i.parse::<usize>().ok())
+            .filter(|&i| (1..=10).contains(&i))
+            .map(|i| TraceConfig::production(i - 1, seed)),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("small\nlarge\nphilly");
+            for i in 1..=10 {
+                println!("production-{i}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("generate") => generate(&args[1..]),
+        Some("stat") => match args.get(1) {
+            Some(path) => stat(path),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let mut seed = 2023u64;
+    let mut jobs: Option<usize> = None;
+    let mut be = 0.0f64;
+    let mut soft = 0.0f64;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let next = |it: &mut std::slice::Iter<String>| it.next().cloned();
+        match arg.as_str() {
+            "--seed" => seed = next(&mut it).and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--jobs" => jobs = next(&mut it).and_then(|v| v.parse().ok()),
+            "--be" => be = next(&mut it).and_then(|v| v.parse().ok()).unwrap_or(0.0),
+            "--soft" => soft = next(&mut it).and_then(|v| v.parse().ok()).unwrap_or(0.0),
+            "-o" | "--out" => out = next(&mut it),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(mut cfg) = preset(name, seed) else {
+        eprintln!("unknown preset: {name} (run `tracegen list`)");
+        return ExitCode::FAILURE;
+    };
+    if let Some(n) = jobs {
+        cfg = cfg.with_num_jobs(n);
+    }
+    cfg = cfg
+        .with_best_effort_fraction(be)
+        .with_soft_deadline_fraction(soft);
+    let spec = elasticflow_cluster::ClusterSpec::with_servers(cfg.suggested_servers, 8);
+    let trace = cfg.generate(&Interconnect::from_spec(&spec));
+    match out {
+        Some(path) => {
+            if let Err(e) = trace.save(&path) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} jobs to {path}", trace.jobs().len());
+        }
+        None => print_stats(&trace),
+    }
+    ExitCode::SUCCESS
+}
+
+fn stat(path: &str) -> ExitCode {
+    match Trace::load(path) {
+        Ok(trace) => {
+            print_stats(&trace);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to load {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_stats(trace: &Trace) {
+    let jobs = trace.jobs();
+    println!("trace:          {}", trace.name());
+    println!("jobs:           {}", jobs.len());
+    println!("span:           {:.1} h", trace.span() / 3_600.0);
+    println!(
+        "kinds:          {} SLO / {} soft / {} best-effort",
+        jobs.iter().filter(|j| j.kind == JobKind::Slo).count(),
+        jobs.iter()
+            .filter(|j| j.kind == JobKind::SoftDeadline)
+            .count(),
+        trace.num_best_effort_jobs(),
+    );
+    println!(
+        "trace GPU-time: {:.0} GPU-h",
+        trace.total_trace_gpu_seconds() / 3_600.0
+    );
+    let mut durations: Vec<f64> = jobs.iter().map(|j| j.trace_duration).collect();
+    durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if !durations.is_empty() {
+        let p95 = ((durations.len() as f64 * 0.95) as usize).min(durations.len() - 1);
+        println!(
+            "duration p50/p95: {:.0} s / {:.0} s",
+            durations[durations.len() / 2],
+            durations[p95],
+        );
+    }
+    let mut by_gpus = std::collections::BTreeMap::new();
+    for j in jobs {
+        *by_gpus.entry(j.trace_gpus).or_insert(0usize) += 1;
+    }
+    let hist: Vec<String> = by_gpus
+        .iter()
+        .map(|(g, n)| format!("{g}x{n}"))
+        .collect();
+    println!("gpu histogram:  {}", hist.join("  "));
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tracegen <generate|stat|list> ...");
+    eprintln!("  tracegen generate large --seed 7 --be 0.1 -o trace.jsonl");
+    eprintln!("  tracegen stat trace.jsonl");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,107 @@
+//! Extra ablation (paper §4.3 discussion): what happens if admission uses
+//! the *pessimistic* all-spread scaling curve instead of the best-case one
+//! that buddy allocation guarantees.
+//!
+//! The paper argues the naive pessimistic approach "underestimates the
+//! throughput of a job, and thus overestimates the resource usage …
+//! preventing the system from admitting more jobs". This table quantifies
+//! the overestimate: the minimum satisfactory share computed from the
+//! spread curve vs the consolidated curve for representative jobs.
+
+use elasticflow_cluster::PlacementShape;
+use elasticflow_core::mss::minimum_satisfactory_share;
+use elasticflow_perfmodel::{iteration_time, CurvePoint, Interconnect, ScalingCurve};
+
+use crate::Table;
+
+/// Builds a scaling curve under the pessimistic one-GPU-per-server spread.
+fn spread_curve(
+    model: elasticflow_perfmodel::DnnModel,
+    gbs: u32,
+    net: &Interconnect,
+) -> ScalingCurve {
+    let profile = model.profile();
+    let mut points = Vec::new();
+    let mut w = 1u32;
+    while w <= 16.min(gbs) {
+        let shape = if w == 1 {
+            PlacementShape::single_server(1)
+        } else {
+            PlacementShape::new(w, 1) // every worker on its own machine
+        };
+        let t = iteration_time(&profile, gbs, shape, net).total;
+        points.push(CurvePoint {
+            gpus: w,
+            iters_per_sec: 1.0 / t,
+        });
+        w *= 2;
+    }
+    ScalingCurve::from_points(model, gbs, points)
+}
+
+/// Compares MSS under best-case (buddy) vs pessimistic (spread) curves.
+pub fn run() -> Vec<Table> {
+    let net = Interconnect::paper_testbed();
+    let mut table = Table::new(
+        "Ablation: MSS with buddy-consolidated vs pessimistic spread curves",
+        &[
+            "Model",
+            "Batch",
+            "Deadline (x 1-GPU time)",
+            "MSS (buddy)",
+            "MSS (spread)",
+            "GPU-time overestimate",
+        ],
+    );
+    for (model, batches) in elasticflow_perfmodel::PAPER_TABLE1 {
+        let gbs = *batches.iter().max().expect("nonempty");
+        let best = ScalingCurve::build(model, gbs, &net);
+        let worst = spread_curve(model, gbs, &net);
+        let single_gpu_seconds = 1_000.0 / best.iters_per_sec(1).expect("domain");
+        for tightness in [0.5, 0.25] {
+            let window = single_gpu_seconds * tightness;
+            let mss_best = minimum_satisfactory_share(&best, 1_000.0, window);
+            let mss_worst = minimum_satisfactory_share(&worst, 1_000.0, window);
+            let over = match (mss_best, mss_worst) {
+                (Some(b), Some(w)) => {
+                    let bt = best.gpu_time(b, 1_000.0).expect("feasible");
+                    let wt = worst.gpu_time(w, 1_000.0).expect("feasible");
+                    format!("{:.2}x", wt / bt)
+                }
+                (Some(_), None) => "rejects the job".into(),
+                _ => "-".into(),
+            };
+            table.row(vec![
+                model.to_string(),
+                gbs.to_string(),
+                format!("{tightness:.2}"),
+                fmt_share(mss_best),
+                fmt_share(mss_worst),
+                over,
+            ]);
+        }
+    }
+    vec![table]
+}
+
+fn fmt_share(s: Option<u32>) -> String {
+    s.map(|v| v.to_string()).unwrap_or_else(|| "infeasible".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_never_needs_fewer_gpus() {
+        let t = run();
+        let json = t[0].to_json();
+        for row in json["rows"].as_array().unwrap() {
+            let best = row[3].as_str().unwrap();
+            let worst = row[4].as_str().unwrap();
+            if let (Ok(b), Ok(w)) = (best.parse::<u32>(), worst.parse::<u32>()) {
+                assert!(w >= b, "spread MSS {w} below buddy MSS {b}");
+            }
+        }
+    }
+}

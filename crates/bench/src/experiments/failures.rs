@@ -1,0 +1,81 @@
+//! Extension experiment (paper §4.4, "Node failures"): deadline
+//! satisfaction under injected server failures.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sim::{FailureSchedule, SimConfig, Simulation};
+use elasticflow_trace::TraceConfig;
+
+use crate::report::pct;
+use crate::{scheduler_by_name, Table};
+
+/// Sweeps the per-server mean time between failures and reports the DSR of
+/// ElasticFlow and EDF, plus ElasticFlow's residual guarantee quality
+/// (admitted jobs that still met their deadlines).
+pub fn run(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let net = Interconnect::from_spec(&spec);
+    let trace = TraceConfig::testbed_large(seed).generate(&net);
+    let horizon = trace.span() * 1.5;
+    let mut table = Table::new(
+        "Node failures: DSR under per-server Poisson failures (1 h repair)",
+        &[
+            "MTBF per server",
+            "edf DSR",
+            "elasticflow DSR",
+            "EF admitted-and-met",
+            "EF evictions (scale events)",
+        ],
+    );
+    for (label, mtbf) in [
+        ("no failures", f64::INFINITY),
+        ("1 week", 7.0 * 86_400.0),
+        ("2 days", 2.0 * 86_400.0),
+        ("12 hours", 12.0 * 3_600.0),
+    ] {
+        let failures = if mtbf.is_finite() {
+            FailureSchedule::poisson(spec.servers, mtbf, 3_600.0, horizon, seed ^ 0xFA11)
+        } else {
+            FailureSchedule::none()
+        };
+        let cfg = SimConfig::default().with_failures(failures);
+        let mut row = vec![label.to_string()];
+        let mut ef_cells = (String::new(), String::new());
+        for name in ["edf", "elasticflow"] {
+            let mut scheduler = scheduler_by_name(name);
+            let report =
+                Simulation::new(spec.clone(), cfg.clone()).run(&trace, scheduler.as_mut());
+            row.push(pct(report.deadline_satisfactory_ratio()));
+            if name == "elasticflow" {
+                let admitted = report.outcomes().iter().filter(|o| !o.dropped).count();
+                let kept = report
+                    .outcomes()
+                    .iter()
+                    .filter(|o| !o.dropped && o.met_deadline())
+                    .count();
+                ef_cells.0 = format!("{kept}/{admitted}");
+                ef_cells.1 = report
+                    .outcomes()
+                    .iter()
+                    .map(|o| o.scale_events as u64)
+                    .sum::<u64>()
+                    .to_string();
+            }
+        }
+        row.push(ef_cells.0);
+        row.push(ef_cells.1);
+        table.row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_sweep_produces_four_rows() {
+        let tables = run(5);
+        assert_eq!(tables[0].len(), 4);
+    }
+}

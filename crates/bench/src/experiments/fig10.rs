@@ -1,0 +1,94 @@
+//! Fig. 10: cluster efficiency over time and makespan.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sim::SimReport;
+use elasticflow_trace::TraceConfig;
+
+use crate::report::pct;
+use crate::{run_one, runners::baseline_names, Table};
+
+/// The paper's §6.4 cluster-efficiency experiment: a 100-job trace on 128
+/// GPUs with deadlines loose enough (lambda = 1.5) that every scheduler
+/// runs the same set of jobs; cluster efficiency (Eq. 8) is compared over
+/// time, along with the makespan.
+pub fn run(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let trace = TraceConfig::testbed_large(seed)
+        .with_num_jobs(100)
+        .with_lambda_range(1.5, 1.5)
+        .generate(&Interconnect::from_spec(&spec));
+
+    let mut names = baseline_names();
+    names.push("elasticflow");
+    let reports: Vec<(&str, SimReport)> = names
+        .iter()
+        .map(|n| (*n, run_one(n, &spec, &trace)))
+        .collect();
+
+    let horizon = reports
+        .iter()
+        .filter_map(|(_, r)| r.timeline().last().map(|p| p.time))
+        .fold(0.0f64, f64::max);
+    let hours = ((horizon / 3_600.0).ceil() as usize).clamp(1, 36);
+
+    let mut headers: Vec<String> = vec!["Hour".into()];
+    headers.extend(names.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut ce = Table::new("Fig 10: cluster efficiency over time", &header_refs);
+    for h in 0..=hours {
+        let t = h as f64 * 3_600.0;
+        let mut row = vec![h.to_string()];
+        for (_, report) in &reports {
+            let v = report
+                .timeline()
+                .iter()
+                .take_while(|p| p.time <= t)
+                .last()
+                .map(|p| p.cluster_efficiency.max(0.0))
+                .unwrap_or(0.0);
+            row.push(format!("{v:.2}"));
+        }
+        ce.row(row);
+    }
+
+    let mut summary = Table::new(
+        "Fig 10 summary: mean CE (first 10 h) and makespan",
+        &["Scheduler", "Mean CE", "Makespan (h)", "All jobs finished"],
+    );
+    for (name, report) in &reports {
+        let mean = report.mean_cluster_efficiency(10.0 * 3_600.0);
+        let makespan = report.makespan().map(|m| m / 3_600.0);
+        let finished = report
+            .outcomes()
+            .iter()
+            .filter(|o| o.finish_time.is_some())
+            .count();
+        summary.row(vec![
+            name.to_string(),
+            pct(mean),
+            makespan
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{finished}/{}", report.outcomes().len()),
+        ]);
+    }
+    vec![ce, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_fixed_at_loose_value() {
+        let spec = ClusterSpec::paper_testbed();
+        let trace = TraceConfig::testbed_large(1)
+            .with_num_jobs(20)
+            .with_lambda_range(1.5, 1.5)
+            .generate(&Interconnect::from_spec(&spec));
+        for j in trace.jobs() {
+            assert!((j.lambda().unwrap() - 1.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 11: mixed SLO and best-effort workloads (paper §6.5).
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_trace::TraceConfig;
+
+use crate::report::pct;
+use crate::{run_one, Table};
+
+/// Varies the best-effort fraction (10–50 %) and reports (a) the DSR of
+/// SLO jobs and (b) the average best-effort JCT normalized to Gandiva's.
+pub fn run(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let schedulers = ["edf", "gandiva", "tiresias", "themis", "chronus", "elasticflow"];
+    let fractions = [0.1, 0.3, 0.5];
+
+    let mut headers: Vec<String> = vec!["BE fraction".into()];
+    headers.extend(schedulers.iter().map(|s| s.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut dsr_table = Table::new("Fig 11(a): DSR of SLO jobs", &header_refs);
+    let mut jct_table = Table::new(
+        "Fig 11(b): avg best-effort JCT (normalized to Gandiva)",
+        &header_refs,
+    );
+
+    for frac in fractions {
+        let trace = TraceConfig::testbed_large(seed)
+            .with_best_effort_fraction(frac)
+            .generate(&Interconnect::from_spec(&spec));
+        let mut dsr_row = vec![pct(frac)];
+        let mut jcts = Vec::new();
+        for name in schedulers {
+            let report = run_one(name, &spec, &trace);
+            dsr_row.push(pct(report.deadline_satisfactory_ratio()));
+            jcts.push(report.avg_best_effort_jct());
+        }
+        dsr_table.row(dsr_row);
+        // Normalize JCTs to Gandiva (index 1).
+        let gandiva = jcts[1].unwrap_or(f64::NAN);
+        let mut jct_row = vec![pct(frac)];
+        for jct in jcts {
+            jct_row.push(match jct {
+                Some(v) if gandiva.is_finite() && gandiva > 0.0 => {
+                    format!("{:.2}", v / gandiva)
+                }
+                Some(v) => format!("{v:.0}s"),
+                None => "-".into(),
+            });
+        }
+        jct_table.row(jct_row);
+    }
+    vec![dsr_table, jct_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_effort_traces_have_both_kinds() {
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(1)
+            .with_best_effort_fraction(0.3)
+            .generate(&Interconnect::from_spec(&spec));
+        assert!(trace.num_best_effort_jobs() > 0);
+        assert!(trace.num_slo_jobs() > 0);
+    }
+}

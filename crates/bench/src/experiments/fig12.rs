@@ -1,0 +1,89 @@
+//! Fig. 12: system overheads.
+
+use elasticflow_perfmodel::{DnnModel, OverheadModel, Profiler, ScalingEvent};
+
+use crate::Table;
+
+/// Fig. 12(a): pre-run profiling overhead per model (all Table 1 batch
+/// sizes, all useful GPU counts).
+pub fn run_profiling() -> Vec<Table> {
+    let profiler = Profiler::default();
+    let mut table = Table::new(
+        "Fig 12(a): profiling overheads per model",
+        &["Model", "Configs probed", "Profiling time (s)"],
+    );
+    for model in DnnModel::ALL {
+        let batches = elasticflow_perfmodel::PAPER_TABLE1
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map(|(_, b)| *b)
+            .unwrap_or(&[]);
+        let mut probed = 0usize;
+        let mut seconds = 0.0;
+        for &b in batches {
+            let report = profiler.profile(model, b);
+            probed += report.probed_gpus.len();
+            seconds += report.profiling_seconds;
+        }
+        table.row(vec![
+            model.to_string(),
+            probed.to_string(),
+            format!("{seconds:.0}"),
+        ]);
+    }
+    vec![table]
+}
+
+/// Fig. 12(b): scaling and migration pause per model for the paper's five
+/// cases: 1→8, 2→8, 4→8, 8→4, and an 8-GPU cross-machine migration.
+pub fn run_scaling() -> Vec<Table> {
+    let model = OverheadModel::paper_calibrated();
+    let cases: [(&str, ScalingEvent); 5] = [
+        ("1 -> 8", ScalingEvent::scale(1, 8)),
+        ("2 -> 8", ScalingEvent::scale(2, 8)),
+        ("4 -> 8", ScalingEvent::scale(4, 8)),
+        ("8 -> 4", ScalingEvent::scale(8, 4)),
+        ("migrate 8", ScalingEvent::migrate(8)),
+    ];
+    let mut headers: Vec<String> = vec!["Model".into()];
+    headers.extend(cases.iter().map(|(n, _)| n.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig 12(b): scaling/migration pause per event (seconds)",
+        &header_refs,
+    );
+    for dnn in DnnModel::ALL {
+        let profile = dnn.profile();
+        let mut row = vec![dnn.to_string()];
+        for (_, event) in cases {
+            row.push(format!("{:.1}", model.pause_seconds(&profile, event)));
+        }
+        table.row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_table_covers_all_models() {
+        assert_eq!(run_profiling()[0].len(), 6);
+    }
+
+    #[test]
+    fn scaling_cases_are_same_order_of_magnitude() {
+        let t = run_scaling();
+        let json = t[0].to_json();
+        for row in json["rows"].as_array().unwrap() {
+            let vals: Vec<f64> = row.as_array().unwrap()[1..]
+                .iter()
+                .map(|v| v.as_str().unwrap().parse().unwrap())
+                .collect();
+            let max = vals.iter().cloned().fold(0.0, f64::max);
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(max / min < 3.0, "cases too dissimilar: {vals:?}");
+        }
+    }
+}

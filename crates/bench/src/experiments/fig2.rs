@@ -1,0 +1,92 @@
+//! Fig. 2: characteristics of distributed training jobs.
+
+use elasticflow_cluster::PlacementShape;
+use elasticflow_perfmodel::{iteration_time, DnnModel, Interconnect, ScalingCurve};
+
+use crate::Table;
+
+/// Fig. 2(a): normalized scaling curves (speedup over one GPU) of the six
+/// models at the largest Table 1 batch size, over the power-of-two ladder.
+pub fn run_scaling() -> Vec<Table> {
+    let net = Interconnect::paper_testbed();
+    let gpu_counts = [1u32, 2, 4, 8, 16];
+    let mut headers: Vec<String> = vec!["Model".into(), "Batch".into()];
+    headers.extend(gpu_counts.iter().map(|g| format!("{g} GPUs")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig 2(a): normalized scaling curves (speedup vs 1 GPU)",
+        &header_refs,
+    );
+    for (model, batches) in elasticflow_perfmodel::PAPER_TABLE1 {
+        let batch = *batches.iter().max().expect("nonempty");
+        let curve = ScalingCurve::build(model, batch, &net);
+        let mut row = vec![model.to_string(), batch.to_string()];
+        for &g in &gpu_counts {
+            match curve.speedup(g) {
+                Some(s) => row.push(format!("{s:.2}")),
+                None => row.push("-".into()),
+            }
+        }
+        table.row(row);
+    }
+    vec![table]
+}
+
+/// Fig. 2(b): throughput of 8-worker ResNet50 and BERT jobs under the four
+/// placements the paper plots (8 servers x 1 GPU … 1 server x 8 GPUs),
+/// normalized to the most-spread placement.
+pub fn run_placement() -> Vec<Table> {
+    let net = Interconnect::paper_testbed();
+    let shapes = [
+        PlacementShape::new(8, 1),
+        PlacementShape::new(4, 2),
+        PlacementShape::new(2, 4),
+        PlacementShape::new(1, 8),
+    ];
+    let mut table = Table::new(
+        "Fig 2(b): 8-GPU job throughput by placement (normalized to 8x1)",
+        &["Model", "8x1", "4x2", "2x4", "1x8", "1x8 / 8x1"],
+    );
+    for model in [DnnModel::ResNet50, DnnModel::Bert] {
+        let profile = model.profile();
+        let batch = 256u32;
+        let times: Vec<f64> = shapes
+            .iter()
+            .map(|&s| iteration_time(&profile, batch, s, &net).total)
+            .collect();
+        let base = 1.0 / times[0];
+        let mut row = vec![model.to_string()];
+        for t in &times {
+            row.push(format!("{:.2}", (1.0 / t) / base));
+        }
+        row.push(format!("{:.2}x", times[0] / times[3]));
+        table.row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_table_has_all_models() {
+        let t = run_scaling();
+        assert_eq!(t[0].len(), 6);
+    }
+
+    #[test]
+    fn placement_table_reports_paper_band() {
+        let t = run_placement();
+        let json = t[0].to_json();
+        // ResNet50's same-server vs spread ratio sits in the calibrated
+        // band around the paper's 2.17x.
+        let ratio: f64 = json["rows"][0][5]
+            .as_str()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!((1.9..=2.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 6: end-to-end deadline satisfactory ratio on the testbeds.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_trace::TraceConfig;
+
+use crate::report::{pct, times};
+use crate::{run_one, runners::baseline_names, Table};
+
+/// Fig. 6(a): 4 servers / 32 GPUs / 25 jobs, all six baselines (including
+/// Pollux) vs ElasticFlow.
+pub fn run_small(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+    vec![dsr_table(
+        "Fig 6(a): deadline satisfactory ratio, 32 GPUs / 25 jobs",
+        &spec,
+        &trace,
+        &baseline_names(),
+    )]
+}
+
+/// Fig. 6(b): 16 servers / 128 GPUs / 195 jobs; the paper omits Pollux at
+/// this scale for cost, and we keep the same roster for comparability.
+pub fn run_large(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    let names: Vec<&str> = baseline_names()
+        .into_iter()
+        .filter(|n| *n != "pollux")
+        .collect();
+    vec![dsr_table(
+        "Fig 6(b): deadline satisfactory ratio, 128 GPUs / 195 jobs",
+        &spec,
+        &trace,
+        &names,
+    )]
+}
+
+/// Runs ElasticFlow plus the given baselines on one trace and reports DSR
+/// and ElasticFlow's improvement factor per baseline.
+pub fn dsr_table(
+    title: &str,
+    spec: &ClusterSpec,
+    trace: &elasticflow_trace::Trace,
+    baselines: &[&str],
+) -> Table {
+    let ef = run_one("elasticflow", spec, trace);
+    let ef_dsr = ef.deadline_satisfactory_ratio();
+    let mut table = Table::new(
+        title,
+        &["Scheduler", "Deadlines met", "DSR", "ElasticFlow gain"],
+    );
+    for name in baselines {
+        let report = run_one(name, spec, trace);
+        let dsr = report.deadline_satisfactory_ratio();
+        let gain = if dsr > 0.0 { ef_dsr / dsr } else { f64::INFINITY };
+        table.row(vec![
+            name.to_string(),
+            report.deadlines_met().to_string(),
+            pct(dsr),
+            if gain.is_finite() {
+                times(gain)
+            } else {
+                "inf".into()
+            },
+        ]);
+    }
+    table.row(vec![
+        "elasticflow".into(),
+        ef.deadlines_met().to_string(),
+        pct(ef_dsr),
+        times(1.0),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_testbed_covers_all_baselines() {
+        let tables = run_small(11);
+        // 6 baselines + elasticflow.
+        assert_eq!(tables[0].len(), 7);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 7: cluster timelines during the 128-GPU testbed run.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sim::SimReport;
+use elasticflow_trace::TraceConfig;
+
+use crate::{run_one, Table};
+
+/// Fig. 7(a): GPUs allocated over time for ElasticFlow vs representative
+/// baselines; Fig. 7(b): ElasticFlow's submitted vs admitted job counts.
+/// Timelines are sampled hourly from the recorded event series.
+pub fn run(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    let schedulers = ["elasticflow", "edf", "gandiva", "tiresias"];
+    let reports: Vec<SimReport> = schedulers
+        .iter()
+        .map(|name| run_one(name, &spec, &trace))
+        .collect();
+
+    let horizon = reports
+        .iter()
+        .filter_map(|r| r.timeline().last().map(|p| p.time))
+        .fold(0.0f64, f64::max);
+    let hours = (horizon / 3_600.0).ceil() as usize;
+    let hours = hours.clamp(1, 48);
+
+    let mut headers: Vec<String> = vec!["Hour".into()];
+    headers.extend(schedulers.iter().map(|s| s.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut alloc = Table::new("Fig 7(a): GPUs allocated over time", &header_refs);
+    for h in 0..=hours {
+        let t = h as f64 * 3_600.0;
+        let mut row = vec![h.to_string()];
+        for report in &reports {
+            row.push(sample_used(report, t).to_string());
+        }
+        alloc.row(row);
+    }
+
+    let ef = &reports[0];
+    let mut admissions = Table::new(
+        "Fig 7(b): ElasticFlow submitted vs admitted jobs over time",
+        &["Hour", "Submitted", "Admitted", "Dropped"],
+    );
+    for h in 0..=hours {
+        let t = h as f64 * 3_600.0;
+        let (submitted, admitted) = sample_counts(ef, t);
+        admissions.row(vec![
+            h.to_string(),
+            submitted.to_string(),
+            admitted.to_string(),
+            (submitted - admitted).to_string(),
+        ]);
+    }
+    vec![alloc, admissions]
+}
+
+/// Used GPUs at time `t`: the last recorded point at or before `t`.
+fn sample_used(report: &SimReport, t: f64) -> u32 {
+    report
+        .timeline()
+        .iter()
+        .take_while(|p| p.time <= t)
+        .last()
+        .map(|p| p.used_gpus)
+        .unwrap_or(0)
+}
+
+fn sample_counts(report: &SimReport, t: f64) -> (usize, usize) {
+    report
+        .timeline()
+        .iter()
+        .take_while(|p| p.time <= t)
+        .last()
+        .map(|p| (p.submitted, p.admitted))
+        .unwrap_or((0, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timelines_are_generated() {
+        // Use a small seed-driven trace for speed by reusing the function
+        // as-is; just confirm shape.
+        let tables = run(5);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].len() >= 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 8: simulation results at larger scales and across traces.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_trace::{philly_like_config, TraceConfig};
+
+use crate::experiments::fig6::dsr_table;
+use crate::report::{pct, times};
+use crate::{run_one, runners::baseline_names, Table};
+
+/// Fig. 8(a): the 195-job trace in simulation with the full roster
+/// including Pollux (the paper uses Pollux's published profiles here).
+pub fn run_with_pollux(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    vec![dsr_table(
+        "Fig 8(a): simulated DSR incl. Pollux, 128 GPUs / 195 jobs",
+        &spec,
+        &trace,
+        &baseline_names(),
+    )]
+}
+
+/// Fig. 8(b): DSR across the ten production-like traces plus the
+/// Philly-like trace, each paired with its suggested cluster size.
+pub fn run_traces(seed: u64) -> Vec<Table> {
+    let names = baseline_names();
+    let mut headers: Vec<String> = vec!["Trace".into(), "Jobs".into(), "GPUs".into()];
+    headers.extend(names.iter().map(|n| n.to_string()));
+    headers.push("elasticflow".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig 8(b): deadline satisfactory ratio across traces",
+        &header_refs,
+    );
+    let mut gains: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+
+    let mut configs: Vec<TraceConfig> = (0..10).map(|i| TraceConfig::production(i, seed)).collect();
+    configs.push(philly_like_config(seed));
+    for cfg in &configs {
+        let spec = ClusterSpec::with_servers(cfg.suggested_servers, 8);
+        let trace = cfg.generate(&Interconnect::from_spec(&spec));
+        let ef = run_one("elasticflow", &spec, &trace).deadline_satisfactory_ratio();
+        let mut row = vec![
+            cfg.name.clone(),
+            trace.jobs().len().to_string(),
+            spec.total_gpus().to_string(),
+        ];
+        for (i, name) in names.iter().enumerate() {
+            let dsr = run_one(name, &spec, &trace).deadline_satisfactory_ratio();
+            if dsr > 0.0 {
+                gains[i].push(ef / dsr);
+            }
+            row.push(pct(dsr));
+        }
+        row.push(pct(ef));
+        table.row(row);
+    }
+
+    let mut avg = Table::new(
+        "Fig 8(b) summary: average ElasticFlow improvement per baseline",
+        &["Baseline", "Mean DSR gain"],
+    );
+    for (i, name) in names.iter().enumerate() {
+        let mean = gains[i].iter().sum::<f64>() / gains[i].len().max(1) as f64;
+        avg.row(vec![name.to_string(), times(mean)]);
+    }
+    vec![table, avg]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pollux_roster_includes_six_baselines() {
+        let t = run_with_pollux(3);
+        assert_eq!(t[0].len(), 7);
+    }
+}

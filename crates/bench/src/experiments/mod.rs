@@ -1,0 +1,134 @@
+//! One module per table/figure of the paper's evaluation (§6).
+//!
+//! Every function returns [`crate::Table`]s containing the same rows or
+//! series the paper's artifact plots, so the experiment index in
+//! `DESIGN.md` maps one-to-one onto these modules.
+
+pub mod ablation_placement;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod failures;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod soft_deadlines;
+pub mod table1;
+pub mod verify;
+
+use crate::Table;
+
+/// An experiment id and its generator, for the `all` command.
+pub struct Experiment {
+    /// Command-line name (`fig6a`, `table1`, ...).
+    pub name: &'static str,
+    /// What the experiment reproduces.
+    pub description: &'static str,
+    /// Generator.
+    pub run: fn(u64) -> Vec<Table>,
+}
+
+/// Every registered experiment in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "table1",
+            description: "Table 1: DNN models used in the evaluation",
+            run: |_| table1::run(),
+        },
+        Experiment {
+            name: "fig2a",
+            description: "Fig 2(a): scaling curves of popular DNN models",
+            run: |_| fig2::run_scaling(),
+        },
+        Experiment {
+            name: "fig2b",
+            description: "Fig 2(b): throughput under different placements",
+            run: |_| fig2::run_placement(),
+        },
+        Experiment {
+            name: "fig3",
+            description: "Fig 3: EDF vs per-job workers under non-linear scaling",
+            run: |_| fig3::run(),
+        },
+        Experiment {
+            name: "fig4",
+            description: "Fig 4: admission-control walkthrough",
+            run: |_| fig4::run(),
+        },
+        Experiment {
+            name: "fig6a",
+            description: "Fig 6(a): testbed DSR, 32 GPUs / 25 jobs, all baselines",
+            run: fig6::run_small,
+        },
+        Experiment {
+            name: "fig6b",
+            description: "Fig 6(b): testbed DSR, 128 GPUs / 195 jobs",
+            run: fig6::run_large,
+        },
+        Experiment {
+            name: "fig7",
+            description: "Fig 7: GPU allocation and admission timelines",
+            run: fig7::run,
+        },
+        Experiment {
+            name: "fig8a",
+            description: "Fig 8(a): simulated DSR including Pollux",
+            run: fig8::run_with_pollux,
+        },
+        Experiment {
+            name: "fig8b",
+            description: "Fig 8(b): DSR across ten production traces + Philly",
+            run: fig8::run_traces,
+        },
+        Experiment {
+            name: "fig9",
+            description: "Fig 9: sources of improvement (ablation vs cluster size)",
+            run: fig9::run,
+        },
+        Experiment {
+            name: "fig10",
+            description: "Fig 10: cluster efficiency over time and makespan",
+            run: fig10::run,
+        },
+        Experiment {
+            name: "fig11",
+            description: "Fig 11: mixed SLO/best-effort workloads",
+            run: fig11::run,
+        },
+        Experiment {
+            name: "fig12a",
+            description: "Fig 12(a): profiling overheads",
+            run: |_| fig12::run_profiling(),
+        },
+        Experiment {
+            name: "fig12b",
+            description: "Fig 12(b): scaling and migration overheads",
+            run: |_| fig12::run_scaling(),
+        },
+        Experiment {
+            name: "failures",
+            description: "Extension (§4.4): DSR under injected node failures",
+            run: failures::run,
+        },
+        Experiment {
+            name: "soft-deadlines",
+            description: "Extension (§4.4): mixed hard/soft-deadline workloads",
+            run: soft_deadlines::run,
+        },
+        Experiment {
+            name: "verify-shapes",
+            description: "Check the paper's qualitative claims hold (PASS/FAIL)",
+            run: verify::run,
+        },
+        Experiment {
+            name: "ablation-placement",
+            description: "Extra ablation: best-case vs pessimistic placement curves",
+            run: |_| ablation_placement::run(),
+        },
+    ]
+}

@@ -1,0 +1,63 @@
+//! Extension experiment (paper §4.4, "hard vs. soft deadlines"): traces
+//! mixing hard-SLO and soft-deadline jobs.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_trace::{JobKind, TraceConfig};
+
+use crate::report::pct;
+use crate::{run_one, Table};
+
+/// Varies the soft-deadline share and reports, for ElasticFlow: the hard
+/// DSR (unchanged guarantee), the soft DSR, and the fact that soft jobs
+/// are never dropped.
+pub fn run(seed: u64) -> Vec<Table> {
+    let spec = ClusterSpec::paper_testbed();
+    let mut table = Table::new(
+        "Soft deadlines: ElasticFlow under mixed hard/soft workloads",
+        &[
+            "Soft share",
+            "Hard-SLO DSR",
+            "Soft DSR",
+            "Soft jobs dropped",
+            "Soft jobs finished",
+        ],
+    );
+    for frac in [0.0, 0.2, 0.4] {
+        let trace = TraceConfig::testbed_large(seed)
+            .with_soft_deadline_fraction(frac)
+            .generate(&Interconnect::from_spec(&spec));
+        let report = run_one("elasticflow", &spec, &trace);
+        let soft: Vec<_> = report
+            .outcomes()
+            .iter()
+            .filter(|o| o.kind == JobKind::SoftDeadline)
+            .collect();
+        table.row(vec![
+            pct(frac),
+            pct(report.deadline_satisfactory_ratio()),
+            pct(report.soft_deadline_satisfactory_ratio()),
+            soft.iter().filter(|o| o.dropped).count().to_string(),
+            format!(
+                "{}/{}",
+                soft.iter().filter(|o| o.finish_time.is_some()).count(),
+                soft.len()
+            ),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_jobs_never_dropped_in_sweep() {
+        let tables = run(3);
+        let json = tables[0].to_json();
+        for row in json["rows"].as_array().unwrap() {
+            assert_eq!(row[3], "0", "soft jobs must never be dropped");
+        }
+    }
+}

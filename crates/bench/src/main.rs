@@ -1,0 +1,84 @@
+//! `experiments` — regenerate every table and figure of the ElasticFlow
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <id> [--seed N] [--json]
+//! experiments all  [--seed N] [--json]
+//! experiments list
+//! ```
+
+use std::process::ExitCode;
+
+use elasticflow_bench::experiments::registry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut seed: u64 = 2023;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => json = true,
+            other if command.is_none() => command = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let registry = registry();
+    let Some(command) = command else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "list" => {
+            for exp in &registry {
+                println!("{:<20} {}", exp.name, exp.description);
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for exp in &registry {
+                eprintln!("== running {} — {}", exp.name, exp.description);
+                emit((exp.run)(seed), json);
+            }
+            ExitCode::SUCCESS
+        }
+        name => match registry.iter().find(|e| e.name == name) {
+            Some(exp) => {
+                emit((exp.run)(seed), json);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment: {name}");
+                print_usage();
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn emit(tables: Vec<elasticflow_bench::Table>, json: bool) {
+    for table in tables {
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            println!("{table}");
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: experiments <id|all|list> [--seed N] [--json]");
+    eprintln!("run `experiments list` to see every table/figure id");
+}

@@ -1,0 +1,144 @@
+//! Plain-text table rendering (and JSON export) for experiment output.
+
+use std::fmt::Write as _;
+
+/// A rectangular table printed as aligned text, mimicking the rows/series
+/// the paper's figures report.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are pre-formatted strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header_line.join("  "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "  {}", rule.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders the table as a JSON object (`{title, headers, rows}`).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+        })
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a ratio like `1.46x`.
+pub fn times(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("longer"));
+        // Header and both rows plus rule.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Table::new("j", &["x"]);
+        t.row(vec!["1".into()]);
+        let v = t.to_json();
+        assert_eq!(v["title"], "j");
+        assert_eq!(v["rows"][0][0], "1");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(times(1.456), "1.46x");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for cluster operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cluster allocation and placement operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The requested number of GPUs is not a power of two.
+    ///
+    /// ElasticFlow restricts worker counts to powers of two (paper §4.3) so
+    /// that buddy allocation can guarantee fragmentation-free placement.
+    NotPowerOfTwo {
+        /// The offending request size.
+        requested: u32,
+    },
+    /// The request exceeds the total capacity of the cluster.
+    ExceedsCapacity {
+        /// The offending request size.
+        requested: u32,
+        /// Total number of GPUs in the cluster.
+        capacity: u32,
+    },
+    /// Not enough idle GPUs remain, even after defragmentation.
+    Insufficient {
+        /// The offending request size.
+        requested: u32,
+        /// Number of currently idle GPUs.
+        idle: u32,
+    },
+    /// The given owner has no allocation.
+    UnknownOwner {
+        /// The owner tag that was not found.
+        owner: u64,
+    },
+    /// The given owner already holds an allocation.
+    AlreadyAllocated {
+        /// The owner tag that already holds a block.
+        owner: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NotPowerOfTwo { requested } => {
+                write!(f, "requested GPU count {requested} is not a power of two")
+            }
+            ClusterError::ExceedsCapacity {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "requested {requested} GPUs but the cluster only has {capacity}"
+            ),
+            ClusterError::Insufficient { requested, idle } => {
+                write!(f, "requested {requested} GPUs but only {idle} are idle")
+            }
+            ClusterError::UnknownOwner { owner } => {
+                write!(f, "owner {owner} holds no allocation")
+            }
+            ClusterError::AlreadyAllocated { owner } => {
+                write!(f, "owner {owner} already holds an allocation")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(ClusterError, &str)> = vec![
+            (
+                ClusterError::NotPowerOfTwo { requested: 3 },
+                "requested GPU count 3 is not a power of two",
+            ),
+            (
+                ClusterError::ExceedsCapacity {
+                    requested: 256,
+                    capacity: 128,
+                },
+                "requested 256 GPUs but the cluster only has 128",
+            ),
+            (
+                ClusterError::Insufficient {
+                    requested: 8,
+                    idle: 4,
+                },
+                "requested 8 GPUs but only 4 are idle",
+            ),
+            (
+                ClusterError::UnknownOwner { owner: 7 },
+                "owner 7 holds no allocation",
+            ),
+            (
+                ClusterError::AlreadyAllocated { owner: 7 },
+                "owner 7 already holds an allocation",
+            ),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

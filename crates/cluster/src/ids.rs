@@ -1,0 +1,128 @@
+//! Strongly typed identifiers for cluster resources.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a single GPU, a global index over all leaves of the
+/// topology tree (`0..topology.num_gpus()`).
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_cluster::GpuId;
+///
+/// let gpu = GpuId::new(5);
+/// assert_eq!(gpu.index(), 5);
+/// assert_eq!(format!("{gpu}"), "gpu5");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GpuId(u32);
+
+impl GpuId {
+    /// Creates a GPU id from a global index.
+    pub fn new(index: u32) -> Self {
+        GpuId(index)
+    }
+
+    /// Returns the global index of this GPU.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize`, convenient for slicing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+impl From<u32> for GpuId {
+    fn from(index: u32) -> Self {
+        GpuId(index)
+    }
+}
+
+/// Identifier of a server (a machine hosting several GPUs).
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_cluster::ServerId;
+///
+/// let server = ServerId::new(3);
+/// assert_eq!(format!("{server}"), "server3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates a server id from an index.
+    pub fn new(index: u32) -> Self {
+        ServerId(index)
+    }
+
+    /// Returns the index of this server.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize`.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server{}", self.0)
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(index: u32) -> Self {
+        ServerId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_id_roundtrip() {
+        let id = GpuId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(GpuId::from(42u32), id);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(GpuId::new(0).to_string(), "gpu0");
+        assert_eq!(ServerId::new(7).to_string(), "server7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GpuId::new(1) < GpuId::new(2));
+        assert!(ServerId::new(0) < ServerId::new(1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let id = GpuId::new(9);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: GpuId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

@@ -1,0 +1,328 @@
+//! Admission control (paper Algorithm 1).
+
+use std::collections::BTreeMap;
+
+use elasticflow_trace::JobId;
+
+use crate::{progressive_filling, AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
+
+/// Result of an admission check over a set of jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionOutcome {
+    /// Every job's deadline can be guaranteed; the witness plan assigns a
+    /// minimum-satisfactory profile per job.
+    Admitted {
+        /// Per-job minimum satisfactory profiles, keyed by job id.
+        plan: BTreeMap<JobId, AllocationProfile>,
+    },
+    /// No feasible plan exists; the named job is the first (in deadline
+    /// order) that cannot be satisfied.
+    Rejected {
+        /// The unsatisfiable job.
+        blocking_job: JobId,
+    },
+}
+
+impl AdmissionOutcome {
+    /// `true` for the admitted case.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionOutcome::Admitted { .. })
+    }
+}
+
+/// ElasticFlow's admission controller: sorts jobs by deadline and
+/// progressively fills each against the reservations of the earlier ones
+/// (paper Algorithm 1). A new job is admitted iff the whole set — existing
+/// admitted jobs plus the newcomer — remains satisfiable.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_core::{AdmissionController, PlanningJob, SlotGrid};
+/// use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+/// use elasticflow_trace::JobId;
+///
+/// let curve = ScalingCurve::from_points(DnnModel::ResNet50, 64, vec![
+///     CurvePoint { gpus: 1, iters_per_sec: 1.0 },
+///     CurvePoint { gpus: 2, iters_per_sec: 1.5 },
+/// ]);
+/// let job = |id: u64, work: f64, slots: usize| PlanningJob {
+///     id: JobId::new(id),
+///     curve: curve.clone(),
+///     remaining_iterations: work,
+///     deadline_slot: slots,
+/// };
+/// let ac = AdmissionController::new(2);
+/// let grid = SlotGrid::uniform(1.0);
+/// // Two 1-GPU jobs with enough slack fit on 2 GPUs…
+/// assert!(ac.check(&[job(0, 2.0, 2), job(1, 2.0, 2)], &grid).is_admitted());
+/// // …a third does not.
+/// let out = ac.check(&[job(0, 2.0, 2), job(1, 2.0, 2), job(2, 2.0, 2)], &grid);
+/// assert!(!out.is_admitted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionController {
+    total_gpus: u32,
+}
+
+impl AdmissionController {
+    /// Creates a controller for a cluster of `total_gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_gpus` is zero.
+    pub fn new(total_gpus: u32) -> Self {
+        assert!(total_gpus > 0, "cluster must have GPUs");
+        AdmissionController { total_gpus }
+    }
+
+    /// The cluster size this controller plans for.
+    pub fn total_gpus(&self) -> u32 {
+        self.total_gpus
+    }
+
+    /// Checks whether all `jobs` can meet their deadlines together
+    /// (Algorithm 1 lines 2–9: sort by deadline, progressively fill each).
+    pub fn check(&self, jobs: &[PlanningJob], grid: &SlotGrid) -> AdmissionOutcome {
+        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
+        order.sort_by(|a, b| a.deadline_slot.cmp(&b.deadline_slot).then(a.id.cmp(&b.id)));
+        let mut ledger = ReservationLedger::new();
+        let mut plan = BTreeMap::new();
+        for job in order {
+            match progressive_filling(job, &ledger, grid, self.total_gpus, None) {
+                Some(profile) => {
+                    ledger.commit(&profile);
+                    plan.insert(job.id, profile);
+                }
+                None => {
+                    return AdmissionOutcome::Rejected {
+                        blocking_job: job.id,
+                    }
+                }
+            }
+        }
+        AdmissionOutcome::Admitted { plan }
+    }
+
+    /// Splits `jobs` into the deadline-ordered *feasible subset* (each job
+    /// progressively filled against the ones before it) and the lapsed
+    /// remainder. In the idealized model every admitted job stays feasible
+    /// (Algorithm 1's invariant), but in a running system scaling pauses
+    /// and slot discretization can push an admitted job past the point of
+    /// recovery; such lapsed jobs are scheduled best-effort (§4.4, soft
+    /// deadlines) and must not veto future admissions.
+    pub fn feasible_subset(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+    ) -> (Vec<PlanningJob>, Vec<JobId>) {
+        let (feasible, lapsed, _) = self.feasible_subset_with_ledger(jobs, grid);
+        (feasible, lapsed)
+    }
+
+    /// Like [`AdmissionController::feasible_subset`], additionally
+    /// returning the reservation ledger of the feasible jobs' committed
+    /// profiles (useful to gauge near-term booked load).
+    pub fn feasible_subset_with_ledger(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+    ) -> (Vec<PlanningJob>, Vec<JobId>, ReservationLedger) {
+        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
+        order.sort_by(|a, b| a.deadline_slot.cmp(&b.deadline_slot).then(a.id.cmp(&b.id)));
+        let mut ledger = ReservationLedger::new();
+        let mut feasible = Vec::new();
+        let mut lapsed = Vec::new();
+        for job in order {
+            match progressive_filling(job, &ledger, grid, self.total_gpus, None) {
+                Some(profile) => {
+                    ledger.commit(&profile);
+                    feasible.push(job.clone());
+                }
+                None => lapsed.push(job.id),
+            }
+        }
+        (feasible, lapsed, ledger)
+    }
+
+    /// Mean booked fraction of the cluster over the next `horizon_slots`
+    /// slots of the given ledger, in `[0, 1]`.
+    pub fn booked_fraction(
+        &self,
+        ledger: &ReservationLedger,
+        horizon_slots: usize,
+    ) -> f64 {
+        if horizon_slots == 0 {
+            return 0.0;
+        }
+        let total: f64 = (0..horizon_slots)
+            .map(|t| ledger.committed(t).min(self.total_gpus) as f64)
+            .sum();
+        total / (horizon_slots as f64 * self.total_gpus as f64)
+    }
+
+    /// Convenience wrapper for the arrival path: checks `candidate`
+    /// against the feasible subset of `existing` and reports whether the
+    /// candidate may enter. Jobs of `existing` that have already lapsed
+    /// cannot veto the newcomer (their deadlines are lost either way), but
+    /// the newcomer is rejected if it would break any still-feasible job.
+    pub fn admit(
+        &self,
+        existing: &[PlanningJob],
+        candidate: &PlanningJob,
+        grid: &SlotGrid,
+    ) -> bool {
+        let (mut all, _lapsed) = self.feasible_subset(existing, grid);
+        all.push(candidate.clone());
+        self.check(&all, grid).is_admitted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+
+    fn curve() -> ScalingCurve {
+        ScalingCurve::from_points(
+            DnnModel::ResNet50,
+            64,
+            vec![
+                CurvePoint {
+                    gpus: 1,
+                    iters_per_sec: 1.0,
+                },
+                CurvePoint {
+                    gpus: 2,
+                    iters_per_sec: 1.5,
+                },
+                CurvePoint {
+                    gpus: 4,
+                    iters_per_sec: 2.0,
+                },
+            ],
+        )
+    }
+
+    fn job(id: u64, work: f64, slots: usize) -> PlanningJob {
+        PlanningJob {
+            id: JobId::new(id),
+            curve: curve(),
+            remaining_iterations: work,
+            deadline_slot: slots,
+        }
+    }
+
+    #[test]
+    fn empty_set_is_admitted() {
+        let ac = AdmissionController::new(4);
+        assert!(ac.check(&[], &SlotGrid::uniform(1.0)).is_admitted());
+    }
+
+    #[test]
+    fn paper_fig3_both_jobs_fit_with_one_gpu_each() {
+        // The motivating example (Fig. 3): jobs A and B, 3 units each,
+        // deadlines 3 and 3.5 (=> 3 slots each, conservatively), 2 GPUs.
+        // One worker each meets both deadlines.
+        let ac = AdmissionController::new(2);
+        let grid = SlotGrid::uniform(1.0);
+        let out = ac.check(&[job(0, 3.0, 3), job(1, 3.0, 3)], &grid);
+        match out {
+            AdmissionOutcome::Admitted { plan } => {
+                assert_eq!(plan[&JobId::new(0)].as_slice(), &[1, 1, 1]);
+                assert_eq!(plan[&JobId::new(1)].as_slice(), &[1, 1, 1]);
+            }
+            AdmissionOutcome::Rejected { .. } => panic!("Fig. 3 set must be admitted"),
+        }
+    }
+
+    #[test]
+    fn rejection_names_the_blocking_job() {
+        let ac = AdmissionController::new(1);
+        let grid = SlotGrid::uniform(1.0);
+        let out = ac.check(&[job(0, 1.0, 1), job(1, 1.0, 1)], &grid);
+        assert_eq!(
+            out,
+            AdmissionOutcome::Rejected {
+                blocking_job: JobId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn later_deadline_job_uses_leftover_slots() {
+        let ac = AdmissionController::new(4);
+        let grid = SlotGrid::uniform(1.0);
+        // Urgent job needs the whole cluster in slot 0; the second job has
+        // an extra slot and fits after it.
+        let out = ac.check(&[job(0, 2.0, 1), job(1, 2.0, 2)], &grid);
+        match out {
+            AdmissionOutcome::Admitted { plan } => {
+                assert_eq!(plan[&JobId::new(0)].as_slice(), &[4]);
+                // Job 1 gets nothing in slot 0, then the cluster in slot 1.
+                assert_eq!(plan[&JobId::new(1)].gpus(0), 0);
+                assert_eq!(plan[&JobId::new(1)].gpus(1), 4);
+            }
+            AdmissionOutcome::Rejected { .. } => panic!("should fit"),
+        }
+    }
+
+    #[test]
+    fn admit_wrapper_checks_the_union() {
+        let ac = AdmissionController::new(2);
+        let grid = SlotGrid::uniform(1.0);
+        let existing = [job(0, 2.0, 2)];
+        assert!(ac.admit(&existing, &job(1, 1.0, 2), &grid));
+        assert!(!ac.admit(&existing, &job(1, 4.0, 2), &grid));
+    }
+
+    #[test]
+    fn admission_is_monotone_in_deadline() {
+        // A job rejected at a tight deadline must be admitted at a looser
+        // one (same work, same load).
+        let ac = AdmissionController::new(2);
+        let grid = SlotGrid::uniform(1.0);
+        let existing = [job(0, 3.0, 2)];
+        let tight = job(1, 2.5, 2);
+        let loose = job(1, 2.5, 4);
+        assert!(!ac.admit(&existing, &tight, &grid));
+        assert!(ac.admit(&existing, &loose, &grid));
+    }
+
+    #[test]
+    fn theorem1_linear_agreement() {
+        // For linear curves, Algorithm 1 must agree with Theorem 1's
+        // GPU-time feasibility condition. Linear ladder: T(g) = g.
+        let linear = ScalingCurve::from_points(
+            DnnModel::Vgg16,
+            64,
+            vec![
+                CurvePoint {
+                    gpus: 1,
+                    iters_per_sec: 1.0,
+                },
+                CurvePoint {
+                    gpus: 2,
+                    iters_per_sec: 2.0,
+                },
+                CurvePoint {
+                    gpus: 4,
+                    iters_per_sec: 4.0,
+                },
+            ],
+        );
+        let mk = |id: u64, work: f64, slots: usize| PlanningJob {
+            id: JobId::new(id),
+            curve: linear.clone(),
+            remaining_iterations: work,
+            deadline_slot: slots,
+        };
+        let ac = AdmissionController::new(4);
+        let grid = SlotGrid::uniform(1.0);
+        // Theorem 1: sum of M_j/k_j over deadline-sorted prefixes <= G*D_i.
+        // Jobs: (4 work, D=1), (8 work, D=3): prefix1 4 <= 4; prefix2 12 <= 12.
+        assert!(ac.check(&[mk(0, 4.0, 1), mk(1, 8.0, 3)], &grid).is_admitted());
+        // Push past the bound: (4, D=1), (9, D=3): 13 > 12 infeasible.
+        assert!(!ac.check(&[mk(0, 4.0, 1), mk(1, 9.0, 3)], &grid).is_admitted());
+    }
+}

@@ -1,0 +1,415 @@
+//! Elastic resource allocation (paper Algorithm 2).
+
+use std::collections::BTreeMap;
+
+use elasticflow_trace::JobId;
+
+use crate::{
+    progressive_filling, AdmissionController, AdmissionOutcome, AllocationProfile, PlanningJob,
+    ReservationLedger, SlotGrid,
+};
+
+/// Outcome of a resource-allocation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationResult {
+    /// Per-job profiles; `gpus(0)` of each is the allocation to apply now.
+    pub profiles: BTreeMap<JobId, AllocationProfile>,
+    /// Jobs whose deadlines can no longer be guaranteed (e.g. after
+    /// accumulated scaling pauses); they receive no profile and must be
+    /// handled by a fallback policy.
+    pub infeasible: Vec<JobId>,
+}
+
+impl AllocationResult {
+    /// GPUs the result assigns in slot 0.
+    pub fn slot0_gpus(&self) -> u32 {
+        self.profiles.values().map(|p| p.gpus(0)).sum()
+    }
+}
+
+/// The greedy marginal-return allocator: after reserving every job's
+/// minimum satisfactory share, leftover GPUs are granted one ladder step at
+/// a time to the job whose boost saves the most GPU-time per extra GPU
+/// (paper Algorithm 2; optimal for concave curves by Theorem 2).
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_core::{PlanningJob, ResourceAllocator, SlotGrid};
+/// use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+/// use elasticflow_trace::JobId;
+///
+/// let curve = ScalingCurve::from_points(DnnModel::ResNet50, 64, vec![
+///     CurvePoint { gpus: 1, iters_per_sec: 1.0 },
+///     CurvePoint { gpus: 2, iters_per_sec: 1.5 },
+/// ]);
+/// let job = PlanningJob {
+///     id: JobId::new(0),
+///     curve,
+///     remaining_iterations: 1.0,
+///     deadline_slot: 4,
+/// };
+/// let result = ResourceAllocator::new(4).allocate(&[job], &SlotGrid::uniform(1.0));
+/// // MSS is 1 GPU; the idle cluster boosts it to its knee (2 GPUs).
+/// assert_eq!(result.profiles[&JobId::new(0)].gpus(0), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceAllocator {
+    total_gpus: u32,
+}
+
+/// One pending boost in the priority queue.
+#[derive(Debug, Clone)]
+struct Boost {
+    priority: f64,
+    id: JobId,
+    extra: u32,
+    profile: AllocationProfile,
+    version: u64,
+}
+
+impl ResourceAllocator {
+    /// Creates an allocator for a cluster of `total_gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_gpus` is zero.
+    pub fn new(total_gpus: u32) -> Self {
+        assert!(total_gpus > 0, "cluster must have GPUs");
+        ResourceAllocator { total_gpus }
+    }
+
+    /// Runs Algorithm 2 over the given (deadline-carrying) jobs.
+    ///
+    /// Phase 1 recomputes every job's minimum satisfactory profile via
+    /// Algorithm 1's progressive filling; phase 2 distributes leftover
+    /// slot-0 GPUs by marginal return.
+    pub fn allocate(&self, jobs: &[PlanningJob], grid: &SlotGrid) -> AllocationResult {
+        self.allocate_with_incumbents(jobs, grid, &BTreeMap::new())
+    }
+
+    /// Like [`ResourceAllocator::allocate`], but biases the boost order
+    /// toward each job's *incumbent* (currently running) worker count:
+    /// among pending boosts, restoring a job to a size it already holds is
+    /// preferred over growing another job past its incumbent. Restoration
+    /// boosts are free at runtime (no checkpoint/restore pause), so this
+    /// damping reduces allocation churn without changing what Algorithm 2
+    /// can express — ties in marginal return are simply broken in favor of
+    /// the status quo.
+    pub fn allocate_with_incumbents(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+        incumbents: &BTreeMap<JobId, u32>,
+    ) -> AllocationResult {
+        let (mut profiles, infeasible, mut ledger) = self.minimum_shares(jobs, grid);
+        let free0 = self.total_gpus - profiles.values().map(|p| p.gpus(0)).sum::<u32>();
+        self.boost(jobs, grid, &mut profiles, &mut ledger, free0, incumbents);
+        AllocationResult {
+            profiles,
+            infeasible,
+        }
+    }
+
+    /// Phase 1 of Algorithm 2: every job's minimum satisfactory profile
+    /// (via Algorithm 1's progressive filling), the ids that no longer fit,
+    /// and the reservation ledger of the committed profiles.
+    pub fn minimum_shares(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+    ) -> (
+        BTreeMap<JobId, AllocationProfile>,
+        Vec<JobId>,
+        ReservationLedger,
+    ) {
+        let ac = AdmissionController::new(self.total_gpus);
+        let (profiles, mut infeasible) = match ac.check(jobs, grid) {
+            AdmissionOutcome::Admitted { plan } => (plan, Vec::new()),
+            AdmissionOutcome::Rejected { .. } => {
+                // Guarantees drifted (scaling pauses, discretization): keep
+                // the satisfiable prefix, surface the rest for fallback.
+                self.fill_best_prefix(jobs, grid)
+            }
+        };
+        let mut ledger = ReservationLedger::new();
+        for p in profiles.values() {
+            ledger.commit(p);
+        }
+        infeasible.sort();
+        (profiles, infeasible, ledger)
+    }
+
+    /// Phase 2 of Algorithm 2: distributes up to `budget` leftover slot-0
+    /// GPUs by greedy marginal return, mutating `profiles` and `ledger` in
+    /// place. Returns the number of GPUs actually granted.
+    pub fn boost(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+        profiles: &mut BTreeMap<JobId, AllocationProfile>,
+        ledger: &mut ReservationLedger,
+        budget: u32,
+        incumbents: &BTreeMap<JobId, u32>,
+    ) -> u32 {
+        let jobs_by_id: BTreeMap<JobId, &PlanningJob> =
+            jobs.iter().map(|j| (j.id, j)).collect();
+        let mut free0 = budget;
+        let mut version = 0u64;
+        let mut queue: Vec<Boost> = Vec::new();
+        for (&id, profile) in profiles.iter() {
+            if let Some(b) =
+                self.candidate(jobs_by_id[&id], profile, ledger, grid, free0, version)
+            {
+                queue.push(b);
+            }
+        }
+        while free0 > 0 && !queue.is_empty() {
+            // Pop the best boost: restorations toward incumbent sizes
+            // first, then highest marginal return; id as final tiebreak.
+            let restoring = |b: &Boost| {
+                b.profile.gpus(0) <= incumbents.get(&b.id).copied().unwrap_or(0)
+            };
+            let best_idx = queue
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    restoring(a)
+                        .cmp(&restoring(b))
+                        .then(a.priority.total_cmp(&b.priority))
+                        .then(b.id.cmp(&a.id))
+                })
+                .map(|(i, _)| i)
+                .expect("queue nonempty");
+            let boost = queue.swap_remove(best_idx);
+            let job = jobs_by_id[&boost.id];
+            if boost.version < version {
+                // Stale: recompute against the current ledger and re-queue.
+                let current = &profiles[&boost.id];
+                if let Some(fresh) =
+                    self.candidate(job, current, ledger, grid, free0, version)
+                {
+                    queue.push(fresh);
+                }
+                continue;
+            }
+            if boost.extra > free0 {
+                continue; // cannot ever fit again: free0 only shrinks
+            }
+            // Apply the boost: swap profiles in the ledger.
+            let old = profiles
+                .insert(boost.id, boost.profile.clone())
+                .expect("boosted job has a profile");
+            ledger.uncommit(&old);
+            ledger.commit(&boost.profile);
+            free0 -= boost.extra;
+            version += 1;
+            // Queue this job's next step.
+            if let Some(next) =
+                self.candidate(job, &profiles[&boost.id], ledger, grid, free0, version)
+            {
+                queue.push(next);
+            }
+        }
+        budget - free0
+    }
+
+    /// Computes the next boost candidate for one job: double its slot-0
+    /// allocation (or start it at 1) and progressively re-fill the future.
+    /// Returns `None` when no further boost helps or fits.
+    fn candidate(
+        &self,
+        job: &PlanningJob,
+        current: &AllocationProfile,
+        ledger: &mut ReservationLedger,
+        grid: &SlotGrid,
+        free0: u32,
+        version: u64,
+    ) -> Option<Boost> {
+        let cur0 = current.gpus(0);
+        let next0 = if cur0 == 0 { 1 } else { cur0 * 2 };
+        if next0 > job.curve.clamp_useful(self.total_gpus) {
+            return None; // past the knee: constraint (7)
+        }
+        let extra = next0 - cur0;
+        if extra > free0 {
+            return None;
+        }
+        // Evaluate against the ledger without this job's own reservations.
+        ledger.uncommit(current);
+        let fresh = progressive_filling(job, ledger, grid, self.total_gpus, Some(next0));
+        ledger.commit(current);
+        let fresh = fresh?;
+        // Paper line 10/23: enqueue only if the boost finishes the job
+        // strictly earlier (fractional finish times within slots).
+        let finishes_earlier = match (
+            job.finish_seconds(&fresh, grid),
+            job.finish_seconds(current, grid),
+        ) {
+            (Some(a), Some(b)) => a + 1e-9 < b,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let saved = current.gpu_seconds(grid) - fresh.gpu_seconds(grid);
+        if !finishes_earlier {
+            return None;
+        }
+        Some(Boost {
+            priority: saved / extra as f64,
+            id: job.id,
+            extra,
+            profile: fresh,
+            version,
+        })
+    }
+
+    /// Deadline-ordered greedy prefix when the full set is no longer
+    /// satisfiable: commit profiles for every job that still fits, report
+    /// the rest.
+    fn fill_best_prefix(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+    ) -> (BTreeMap<JobId, AllocationProfile>, Vec<JobId>) {
+        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
+        order.sort_by(|a, b| a.deadline_slot.cmp(&b.deadline_slot).then(a.id.cmp(&b.id)));
+        let mut ledger = ReservationLedger::new();
+        let mut profiles = BTreeMap::new();
+        let mut infeasible = Vec::new();
+        for job in order {
+            match progressive_filling(job, &ledger, grid, self.total_gpus, None) {
+                Some(p) => {
+                    ledger.commit(&p);
+                    profiles.insert(job.id, p);
+                }
+                None => infeasible.push(job.id),
+            }
+        }
+        (profiles, infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+
+    fn curve() -> ScalingCurve {
+        ScalingCurve::from_points(
+            DnnModel::ResNet50,
+            64,
+            vec![
+                CurvePoint {
+                    gpus: 1,
+                    iters_per_sec: 1.0,
+                },
+                CurvePoint {
+                    gpus: 2,
+                    iters_per_sec: 1.5,
+                },
+                CurvePoint {
+                    gpus: 4,
+                    iters_per_sec: 2.0,
+                },
+            ],
+        )
+    }
+
+    fn job(id: u64, work: f64, slots: usize) -> PlanningJob {
+        PlanningJob {
+            id: JobId::new(id),
+            curve: curve(),
+            remaining_iterations: work,
+            deadline_slot: slots,
+        }
+    }
+
+    #[test]
+    fn lone_job_boosted_to_knee() {
+        let result = ResourceAllocator::new(8).allocate(&[job(0, 4.0, 8)], &SlotGrid::uniform(1.0));
+        assert!(result.infeasible.is_empty());
+        // MSS would be 1 GPU over 4 slots; boosting to the knee (4) finishes
+        // in 2 slots.
+        assert_eq!(result.profiles[&JobId::new(0)].gpus(0), 4);
+    }
+
+    #[test]
+    fn paper_fig3_alike_jobs_share_rather_than_hog() {
+        // Two jobs (3 units each, deadlines 3 slots) on 2 GPUs: one worker
+        // each meets both deadlines; EDF-style hogging would miss one.
+        let result = ResourceAllocator::new(2)
+            .allocate(&[job(0, 3.0, 3), job(1, 3.0, 3)], &SlotGrid::uniform(1.0));
+        assert!(result.infeasible.is_empty());
+        assert_eq!(result.profiles[&JobId::new(0)].gpus(0), 1);
+        assert_eq!(result.profiles[&JobId::new(1)].gpus(0), 1);
+    }
+
+    #[test]
+    fn leftovers_go_to_highest_marginal_return() {
+        // Job 0 has a tight deadline (MSS 2), job 1 a loose one (MSS 1).
+        // One leftover GPU on a 4-GPU cluster: boosting job 1 from 1 -> 2
+        // costs 1 GPU; boosting job 0 from 2 -> 4 costs 2 and exceeds free.
+        let result = ResourceAllocator::new(4)
+            .allocate(&[job(0, 1.5, 1), job(1, 2.0, 4)], &SlotGrid::uniform(1.0));
+        assert_eq!(result.profiles[&JobId::new(0)].gpus(0), 2);
+        assert_eq!(result.profiles[&JobId::new(1)].gpus(0), 2);
+    }
+
+    #[test]
+    fn no_boost_past_the_knee() {
+        let result =
+            ResourceAllocator::new(32).allocate(&[job(0, 10.0, 32)], &SlotGrid::uniform(1.0));
+        // Knee of the test curve is 4.
+        assert_eq!(result.profiles[&JobId::new(0)].gpus(0), 4);
+        assert_eq!(result.slot0_gpus(), 4);
+    }
+
+    #[test]
+    fn infeasible_jobs_are_surfaced_not_lost() {
+        // 2 GPUs, three urgent jobs: only two fit.
+        let result = ResourceAllocator::new(2).allocate(
+            &[job(0, 1.0, 1), job(1, 1.0, 1), job(2, 1.0, 1)],
+            &SlotGrid::uniform(1.0),
+        );
+        assert_eq!(result.profiles.len(), 2);
+        assert_eq!(result.infeasible, vec![JobId::new(2)]);
+    }
+
+    #[test]
+    fn never_over_allocates_slot0() {
+        for n in 1..6u64 {
+            let jobs: Vec<PlanningJob> =
+                (0..n).map(|i| job(i, 2.0, 3)).collect();
+            let result = ResourceAllocator::new(4).allocate(&jobs, &SlotGrid::uniform(1.0));
+            assert!(
+                result.slot0_gpus() <= 4,
+                "n={n}: slot0 {}",
+                result.slot0_gpus()
+            );
+        }
+    }
+
+    #[test]
+    fn boosts_reduce_total_gpu_time_or_finish() {
+        // Whatever the boost sequence, the final plan must use no more
+        // GPU-time per job than running it at the knee from scratch, and
+        // every job still meets its deadline.
+        let grid = SlotGrid::uniform(1.0);
+        let jobs = [job(0, 2.0, 4), job(1, 3.0, 4), job(2, 1.0, 2)];
+        let result = ResourceAllocator::new(4).allocate(&jobs, &grid);
+        assert!(result.infeasible.is_empty());
+        for j in &jobs {
+            let p = &result.profiles[&j.id];
+            // Deadline respected.
+            assert!(p.last_active_slot().unwrap() < j.deadline_slot);
+            // Work completed.
+            let done: f64 = p
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(t, &g)| j.iters_in_slot(g, &grid, t))
+                .sum();
+            assert!(done + 1e-9 >= j.remaining_iterations);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Progressive filling (the inner loop of the paper's Algorithm 1).
+
+use elasticflow_sched::clamp_pow2;
+
+use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
+
+/// Computes the job's minimum-satisfactory allocation against the current
+/// reservations: the smallest power-of-two target `j` such that giving the
+/// job `min(j, free(t))` GPUs in every slot up to its deadline completes
+/// the remaining iterations in time (paper Algorithm 1, lines 11–22).
+///
+/// `fixed_slot0` pins the job's slot-0 allocation instead of deriving it
+/// from `j` — that is how Algorithm 2 calls `ProgressiveFilling(i, 1)`
+/// after hypothetically boosting slot 0.
+///
+/// Returns the per-slot profile, or `None` when even the maximum useful
+/// allocation cannot meet the deadline.
+///
+/// Unlike the pseudocode's `j = 1..G`, candidates walk the power-of-two
+/// ladder: buddy placement restricts worker counts to powers of two
+/// (§4.3), and per-slot grants are rounded *down* to powers of two.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_core::{progressive_filling, PlanningJob, ReservationLedger, SlotGrid};
+/// use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+/// use elasticflow_trace::JobId;
+///
+/// // The paper's Fig. 4 example: throughput 1, 1.5, 2 with 1, 2, 4 GPUs.
+/// let curve = ScalingCurve::from_points(DnnModel::ResNet50, 64, vec![
+///     CurvePoint { gpus: 1, iters_per_sec: 1.0 },
+///     CurvePoint { gpus: 2, iters_per_sec: 1.5 },
+///     CurvePoint { gpus: 4, iters_per_sec: 2.0 },
+/// ]);
+/// let job = PlanningJob {
+///     id: JobId::new(0),
+///     curve,
+///     remaining_iterations: 3.0,
+///     deadline_slot: 2,
+/// };
+/// let grid = SlotGrid::uniform(1.0);
+/// // Jobs A and B occupy 3 of the 4 GPUs in slot 0.
+/// let mut ledger = ReservationLedger::new();
+/// ledger.commit(&elasticflow_core::AllocationProfile::new(vec![3]));
+/// let profile = progressive_filling(&job, &ledger, &grid, 4, None).unwrap();
+/// // As in the paper: 1 GPU in slot 0, 4 GPUs in slot 1 => 1 + 2 = 3 iters.
+/// assert_eq!(profile.as_slice(), &[1, 4]);
+/// ```
+pub fn progressive_filling(
+    job: &PlanningJob,
+    ledger: &ReservationLedger,
+    grid: &SlotGrid,
+    total_gpus: u32,
+    fixed_slot0: Option<u32>,
+) -> Option<AllocationProfile> {
+    let horizon = job.deadline_slot;
+    if horizon == 0 {
+        return None;
+    }
+    let max_target = job.curve.clamp_useful(total_gpus).max(1);
+    let mut j = 1u32;
+    loop {
+        if let Some(profile) = try_target(job, ledger, grid, total_gpus, j, fixed_slot0) {
+            return Some(profile);
+        }
+        if j >= max_target {
+            return None;
+        }
+        j *= 2;
+    }
+}
+
+/// Builds the profile for one candidate target `j`, returning it only when
+/// the job finishes by its deadline. The profile is trimmed at the slot
+/// where the remaining work reaches zero, so commitments never outlive the
+/// job (the early slots run at full `j`; the trim frees the tail for
+/// others — the source of the "finish early, admit more later" benefit the
+/// paper describes in §4.2).
+fn try_target(
+    job: &PlanningJob,
+    ledger: &ReservationLedger,
+    grid: &SlotGrid,
+    total_gpus: u32,
+    j: u32,
+    fixed_slot0: Option<u32>,
+) -> Option<AllocationProfile> {
+    let horizon = job.deadline_slot;
+    let committed_horizon = ledger.horizon();
+    let mut gpus = Vec::new();
+    let mut done = 0.0f64;
+    let mut t = 0usize;
+    while t < horizon {
+        // Fast path: beyond the ledger's committed horizon every slot is
+        // fully free, so the number of additional slots needed follows
+        // analytically instead of slot-by-slot.
+        if t >= committed_horizon.max(1) {
+            let x = job.curve.clamp_useful(j.min(total_gpus));
+            let per_slot = job.iters_in_slot(x, grid, t);
+            if per_slot <= 0.0 {
+                return None;
+            }
+            let need_f = ((job.remaining_iterations - done - 1e-9) / per_slot)
+                .ceil()
+                .max(1.0);
+            if need_f > 10_000_000.0 {
+                return None; // absurd horizon: treat as unsatisfiable
+            }
+            let need = need_f as usize;
+            if horizon != usize::MAX && t + need > horizon {
+                return None;
+            }
+            gpus.extend(std::iter::repeat_n(x, need));
+            return Some(AllocationProfile::new(gpus));
+        }
+        let x = match (t, fixed_slot0) {
+            (0, Some(x0)) => x0,
+            _ => {
+                let free = ledger.free(t, total_gpus);
+                clamp_pow2(j.min(free), free)
+            }
+        };
+        // Never allocate past the knee (constraint (7)).
+        let x = if x == 0 { 0 } else { job.curve.clamp_useful(x) };
+        gpus.push(x);
+        done += job.iters_in_slot(x, grid, t);
+        if done + 1e-9 >= job.remaining_iterations {
+            return Some(AllocationProfile::new(gpus));
+        }
+        t += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+    use elasticflow_trace::JobId;
+
+    fn fig4_curve() -> ScalingCurve {
+        ScalingCurve::from_points(
+            DnnModel::ResNet50,
+            64,
+            vec![
+                CurvePoint {
+                    gpus: 1,
+                    iters_per_sec: 1.0,
+                },
+                CurvePoint {
+                    gpus: 2,
+                    iters_per_sec: 1.5,
+                },
+                CurvePoint {
+                    gpus: 4,
+                    iters_per_sec: 2.0,
+                },
+            ],
+        )
+    }
+
+    fn job(remaining: f64, deadline_slot: usize) -> PlanningJob {
+        PlanningJob {
+            id: JobId::new(0),
+            curve: fig4_curve(),
+            remaining_iterations: remaining,
+            deadline_slot,
+        }
+    }
+
+    #[test]
+    fn empty_cluster_uses_minimum_share() {
+        // Deadline 1 slot, 1 unit of work, throughput 1 at 1 GPU: j = 1.
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        let p = progressive_filling(&job(1.0, 1), &ledger, &grid, 4, None).unwrap();
+        assert_eq!(p.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn tighter_deadline_needs_more_gpus() {
+        // 1.5 units of work in 1 slot needs 2 GPUs (T(2) = 1.5).
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        let p = progressive_filling(&job(1.5, 1), &ledger, &grid, 4, None).unwrap();
+        assert_eq!(p.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn paper_fig4_walkthrough() {
+        // Jobs A and B hold 3 GPUs in slot 0; job C (M=3, D=2) needs j=4:
+        // slot 0 gets min(4, free=1) = 1 GPU, slot 1 gets 4.
+        let grid = SlotGrid::uniform(1.0);
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(&AllocationProfile::new(vec![3]));
+        // j = 2 is checked first and fails: T(1) + T(2) = 2.5 < 3.
+        let p = progressive_filling(&job(3.0, 2), &ledger, &grid, 4, None).unwrap();
+        assert_eq!(p.as_slice(), &[1, 4]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        // 10 units of work, deadline 1 slot, max throughput 2: impossible.
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        assert!(progressive_filling(&job(10.0, 1), &ledger, &grid, 4, None).is_none());
+    }
+
+    #[test]
+    fn zero_deadline_slots_is_infeasible() {
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        assert!(progressive_filling(&job(0.5, 0), &ledger, &grid, 4, None).is_none());
+    }
+
+    #[test]
+    fn profile_is_trimmed_after_completion() {
+        // 2 units of work with j=1 over a 10-slot horizon: only 2 slots used.
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        let p = progressive_filling(&job(2.0, 10), &ledger, &grid, 4, None).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn fixed_slot0_is_respected() {
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        let p =
+            progressive_filling(&job(3.5, 2), &ledger, &grid, 4, Some(4)).unwrap();
+        assert_eq!(p.gpus(0), 4);
+        // Slot 0 completes 2 units; remaining 1.5 needs 2 GPUs in slot 1.
+        assert_eq!(p.gpus(1), 2);
+    }
+
+    #[test]
+    fn per_slot_grants_are_powers_of_two() {
+        let grid = SlotGrid::uniform(1.0);
+        let mut ledger = ReservationLedger::new();
+        // 1 GPU committed leaves 3 free; grants must round down to 2.
+        ledger.commit(&AllocationProfile::new(vec![1, 1, 1, 1]));
+        let p = progressive_filling(&job(4.0, 4), &ledger, &grid, 4, None).unwrap();
+        for &g in p.as_slice() {
+            assert!(g == 0 || g.is_power_of_two());
+            assert!(g <= 2);
+        }
+    }
+
+    #[test]
+    fn respects_committed_capacity() {
+        let grid = SlotGrid::uniform(1.0);
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(&AllocationProfile::new(vec![4, 4]));
+        // Cluster fully booked for 2 slots: a 2-slot-deadline job can't fit.
+        assert!(progressive_filling(&job(1.0, 2), &ledger, &grid, 4, None).is_none());
+        // But a 3-slot deadline leaves slot 2 free.
+        let p = progressive_filling(&job(1.0, 3), &ledger, &grid, 4, None).unwrap();
+        assert_eq!(p.as_slice(), &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Slot-based planning primitives shared by Algorithms 1 and 2.
+//!
+//! ElasticFlow's formulation (§4.1, conditions (2)–(3)) discretizes time
+//! into slots and reasons about per-slot GPU allocations `x_i(t)`. In the
+//! running system "slot 0" is the remainder of the current scheduling
+//! interval and later slots have the full interval length.
+
+use elasticflow_perfmodel::ScalingCurve;
+use elasticflow_trace::JobId;
+use serde::{Deserialize, Serialize};
+
+/// The discrete slot grid anchored at "now".
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_core::SlotGrid;
+///
+/// // 100 s remain in the current slot; later slots are 300 s.
+/// let grid = SlotGrid::new(100.0, 300.0);
+/// assert_eq!(grid.duration(0), 100.0);
+/// assert_eq!(grid.duration(3), 300.0);
+/// // A deadline 500 s away covers slot 0 (100 s) plus one full slot.
+/// assert_eq!(grid.slots_before(500.0), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotGrid {
+    first: f64,
+    rest: f64,
+}
+
+impl SlotGrid {
+    /// Creates a grid whose slot 0 lasts `first` seconds and whose
+    /// subsequent slots last `rest` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < first <= rest` and both are finite.
+    pub fn new(first: f64, rest: f64) -> Self {
+        assert!(
+            first.is_finite() && rest.is_finite() && first > 0.0 && first <= rest,
+            "need 0 < first ({first}) <= rest ({rest})"
+        );
+        SlotGrid { first, rest }
+    }
+
+    /// A grid of uniform slots.
+    pub fn uniform(slot_seconds: f64) -> Self {
+        SlotGrid::new(slot_seconds, slot_seconds)
+    }
+
+    /// Duration of slot `t`, seconds.
+    pub fn duration(&self, t: usize) -> f64 {
+        if t == 0 {
+            self.first
+        } else {
+            self.rest
+        }
+    }
+
+    /// Number of *complete* slots that fit before a deadline `window`
+    /// seconds from now — the conservative horizon used by admission
+    /// control (a partial final slot is not counted, so guarantees are
+    /// never optimistic).
+    pub fn slots_before(&self, window: f64) -> usize {
+        if !window.is_finite() {
+            return usize::MAX;
+        }
+        if window < self.first {
+            return 0;
+        }
+        1 + ((window - self.first) / self.rest).floor() as usize
+    }
+
+    /// The regular slot length.
+    pub fn rest_seconds(&self) -> f64 {
+        self.rest
+    }
+}
+
+/// What the planner needs to know about one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanningJob {
+    /// Job id.
+    pub id: JobId,
+    /// Profiled scaling curve.
+    pub curve: ScalingCurve,
+    /// Iterations left to run.
+    pub remaining_iterations: f64,
+    /// Number of complete slots available before the deadline
+    /// (`usize::MAX` for best-effort jobs).
+    pub deadline_slot: usize,
+}
+
+impl PlanningJob {
+    /// Iterations completed in slot `t` when running `gpus` workers.
+    pub fn iters_in_slot(&self, gpus: u32, grid: &SlotGrid, t: usize) -> f64 {
+        self.curve.iters_per_sec(gpus).unwrap_or(0.0) * grid.duration(t)
+    }
+
+    /// Exact (fractional) time at which the job finishes its remaining
+    /// work under `profile`, seconds from now — the `finish_time`
+    /// Algorithm 2 compares (line 10). `None` if the profile never
+    /// completes the job.
+    pub fn finish_seconds(&self, profile: &AllocationProfile, grid: &SlotGrid) -> Option<f64> {
+        let mut remaining = self.remaining_iterations;
+        let mut elapsed = 0.0;
+        for (t, &g) in profile.as_slice().iter().enumerate() {
+            let rate = self.curve.iters_per_sec(g).unwrap_or(0.0);
+            let d = grid.duration(t);
+            if rate * d + 1e-12 >= remaining {
+                return Some(elapsed + if rate > 0.0 { remaining / rate } else { 0.0 });
+            }
+            remaining -= rate * d;
+            elapsed += d;
+        }
+        None
+    }
+}
+
+/// A per-slot GPU allocation for one job: the paper's `x_i(t)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationProfile {
+    gpus: Vec<u32>,
+}
+
+impl AllocationProfile {
+    /// Wraps a per-slot vector (index = slot).
+    pub fn new(gpus: Vec<u32>) -> Self {
+        AllocationProfile { gpus }
+    }
+
+    /// GPUs in slot `t` (0 beyond the profile's horizon).
+    pub fn gpus(&self, t: usize) -> u32 {
+        self.gpus.get(t).copied().unwrap_or(0)
+    }
+
+    /// The profile's horizon (number of slots with entries).
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// `true` when the profile allocates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.iter().all(|&g| g == 0)
+    }
+
+    /// Total GPU-time of the profile in GPU-slots weighted by slot
+    /// durations (the quantity Algorithm 2 minimizes).
+    pub fn gpu_seconds(&self, grid: &SlotGrid) -> f64 {
+        self.gpus
+            .iter()
+            .enumerate()
+            .map(|(t, &g)| g as f64 * grid.duration(t))
+            .sum()
+    }
+
+    /// Index of the last slot with a non-zero allocation, if any — a proxy
+    /// for the job's finish slot under this profile.
+    pub fn last_active_slot(&self) -> Option<usize> {
+        self.gpus.iter().rposition(|&g| g > 0)
+    }
+
+    /// The raw per-slot vector.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.gpus
+    }
+}
+
+/// Committed GPUs per slot across all already-planned jobs: the
+/// `sum_{k < i} x_k(t)` term of Algorithm 1, line 15.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservationLedger {
+    committed: Vec<u32>,
+}
+
+impl ReservationLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        ReservationLedger::default()
+    }
+
+    /// GPUs already committed in slot `t`.
+    pub fn committed(&self, t: usize) -> u32 {
+        self.committed.get(t).copied().unwrap_or(0)
+    }
+
+    /// GPUs still free in slot `t` on a cluster of `total` GPUs.
+    pub fn free(&self, t: usize, total: u32) -> u32 {
+        total.saturating_sub(self.committed(t))
+    }
+
+    /// Adds a profile's reservations.
+    pub fn commit(&mut self, profile: &AllocationProfile) {
+        if self.committed.len() < profile.len() {
+            self.committed.resize(profile.len(), 0);
+        }
+        for (t, &g) in profile.as_slice().iter().enumerate() {
+            self.committed[t] += g;
+        }
+    }
+
+    /// Removes a previously committed profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the profile was never committed.
+    pub fn uncommit(&mut self, profile: &AllocationProfile) {
+        for (t, &g) in profile.as_slice().iter().enumerate() {
+            debug_assert!(self.committed.get(t).copied().unwrap_or(0) >= g);
+            if let Some(c) = self.committed.get_mut(t) {
+                *c -= g;
+            }
+        }
+    }
+
+    /// The highest committed value across all slots.
+    pub fn peak(&self) -> u32 {
+        self.committed.iter().copied().max().unwrap_or(0)
+    }
+
+    /// First slot index from which nothing is committed (every slot at or
+    /// beyond it is fully free). Lets planners switch to an analytic fast
+    /// path instead of walking empty slots one by one.
+    pub fn horizon(&self) -> usize {
+        self.committed
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_before_boundaries() {
+        let grid = SlotGrid::new(100.0, 300.0);
+        assert_eq!(grid.slots_before(99.0), 0);
+        assert_eq!(grid.slots_before(100.0), 1);
+        assert_eq!(grid.slots_before(399.0), 1);
+        assert_eq!(grid.slots_before(400.0), 2);
+        assert_eq!(grid.slots_before(f64::INFINITY), usize::MAX);
+    }
+
+    #[test]
+    fn uniform_grid() {
+        let grid = SlotGrid::uniform(60.0);
+        assert_eq!(grid.duration(0), 60.0);
+        assert_eq!(grid.duration(5), 60.0);
+        assert_eq!(grid.slots_before(180.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < first")]
+    fn grid_rejects_first_longer_than_rest() {
+        let _ = SlotGrid::new(400.0, 300.0);
+    }
+
+    #[test]
+    fn profile_accounting() {
+        let grid = SlotGrid::uniform(10.0);
+        let p = AllocationProfile::new(vec![1, 0, 4]);
+        assert_eq!(p.gpus(0), 1);
+        assert_eq!(p.gpus(1), 0);
+        assert_eq!(p.gpus(2), 4);
+        assert_eq!(p.gpus(99), 0);
+        assert_eq!(p.gpu_seconds(&grid), 50.0);
+        assert_eq!(p.last_active_slot(), Some(2));
+        assert!(!p.is_empty());
+        assert!(AllocationProfile::new(vec![0, 0]).is_empty());
+    }
+
+    #[test]
+    fn ledger_commit_uncommit() {
+        let mut ledger = ReservationLedger::new();
+        let a = AllocationProfile::new(vec![2, 2, 0]);
+        let b = AllocationProfile::new(vec![1, 4, 4, 4]);
+        ledger.commit(&a);
+        ledger.commit(&b);
+        assert_eq!(ledger.committed(0), 3);
+        assert_eq!(ledger.committed(1), 6);
+        assert_eq!(ledger.committed(3), 4);
+        assert_eq!(ledger.free(1, 8), 2);
+        assert_eq!(ledger.peak(), 6);
+        ledger.uncommit(&a);
+        assert_eq!(ledger.committed(0), 1);
+        assert_eq!(ledger.committed(1), 4);
+    }
+
+    #[test]
+    fn free_saturates_at_zero() {
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(&AllocationProfile::new(vec![16]));
+        assert_eq!(ledger.free(0, 8), 0);
+    }
+}

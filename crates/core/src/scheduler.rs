@@ -1,0 +1,427 @@
+//! The ElasticFlow scheduler: admission control + elastic allocation +
+//! best-effort extension, packaged behind the simulator-facing trait.
+
+use elasticflow_sched::{
+    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,
+};
+use elasticflow_trace::JobId;
+
+use crate::{AdmissionController, PlanningJob, ResourceAllocator, SlotGrid};
+
+/// ElasticFlow (paper §4): guarantees the deadline of every admitted SLO
+/// job via minimum-satisfactory-share admission control, spends leftover
+/// GPUs by marginal return, and schedules best-effort jobs with whatever
+/// remains (§4.4).
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_core::ElasticFlowScheduler;
+/// use elasticflow_sched::Scheduler;
+///
+/// let ef = ElasticFlowScheduler::new();
+/// assert_eq!(ef.name(), "elasticflow");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticFlowScheduler {
+    planning_slot_seconds: f64,
+}
+
+impl ElasticFlowScheduler {
+    /// Default planning-slot length: 60 seconds. Fine slots keep the
+    /// conservative slot discretization of deadlines negligible even for
+    /// sub-hour jobs; the analytic fast path in progressive filling keeps
+    /// planning cheap despite the fine grid.
+    pub const DEFAULT_PLANNING_SLOT: f64 = 60.0;
+
+    /// Creates the scheduler with the default planning slot.
+    pub fn new() -> Self {
+        ElasticFlowScheduler {
+            planning_slot_seconds: Self::DEFAULT_PLANNING_SLOT,
+        }
+    }
+
+    /// Overrides the planning-slot length (finer slots = tighter deadline
+    /// discretization but more planning work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive and finite.
+    pub fn with_planning_slot(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "planning slot must be positive and finite"
+        );
+        self.planning_slot_seconds = seconds;
+        self
+    }
+
+    /// The planning grid at time `now`, anchored to *absolute* multiples
+    /// of the slot length: slot 0 is the remainder of the current global
+    /// slot. Stable slot boundaries keep reservation profiles comparable
+    /// across replans — re-anchoring at `now` would shift every boundary
+    /// on every event and jitter jobs' minimum satisfactory shares.
+    pub(crate) fn anchored_grid(&self, now: f64) -> SlotGrid {
+        let rest = self.planning_slot_seconds;
+        let into_slot = now.rem_euclid(rest);
+        let first = if into_slot < 1e-9 || rest - into_slot < 1.0 {
+            rest
+        } else {
+            rest - into_slot
+        };
+        SlotGrid::new(first, rest)
+    }
+
+    /// Work-inflation margin applied to every planning view: scheduling
+    /// pauses are not visible to the slot model, so plans assume ~5 % more
+    /// work than is really left. The margin makes borderline jobs surface
+    /// as "lapsed" while recovery (a knee-sized leftover fill) can still
+    /// save them, instead of missing their deadlines outright.
+    const PLANNING_DERATE: f64 = 1.05;
+
+    /// Converts an active SLO job into its planning view at time `now`.
+    pub(crate) fn planning_job(job: &JobRuntime, now: f64, grid: &SlotGrid) -> PlanningJob {
+        PlanningJob {
+            id: job.id(),
+            curve: job.curve.clone(),
+            remaining_iterations: job.remaining_iterations * Self::PLANNING_DERATE,
+            deadline_slot: grid.slots_before(job.spec.deadline - now),
+        }
+    }
+
+    /// Like [`Self::planning_job`] but with part of the deadline window
+    /// held back as a safety reserve against scaling pauses and slot
+    /// re-anchoring jitter. Used only on the admission path: a job admitted
+    /// with zero slack would be guaranteed on paper and lost in practice.
+    /// `contention` in `[0, 1]` scales the reserve: churn-induced drift
+    /// only materializes on a busy cluster, so an idle cluster admits
+    /// borderline jobs at face value.
+    pub(crate) fn planning_job_with_reserve(
+        job: &JobRuntime,
+        now: f64,
+        grid: &SlotGrid,
+        contention: f64,
+    ) -> PlanningJob {
+        let window = job.spec.deadline - now;
+        // Fixed floor: scaling pauses hit even on an idle cluster.
+        // Scaled part: eviction risk under churn grows with booked load.
+        let scale = (2.0 * contention).clamp(0.0, 1.0);
+        let reserve = (60.0 + (0.04 * window).clamp(45.0, 900.0) * scale).min(0.5 * window);
+        PlanningJob {
+            id: job.id(),
+            curve: job.curve.clone(),
+            remaining_iterations: job.remaining_iterations * Self::PLANNING_DERATE,
+            deadline_slot: grid.slots_before(window - reserve),
+        }
+    }
+
+    /// Phase 3 of `plan`: hand leftover GPUs to lapsed-SLO and best-effort
+    /// jobs — soft deadlines and §4.4. Lapsed jobs go first in EDF order at
+    /// up to their knee; best-effort jobs then receive GPUs by marginal
+    /// throughput per GPU, weighted toward short jobs (minimizing JCT).
+    fn fill_leftovers(
+        plan: &mut SchedulePlan,
+        free: &mut u32,
+        lapsed: &[&JobRuntime],
+        best_effort: &[&JobRuntime],
+    ) {
+        let mut lapsed: Vec<&&JobRuntime> = lapsed.iter().collect();
+        lapsed.sort_by(|a, b| {
+            a.spec
+                .deadline
+                .partial_cmp(&b.spec.deadline)
+                .expect("comparable deadlines")
+                .then(a.id().cmp(&b.id()))
+        });
+        for job in lapsed {
+            if *free == 0 {
+                break;
+            }
+            let give = clamp_pow2(job.knee(), *free);
+            if give > 0 {
+                plan.assign(job.id(), give);
+                *free -= give;
+            }
+        }
+        // Greedy marginal fill across best-effort jobs.
+        let mut alloc: Vec<(JobId, u32)> = best_effort.iter().map(|j| (j.id(), 0)).collect();
+        loop {
+            let mut best: Option<(f64, usize, u32, u32)> = None; // (prio, idx, next, extra)
+            for (idx, &(id, cur)) in alloc.iter().enumerate() {
+                let job = best_effort
+                    .iter()
+                    .find(|j| j.id() == id)
+                    .expect("same vector");
+                let next = if cur == 0 { 1 } else { cur * 2 };
+                if next > job.knee() {
+                    continue;
+                }
+                let extra = next - cur;
+                if extra > *free {
+                    continue;
+                }
+                let gain = job.iters_per_sec(next) - job.iters_per_sec(cur);
+                if gain <= 0.0 {
+                    continue;
+                }
+                // Favor short jobs: gain per GPU per unit of remaining work.
+                let prio = gain / extra as f64 / job.remaining_iterations.max(1e-9);
+                if best.map(|(p, ..)| prio > p).unwrap_or(true) {
+                    best = Some((prio, idx, next, extra));
+                }
+            }
+            match best {
+                Some((_, idx, next, extra)) => {
+                    alloc[idx].1 = next;
+                    *free -= extra;
+                }
+                None => break,
+            }
+        }
+        for (id, gpus) in alloc {
+            if gpus > 0 {
+                plan.assign(id, gpus);
+            }
+        }
+    }
+}
+
+impl Default for ElasticFlowScheduler {
+    fn default() -> Self {
+        ElasticFlowScheduler::new()
+    }
+}
+
+/// The shared admission decision used by ElasticFlow and the EDF+AC
+/// ablation: progressive-filling feasibility of the newcomer against the
+/// feasible subset of existing jobs, with a deadline-window safety reserve
+/// scaled by how heavily the near-term schedule is already booked.
+pub(crate) fn admission_decision(
+    job: &JobRuntime,
+    now: f64,
+    view: &ClusterView,
+    existing: &[PlanningJob],
+    grid: &SlotGrid,
+) -> AdmissionDecision {
+    let ac = AdmissionController::new(view.total_gpus);
+    let (mut all, _lapsed, ledger) = ac.feasible_subset_with_ledger(existing, grid);
+    // Booked load over the next ~hour decides how much slack to demand.
+    let horizon = (3_600.0 / grid.rest_seconds()).ceil().max(1.0) as usize;
+    let contention = ac.booked_fraction(&ledger, horizon);
+    let candidate =
+        ElasticFlowScheduler::planning_job_with_reserve(job, now, grid, contention);
+    all.push(candidate);
+    if ac.check(&all, grid).is_admitted() {
+        AdmissionDecision::Admit
+    } else {
+        AdmissionDecision::Drop
+    }
+}
+
+impl Scheduler for ElasticFlowScheduler {
+    fn name(&self) -> &str {
+        "elasticflow"
+    }
+
+    fn on_job_arrival(
+        &mut self,
+        job: &JobRuntime,
+        now: f64,
+        view: &ClusterView,
+        jobs: &JobTable,
+    ) -> AdmissionDecision {
+        if !job.is_slo() {
+            return AdmissionDecision::Admit; // §4.4: best-effort always enters
+        }
+        let grid = self.anchored_grid(now);
+        let existing: Vec<PlanningJob> = jobs
+            .active()
+            .filter(|j| j.is_slo())
+            .map(|j| Self::planning_job(j, now, &grid))
+            .collect();
+        admission_decision(job, now, view, &existing, &grid)
+    }
+
+    fn plan(&mut self, now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let grid = self.anchored_grid(now);
+        let slo: Vec<&JobRuntime> = jobs.active().filter(|j| j.is_slo()).collect();
+        let planning: Vec<PlanningJob> = slo
+            .iter()
+            .map(|j| Self::planning_job(j, now, &grid))
+            .collect();
+        let incumbents: std::collections::BTreeMap<JobId, u32> = slo
+            .iter()
+            .filter(|j| j.current_gpus > 0)
+            .map(|j| (j.id(), j.current_gpus))
+            .collect();
+        // Stage 1: minimum satisfactory shares of the feasible SLO set.
+        let allocator = ResourceAllocator::new(view.total_gpus);
+        let (mut profiles, infeasible, mut ledger) = allocator.minimum_shares(&planning, &grid);
+        let mut plan = SchedulePlan::new();
+        for (&id, profile) in &profiles {
+            if profile.gpus(0) > 0 {
+                plan.assign(id, profile.gpus(0));
+            }
+        }
+        let mut free = view.total_gpus - plan.total_gpus();
+        // Stage 2 (§4.4): lapsed (soft-deadline) and best-effort jobs are
+        // served right after the minimum shares, before surplus boosts.
+        // Lapsed hard-deadline jobs and soft-deadline jobs share the
+        // leftover queue (paper §4.4: soft deadlines are scheduled after
+        // the admitted jobs' minimum satisfactory shares, EDF-ordered).
+        let mut lapsed: Vec<&JobRuntime> = slo
+            .iter()
+            .copied()
+            .filter(|j| infeasible.contains(&j.id()))
+            .collect();
+        lapsed.extend(
+            jobs.active()
+                .filter(|j| j.spec.kind == elasticflow_trace::JobKind::SoftDeadline),
+        );
+        let best_effort: Vec<&JobRuntime> = jobs
+            .active()
+            .filter(|j| j.spec.kind == elasticflow_trace::JobKind::BestEffort)
+            .collect();
+        Self::fill_leftovers(&mut plan, &mut free, &lapsed, &best_effort);
+        // Stage 3: remaining GPUs go to the feasible SLO jobs by marginal
+        // return (Algorithm 2's greedy boost phase).
+        let granted = allocator.boost(&planning, &grid, &mut profiles, &mut ledger, free, &incumbents);
+        free -= granted;
+        for (&id, profile) in &profiles {
+            if profile.gpus(0) > plan.gpus(id) {
+                plan.assign(id, profile.gpus(0));
+            }
+        }
+        // Anti-churn hysteresis: never *shrink* a job while GPUs would sit
+        // idle. Shrinking below the planned profile can only make a job
+        // finish earlier than planned was assuming, so topping back up to
+        // the current size is always guarantee-safe, and it avoids paying a
+        // checkpoint/restore pause just to idle the difference.
+        for job in jobs.active() {
+            if free == 0 {
+                break;
+            }
+            let assigned = plan.gpus(job.id());
+            let current = job.current_gpus.min(job.curve.clamp_useful(view.total_gpus));
+            if current > assigned && current - assigned <= free {
+                plan.assign(job.id(), current);
+                free -= current - assigned;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
+    use elasticflow_trace::JobSpec;
+
+    fn runtime(id: u64, now_deadline: Option<f64>, iterations: f64) -> JobRuntime {
+        let curve =
+            ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+        let mut b = JobSpec::builder(JobId::new(id), DnnModel::ResNet50, 128)
+            .iterations(iterations)
+            .submit_time(0.0)
+            .trace_shape(4, 3_600.0);
+        if let Some(d) = now_deadline {
+            b = b.deadline(d);
+        }
+        let mut rt = JobRuntime::new(b.build(), curve);
+        rt.admitted = true;
+        rt
+    }
+
+    fn work_for(seconds: f64, gpus: u32) -> f64 {
+        let curve =
+            ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+        seconds * curve.iters_per_sec(gpus).unwrap()
+    }
+
+    #[test]
+    fn hopeless_deadline_is_dropped() {
+        let mut ef = ElasticFlowScheduler::new();
+        let jobs = JobTable::new();
+        // More work than the knee can do before the deadline.
+        let job = runtime(1, Some(1_300.0), work_for(40_000.0, 8));
+        let d = ef.on_job_arrival(&job, 0.0, &ClusterView::new(16), &jobs);
+        assert_eq!(d, AdmissionDecision::Drop);
+    }
+
+    #[test]
+    fn feasible_job_is_admitted_and_scheduled() {
+        let mut ef = ElasticFlowScheduler::new();
+        let mut jobs = JobTable::new();
+        let job = runtime(1, Some(36_000.0), work_for(3_600.0, 1));
+        let d = ef.on_job_arrival(&job, 0.0, &ClusterView::new(16), &jobs);
+        assert_eq!(d, AdmissionDecision::Admit);
+        jobs.insert(job);
+        let plan = ef.plan(0.0, &ClusterView::new(16), &jobs);
+        assert!(plan.gpus(JobId::new(1)) >= 1);
+    }
+
+    #[test]
+    fn best_effort_always_admitted() {
+        let mut ef = ElasticFlowScheduler::new();
+        let jobs = JobTable::new();
+        let job = runtime(1, None, 1.0e9);
+        assert_eq!(
+            ef.on_job_arrival(&job, 0.0, &ClusterView::new(16), &jobs),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn leftover_gpus_flow_to_best_effort() {
+        let mut ef = ElasticFlowScheduler::new();
+        let mut jobs = JobTable::new();
+        // An SLO job with a loose deadline (small MSS)…
+        jobs.insert(runtime(1, Some(86_400.0), work_for(1_200.0, 1)));
+        // …and a best-effort job.
+        jobs.insert(runtime(2, None, work_for(20_000.0, 1)));
+        let plan = ef.plan(0.0, &ClusterView::new(16), &jobs);
+        assert!(plan.gpus(JobId::new(2)) > 0, "{plan:?}");
+        assert!(plan.total_gpus() <= 16);
+    }
+
+    #[test]
+    fn slo_jobs_keep_their_guarantee_under_best_effort_load() {
+        let mut ef = ElasticFlowScheduler::new();
+        let mut jobs = JobTable::new();
+        // SLO job with a tight-ish deadline.
+        jobs.insert(runtime(1, Some(2_600.0), work_for(2_400.0, 2)));
+        for i in 2..6 {
+            jobs.insert(runtime(i, None, 1.0e7));
+        }
+        let plan = ef.plan(0.0, &ClusterView::new(16), &jobs);
+        // The SLO job's MSS (>= 2 GPUs) is reserved before best-effort fill.
+        assert!(plan.gpus(JobId::new(1)) >= 2, "{plan:?}");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mut ef = ElasticFlowScheduler::new();
+        let mut jobs = JobTable::new();
+        for i in 0..6 {
+            jobs.insert(runtime(i, Some(10_000.0 + 500.0 * i as f64), work_for(3_000.0, 2)));
+        }
+        let a = ef.plan(0.0, &ClusterView::new(32), &jobs);
+        let b = ef.plan(0.0, &ClusterView::new(32), &jobs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn admission_considers_existing_commitments() {
+        let mut ef = ElasticFlowScheduler::new();
+        let mut jobs = JobTable::new();
+        // Fill the cluster with admitted tight jobs.
+        for i in 0..4 {
+            jobs.insert(runtime(i, Some(3_700.0), work_for(3_500.0, 4)));
+        }
+        // A newcomer with the same tightness cannot fit on 16 GPUs.
+        let newcomer = runtime(99, Some(3_700.0), work_for(3_500.0, 4));
+        let d = ef.on_job_arrival(&newcomer, 0.0, &ClusterView::new(16), &jobs);
+        assert_eq!(d, AdmissionDecision::Drop);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for ElasticFlow's planning algorithms.
+
+use elasticflow_core::{
+    mss::minimum_satisfactory_share, progressive_filling, theory::brute_force_feasible,
+    AdmissionController, PlanningJob, ReservationLedger, ResourceAllocator, SlotGrid,
+};
+use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+use elasticflow_trace::JobId;
+use proptest::prelude::*;
+
+/// A random concave power-of-two curve up to 4 GPUs.
+fn concave_curve() -> impl Strategy<Value = ScalingCurve> {
+    (0.5f64..2.0, 0.3f64..0.95, 0.3f64..0.95).prop_map(|(t1, d1, d2)| {
+        let g2 = t1 + t1 * d1;
+        let g4 = g2 + 2.0 * t1 * d1 * d2;
+        ScalingCurve::from_points(
+            DnnModel::ResNet50,
+            64,
+            vec![
+                CurvePoint {
+                    gpus: 1,
+                    iters_per_sec: t1,
+                },
+                CurvePoint {
+                    gpus: 2,
+                    iters_per_sec: g2,
+                },
+                CurvePoint {
+                    gpus: 4,
+                    iters_per_sec: g4,
+                },
+            ],
+        )
+    })
+}
+
+fn small_instance() -> impl Strategy<Value = Vec<PlanningJob>> {
+    prop::collection::vec(
+        (concave_curve(), 0.2f64..4.0, 1usize..4),
+        1..4,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (curve, work_scale, deadline_slot))| {
+                let work = work_scale * curve.iters_per_sec(1).unwrap();
+                PlanningJob {
+                    id: JobId::new(i as u64),
+                    curve,
+                    remaining_iterations: work,
+                    deadline_slot,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Algorithm 1 is *sound*: whenever it admits a set, an exhaustive
+    /// search confirms a feasible schedule exists.
+    #[test]
+    fn admission_is_sound(jobs in small_instance()) {
+        let grid = SlotGrid::uniform(1.0);
+        let total = 4u32;
+        if AdmissionController::new(total).check(&jobs, &grid).is_admitted() {
+            prop_assert!(
+                brute_force_feasible(&jobs, &grid, total),
+                "admitted but brute force finds no schedule"
+            );
+        }
+    }
+
+    /// Algorithm 2's output is always executable: per-slot capacity is
+    /// respected and every non-lapsed job finishes by its deadline.
+    #[test]
+    fn allocation_is_executable(jobs in small_instance()) {
+        let grid = SlotGrid::uniform(1.0);
+        let total = 4u32;
+        let result = ResourceAllocator::new(total).allocate(&jobs, &grid);
+        let horizon = jobs.iter().map(|j| j.deadline_slot).max().unwrap_or(0);
+        for t in 0..horizon {
+            let used: u32 = result.profiles.values().map(|p| p.gpus(t)).sum();
+            prop_assert!(used <= total, "slot {t} over capacity: {used}");
+        }
+        for job in &jobs {
+            if result.infeasible.contains(&job.id) {
+                continue;
+            }
+            let p = &result.profiles[&job.id];
+            let done: f64 = p
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(t, &g)| job.iters_in_slot(g, &grid, t))
+                .sum();
+            prop_assert!(done + 1e-6 >= job.remaining_iterations);
+            prop_assert!(p.last_active_slot().unwrap() < job.deadline_slot);
+        }
+    }
+
+    /// Progressive filling returns minimal constant targets: the profile
+    /// it finds never exceeds the knee and meets the work requirement
+    /// exactly when it claims to.
+    #[test]
+    fn progressive_filling_profiles_are_valid(
+        curve in concave_curve(),
+        work_scale in 0.1f64..6.0,
+        deadline_slot in 1usize..6,
+        committed in prop::collection::vec(0u32..4, 0..6),
+    ) {
+        let grid = SlotGrid::uniform(1.0);
+        let job = PlanningJob {
+            id: JobId::new(0),
+            curve: curve.clone(),
+            remaining_iterations: work_scale * curve.iters_per_sec(1).unwrap(),
+            deadline_slot,
+        };
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(&elasticflow_core::AllocationProfile::new(committed));
+        if let Some(p) = progressive_filling(&job, &ledger, &grid, 4, None) {
+            let done: f64 = p
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(t, &g)| job.iters_in_slot(g, &grid, t))
+                .sum();
+            prop_assert!(done + 1e-9 >= job.remaining_iterations);
+            for (t, &g) in p.as_slice().iter().enumerate() {
+                prop_assert!(g == 0 || g.is_power_of_two());
+                prop_assert!(g <= curve.knee());
+                prop_assert!(g + ledger.committed(t) <= 4 || g == 0);
+            }
+            prop_assert!(p.len() <= deadline_slot);
+        }
+    }
+
+    /// The minimum satisfactory share is monotone: looser deadlines never
+    /// require more GPUs, and the returned share always meets the window.
+    #[test]
+    fn mss_is_monotone_and_sufficient(
+        curve in concave_curve(),
+        work in 0.1f64..8.0,
+        window_a in 0.1f64..10.0,
+        delta in 0.0f64..10.0,
+    ) {
+        let window_b = window_a + delta;
+        let a = minimum_satisfactory_share(&curve, work, window_a);
+        let b = minimum_satisfactory_share(&curve, work, window_b);
+        match (a, b) {
+            (Some(sa), Some(sb)) => {
+                prop_assert!(sb <= sa, "looser window needs more GPUs");
+                prop_assert!(curve.iters_per_sec(sa).unwrap() * window_a + 1e-9 >= work);
+            }
+            (Some(_), None) => prop_assert!(false, "looser window became infeasible"),
+            _ => {}
+        }
+    }
+
+    /// Admission is monotone in workload: removing a job from an admitted
+    /// set keeps it admitted.
+    #[test]
+    fn admission_is_downward_closed(jobs in small_instance()) {
+        let grid = SlotGrid::uniform(1.0);
+        let ac = AdmissionController::new(4);
+        if ac.check(&jobs, &grid).is_admitted() && jobs.len() > 1 {
+            for skip in 0..jobs.len() {
+                let subset: Vec<PlanningJob> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, j)| j.clone())
+                    .collect();
+                prop_assert!(
+                    ac.check(&subset, &grid).is_admitted(),
+                    "removing a job broke admission"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The DNN model zoo of the paper's Table 1.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Task category of a training job (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// Computer vision (ImageNet classification).
+    Vision,
+    /// Natural-language processing.
+    Nlp,
+    /// Speech recognition.
+    Speech,
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Task::Vision => "CV",
+            Task::Nlp => "NLP",
+            Task::Speech => "Speech Recognition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The six DNN models used in the paper's evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DnnModel {
+    /// ResNet-50 on ImageNet.
+    ResNet50,
+    /// VGG-16 on ImageNet.
+    Vgg16,
+    /// Inception-V3 on ImageNet.
+    InceptionV3,
+    /// BERT (base) on CoLA.
+    Bert,
+    /// GPT-2 (small) on aclImdb.
+    Gpt2,
+    /// Deep Speech 2 on LibriSpeech.
+    DeepSpeech2,
+}
+
+impl DnnModel {
+    /// All six models, in Table 1 order.
+    pub const ALL: [DnnModel; 6] = [
+        DnnModel::ResNet50,
+        DnnModel::Vgg16,
+        DnnModel::InceptionV3,
+        DnnModel::Bert,
+        DnnModel::Gpt2,
+        DnnModel::DeepSpeech2,
+    ];
+
+    /// The static performance/shape profile of this model.
+    ///
+    /// Parameter counts are the published architecture sizes; per-sample
+    /// compute times are calibrated to A100-class single-GPU throughputs;
+    /// `overlap` is the fraction of the all-reduce hidden behind backward
+    /// computation (low for VGG16 whose gradient bulk materializes at the
+    /// very end of the backward pass, higher for conv nets).
+    pub fn profile(self) -> ModelProfile {
+        match self {
+            DnnModel::ResNet50 => ModelProfile {
+                model: self,
+                params: 25_600_000,
+                per_sample_seconds: 1.1e-3,
+                fixed_iteration_seconds: 2.0e-3,
+                overlap: 0.60,
+                task: Task::Vision,
+            },
+            DnnModel::Vgg16 => ModelProfile {
+                model: self,
+                params: 138_000_000,
+                per_sample_seconds: 2.8e-3,
+                fixed_iteration_seconds: 2.0e-3,
+                overlap: 0.25,
+                task: Task::Vision,
+            },
+            DnnModel::InceptionV3 => ModelProfile {
+                model: self,
+                params: 23_900_000,
+                per_sample_seconds: 1.6e-3,
+                fixed_iteration_seconds: 2.5e-3,
+                overlap: 0.60,
+                task: Task::Vision,
+            },
+            DnnModel::Bert => ModelProfile {
+                model: self,
+                params: 110_000_000,
+                per_sample_seconds: 5.2e-3,
+                fixed_iteration_seconds: 2.0e-3,
+                overlap: 0.50,
+                task: Task::Nlp,
+            },
+            DnnModel::Gpt2 => ModelProfile {
+                model: self,
+                params: 124_000_000,
+                per_sample_seconds: 7.0e-3,
+                fixed_iteration_seconds: 2.0e-3,
+                overlap: 0.50,
+                task: Task::Nlp,
+            },
+            DnnModel::DeepSpeech2 => ModelProfile {
+                model: self,
+                params: 87_000_000,
+                per_sample_seconds: 9.0e-3,
+                fixed_iteration_seconds: 3.0e-3,
+                overlap: 0.40,
+                task: Task::Speech,
+            },
+        }
+    }
+
+    /// The dataset this model trains on in the paper's Table 1.
+    pub fn dataset(self) -> &'static str {
+        match self {
+            DnnModel::ResNet50 | DnnModel::Vgg16 | DnnModel::InceptionV3 => "ImageNet",
+            DnnModel::Bert => "CoLA",
+            DnnModel::Gpt2 => "aclImdb V1",
+            DnnModel::DeepSpeech2 => "LibriSpeech",
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DnnModel::ResNet50 => "ResNet50",
+            DnnModel::Vgg16 => "VGG16",
+            DnnModel::InceptionV3 => "InceptionV3",
+            DnnModel::Bert => "BERT",
+            DnnModel::Gpt2 => "GPT-2",
+            DnnModel::DeepSpeech2 => "DeepSpeech2",
+        }
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown model name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError(String);
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown DNN model name: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+impl FromStr for DnnModel {
+    type Err = ParseModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "resnet50" | "resnet-50" => Ok(DnnModel::ResNet50),
+            "vgg16" | "vgg-16" => Ok(DnnModel::Vgg16),
+            "inceptionv3" | "inception-v3" => Ok(DnnModel::InceptionV3),
+            "bert" => Ok(DnnModel::Bert),
+            "gpt2" | "gpt-2" => Ok(DnnModel::Gpt2),
+            "deepspeech2" | "deepspeech-2" | "ds2" => Ok(DnnModel::DeepSpeech2),
+            other => Err(ParseModelError(other.to_owned())),
+        }
+    }
+}
+
+/// Static shape and cost parameters of one DNN model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Which model this profile describes.
+    pub model: DnnModel,
+    /// Number of trainable parameters.
+    pub params: u64,
+    /// Forward+backward compute time per training sample on one GPU.
+    pub per_sample_seconds: f64,
+    /// Fixed per-iteration overhead (kernel launches, optimizer step).
+    pub fixed_iteration_seconds: f64,
+    /// Fraction of all-reduce hidden behind backward compute, in `[0, 1)`.
+    pub overlap: f64,
+    /// Task category from Table 1.
+    pub task: Task,
+}
+
+impl ModelProfile {
+    /// Gradient volume exchanged per iteration, in bytes (fp32 gradients).
+    pub fn gradient_bytes(&self) -> f64 {
+        self.params as f64 * 4.0
+    }
+
+    /// Checkpoint size in bytes (weights + optimizer state, ~3x weights for
+    /// Adam-style optimizers).
+    pub fn checkpoint_bytes(&self) -> f64 {
+        self.params as f64 * 4.0 * 3.0
+    }
+}
+
+/// Paper Table 1: every (model, global batch size) configuration used in the
+/// evaluation workloads.
+pub const PAPER_TABLE1: [(DnnModel, &[u32]); 6] = [
+    (DnnModel::ResNet50, &[64, 128, 256]),
+    (DnnModel::Vgg16, &[64, 128, 256]),
+    (DnnModel::InceptionV3, &[64, 128]),
+    (DnnModel::Bert, &[64, 128]),
+    (DnnModel::Gpt2, &[128, 256]),
+    (DnnModel::DeepSpeech2, &[32, 64]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_have_profiles() {
+        for model in DnnModel::ALL {
+            let p = model.profile();
+            assert!(p.params > 1_000_000);
+            assert!(p.per_sample_seconds > 0.0);
+            assert!((0.0..1.0).contains(&p.overlap));
+            assert_eq!(p.model, model);
+        }
+    }
+
+    #[test]
+    fn table1_has_twelve_configs() {
+        let total: usize = PAPER_TABLE1.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 14);
+        for (model, batches) in PAPER_TABLE1 {
+            assert!(!batches.is_empty());
+            for &b in batches {
+                assert!(b.is_power_of_two(), "{model} batch {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn vgg_is_biggest_gradient() {
+        let vgg = DnnModel::Vgg16.profile().gradient_bytes();
+        for model in DnnModel::ALL {
+            assert!(model.profile().gradient_bytes() <= vgg);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for model in DnnModel::ALL {
+            let parsed: DnnModel = model.name().parse().unwrap();
+            assert_eq!(parsed, model);
+        }
+        assert!("alexnet".parse::<DnnModel>().is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DnnModel::ResNet50.to_string(), "ResNet50");
+        assert_eq!(Task::Vision.to_string(), "CV");
+    }
+
+    #[test]
+    fn checkpoint_is_larger_than_gradients() {
+        for model in DnnModel::ALL {
+            let p = model.profile();
+            assert!(p.checkpoint_bytes() > p.gradient_bytes());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = DnnModel::Bert.profile();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ModelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

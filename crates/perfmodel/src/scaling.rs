@@ -1,0 +1,402 @@
+//! Scaling curves: throughput as a function of the number of workers.
+
+use elasticflow_cluster::PlacementShape;
+use serde::{Deserialize, Serialize};
+
+use crate::{iteration_time, DnnModel, Interconnect};
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Number of workers (a power of two).
+    pub gpus: u32,
+    /// Training throughput in iterations per second.
+    pub iters_per_sec: f64,
+}
+
+/// A job's throughput over the power-of-two GPU ladder, under the best
+/// (buddy-consolidated) placement for each count.
+///
+/// This is the object ElasticFlow's admission control and resource
+/// allocation consume: the paper's `T_i(x)` (§4.1), restricted to powers of
+/// two by the buddy-allocation placement rule (§4.3).
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
+///
+/// let curve = ScalingCurve::build(DnnModel::Vgg16, 256, &Interconnect::paper_testbed());
+/// assert!(curve.is_concave());
+/// // Speedup at 8 GPUs is positive but below linear.
+/// let s = curve.speedup(8).unwrap();
+/// assert!(s > 1.0 && s < 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingCurve {
+    model: DnnModel,
+    global_batch: u32,
+    gpus_per_server: u32,
+    points: Vec<CurvePoint>,
+}
+
+impl ScalingCurve {
+    /// Default cap on the worker ladder.
+    pub const DEFAULT_MAX_WORKERS: u32 = 128;
+
+    /// Builds the curve for `model` at `global_batch`, probing powers of two
+    /// up to [`ScalingCurve::DEFAULT_MAX_WORKERS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_batch` is zero.
+    pub fn build(model: DnnModel, global_batch: u32, net: &Interconnect) -> Self {
+        Self::build_with_max(model, global_batch, net, Self::DEFAULT_MAX_WORKERS)
+    }
+
+    /// Builds the curve probing powers of two up to `max_workers` (clamped
+    /// to the global batch size so every worker gets at least one sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_batch` or `max_workers` is zero.
+    pub fn build_with_max(
+        model: DnnModel,
+        global_batch: u32,
+        net: &Interconnect,
+        max_workers: u32,
+    ) -> Self {
+        assert!(global_batch > 0, "global batch must be positive");
+        assert!(max_workers > 0, "max workers must be positive");
+        let profile = model.profile();
+        let cap = max_workers.min(global_batch);
+        let mut points = Vec::new();
+        let mut w = 1u32;
+        while w <= cap {
+            let shape = PlacementShape::consolidated(w, net.gpus_per_server());
+            let t = iteration_time(&profile, global_batch, shape, net).total;
+            points.push(CurvePoint {
+                gpus: w,
+                iters_per_sec: 1.0 / t,
+            });
+            w *= 2;
+        }
+        ScalingCurve {
+            model,
+            global_batch,
+            gpus_per_server: net.gpus_per_server(),
+            points,
+        }
+    }
+
+    /// Constructs a curve directly from measured points (for tests and for
+    /// replaying the paper's worked examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, the GPU counts are not strictly
+    /// increasing powers of two starting at 1, or any throughput is not
+    /// positive and finite.
+    pub fn from_points(model: DnnModel, global_batch: u32, points: Vec<CurvePoint>) -> Self {
+        assert!(!points.is_empty(), "a curve needs at least one point");
+        let mut expect = 1u32;
+        for p in &points {
+            assert_eq!(
+                p.gpus, expect,
+                "curve points must be the dense power-of-two ladder"
+            );
+            assert!(
+                p.iters_per_sec.is_finite() && p.iters_per_sec > 0.0,
+                "throughput must be positive and finite"
+            );
+            expect *= 2;
+        }
+        ScalingCurve {
+            model,
+            global_batch,
+            gpus_per_server: 8,
+            points,
+        }
+    }
+
+    /// The model this curve describes.
+    pub fn model(&self) -> DnnModel {
+        self.model
+    }
+
+    /// The global batch size this curve was built for.
+    pub fn global_batch(&self) -> u32 {
+        self.global_batch
+    }
+
+    /// The curve points, ascending by GPU count.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Largest worker count in the curve's domain.
+    pub fn max_gpus(&self) -> u32 {
+        self.points.last().expect("nonempty").gpus
+    }
+
+    /// Throughput in iterations/second with `gpus` workers, or `None` if
+    /// `gpus` is not a power of two within the domain. `gpus == 0` yields
+    /// zero throughput.
+    pub fn iters_per_sec(&self, gpus: u32) -> Option<f64> {
+        if gpus == 0 {
+            return Some(0.0);
+        }
+        if !gpus.is_power_of_two() || gpus > self.max_gpus() {
+            return None;
+        }
+        let idx = gpus.trailing_zeros() as usize;
+        Some(self.points[idx].iters_per_sec)
+    }
+
+    /// Throughput in samples/second with `gpus` workers.
+    pub fn samples_per_sec(&self, gpus: u32) -> Option<f64> {
+        self.iters_per_sec(gpus)
+            .map(|t| t * self.global_batch as f64)
+    }
+
+    /// Speedup over a single GPU.
+    pub fn speedup(&self, gpus: u32) -> Option<f64> {
+        let base = self.points[0].iters_per_sec;
+        self.iters_per_sec(gpus).map(|t| t / base)
+    }
+
+    /// Per-GPU efficiency: speedup divided by the worker count.
+    pub fn efficiency(&self, gpus: u32) -> Option<f64> {
+        if gpus == 0 {
+            return None;
+        }
+        self.speedup(gpus).map(|s| s / gpus as f64)
+    }
+
+    /// The *knee*: the worker count with the highest throughput. Adding
+    /// GPUs beyond the knee makes the job slower (paper constraint (7)).
+    pub fn knee(&self) -> u32 {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.iters_per_sec
+                    .partial_cmp(&b.iters_per_sec)
+                    .expect("finite throughputs")
+            })
+            .expect("nonempty")
+            .gpus
+    }
+
+    /// Clamps a desired worker count to the largest *useful* count: a
+    /// power of two not exceeding the knee (nor the domain).
+    pub fn clamp_useful(&self, gpus: u32) -> u32 {
+        if gpus == 0 {
+            return 0;
+        }
+        let knee = self.knee();
+        let mut w = 1u32;
+        let target = gpus.min(knee);
+        while w * 2 <= target {
+            w *= 2;
+        }
+        w
+    }
+
+    /// The power-of-two ladder of the curve's domain.
+    pub fn ladder(&self) -> impl Iterator<Item = u32> + '_ {
+        self.points.iter().map(|p| p.gpus)
+    }
+
+    /// `true` when marginal throughput gains per added GPU are
+    /// non-increasing along the ladder *up to the knee* — the concavity
+    /// property ElasticFlow's optimality proofs rely on (§4.1). Points past
+    /// the knee are excluded: constraint (7) forbids allocations that slow a
+    /// job down, so the algorithms never operate there.
+    pub fn is_concave(&self) -> bool {
+        let knee = self.knee();
+        let mut last_gain_per_gpu = f64::INFINITY;
+        for pair in self.points.windows(2) {
+            if pair[1].gpus > knee {
+                break;
+            }
+            let added = (pair[1].gpus - pair[0].gpus) as f64;
+            let gain = (pair[1].iters_per_sec - pair[0].iters_per_sec) / added;
+            if gain > last_gain_per_gpu + 1e-12 {
+                return false;
+            }
+            last_gain_per_gpu = gain;
+        }
+        true
+    }
+
+    /// GPU time (GPU x seconds) to run `iterations` iterations with `gpus`
+    /// workers — the paper's "resource usage" (§4.1).
+    pub fn gpu_time(&self, gpus: u32, iterations: f64) -> Option<f64> {
+        let t = self.iters_per_sec(gpus)?;
+        if t <= 0.0 {
+            return None;
+        }
+        Some(gpus as f64 * iterations / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Interconnect {
+        Interconnect::paper_testbed()
+    }
+
+    #[test]
+    fn all_table1_curves_are_concave() {
+        for (model, batches) in crate::PAPER_TABLE1 {
+            for &b in batches {
+                let curve = ScalingCurve::build(model, b, &net());
+                assert!(curve.is_concave(), "{model} gbs={b} not concave");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_up_to_knee() {
+        for (model, batches) in crate::PAPER_TABLE1 {
+            for &b in batches {
+                let curve = ScalingCurve::build(model, b, &net());
+                let knee = curve.knee();
+                let mut last = 0.0;
+                for g in curve.ladder() {
+                    if g > knee {
+                        break;
+                    }
+                    let t = curve.iters_per_sec(g).unwrap();
+                    assert!(t >= last, "{model} gbs={b} dips before knee");
+                    last = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knee_is_within_a_server_for_table1_batches() {
+        // With Table-1 global batches (<= 256), the calibrated placement
+        // penalty makes cross-server scaling unprofitable — the same effect
+        // that gives the paper its 2.17x placement gap.
+        for (model, batches) in crate::PAPER_TABLE1 {
+            for &b in batches {
+                let curve = ScalingCurve::build(model, b, &net());
+                assert!(curve.knee() <= 16, "{model} gbs={b} knee {}", curve.knee());
+            }
+        }
+    }
+
+    #[test]
+    fn resource_usage_grows_with_gpus() {
+        // Concave scaling => GPU time for a fixed amount of work is
+        // minimized at 1 GPU (paper §4.1).
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 256, &net());
+        let base = curve.gpu_time(1, 1000.0).unwrap();
+        for g in curve.ladder().skip(1) {
+            let usage = curve.gpu_time(g, 1000.0).unwrap();
+            assert!(
+                usage >= base,
+                "gpu_time({g}) = {usage} below single-GPU usage {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_rules() {
+        let curve = ScalingCurve::build(DnnModel::Bert, 128, &net());
+        assert_eq!(curve.iters_per_sec(0), Some(0.0));
+        assert!(curve.iters_per_sec(3).is_none());
+        assert!(curve.iters_per_sec(1024).is_none());
+        assert!(curve.iters_per_sec(1).is_some());
+    }
+
+    #[test]
+    fn domain_capped_by_batch() {
+        let curve = ScalingCurve::build(DnnModel::DeepSpeech2, 32, &net());
+        assert_eq!(curve.max_gpus(), 32);
+    }
+
+    #[test]
+    fn clamp_useful_respects_knee() {
+        let curve = ScalingCurve::build(DnnModel::Vgg16, 256, &net());
+        let knee = curve.knee();
+        assert_eq!(curve.clamp_useful(1024), knee);
+        assert_eq!(curve.clamp_useful(1), 1);
+        assert_eq!(curve.clamp_useful(0), 0);
+    }
+
+    #[test]
+    fn from_points_validates() {
+        let pts = vec![
+            CurvePoint {
+                gpus: 1,
+                iters_per_sec: 1.0,
+            },
+            CurvePoint {
+                gpus: 2,
+                iters_per_sec: 1.5,
+            },
+        ];
+        let curve = ScalingCurve::from_points(DnnModel::ResNet50, 64, pts);
+        assert_eq!(curve.speedup(2), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense power-of-two ladder")]
+    fn from_points_rejects_gaps() {
+        let pts = vec![
+            CurvePoint {
+                gpus: 1,
+                iters_per_sec: 1.0,
+            },
+            CurvePoint {
+                gpus: 4,
+                iters_per_sec: 2.0,
+            },
+        ];
+        let _ = ScalingCurve::from_points(DnnModel::ResNet50, 64, pts);
+    }
+
+    #[test]
+    fn paper_figure4_curve() {
+        // The worked example of Fig. 4: throughput 1, 1.5, 2 with 1, 2, 4
+        // GPUs. Check the resource-usage arithmetic the paper walks through.
+        let pts = vec![
+            CurvePoint {
+                gpus: 1,
+                iters_per_sec: 1.0,
+            },
+            CurvePoint {
+                gpus: 2,
+                iters_per_sec: 1.5,
+            },
+            CurvePoint {
+                gpus: 4,
+                iters_per_sec: 2.0,
+            },
+        ];
+        let curve = ScalingCurve::from_points(DnnModel::ResNet50, 64, pts);
+        assert!((curve.gpu_time(1, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((curve.gpu_time(2, 1.0).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((curve.gpu_time(4, 1.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!(curve.is_concave());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let curve = ScalingCurve::build(DnnModel::Gpt2, 128, &net());
+        let json = serde_json::to_string(&curve).unwrap();
+        let back: ScalingCurve = serde_json::from_str(&json).unwrap();
+        // f64 JSON text is not always bit-exact; the round-trip must be
+        // *stable* (identical after one pass) and semantically close.
+        let json2 = serde_json::to_string(&back).unwrap();
+        assert_eq!(json, json2);
+        for (a, b) in curve.points().iter().zip(back.points()) {
+            assert!((a.iters_per_sec - b.iters_per_sec).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Local batch-size derivation (paper §3.1).
+//!
+//! The developer specifies only the *global* batch size; the platform
+//! divides it across workers ("The systems problem of deciding the local
+//! batch size and the number of workers based on the GPU memory is handled
+//! by ElasticFlow"). With power-of-two worker counts and power-of-two
+//! global batches, the division is always exact.
+
+use elasticflow_perfmodel::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// The derived per-worker batch configuration for one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// Samples processed by each worker per iteration.
+    pub local_batch: u32,
+    /// Gradient-accumulation steps per iteration (1 when the local batch
+    /// fits GPU memory directly).
+    pub accumulation_steps: u32,
+}
+
+/// A100-40GB memory budget used by the solver, bytes.
+const GPU_MEMORY_BYTES: f64 = 40.0e9;
+/// Rough activation memory per sample relative to model size — calibrated
+/// so the Table 1 configurations run without accumulation on one server.
+const ACTIVATION_FACTOR: f64 = 0.02;
+
+/// Derives each worker's local batch size for `workers` workers, inserting
+/// gradient accumulation when the per-worker share would not fit memory.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or does not divide `global_batch`.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_perfmodel::DnnModel;
+/// use elasticflow_platform::local_batch_size;
+///
+/// let plan = local_batch_size(&DnnModel::ResNet50.profile(), 256, 8);
+/// assert_eq!(plan.local_batch * 8, 256);
+/// ```
+pub fn local_batch_size(profile: &ModelProfile, global_batch: u32, workers: u32) -> BatchPlan {
+    assert!(workers > 0, "need at least one worker");
+    assert!(
+        global_batch.is_multiple_of(workers),
+        "workers ({workers}) must divide the global batch ({global_batch})"
+    );
+    let local = global_batch / workers;
+    // Memory model: weights + optimizer state + activations per sample.
+    let static_bytes = profile.checkpoint_bytes();
+    let per_sample = profile.gradient_bytes() * ACTIVATION_FACTOR;
+    let budget = (GPU_MEMORY_BYTES - static_bytes).max(per_sample);
+    let max_fit = (budget / per_sample).floor().max(1.0) as u32;
+    if local <= max_fit {
+        BatchPlan {
+            local_batch: local,
+            accumulation_steps: 1,
+        }
+    } else {
+        let steps = local.div_ceil(max_fit);
+        BatchPlan {
+            local_batch: local,
+            accumulation_steps: steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::DnnModel;
+
+    #[test]
+    fn division_is_exact_on_pow2() {
+        for workers in [1u32, 2, 4, 8] {
+            let plan = local_batch_size(&DnnModel::Bert.profile(), 128, workers);
+            assert_eq!(plan.local_batch * workers, 128);
+        }
+    }
+
+    #[test]
+    fn table1_configs_fit_without_accumulation_at_8_workers() {
+        for (model, batches) in elasticflow_perfmodel::PAPER_TABLE1 {
+            for &b in batches {
+                let plan = local_batch_size(&model.profile(), b, 8.min(b));
+                assert_eq!(plan.accumulation_steps, 1, "{model} gbs={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_huge_batch_uses_accumulation() {
+        // An absurd global batch on one worker forces accumulation.
+        let plan = local_batch_size(&DnnModel::Vgg16.profile(), 1 << 20, 1);
+        assert!(plan.accumulation_steps > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_workers_panic() {
+        let _ = local_batch_size(&DnnModel::Bert.profile(), 128, 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! The platform front-end: submissions, admission, and execution.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_core::{mss, ElasticFlowScheduler};
+use elasticflow_perfmodel::{Interconnect, ScalingCurve};
+use elasticflow_sim::{JobOutcome, SimConfig, SimReport, Simulation};
+use elasticflow_trace::{JobId, JobSpec, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::TrainingFunction;
+
+/// What the developer gets back at submission time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmissionReceipt {
+    /// The id assigned to the job.
+    pub id: JobId,
+    /// Submission timestamp on the platform clock.
+    pub submitted_at: f64,
+    /// Absolute deadline (`None` for best-effort jobs).
+    pub deadline: Option<f64>,
+    /// The job's minimum satisfactory share on an idle cluster — an
+    /// an upfront infeasibility signal: `None` means even the whole idle
+    /// cluster could not meet the deadline, so the job is certain to be
+    /// rejected.
+    pub idle_cluster_share: Option<u32>,
+}
+
+/// Result of running the platform until all submitted work drains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformOutcome {
+    /// Per-job outcomes, ascending by id.
+    pub reports: Vec<JobOutcome>,
+    /// The full simulation report (timeline, migrations, ...).
+    pub sim: SimReport,
+}
+
+/// The serverless training platform: submit functions, run, collect
+/// outcomes. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    spec: ClusterSpec,
+    config: SimConfig,
+    net: Interconnect,
+    pending: Vec<JobSpec>,
+    clock: f64,
+    next_id: u64,
+}
+
+impl Platform {
+    /// A platform over the paper's 4-server (32-GPU) small testbed.
+    pub fn small_testbed() -> Self {
+        Platform::new(ClusterSpec::small_testbed(), SimConfig::default())
+    }
+
+    /// A platform over the paper's 16-server (128-GPU) testbed.
+    pub fn paper_testbed() -> Self {
+        Platform::new(ClusterSpec::paper_testbed(), SimConfig::default())
+    }
+
+    /// A platform over an arbitrary cluster.
+    pub fn new(spec: ClusterSpec, config: SimConfig) -> Self {
+        let net = Interconnect::from_spec(&spec);
+        Platform {
+            spec,
+            config,
+            net,
+            pending: Vec::new(),
+            clock: 0.0,
+            next_id: 0,
+        }
+    }
+
+    /// Total GPUs in the platform's cluster.
+    pub fn capacity(&self) -> u32 {
+        self.spec.total_gpus()
+    }
+
+    /// Jobs submitted but not yet executed.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Advances the platform clock so later submissions arrive later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn advance_clock(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "clock must move forward"
+        );
+        self.clock += seconds;
+    }
+
+    /// Submits a training function at the current platform clock.
+    pub fn submit(&mut self, function: TrainingFunction) -> SubmissionReceipt {
+        let id = JobId::new(self.next_id);
+        self.next_id += 1;
+        let curve = ScalingCurve::build_with_max(
+            function.model(),
+            function.global_batch(),
+            &self.net,
+            self.capacity(),
+        );
+        let deadline = function.deadline_window().map(|w| self.clock + w);
+        let idle_cluster_share = match function.deadline_window() {
+            Some(w) => {
+                mss::minimum_satisfactory_share(&curve, function.max_iterations_value(), w)
+            }
+            None => Some(1),
+        };
+        let mut builder = JobSpec::builder(id, function.model(), function.global_batch())
+            .iterations(function.max_iterations_value())
+            .submit_time(self.clock)
+            .trace_shape(1, function.max_iterations_value() / curve.iters_per_sec(1).unwrap_or(1.0));
+        if let Some(d) = deadline {
+            builder = if function.is_soft() {
+                builder.soft_deadline(d)
+            } else {
+                builder.deadline(d)
+            };
+        }
+        self.pending.push(builder.build());
+        SubmissionReceipt {
+            id,
+            submitted_at: self.clock,
+            deadline,
+            idle_cluster_share,
+        }
+    }
+
+    /// Submits a training function on behalf of `user`, enforcing the
+    /// given quota policy first (paper §4.4: operator policy runs before
+    /// the admission decision).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::QuotaViolation`] when the user's quota is exhausted; the
+    /// job is *not* recorded.
+    pub fn submit_as(
+        &mut self,
+        user: &str,
+        policy: &mut crate::QuotaPolicy,
+        function: TrainingFunction,
+    ) -> Result<SubmissionReceipt, crate::QuotaViolation> {
+        policy.try_submit(user, self.clock)?;
+        Ok(self.submit(function))
+    }
+
+    /// Runs every submitted job to completion (or rejection) under the
+    /// ElasticFlow scheduler and returns the outcomes. Pending submissions
+    /// are consumed.
+    pub fn run_to_completion(&mut self) -> PlatformOutcome {
+        let jobs = std::mem::take(&mut self.pending);
+        let trace = Trace::new("platform", jobs);
+        let mut scheduler = ElasticFlowScheduler::new();
+        let sim = Simulation::new(self.spec.clone(), self.config.clone()).run(&trace, &mut scheduler);
+        PlatformOutcome {
+            reports: sim.outcomes().to_vec(),
+            sim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::DnnModel;
+
+    #[test]
+    fn feasible_submission_is_admitted_and_finishes() {
+        let mut p = Platform::small_testbed();
+        let r = p.submit(
+            TrainingFunction::new(DnnModel::ResNet50, 128)
+                .max_iterations(10_000.0)
+                .deadline_in(8.0 * 3_600.0),
+        );
+        assert!(r.idle_cluster_share.is_some());
+        let out = p.run_to_completion();
+        assert_eq!(out.reports.len(), 1);
+        let o = &out.reports[0];
+        assert!(!o.dropped);
+        assert!(o.met_deadline());
+    }
+
+    #[test]
+    fn impossible_deadline_is_flagged_at_submission() {
+        let mut p = Platform::small_testbed();
+        let r = p.submit(
+            TrainingFunction::new(DnnModel::Vgg16, 256)
+                .max_iterations(1.0e9)
+                .deadline_in(60.0),
+        );
+        assert_eq!(r.idle_cluster_share, None);
+        let out = p.run_to_completion();
+        assert!(out.reports[0].dropped);
+    }
+
+    #[test]
+    fn clock_orders_submissions() {
+        let mut p = Platform::small_testbed();
+        p.submit(TrainingFunction::new(DnnModel::Bert, 64).max_iterations(100.0));
+        p.advance_clock(500.0);
+        let r2 = p.submit(TrainingFunction::new(DnnModel::Bert, 64).max_iterations(100.0));
+        assert_eq!(r2.submitted_at, 500.0);
+        assert_eq!(p.pending_jobs(), 2);
+    }
+
+    #[test]
+    fn best_effort_submissions_run_without_deadline() {
+        let mut p = Platform::small_testbed();
+        p.submit(TrainingFunction::new(DnnModel::Gpt2, 128).max_iterations(5_000.0));
+        let out = p.run_to_completion();
+        let o = &out.reports[0];
+        assert!(!o.dropped);
+        assert!(o.finish_time.is_some());
+        assert!(o.deadline.is_infinite());
+    }
+
+    #[test]
+    fn soft_deadlines_are_never_dropped() {
+        let mut p = Platform::new(ClusterSpec::with_servers(1, 8), SimConfig::default());
+        // Impossible hard deadline -> dropped; same job soft -> runs late.
+        p.submit(
+            TrainingFunction::new(DnnModel::Vgg16, 256)
+                .max_iterations(2.0e5)
+                .deadline_in(600.0),
+        );
+        p.submit(
+            TrainingFunction::new(DnnModel::Vgg16, 256)
+                .max_iterations(2.0e5)
+                .deadline_in(600.0)
+                .soft(),
+        );
+        let out = p.run_to_completion();
+        assert!(out.reports[0].dropped);
+        assert!(!out.reports[1].dropped);
+        assert!(out.reports[1].finish_time.is_some());
+        assert!(!out.reports[1].met_deadline());
+    }
+
+    #[test]
+    fn quota_gates_submission() {
+        let mut p = Platform::small_testbed();
+        let mut policy = crate::QuotaPolicy::new(crate::QuotaLimits::per_day(1));
+        assert!(p
+            .submit_as("eve", &mut policy, TrainingFunction::new(DnnModel::Bert, 64))
+            .is_ok());
+        assert!(p
+            .submit_as("eve", &mut policy, TrainingFunction::new(DnnModel::Bert, 64))
+            .is_err());
+        assert_eq!(p.pending_jobs(), 1);
+    }
+
+    #[test]
+    fn contended_platform_drops_excess_jobs() {
+        let mut p = Platform::new(ClusterSpec::with_servers(1, 8), SimConfig::default());
+        // Submit far more tight-deadline work than 8 GPUs can absorb.
+        for _ in 0..12 {
+            p.submit(
+                TrainingFunction::new(DnnModel::ResNet50, 128)
+                    .max_iterations(50_000.0)
+                    .deadline_in(3_600.0),
+            );
+        }
+        let out = p.run_to_completion();
+        let dropped = out.reports.iter().filter(|o| o.dropped).count();
+        assert!(dropped > 0, "expected drops under heavy contention");
+        // And everyone admitted met the deadline.
+        for o in out.reports.iter().filter(|o| !o.dropped) {
+            assert!(o.met_deadline(), "{:?}", o);
+        }
+    }
+}

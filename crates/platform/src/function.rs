@@ -1,0 +1,167 @@
+//! The serverless training function (paper §3.1).
+
+use elasticflow_perfmodel::DnnModel;
+use serde::{Deserialize, Serialize};
+
+/// A training job as the developer writes it: single-device training code
+/// plus hyper-parameters and a deadline — *no* GPU count, *no* machine
+/// configuration. The platform decides worker counts and local batch sizes
+/// (the "system problem" the paper separates from the "DL problem").
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_perfmodel::DnnModel;
+/// use elasticflow_platform::TrainingFunction;
+///
+/// let f = TrainingFunction::new(DnnModel::ResNet50, 256)
+///     .learning_rate(0.1)
+///     .max_iterations(90_000.0)
+///     .deadline_in(24.0 * 3_600.0);
+/// assert!(f.deadline_window().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingFunction {
+    model: DnnModel,
+    global_batch: u32,
+    learning_rate: f64,
+    max_iterations: f64,
+    deadline_window: Option<f64>,
+    #[serde(default)]
+    soft: bool,
+}
+
+impl TrainingFunction {
+    /// Starts a function for `model` at the given global batch size (the
+    /// hyper-parameter the developer tunes for accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_batch` is zero or not a power of two (required by
+    /// the platform's power-of-two worker ladder).
+    pub fn new(model: DnnModel, global_batch: u32) -> Self {
+        assert!(
+            global_batch > 0 && global_batch.is_power_of_two(),
+            "global batch must be a positive power of two, got {global_batch}"
+        );
+        TrainingFunction {
+            model,
+            global_batch,
+            learning_rate: 0.1,
+            max_iterations: 1.0,
+            deadline_window: None,
+            soft: false,
+        }
+    }
+
+    /// Sets the learning rate (recorded with the job; training dynamics
+    /// are outside the scheduling model).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the termination condition: the maximum number of iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is not strictly positive and finite.
+    pub fn max_iterations(mut self, iterations: f64) -> Self {
+        assert!(
+            iterations.is_finite() && iterations > 0.0,
+            "iterations must be positive and finite"
+        );
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Sets a deadline `seconds` after submission; omit for best-effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive and finite.
+    pub fn deadline_in(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "deadline window must be positive and finite"
+        );
+        self.deadline_window = Some(seconds);
+        self
+    }
+
+    /// Marks the deadline as *soft* (§4.4): the platform never drops the
+    /// job; it is guaranteed when possible and otherwise finished as early
+    /// as leftover capacity allows.
+    pub fn soft(mut self) -> Self {
+        self.soft = true;
+        self
+    }
+
+    /// `true` when the deadline is soft.
+    pub fn is_soft(&self) -> bool {
+        self.soft
+    }
+
+    /// The model to train.
+    pub fn model(&self) -> DnnModel {
+        self.model
+    }
+
+    /// The global batch size.
+    pub fn global_batch(&self) -> u32 {
+        self.global_batch
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate_value(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The termination condition.
+    pub fn max_iterations_value(&self) -> f64 {
+        self.max_iterations
+    }
+
+    /// Seconds between submission and deadline, `None` for best-effort.
+    pub fn deadline_window(&self) -> Option<f64> {
+        self.deadline_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let f = TrainingFunction::new(DnnModel::Gpt2, 128)
+            .learning_rate(3e-4)
+            .max_iterations(5e4)
+            .deadline_in(7_200.0);
+        assert_eq!(f.model(), DnnModel::Gpt2);
+        assert_eq!(f.global_batch(), 128);
+        assert_eq!(f.learning_rate_value(), 3e-4);
+        assert_eq!(f.max_iterations_value(), 5e4);
+        assert_eq!(f.deadline_window(), Some(7_200.0));
+    }
+
+    #[test]
+    fn default_is_best_effort() {
+        let f = TrainingFunction::new(DnnModel::Bert, 64);
+        assert!(f.deadline_window().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_batch_rejected() {
+        let _ = TrainingFunction::new(DnnModel::Bert, 96);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = TrainingFunction::new(DnnModel::Vgg16, 256).deadline_in(3_600.0);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: TrainingFunction = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,40 @@
+//! The ElasticFlow serverless platform front-end (paper §3.1).
+//!
+//! DL developers do not request GPUs. They submit a **training function** —
+//! DNN model, hyper-parameters, termination condition, deadline — and the
+//! platform takes over: admission control decides whether the deadline can
+//! be guaranteed, the resource allocation module scales the job elastically,
+//! the batch-size solver derives each worker's local batch from the global
+//! batch, and the monitor exposes cluster status. This crate is that
+//! front-end, driving the scheduler/simulator stack underneath.
+//!
+//! # Example
+//!
+//! ```
+//! use elasticflow_perfmodel::DnnModel;
+//! use elasticflow_platform::{Platform, TrainingFunction};
+//!
+//! let mut platform = Platform::small_testbed();
+//! let submission = platform.submit(
+//!     TrainingFunction::new(DnnModel::Bert, 128)
+//!         .max_iterations(20_000.0)
+//!         .deadline_in(8.0 * 3_600.0),
+//! );
+//! // The platform either guarantees the deadline or rejects outright.
+//! println!("{submission:?}");
+//! let outcome = platform.run_to_completion();
+//! assert_eq!(outcome.reports.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batchsize;
+mod frontend;
+mod function;
+mod quota;
+
+pub use batchsize::{local_batch_size, BatchPlan};
+pub use frontend::{Platform, PlatformOutcome, SubmissionReceipt};
+pub use function::TrainingFunction;
+pub use quota::{QuotaLimits, QuotaPolicy, QuotaViolation};

@@ -1,0 +1,178 @@
+//! Per-user submission quotas (paper §4.4, "Malicious users and admission
+//! control policies").
+//!
+//! A user could game deadline-driven admission by flooding the platform
+//! with tight-deadline jobs, reserving the whole cluster. The paper's
+//! suggested countermeasure is operator policy — quotas or pricing —
+//! applied *before* the admission decision. This module implements the
+//! quota variant: a sliding-window cap on submissions and on reserved
+//! GPU-time per user.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Operator-configured limits for one user (or a default for everyone).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuotaLimits {
+    /// Maximum submissions per sliding window.
+    pub max_jobs: usize,
+    /// Length of the sliding window, seconds.
+    pub window_seconds: f64,
+}
+
+impl QuotaLimits {
+    /// The paper's example policy: a cap on jobs per user per day.
+    pub fn per_day(max_jobs: usize) -> Self {
+        QuotaLimits {
+            max_jobs,
+            window_seconds: 86_400.0,
+        }
+    }
+}
+
+/// Why a submission was refused by policy (before admission control ran).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotaViolation {
+    /// The user exhausted their submission budget for the current window.
+    TooManyJobs,
+}
+
+impl std::fmt::Display for QuotaViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuotaViolation::TooManyJobs => {
+                f.write_str("submission quota exhausted for the current window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotaViolation {}
+
+/// Sliding-window quota enforcement across users.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_platform::{QuotaLimits, QuotaPolicy};
+///
+/// let mut policy = QuotaPolicy::new(QuotaLimits::per_day(2));
+/// assert!(policy.try_submit("alice", 0.0).is_ok());
+/// assert!(policy.try_submit("alice", 100.0).is_ok());
+/// assert!(policy.try_submit("alice", 200.0).is_err()); // third in a day
+/// assert!(policy.try_submit("bob", 200.0).is_ok());    // separate budget
+/// assert!(policy.try_submit("alice", 90_000.0).is_ok()); // window rolled
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuotaPolicy {
+    default_limits: QuotaLimits,
+    per_user: BTreeMap<String, QuotaLimits>,
+    history: BTreeMap<String, Vec<f64>>,
+}
+
+impl QuotaPolicy {
+    /// Creates a policy with default limits for every user.
+    pub fn new(default_limits: QuotaLimits) -> Self {
+        QuotaPolicy {
+            default_limits,
+            per_user: BTreeMap::new(),
+            history: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the limits for a specific user.
+    pub fn set_user_limits(&mut self, user: impl Into<String>, limits: QuotaLimits) {
+        self.per_user.insert(user.into(), limits);
+    }
+
+    /// The limits applying to `user`.
+    pub fn limits_for(&self, user: &str) -> QuotaLimits {
+        self.per_user
+            .get(user)
+            .copied()
+            .unwrap_or(self.default_limits)
+    }
+
+    /// Records a submission attempt at time `now`; rejects it when the
+    /// user's quota is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`QuotaViolation::TooManyJobs`] if the user already submitted
+    /// `max_jobs` within the window.
+    pub fn try_submit(&mut self, user: &str, now: f64) -> Result<(), QuotaViolation> {
+        let limits = self.limits_for(user);
+        let entry = self.history.entry(user.to_owned()).or_default();
+        entry.retain(|&t| now - t < limits.window_seconds);
+        if entry.len() >= limits.max_jobs {
+            return Err(QuotaViolation::TooManyJobs);
+        }
+        entry.push(now);
+        Ok(())
+    }
+
+    /// Number of submissions by `user` still inside the current window.
+    pub fn recent_submissions(&self, user: &str, now: f64) -> usize {
+        let limits = self.limits_for(user);
+        self.history
+            .get(user)
+            .map(|h| h.iter().filter(|&&t| now - t < limits.window_seconds).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_blocks_flooding() {
+        let mut policy = QuotaPolicy::new(QuotaLimits::per_day(3));
+        for i in 0..3 {
+            assert!(policy.try_submit("eve", i as f64).is_ok());
+        }
+        assert_eq!(
+            policy.try_submit("eve", 3.0),
+            Err(QuotaViolation::TooManyJobs)
+        );
+        assert_eq!(policy.recent_submissions("eve", 3.0), 3);
+    }
+
+    #[test]
+    fn windows_slide() {
+        let mut policy = QuotaPolicy::new(QuotaLimits {
+            max_jobs: 1,
+            window_seconds: 100.0,
+        });
+        assert!(policy.try_submit("u", 0.0).is_ok());
+        assert!(policy.try_submit("u", 50.0).is_err());
+        assert!(policy.try_submit("u", 101.0).is_ok());
+    }
+
+    #[test]
+    fn per_user_overrides() {
+        let mut policy = QuotaPolicy::new(QuotaLimits::per_day(1));
+        policy.set_user_limits("vip", QuotaLimits::per_day(100));
+        assert!(policy.try_submit("vip", 0.0).is_ok());
+        assert!(policy.try_submit("vip", 1.0).is_ok());
+        assert!(policy.try_submit("pleb", 0.0).is_ok());
+        assert!(policy.try_submit("pleb", 1.0).is_err());
+    }
+
+    #[test]
+    fn isolated_budgets() {
+        let mut policy = QuotaPolicy::new(QuotaLimits::per_day(1));
+        assert!(policy.try_submit("a", 0.0).is_ok());
+        assert!(policy.try_submit("b", 0.0).is_ok());
+        assert!(policy.try_submit("c", 0.0).is_ok());
+    }
+
+    #[test]
+    fn violation_displays() {
+        assert_eq!(
+            QuotaViolation::TooManyJobs.to_string(),
+            "submission quota exhausted for the current window"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Chronus deadline-aware scheduling (Gao et al., SoCC'21; §6.1 baseline).
+//!
+//! Chronus maximizes the number of SLO jobs meeting deadlines through
+//! lease-based admission and allocation, but is *not elastic*: an admitted
+//! job always runs with its requested GPU count. We implement its policy
+//! core as (i) an admission test that simulates preemptive EDF execution of
+//! all admitted jobs at their fixed sizes and rejects a newcomer that would
+//! break any deadline, and (ii) preemptive EDF dispatch at fixed sizes. The
+//! gap to ElasticFlow in the paper (1.6x) comes precisely from the missing
+//! elasticity, which this reproduction preserves.
+
+use elasticflow_trace::JobId;
+
+use crate::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+};
+
+/// The Chronus baseline scheduler.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_sched::{ChronusScheduler, Scheduler};
+///
+/// assert_eq!(ChronusScheduler::new().name(), "chronus");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChronusScheduler {
+    _private: (),
+}
+
+/// A job snapshot used by the feasibility simulation.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    id: JobId,
+    gpus: u32,
+    seconds_left: f64,
+    deadline: f64,
+}
+
+impl ChronusScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        ChronusScheduler::default()
+    }
+
+    /// Simulates preemptive EDF at fixed sizes from `now` and reports
+    /// whether every snapshot finishes by its deadline.
+    fn feasible(mut pending: Vec<Snapshot>, total_gpus: u32, now: f64) -> bool {
+        pending.sort_by(|a, b| {
+            a.deadline
+                .partial_cmp(&b.deadline)
+                .expect("finite deadlines")
+                .then(a.id.cmp(&b.id))
+        });
+        if pending.iter().any(|s| s.gpus > total_gpus) {
+            return false;
+        }
+        let mut t = now;
+        while !pending.is_empty() {
+            // Preemptive EDF with skip-filling at fixed sizes.
+            let mut free = total_gpus;
+            let mut running: Vec<usize> = Vec::new();
+            for (i, s) in pending.iter().enumerate() {
+                if s.gpus <= free {
+                    free -= s.gpus;
+                    running.push(i);
+                }
+            }
+            debug_assert!(!running.is_empty(), "head job fits by the check above");
+            // Advance to the earliest completion among running jobs.
+            let dt = running
+                .iter()
+                .map(|&i| pending[i].seconds_left)
+                .fold(f64::INFINITY, f64::min);
+            t += dt;
+            for &i in &running {
+                pending[i].seconds_left -= dt;
+            }
+            // Check deadlines of jobs that just completed, then drop them.
+            for &i in running.iter().rev() {
+                if pending[i].seconds_left <= 1e-9 {
+                    if t > pending[i].deadline + 1e-9 {
+                        return false;
+                    }
+                    pending.remove(i);
+                }
+            }
+            // Early exit: a job that cannot finish by its deadline even if
+            // it started right now makes the whole set infeasible.
+            if pending.iter().any(|s| t + s.seconds_left > s.deadline + 1e-9) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn snapshot(job: &JobRuntime) -> Snapshot {
+        let gpus = job.requested_gpus();
+        Snapshot {
+            id: job.id(),
+            gpus,
+            seconds_left: job.time_to_finish(gpus),
+            deadline: job.spec.deadline,
+        }
+    }
+}
+
+impl Scheduler for ChronusScheduler {
+    fn name(&self) -> &str {
+        "chronus"
+    }
+
+    fn on_job_arrival(
+        &mut self,
+        job: &JobRuntime,
+        now: f64,
+        view: &ClusterView,
+        jobs: &JobTable,
+    ) -> AdmissionDecision {
+        if !job.is_slo() {
+            return AdmissionDecision::Admit;
+        }
+        let mut snapshots: Vec<Snapshot> = jobs
+            .active()
+            .filter(|j| j.is_slo() && j.id() != job.id())
+            .map(Self::snapshot)
+            .collect();
+        snapshots.push(Self::snapshot(job));
+        if Self::feasible(snapshots, view.total_gpus, now) {
+            AdmissionDecision::Admit
+        } else {
+            AdmissionDecision::Drop
+        }
+    }
+
+    fn plan(&mut self, _now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let mut order: Vec<&JobRuntime> = jobs.active().collect();
+        order.sort_by(|a, b| {
+            a.spec
+                .deadline
+                .partial_cmp(&b.spec.deadline)
+                .expect("comparable deadlines")
+                .then(a.id().cmp(&b.id()))
+        });
+        let mut plan = SchedulePlan::new();
+        let mut free = view.total_gpus;
+        for job in order {
+            let want = job.requested_gpus();
+            if want <= free {
+                plan.assign(job.id(), want);
+                free -= want;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+
+    fn view() -> ClusterView {
+        ClusterView::new(16)
+    }
+
+    #[test]
+    fn admits_feasible_job() {
+        let table = JobTable::new();
+        // Trace duration 3600 s at 4 GPUs, deadline window 7200 s: feasible.
+        let j = job(1, 0.0, Some(7_200.0), 4);
+        let mut c = ChronusScheduler::new();
+        assert_eq!(
+            c.on_job_arrival(&j, 0.0, &view(), &table),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn drops_infeasible_job() {
+        let table = JobTable::new();
+        // Needs 3600 s at its fixed size but the deadline is in 600 s, and
+        // Chronus cannot scale it out.
+        let j = job(1, 0.0, Some(600.0), 4);
+        let mut c = ChronusScheduler::new();
+        assert_eq!(
+            c.on_job_arrival(&j, 0.0, &view(), &table),
+            AdmissionDecision::Drop
+        );
+    }
+
+    #[test]
+    fn drops_job_that_would_break_existing_deadline() {
+        let mut table = JobTable::new();
+        // Two 8-GPU jobs with ~3600 s of work each and ~4000 s deadlines
+        // cannot both run on 8 GPUs.
+        table.insert(job(1, 0.0, Some(4_000.0), 8));
+        let newcomer = job(2, 0.0, Some(4_000.0), 8);
+        let mut c = ChronusScheduler::new();
+        assert_eq!(
+            c.on_job_arrival(&newcomer, 0.0, &ClusterView::new(8), &table),
+            AdmissionDecision::Drop
+        );
+    }
+
+    #[test]
+    fn admits_when_cluster_can_run_both() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, Some(4_000.0), 8));
+        let newcomer = job(2, 0.0, Some(4_000.0), 8);
+        let mut c = ChronusScheduler::new();
+        assert_eq!(
+            c.on_job_arrival(&newcomer, 0.0, &view(), &table),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn oversized_job_is_dropped() {
+        let table = JobTable::new();
+        let j = job(1, 0.0, Some(1.0e6), 32);
+        let mut c = ChronusScheduler::new();
+        assert_eq!(
+            c.on_job_arrival(&j, 0.0, &view(), &table),
+            AdmissionDecision::Drop
+        );
+    }
+
+    #[test]
+    fn best_effort_bypasses_admission() {
+        let table = JobTable::new();
+        let j = job(1, 0.0, None, 32); // oversized but best-effort
+        let mut c = ChronusScheduler::new();
+        assert_eq!(
+            c.on_job_arrival(&j, 0.0, &view(), &table),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn plan_is_edf_at_fixed_sizes() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, Some(9_000.0), 8));
+        table.insert(job(2, 0.0, Some(5_000.0), 8));
+        let plan = ChronusScheduler::new().plan(0.0, &ClusterView::new(8), &table);
+        assert_eq!(plan.gpus(JobId::new(2)), 8);
+        assert_eq!(plan.gpus(JobId::new(1)), 0);
+    }
+}

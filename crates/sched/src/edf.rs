@@ -1,0 +1,147 @@
+//! Earliest-Deadline-First (paper §6.1 baseline).
+//!
+//! The canonical deadline-driven policy: order jobs by deadline, run the
+//! most urgent first. Following the paper's description, EDF here "uses as
+//! many GPUs as a job can scale out without decreasing the throughput" —
+//! i.e. each job is scaled to the knee of its curve — and admits every job
+//! (no admission control). The paper's Fig. 3 shows why this fails under
+//! non-linear scaling: occupying the whole cluster for the most urgent job
+//! wastes GPU time that two concurrent smaller allocations would save.
+
+use elasticflow_trace::JobId;
+
+use crate::{
+    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+};
+
+/// The EDF baseline scheduler.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_sched::{EdfScheduler, Scheduler};
+///
+/// let edf = EdfScheduler::new();
+/// assert_eq!(edf.name(), "edf");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EdfScheduler {
+    _private: (),
+}
+
+impl EdfScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        EdfScheduler::default()
+    }
+
+    /// Active jobs ordered by (deadline, id) — best-effort jobs (infinite
+    /// deadline) sort last.
+    fn edf_order(jobs: &JobTable) -> Vec<JobId> {
+        let mut ids: Vec<(f64, JobId)> = jobs
+            .active()
+            .map(|j| (j.spec.deadline, j.id()))
+            .collect();
+        ids.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("comparable deadlines").then(a.1.cmp(&b.1)));
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+impl Scheduler for EdfScheduler {
+    fn name(&self) -> &str {
+        "edf"
+    }
+
+    fn on_job_arrival(
+        &mut self,
+        _job: &JobRuntime,
+        _now: f64,
+        _view: &ClusterView,
+        _jobs: &JobTable,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+
+    fn plan(&mut self, _now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let mut plan = SchedulePlan::new();
+        let mut free = view.total_gpus;
+        for id in Self::edf_order(jobs) {
+            if free == 0 {
+                break;
+            }
+            let job = jobs.get(id).expect("id from the same table");
+            let give = clamp_pow2(job.knee(), free);
+            if give > 0 {
+                plan.assign(id, give);
+                free -= give;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+
+    fn view() -> ClusterView {
+        ClusterView::new(16)
+    }
+
+    #[test]
+    fn urgent_job_first() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, Some(10_000.0), 4));
+        table.insert(job(2, 0.0, Some(5_000.0), 4));
+        let mut edf = EdfScheduler::new();
+        let plan = edf.plan(0.0, &view(), &table);
+        // Job 2 (earlier deadline) gets its knee allocation first.
+        let knee = table.get(JobId::new(2)).unwrap().knee();
+        assert_eq!(plan.gpus(JobId::new(2)), knee.min(16));
+    }
+
+    #[test]
+    fn never_exceeds_cluster() {
+        let mut table = JobTable::new();
+        for i in 0..10 {
+            table.insert(job(i, 0.0, Some(5_000.0 + i as f64), 8));
+        }
+        let plan = EdfScheduler::new().plan(0.0, &view(), &table);
+        assert!(plan.total_gpus() <= 16);
+    }
+
+    #[test]
+    fn admits_everything() {
+        let table = JobTable::new();
+        let j = job(1, 0.0, Some(1.0e-9 + 1.0), 8); // absurd deadline
+        let mut edf = EdfScheduler::new();
+        assert_eq!(
+            edf.on_job_arrival(&j, 0.0, &view(), &table),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn leftover_goes_to_later_deadlines() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, Some(5_000.0), 4));
+        table.insert(job(2, 0.0, Some(9_000.0), 4));
+        let plan = EdfScheduler::new().plan(0.0, &view(), &table);
+        // Both jobs run if the knees fit in 16 GPUs.
+        assert!(plan.gpus(JobId::new(1)) > 0);
+        if plan.gpus(JobId::new(1)) < 16 {
+            assert!(plan.gpus(JobId::new(2)) > 0);
+        }
+    }
+
+    #[test]
+    fn finished_jobs_are_ignored() {
+        let mut table = JobTable::new();
+        let mut done = job(1, 0.0, Some(5_000.0), 4);
+        done.finish_time = Some(100.0);
+        table.insert(done);
+        let plan = EdfScheduler::new().plan(200.0, &view(), &table);
+        assert!(plan.is_empty());
+    }
+}

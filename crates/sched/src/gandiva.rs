@@ -1,0 +1,124 @@
+//! Gandiva-style introspective packing (Xiao et al., OSDI'18; §6.1).
+//!
+//! Gandiva is neither elastic nor deadline-aware: each job runs with the
+//! GPU count it requested in the trace. Its contribution is *introspective*
+//! placement — continuously packing and migrating jobs to reduce
+//! fragmentation and interference. In this reproduction the
+//! packing/migration half is provided by the simulator's buddy allocator
+//! and defragmentation (the same machinery every policy enjoys), so the
+//! policy core reduces to FIFO with best-effort backfilling: serve jobs in
+//! arrival order at their fixed sizes, and let smaller jobs slip into holes
+//! the head of the queue cannot use.
+
+use crate::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+};
+
+/// The Gandiva baseline scheduler.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_sched::{GandivaScheduler, Scheduler};
+///
+/// assert_eq!(GandivaScheduler::new().name(), "gandiva");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GandivaScheduler {
+    _private: (),
+}
+
+impl GandivaScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        GandivaScheduler::default()
+    }
+}
+
+impl Scheduler for GandivaScheduler {
+    fn name(&self) -> &str {
+        "gandiva"
+    }
+
+    fn on_job_arrival(
+        &mut self,
+        _job: &JobRuntime,
+        _now: f64,
+        _view: &ClusterView,
+        _jobs: &JobTable,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+
+    fn plan(&mut self, _now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let mut order: Vec<&JobRuntime> = jobs.active().collect();
+        order.sort_by(|a, b| {
+            a.spec
+                .submit_time
+                .partial_cmp(&b.spec.submit_time)
+                .expect("finite submit times")
+                .then(a.id().cmp(&b.id()))
+        });
+        let mut plan = SchedulePlan::new();
+        let mut free = view.total_gpus;
+        for job in order {
+            let want = job.requested_gpus();
+            if want <= free {
+                plan.assign(job.id(), want);
+                free -= want;
+            }
+            // Too big for the current hole: skip, keep backfilling smaller
+            // jobs (Gandiva's packing).
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+    use elasticflow_trace::JobId;
+
+    #[test]
+    fn fifo_order_with_fixed_sizes() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 100.0, None, 8));
+        table.insert(job(2, 50.0, None, 8));
+        let plan = GandivaScheduler::new().plan(200.0, &ClusterView::new(8), &table);
+        // Only the earlier job (id 2) fits; it gets its exact request.
+        assert_eq!(plan.gpus(JobId::new(2)), 8);
+        assert_eq!(plan.gpus(JobId::new(1)), 0);
+    }
+
+    #[test]
+    fn backfills_smaller_jobs() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, None, 8));
+        table.insert(job(2, 10.0, None, 16)); // cannot fit after job 1
+        table.insert(job(3, 20.0, None, 4)); // backfills
+        let plan = GandivaScheduler::new().plan(100.0, &ClusterView::new(16), &table);
+        assert_eq!(plan.gpus(JobId::new(1)), 8);
+        assert_eq!(plan.gpus(JobId::new(2)), 0);
+        assert_eq!(plan.gpus(JobId::new(3)), 4);
+    }
+
+    #[test]
+    fn is_not_elastic() {
+        // A lone job on a big cluster still gets only its requested size.
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, None, 2));
+        let plan = GandivaScheduler::new().plan(0.0, &ClusterView::new(128), &table);
+        assert_eq!(plan.gpus(JobId::new(1)), 2);
+    }
+
+    #[test]
+    fn admits_everything() {
+        let table = JobTable::new();
+        let j = job(1, 0.0, Some(1.0), 8);
+        assert_eq!(
+            GandivaScheduler::new().on_job_arrival(&j, 0.0, &ClusterView::new(8), &table),
+            AdmissionDecision::Admit
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Pollux goodput-driven elastic scheduling (Qiao et al., OSDI'21; §6.1).
+//!
+//! Pollux co-adapts each job's resources (and batch size) to maximize
+//! cluster-wide *goodput* — system throughput x statistical efficiency. It
+//! is elastic but not deadline-aware. Our policy core keeps the resource
+//! half: GPUs are distributed by water-filling on the marginal *normalized*
+//! speedup per added GPU, which with fixed global batch sizes (statistical
+//! efficiency constant per job) is exactly goodput maximization, including
+//! its fairness-flavored normalization by each job's own single-GPU
+//! throughput. Pollux's batch-size adaptation has no effect under the
+//! paper's fixed-hyper-parameter workloads and is omitted (the paper's own
+//! simulation uses Pollux's published profiles similarly).
+
+use std::collections::BTreeMap;
+
+use elasticflow_trace::JobId;
+
+use crate::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+};
+
+/// The Pollux baseline scheduler.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_sched::{PolluxScheduler, Scheduler};
+///
+/// assert_eq!(PolluxScheduler::new().name(), "pollux");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PolluxScheduler {
+    _private: (),
+}
+
+impl PolluxScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        PolluxScheduler::default()
+    }
+
+    /// Marginal normalized-speedup gain per extra GPU when growing `job`
+    /// from `cur` workers to the next ladder step; `None` when no further
+    /// useful step exists.
+    fn marginal_gain(job: &JobRuntime, cur: u32) -> Option<(u32, f64)> {
+        let next = if cur == 0 { 1 } else { cur * 2 };
+        if next > job.knee() {
+            return None;
+        }
+        let t_cur = job.iters_per_sec(cur);
+        let t_next = job.curve.iters_per_sec(next)?;
+        let base = job.curve.iters_per_sec(1)?;
+        let extra = (next - cur) as f64;
+        let gain = (t_next - t_cur) / base / extra;
+        if gain <= 0.0 {
+            None
+        } else {
+            Some((next, gain))
+        }
+    }
+}
+
+impl Scheduler for PolluxScheduler {
+    fn name(&self) -> &str {
+        "pollux"
+    }
+
+    fn on_job_arrival(
+        &mut self,
+        _job: &JobRuntime,
+        _now: f64,
+        _view: &ClusterView,
+        _jobs: &JobTable,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+
+    fn plan(&mut self, _now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let mut alloc: BTreeMap<JobId, u32> = jobs.active().map(|j| (j.id(), 0)).collect();
+        let mut free = view.total_gpus;
+        loop {
+            // Highest marginal normalized gain first; id breaks ties.
+            let mut best: Option<(f64, JobId, u32, u32)> = None;
+            for (&id, &cur) in &alloc {
+                let job = jobs.get(id).expect("id from the same table");
+                if let Some((next, gain)) = Self::marginal_gain(job, cur) {
+                    let extra = next - cur;
+                    if extra <= free {
+                        let better = match best {
+                            None => true,
+                            Some((g, bid, ..)) => {
+                                gain > g + 1e-15 || (gain > g - 1e-15 && id < bid)
+                            }
+                        };
+                        if better {
+                            best = Some((gain, id, next, extra));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((_, id, next, extra)) => {
+                    alloc.insert(id, next);
+                    free -= extra;
+                }
+                None => break,
+            }
+        }
+        alloc
+            .into_iter()
+            .filter(|&(_, g)| g > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+
+    #[test]
+    fn lone_job_scales_to_knee() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, None, 2));
+        let plan = PolluxScheduler::new().plan(0.0, &ClusterView::new(64), &table);
+        let knee = table.get(JobId::new(1)).unwrap().knee();
+        assert_eq!(plan.gpus(JobId::new(1)), knee);
+    }
+
+    #[test]
+    fn contended_cluster_is_shared() {
+        let mut table = JobTable::new();
+        for i in 0..4 {
+            table.insert(job(i, 0.0, None, 8));
+        }
+        let plan = PolluxScheduler::new().plan(0.0, &ClusterView::new(8), &table);
+        // Diminishing returns: four identical jobs end up with equal shares
+        // rather than one job hogging all 8 GPUs.
+        for i in 0..4 {
+            assert_eq!(plan.gpus(JobId::new(i)), 2, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn never_allocates_past_the_knee() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, None, 8));
+        let plan = PolluxScheduler::new().plan(0.0, &ClusterView::new(128), &table);
+        let job = table.get(JobId::new(1)).unwrap();
+        assert!(plan.gpus(JobId::new(1)) <= job.knee());
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let mut table = JobTable::new();
+        for i in 0..20 {
+            table.insert(job(i, 0.0, None, 8));
+        }
+        let plan = PolluxScheduler::new().plan(0.0, &ClusterView::new(32), &table);
+        assert!(plan.total_gpus() <= 32);
+        assert!(plan.total_gpus() >= 31); // water-filling fills the cluster
+    }
+
+    #[test]
+    fn ignores_deadlines_entirely() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, Some(10.0 + 1.0), 8)); // hopeless deadline
+        table.insert(job(2, 0.0, None, 8));
+        let plan = PolluxScheduler::new().plan(0.0, &ClusterView::new(8), &table);
+        // Pollux still gives the hopeless job resources — it does not know
+        // about deadlines.
+        assert!(plan.gpus(JobId::new(1)) > 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Themis finish-time fairness (Mahajan et al., NSDI'20; §6.1 baseline).
+//!
+//! Themis allocates GPUs to equalize *finish-time fairness*
+//! `rho = T_shared / T_ideal`: the job's projected finish time in the
+//! shared cluster divided by its finish time had it run alone from
+//! submission. Each round, the jobs with the worst (largest) `rho` receive
+//! their requested workers first — the essence of Themis's partial-
+//! allocation auction, following the simplified open-source formulation the
+//! paper also uses (it cites the Gavel reimplementation). Not deadline-
+//! aware; fixed trace sizes.
+
+use crate::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+};
+
+/// The Themis baseline scheduler.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_sched::{Scheduler, ThemisScheduler};
+///
+/// assert_eq!(ThemisScheduler::new().name(), "themis");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThemisScheduler {
+    _private: (),
+}
+
+impl ThemisScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        ThemisScheduler::default()
+    }
+
+    /// Finish-time fairness of a job at time `now`: projected shared finish
+    /// time over ideal exclusive finish time. Larger = more unfairly
+    /// treated = scheduled sooner.
+    pub fn rho(job: &JobRuntime, now: f64) -> f64 {
+        let gpus = job.requested_gpus();
+        let ideal = job.spec.iterations / job.iters_per_sec(gpus).max(f64::MIN_POSITIVE);
+        // Projected shared finish: time elapsed so far plus remaining work
+        // at the requested size.
+        let shared = (now - job.spec.submit_time) + job.time_to_finish(gpus);
+        shared / ideal.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl Scheduler for ThemisScheduler {
+    fn name(&self) -> &str {
+        "themis"
+    }
+
+    fn on_job_arrival(
+        &mut self,
+        _job: &JobRuntime,
+        _now: f64,
+        _view: &ClusterView,
+        _jobs: &JobTable,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+
+    fn plan(&mut self, now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let mut order: Vec<(f64, &JobRuntime)> =
+            jobs.active().map(|j| (Self::rho(j, now), j)).collect();
+        // Worst-off (largest rho) first; id as tiebreak for determinism.
+        order.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite fairness values")
+                .then(a.1.id().cmp(&b.1.id()))
+        });
+        let mut plan = SchedulePlan::new();
+        let mut free = view.total_gpus;
+        for (_, job) in order {
+            let want = job.requested_gpus();
+            if want <= free {
+                plan.assign(job.id(), want);
+                free -= want;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+    use elasticflow_trace::JobId;
+
+    #[test]
+    fn starved_jobs_have_higher_rho() {
+        let now = 10_000.0;
+        let waiting = job(1, 0.0, None, 4); // submitted long ago, no progress
+        let fresh = job(2, 9_900.0, None, 4);
+        assert!(ThemisScheduler::rho(&waiting, now) > ThemisScheduler::rho(&fresh, now));
+    }
+
+    #[test]
+    fn worst_off_job_scheduled_first() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, None, 8)); // waited 5000 s
+        table.insert(job(2, 4_900.0, None, 8)); // just arrived
+        let plan = ThemisScheduler::new().plan(5_000.0, &ClusterView::new(8), &table);
+        assert_eq!(plan.gpus(JobId::new(1)), 8);
+        assert_eq!(plan.gpus(JobId::new(2)), 0);
+    }
+
+    #[test]
+    fn rho_is_one_for_unobstructed_job() {
+        // A job scheduled immediately at its requested size has rho == 1.
+        let j = job(1, 0.0, None, 4);
+        let rho = ThemisScheduler::rho(&j, 0.0);
+        assert!((rho - 1.0).abs() < 1e-9, "rho {rho}");
+    }
+
+    #[test]
+    fn progress_lowers_rho() {
+        let mut done_half = job(1, 0.0, None, 4);
+        done_half.remaining_iterations /= 2.0;
+        let untouched = job(2, 0.0, None, 4);
+        let now = 1_000.0;
+        assert!(
+            ThemisScheduler::rho(&done_half, now) < ThemisScheduler::rho(&untouched, now)
+        );
+    }
+
+    #[test]
+    fn packs_leftover_capacity() {
+        let mut table = JobTable::new();
+        table.insert(job(1, 0.0, None, 8));
+        table.insert(job(2, 100.0, None, 4));
+        let plan = ThemisScheduler::new().plan(5_000.0, &ClusterView::new(16), &table);
+        assert_eq!(plan.total_gpus(), 12);
+    }
+}

@@ -1,0 +1,677 @@
+//! The event-driven simulation engine.
+
+use std::collections::{BTreeMap, HashMap};
+
+use elasticflow_cluster::{ClusterSpec, ClusterState};
+use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve, ScalingEvent};
+use elasticflow_sched::{AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler};
+use elasticflow_trace::{JobId, Trace};
+
+use crate::{JobOutcome, SimConfig, SimReport, TimelinePoint};
+
+/// Owner-tag base for pinned blocks standing in for failed servers.
+const PHANTOM_BASE: u64 = u64::MAX / 2;
+
+/// Iteration-count tolerance below which a job counts as finished.
+const EPS_ITERS: f64 = 1e-6;
+/// Time tolerance for batching simultaneous events.
+const EPS_TIME: f64 = 1e-9;
+
+/// A configured simulation, ready to replay traces against schedulers.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    spec: ClusterSpec,
+    config: SimConfig,
+}
+
+/// Per-job bookkeeping the [`JobRuntime`] does not carry.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobStats {
+    paused_seconds: f64,
+    scale_events: u32,
+}
+
+impl Simulation {
+    /// Creates a simulation over the given cluster.
+    pub fn new(spec: ClusterSpec, config: SimConfig) -> Self {
+        Simulation { spec, config }
+    }
+
+    /// The cluster specification.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Replays `trace` against `scheduler` and returns the full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler emits an invalid plan (non-power-of-two
+    /// counts are rejected by [`elasticflow_sched::SchedulePlan`]; a plan
+    /// exceeding the cluster size is rejected here).
+    pub fn run(&self, trace: &Trace, scheduler: &mut dyn Scheduler) -> SimReport {
+        let mut cluster = ClusterState::new(self.spec.build_topology());
+        let net = Interconnect::from_spec(&self.spec);
+        let total_gpus = cluster.capacity();
+        let slot = self.config.slot_seconds;
+
+        let mut jobs = JobTable::new();
+        let mut stats: BTreeMap<JobId, JobStats> = BTreeMap::new();
+        let mut curves: HashMap<(DnnModel, u32), ScalingCurve> = HashMap::new();
+        let mut timeline: Vec<TimelinePoint> = Vec::new();
+        let mut migrations_total: u32 = 0;
+        let mut total_pause = 0.0f64;
+        let mut submitted = 0usize;
+        let mut admitted_count = 0usize;
+
+        let arrivals = trace.jobs();
+        let last_arrival = arrivals.last().map(|j| j.submit_time).unwrap_or(0.0);
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+
+        // Failure/repair timeline (paper §4.4): (time, server, is_repair).
+        let gpus_per_server = cluster.topology().gpus_per_server();
+        let num_servers = cluster.topology().num_servers();
+        let mut transitions: Vec<(f64, u32, bool)> = Vec::new();
+        for f in self.config.failures.events() {
+            if f.server < num_servers {
+                transitions.push((f.at, f.server, false));
+                transitions.push((f.at + f.repair_seconds, f.server, true));
+            }
+        }
+        transitions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut next_transition = 0usize;
+        let mut down_servers: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+
+        loop {
+            // ---- pick the next event time ----
+            let t_arrival = arrivals.get(next_arrival).map(|j| j.submit_time);
+            let t_completion = jobs
+                .iter()
+                .filter(|j| j.is_active() && j.current_gpus > 0)
+                .map(|j| {
+                    let tput = j.iters_per_sec(j.current_gpus);
+                    debug_assert!(tput > 0.0, "running job with zero throughput");
+                    j.paused_until.max(now) + j.remaining_iterations / tput
+                })
+                .fold(f64::INFINITY, f64::min);
+            let any_running = jobs.iter().any(|j| j.is_active() && j.current_gpus > 0);
+            let t_slot = if any_running || t_arrival.is_some() {
+                Some(((now / slot).floor() + 1.0) * slot)
+            } else {
+                None
+            };
+
+            let t_transition = transitions.get(next_transition).map(|&(t, ..)| t);
+
+            let mut t_next = f64::INFINITY;
+            if let Some(t) = t_arrival {
+                t_next = t_next.min(t);
+            }
+            t_next = t_next.min(t_completion);
+            if let Some(t) = t_slot {
+                t_next = t_next.min(t);
+            }
+            if let Some(t) = t_transition {
+                // Failure/repair events only matter while work remains.
+                if jobs.iter().any(|j| j.is_active()) || t_arrival.is_some() {
+                    t_next = t_next.min(t);
+                }
+            }
+            if !t_next.is_finite() {
+                break; // no arrivals, nothing running: simulation drained
+            }
+            if t_next > last_arrival + self.config.horizon_after_last_arrival {
+                break; // starvation horizon
+            }
+            let t = t_next.max(now);
+
+            // ---- advance running jobs from `now` to `t` ----
+            for job in jobs.iter_mut() {
+                if job.is_active() && job.current_gpus > 0 {
+                    let run_from = job.paused_until.max(now);
+                    let dt = (t - run_from).max(0.0);
+                    let tput = job.curve.iters_per_sec(job.current_gpus).unwrap_or(0.0);
+                    job.remaining_iterations =
+                        (job.remaining_iterations - dt * tput).max(0.0);
+                    job.gpu_seconds += job.current_gpus as f64 * (t - now);
+                }
+            }
+            now = t;
+
+            // ---- completions ----
+            let finished: Vec<JobId> = jobs
+                .iter()
+                .filter(|j| {
+                    j.is_active() && j.current_gpus > 0 && j.remaining_iterations <= EPS_ITERS
+                })
+                .map(|j| j.id())
+                .collect();
+            for id in finished {
+                let job = jobs.get_mut(id).expect("completing job exists");
+                job.finish_time = Some(now);
+                job.current_gpus = 0;
+                cluster.release(id.raw()).expect("completing job held GPUs");
+                scheduler.on_job_finish(id, now);
+            }
+
+            // ---- server failures and repairs at t ----
+            while let Some(&(tt, server, is_repair)) = transitions.get(next_transition) {
+                if tt > now + EPS_TIME {
+                    break;
+                }
+                next_transition += 1;
+                let phantom = PHANTOM_BASE + server as u64;
+                if is_repair {
+                    if down_servers.remove(&server) {
+                        cluster.release(phantom).expect("phantom was pinned");
+                    }
+                    continue;
+                }
+                if !down_servers.insert(server) {
+                    continue; // already down
+                }
+                // Evict every job overlapping the failed server: checkpoint
+                // recovery pause, then back to the queue for the replan.
+                let victims: Vec<u64> = cluster
+                    .iter()
+                    .filter(|(owner, p)| {
+                        *owner < PHANTOM_BASE
+                            && p.servers()
+                                .iter()
+                                .any(|srv| srv.index() == server)
+                    })
+                    .map(|(owner, _)| owner)
+                    .collect();
+                for owner in victims {
+                    cluster.release(owner).expect("victim held GPUs");
+                    let id = JobId::new(owner);
+                    if let Some(job) = jobs.get_mut(id) {
+                        let pause = self.config.overheads.pause_seconds(
+                            &job.spec.model.profile(),
+                            ScalingEvent::migrate(job.current_gpus),
+                        );
+                        job.current_gpus = 0;
+                        job.paused_until = job.paused_until.max(now) + pause;
+                        total_pause += pause;
+                        let st = stats.entry(id).or_default();
+                        st.paused_seconds += pause;
+                        st.scale_events += 1;
+                    }
+                }
+                // Fence the dead server off with a pinned phantom block.
+                let order = gpus_per_server.trailing_zeros();
+                let block =
+                    elasticflow_cluster::Block::new(order, server * gpus_per_server);
+                cluster
+                    .allocate_pinned(phantom, block)
+                    .expect("victims were evicted, server block is free");
+            }
+            let up_gpus = total_gpus - down_servers.len() as u32 * gpus_per_server;
+            let view = ClusterView::new(up_gpus);
+
+            // ---- arrivals at t ----
+            while let Some(spec) = arrivals.get(next_arrival) {
+                if spec.submit_time > now + EPS_TIME {
+                    break;
+                }
+                next_arrival += 1;
+                submitted += 1;
+                let curve = curves
+                    .entry((spec.model, spec.global_batch))
+                    .or_insert_with(|| {
+                        ScalingCurve::build_with_max(
+                            spec.model,
+                            spec.global_batch,
+                            &net,
+                            total_gpus,
+                        )
+                    })
+                    .clone();
+                let runtime = JobRuntime::new(spec.clone(), curve);
+                let id = runtime.id();
+                jobs.insert(runtime);
+                stats.insert(id, JobStats::default());
+                let decision = {
+                    let job_ref = jobs.get(id).expect("just inserted");
+                    scheduler.on_job_arrival(job_ref, now, &view, &jobs)
+                };
+                let job = jobs.get_mut(id).expect("just inserted");
+                match decision {
+                    AdmissionDecision::Admit => {
+                        job.admitted = true;
+                        admitted_count += 1;
+                    }
+                    AdmissionDecision::Drop => job.dropped = true,
+                }
+            }
+
+            // ---- replan & apply ----
+            let plan = scheduler.plan(now, &view, &jobs);
+            assert!(
+                plan.total_gpus() <= view.total_gpus,
+                "{} planned {} GPUs on a {}-GPU (remaining) cluster",
+                scheduler.name(),
+                plan.total_gpus(),
+                view.total_gpus
+            );
+            let overheads = &self.config.overheads;
+            // Pass 1: shrink and suspend.
+            let mut changes: Vec<(JobId, u32, u32)> = Vec::new(); // (id, from, to)
+            for job in jobs.iter() {
+                if !job.is_active() {
+                    continue;
+                }
+                let desired = plan.gpus(job.id()).min(job.curve.max_gpus());
+                if desired != job.current_gpus {
+                    changes.push((job.id(), job.current_gpus, desired));
+                }
+            }
+            // Shrinks first (free capacity), then grows largest-first (less
+            // defragmentation churn).
+            changes.sort_by(|a, b| (a.2 > a.1).cmp(&(b.2 > b.1)).then(b.2.cmp(&a.2)));
+            for (id, from, to) in changes {
+                let mut migrated: Vec<u64> = Vec::new();
+                if to == 0 {
+                    cluster.release(id.raw()).expect("shrinking job held GPUs");
+                } else if from == 0 {
+                    let (_, migs) = cluster
+                        .allocate_with_defrag(id.raw(), to)
+                        .expect("plan fits the cluster");
+                    migrated = migs.iter().map(|m| m.owner).collect();
+                } else {
+                    let (_, migs) = cluster.resize(id.raw(), to).expect("plan fits");
+                    migrated = migs.iter().map(|m| m.owner).collect();
+                }
+                // Charge the scaling pause to the job itself.
+                {
+                    let job = jobs.get_mut(id).expect("planned job exists");
+                    let pause = overheads
+                        .pause_seconds(&job.spec.model.profile(), ScalingEvent::scale(from, to));
+                    if job.first_start.is_none() && to > 0 {
+                        job.first_start = Some(now);
+                    }
+                    job.current_gpus = to;
+                    job.paused_until = job.paused_until.max(now) + pause;
+                    total_pause += pause;
+                    let st = stats.entry(id).or_default();
+                    st.paused_seconds += pause;
+                    st.scale_events += 1;
+                }
+                // Charge migration pauses to relocated bystanders.
+                migrations_total += migrated.len() as u32;
+                for owner in migrated {
+                    let mid = JobId::new(owner);
+                    if mid == id {
+                        continue;
+                    }
+                    if let Some(job) = jobs.get_mut(mid) {
+                        let pause = overheads.pause_seconds(
+                            &job.spec.model.profile(),
+                            ScalingEvent::migrate(job.current_gpus),
+                        );
+                        job.paused_until = job.paused_until.max(now) + pause;
+                        total_pause += pause;
+                        let st = stats.entry(mid).or_default();
+                        st.paused_seconds += pause;
+                    }
+                }
+            }
+            debug_assert_eq!(
+                cluster.used_gpus(),
+                plan.total_gpus() + down_servers.len() as u32 * gpus_per_server
+            );
+
+            // ---- record timeline ----
+            let ce = jobs
+                .iter()
+                .filter(|j| j.is_active() && j.current_gpus > 0)
+                .map(|j| j.curve.speedup(j.current_gpus).unwrap_or(0.0))
+                .sum::<f64>()
+                / total_gpus as f64;
+            timeline.push(TimelinePoint {
+                time: now,
+                used_gpus: cluster.used_gpus()
+                    - down_servers.len() as u32 * gpus_per_server,
+                cluster_efficiency: ce,
+                submitted,
+                admitted: admitted_count,
+            });
+
+            // ---- stall detection ----
+            let none_running = !jobs.iter().any(|j| j.is_active() && j.current_gpus > 0);
+            if none_running
+                && next_arrival >= arrivals.len()
+                && next_transition >= transitions.len()
+            {
+                break; // active-but-unschedulable jobs would never progress
+            }
+        }
+
+        // ---- assemble outcomes ----
+        let outcomes: Vec<JobOutcome> = jobs
+            .iter()
+            .map(|j| {
+                let st = stats.get(&j.id()).copied().unwrap_or_default();
+                JobOutcome {
+                    id: j.id(),
+                    kind: j.spec.kind,
+                    submit_time: j.spec.submit_time,
+                    deadline: j.spec.deadline,
+                    dropped: j.dropped,
+                    finish_time: j.finish_time,
+                    gpu_seconds: j.gpu_seconds,
+                    paused_seconds: st.paused_seconds,
+                    scale_events: st.scale_events,
+                }
+            })
+            .collect();
+        SimReport::new(
+            scheduler.name().to_owned(),
+            trace.name().to_owned(),
+            total_gpus,
+            outcomes,
+            timeline,
+            migrations_total,
+            total_pause,
+            now,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_sched::{
+        EdfScheduler, GandivaScheduler, PolluxScheduler, SchedulePlan, TiresiasScheduler,
+    };
+    use elasticflow_trace::{JobKind, JobSpec, TraceConfig};
+
+    fn small_spec() -> ClusterSpec {
+        ClusterSpec::with_servers(2, 8)
+    }
+
+    fn one_job_trace(deadline_window: f64) -> Trace {
+        let net = Interconnect::from_spec(&small_spec());
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &net);
+        let tput = curve.iters_per_sec(4).unwrap();
+        let job = JobSpec::builder(JobId::new(0), DnnModel::ResNet50, 128)
+            .iterations(3_600.0 * tput)
+            .submit_time(0.0)
+            .deadline(deadline_window)
+            .trace_shape(4, 3_600.0)
+            .build();
+        Trace::new("one-job", vec![job])
+    }
+
+    #[test]
+    fn single_job_finishes_under_edf() {
+        let report = Simulation::new(small_spec(), SimConfig::default())
+            .run(&one_job_trace(3.0 * 3_600.0), &mut EdfScheduler::new());
+        assert_eq!(report.outcomes().len(), 1);
+        let o = &report.outcomes()[0];
+        assert!(o.finish_time.is_some());
+        assert!(o.met_deadline());
+        // EDF scales the job to its knee, so it beats the 1x duration.
+        assert!(o.finish_time.unwrap() < 3_600.0);
+    }
+
+    #[test]
+    fn zero_overheads_match_analytic_finish_time() {
+        let cfg = SimConfig::default()
+            .with_overheads(elasticflow_perfmodel::OverheadModel::free());
+        let trace = one_job_trace(10.0 * 3_600.0);
+        let report =
+            Simulation::new(small_spec(), cfg).run(&trace, &mut GandivaScheduler::new());
+        let o = &report.outcomes()[0];
+        // Gandiva runs the job at its fixed 4-GPU request; with free
+        // overheads it should finish in exactly the trace duration.
+        let finish = o.finish_time.unwrap();
+        assert!(
+            (finish - 3_600.0).abs() < 1.0,
+            "finish {finish} (expected 3600)"
+        );
+    }
+
+    #[test]
+    fn simulator_is_deterministic() {
+        let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&small_spec()));
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let a = sim.run(&trace, &mut TiresiasScheduler::new());
+        let b = sim.run(&trace, &mut TiresiasScheduler::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_request_is_clamped_to_cluster() {
+        // A trace entry requesting more GPUs than the cluster has is
+        // clamped into the cluster-sized scaling curve, like the paper's
+        // profiler recording the feasible GPU range per job.
+        let job = JobSpec::builder(JobId::new(0), DnnModel::Bert, 128)
+            .iterations(1_000.0)
+            .submit_time(0.0)
+            .deadline(86_400.0)
+            .trace_shape(64, 3_600.0)
+            .build();
+        let trace = Trace::new("oversized", vec![job]);
+        let report = Simulation::new(small_spec(), SimConfig::default())
+            .run(&trace, &mut GandivaScheduler::new());
+        let o = &report.outcomes()[0];
+        assert!(o.finish_time.is_some());
+    }
+
+    #[test]
+    fn starved_jobs_terminate_the_simulation() {
+        // A scheduler that never allocates anything must not hang the
+        // engine; the job ends unfinished.
+        struct Idle;
+        impl Scheduler for Idle {
+            fn name(&self) -> &str {
+                "idle"
+            }
+            fn on_job_arrival(
+                &mut self,
+                _job: &JobRuntime,
+                _now: f64,
+                _view: &ClusterView,
+                _jobs: &JobTable,
+            ) -> AdmissionDecision {
+                AdmissionDecision::Admit
+            }
+            fn plan(&mut self, _now: f64, _view: &ClusterView, _jobs: &JobTable) -> SchedulePlan {
+                SchedulePlan::new()
+            }
+        }
+        let trace = one_job_trace(3_600.0);
+        let report = Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut Idle);
+        let o = &report.outcomes()[0];
+        assert!(o.finish_time.is_none());
+        assert!(!o.met_deadline());
+    }
+
+    #[test]
+    fn gpu_seconds_are_accounted() {
+        let report = Simulation::new(small_spec(), SimConfig::default())
+            .run(&one_job_trace(8.0 * 3_600.0), &mut EdfScheduler::new());
+        let o = &report.outcomes()[0];
+        assert!(o.gpu_seconds > 0.0);
+        // GPU-seconds is at least workers x active time for the final size.
+        assert!(o.gpu_seconds >= o.finish_time.unwrap() - o.paused_seconds);
+    }
+
+    #[test]
+    fn timelines_are_monotone_and_bounded() {
+        let trace = TraceConfig::testbed_small(5).generate(&Interconnect::from_spec(&small_spec()));
+        let report =
+            Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut PolluxScheduler::new());
+        let mut last_t = f64::NEG_INFINITY;
+        for p in report.timeline() {
+            assert!(p.time >= last_t);
+            assert!(p.used_gpus <= 16);
+            assert!(p.cluster_efficiency >= 0.0 && p.cluster_efficiency <= 1.0 + 1e-9);
+            assert!(p.admitted <= p.submitted);
+            last_t = p.time;
+        }
+    }
+
+    #[test]
+    fn elastic_scheduler_beats_non_elastic_on_lone_job() {
+        let trace = one_job_trace(8.0 * 3_600.0);
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let elastic = sim.run(&trace, &mut PolluxScheduler::new());
+        let fixed = sim.run(&trace, &mut GandivaScheduler::new());
+        let e = elastic.outcomes()[0].finish_time.unwrap();
+        let f = fixed.outcomes()[0].finish_time.unwrap();
+        assert!(e < f, "elastic {e} vs fixed {f}");
+    }
+
+    #[test]
+    fn best_effort_jobs_have_jct() {
+        let trace = TraceConfig::testbed_small(6)
+            .with_best_effort_fraction(1.0)
+            .generate(&Interconnect::from_spec(&small_spec()));
+        let report =
+            Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut TiresiasScheduler::new());
+        assert_eq!(report.deadline_satisfactory_ratio(), 1.0);
+        assert!(report.avg_best_effort_jct().is_some());
+        assert!(report
+            .outcomes()
+            .iter()
+            .all(|o| o.kind == JobKind::BestEffort));
+    }
+
+    #[test]
+    #[should_panic(expected = "planned")]
+    fn over_allocation_is_rejected() {
+        struct Greedy;
+        impl Scheduler for Greedy {
+            fn name(&self) -> &str {
+                "greedy"
+            }
+            fn on_job_arrival(
+                &mut self,
+                _job: &JobRuntime,
+                _now: f64,
+                _view: &ClusterView,
+                _jobs: &JobTable,
+            ) -> AdmissionDecision {
+                AdmissionDecision::Admit
+            }
+            fn plan(&mut self, _now: f64, _view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+                jobs.active().map(|j| (j.id(), 32u32)).collect()
+            }
+        }
+        let trace = one_job_trace(3_600.0);
+        let _ = Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut Greedy);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::{FailureSchedule, NodeFailure};
+    use elasticflow_sched::EdfScheduler;
+    use elasticflow_trace::JobSpec;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::with_servers(2, 8)
+    }
+
+    fn long_job(id: u64, gpus: u32) -> JobSpec {
+        let net = Interconnect::from_spec(&spec());
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &net);
+        let tput = curve.iters_per_sec(gpus).unwrap();
+        JobSpec::builder(JobId::new(id), DnnModel::ResNet50, 128)
+            .iterations(4.0 * 3_600.0 * tput)
+            .submit_time(0.0)
+            .deadline(86_400.0)
+            .trace_shape(gpus, 4.0 * 3_600.0)
+            .build()
+    }
+
+    #[test]
+    fn failed_server_capacity_is_fenced_off() {
+        // Two 8-GPU jobs on a 16-GPU cluster; server 1 fails for an hour.
+        let trace = Trace::new("pair", vec![long_job(0, 8), long_job(1, 8)]);
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(vec![
+            NodeFailure {
+                server: 1,
+                at: 1_800.0,
+                repair_seconds: 3_600.0,
+            },
+        ]));
+        let report = Simulation::new(spec(), cfg).run(&trace, &mut EdfScheduler::new());
+        // During the outage at most 8 GPUs are in use.
+        for p in report.timeline() {
+            if p.time > 1_800.0 + 1.0 && p.time < 1_800.0 + 3_600.0 - 1.0 {
+                assert!(p.used_gpus <= 8, "outage window used {}", p.used_gpus);
+            }
+        }
+        // Both jobs still finish (the deadline is a day away).
+        assert!(report.outcomes().iter().all(|o| o.finish_time.is_some()));
+    }
+
+    #[test]
+    fn victims_are_requeued_and_finish_after_repair() {
+        let trace = Trace::new("solo", vec![long_job(0, 8)]);
+        let no_fail =
+            Simulation::new(spec(), SimConfig::default()).run(&trace, &mut EdfScheduler::new());
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(vec![
+            NodeFailure {
+                server: 0,
+                at: 600.0,
+                repair_seconds: 1_200.0,
+            },
+            NodeFailure {
+                server: 1,
+                at: 600.0,
+                repair_seconds: 1_200.0,
+            },
+        ]));
+        let with_fail = Simulation::new(spec(), cfg).run(&trace, &mut EdfScheduler::new());
+        let a = no_fail.outcomes()[0].finish_time.unwrap();
+        let b = with_fail.outcomes()[0].finish_time.unwrap();
+        // A whole-cluster outage must delay completion by roughly the
+        // outage length (plus recovery pauses).
+        assert!(b > a + 1_000.0, "failure did not delay the job: {a} vs {b}");
+    }
+
+    #[test]
+    fn whole_cluster_outage_does_not_hang() {
+        let trace = Trace::new("solo", vec![long_job(0, 4)]);
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(vec![
+            NodeFailure {
+                server: 0,
+                at: 60.0,
+                repair_seconds: 600.0,
+            },
+            NodeFailure {
+                server: 1,
+                at: 60.0,
+                repair_seconds: 600.0,
+            },
+        ]));
+        let report = Simulation::new(spec(), cfg).run(&trace, &mut EdfScheduler::new());
+        assert!(report.outcomes()[0].finish_time.is_some());
+    }
+
+    #[test]
+    fn repeated_failures_of_same_server() {
+        let trace = Trace::new("solo", vec![long_job(0, 8)]);
+        let events = (0..4u32)
+            .map(|i| NodeFailure {
+                // Alternate servers so the job is hit wherever it lands.
+                server: i % 2,
+                at: 900.0 * (i as f64 + 1.0) + 1_000.0 * i as f64,
+                repair_seconds: 600.0,
+            })
+            .collect();
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(events));
+        let report = Simulation::new(spec(), cfg).run(&trace, &mut EdfScheduler::new());
+        let o = &report.outcomes()[0];
+        assert!(o.finish_time.is_some());
+        assert!(o.scale_events >= 3, "expected repeated evictions");
+    }
+}

@@ -1,0 +1,161 @@
+//! Node-failure injection (paper §4.4, "Node failures").
+//!
+//! The paper notes ElasticFlow "can be extended to taking node failures
+//! into consideration". This module injects server failures into the
+//! simulation: at a failure, the server's GPUs are fenced off, jobs
+//! running on it are checkpointed and re-queued, and the scheduler sees a
+//! smaller cluster until the repair completes. A failure-aware operator
+//! can additionally run the scheduler with a capacity head-room (see the
+//! `failures` experiment).
+
+use elasticflow_trace::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One injected server failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeFailure {
+    /// Index of the failing server.
+    pub server: u32,
+    /// Failure time, seconds.
+    pub at: f64,
+    /// Seconds until the server returns to service.
+    pub repair_seconds: f64,
+}
+
+/// A deterministic schedule of server failures.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_sim::{FailureSchedule, NodeFailure};
+///
+/// let schedule = FailureSchedule::fixed(vec![NodeFailure {
+///     server: 3,
+///     at: 7_200.0,
+///     repair_seconds: 3_600.0,
+/// }]);
+/// assert_eq!(schedule.events().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    events: Vec<NodeFailure>,
+}
+
+impl FailureSchedule {
+    /// No failures (the default).
+    pub fn none() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// A fixed schedule; events are sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has a non-finite time or non-positive repair.
+    pub fn fixed(mut events: Vec<NodeFailure>) -> Self {
+        for e in &events {
+            assert!(e.at.is_finite() && e.at >= 0.0, "failure time invalid");
+            assert!(
+                e.repair_seconds.is_finite() && e.repair_seconds > 0.0,
+                "repair duration invalid"
+            );
+        }
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        FailureSchedule { events }
+    }
+
+    /// Draws a random schedule: every server fails independently as a
+    /// Poisson process with the given mean time between failures, over
+    /// `[0, horizon]`, each repair taking `repair_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbf_seconds` or `repair_seconds` is not positive.
+    pub fn poisson(
+        num_servers: u32,
+        mtbf_seconds: f64,
+        repair_seconds: f64,
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(mtbf_seconds > 0.0, "MTBF must be positive");
+        assert!(repair_seconds > 0.0, "repair must be positive");
+        let mut rng = Rng::new(seed);
+        let mut events = Vec::new();
+        for server in 0..num_servers {
+            let mut t = rng.exponential(mtbf_seconds);
+            while t < horizon {
+                events.push(NodeFailure {
+                    server,
+                    at: t,
+                    repair_seconds,
+                });
+                // Next failure can only happen after the repair.
+                t += repair_seconds + rng.exponential(mtbf_seconds);
+            }
+        }
+        FailureSchedule::fixed(events)
+    }
+
+    /// The failure events, ascending by time.
+    pub fn events(&self) -> &[NodeFailure] {
+        &self.events
+    }
+
+    /// `true` when no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_sorts_by_time() {
+        let s = FailureSchedule::fixed(vec![
+            NodeFailure {
+                server: 1,
+                at: 50.0,
+                repair_seconds: 10.0,
+            },
+            NodeFailure {
+                server: 0,
+                at: 20.0,
+                repair_seconds: 10.0,
+            },
+        ]);
+        assert_eq!(s.events()[0].server, 0);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_non_overlapping_per_server() {
+        let a = FailureSchedule::poisson(8, 100_000.0, 3_600.0, 7.0 * 86_400.0, 9);
+        let b = FailureSchedule::poisson(8, 100_000.0, 3_600.0, 7.0 * 86_400.0, 9);
+        assert_eq!(a, b);
+        // Per server, consecutive failures never overlap a repair window.
+        for server in 0..8 {
+            let times: Vec<&NodeFailure> =
+                a.events().iter().filter(|e| e.server == server).collect();
+            for pair in times.windows(2) {
+                assert!(pair[1].at >= pair[0].at + pair[0].repair_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FailureSchedule::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "repair duration invalid")]
+    fn zero_repair_rejected() {
+        let _ = FailureSchedule::fixed(vec![NodeFailure {
+            server: 0,
+            at: 1.0,
+            repair_seconds: 0.0,
+        }]);
+    }
+}

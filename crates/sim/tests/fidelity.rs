@@ -1,0 +1,149 @@
+//! Simulator fidelity tests: with overheads disabled, simulated finish
+//! times must match the analytic model exactly (the paper validates its
+//! simulator at <= 3 % against the testbed; ours must be exact against its
+//! own ground truth).
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::{DnnModel, Interconnect, OverheadModel, ScalingCurve};
+use elasticflow_sched::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,
+};
+use elasticflow_sim::{SimConfig, Simulation};
+use elasticflow_trace::{JobId, JobSpec, Trace};
+
+/// A scheduler that pins every job at a fixed worker count.
+struct Fixed(u32);
+
+impl Scheduler for Fixed {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+    fn on_job_arrival(
+        &mut self,
+        _job: &JobRuntime,
+        _now: f64,
+        _view: &ClusterView,
+        _jobs: &JobTable,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+    fn plan(&mut self, _now: f64, _view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        jobs.active().map(|j| (j.id(), self.0)).collect()
+    }
+}
+
+fn spec() -> ClusterSpec {
+    ClusterSpec::with_servers(2, 8)
+}
+
+#[test]
+fn finish_times_match_the_analytic_model_exactly() {
+    let net = Interconnect::from_spec(&spec());
+    for model in DnnModel::ALL {
+        for gpus in [1u32, 2, 4, 8] {
+            let gbs = 64;
+            let curve = ScalingCurve::build_with_max(model, gbs, &net, 16);
+            let iterations = 10_000.0;
+            let expected = iterations / curve.iters_per_sec(gpus).unwrap();
+            let job = JobSpec::builder(JobId::new(0), model, gbs)
+                .iterations(iterations)
+                .submit_time(0.0)
+                .deadline(expected * 10.0)
+                .trace_shape(gpus, expected)
+                .build();
+            let trace = Trace::new("fidelity", vec![job]);
+            let cfg = SimConfig::default().with_overheads(OverheadModel::free());
+            let report = Simulation::new(spec(), cfg).run(&trace, &mut Fixed(gpus));
+            let finish = report.outcomes()[0].finish_time.expect("finishes");
+            let err = (finish - expected).abs() / expected;
+            assert!(
+                err < 1e-9,
+                "{model} @{gpus}: simulated {finish:.3}s vs analytic {expected:.3}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn pause_accounting_is_exact() {
+    // One job scaled 0 -> 4 exactly once: its pause must equal the
+    // overhead model's prediction, and finish = pause + work/tput.
+    let net = Interconnect::from_spec(&spec());
+    let model = DnnModel::Bert;
+    let curve = ScalingCurve::build_with_max(model, 128, &net, 16);
+    let iterations = 5_000.0;
+    let work_seconds = iterations / curve.iters_per_sec(4).unwrap();
+    let job = JobSpec::builder(JobId::new(0), model, 128)
+        .iterations(iterations)
+        .submit_time(0.0)
+        .deadline(10.0 * work_seconds)
+        .trace_shape(4, work_seconds)
+        .build();
+    let trace = Trace::new("pause", vec![job]);
+    let overheads = OverheadModel::paper_calibrated();
+    let expected_pause = overheads.pause_seconds(
+        &model.profile(),
+        elasticflow_perfmodel::ScalingEvent::scale(0, 4),
+    );
+    let cfg = SimConfig::default().with_overheads(overheads);
+    let report = Simulation::new(spec(), cfg).run(&trace, &mut Fixed(4));
+    let o = &report.outcomes()[0];
+    assert!((o.paused_seconds - expected_pause).abs() < 1e-9);
+    let finish = o.finish_time.unwrap();
+    assert!(
+        (finish - (expected_pause + work_seconds)).abs() < 1e-6,
+        "finish {finish} vs {}",
+        expected_pause + work_seconds
+    );
+    assert_eq!(o.scale_events, 1);
+}
+
+#[test]
+fn gpu_seconds_equal_gpus_times_wallclock() {
+    let net = Interconnect::from_spec(&spec());
+    let curve = ScalingCurve::build_with_max(DnnModel::ResNet50, 128, &net, 16);
+    let iterations = 8_000.0;
+    let job = JobSpec::builder(JobId::new(0), DnnModel::ResNet50, 128)
+        .iterations(iterations)
+        .submit_time(0.0)
+        .deadline(1.0e6)
+        .trace_shape(2, 0.0)
+        .build();
+    let trace = Trace::new("acct", vec![job]);
+    let cfg = SimConfig::default().with_overheads(OverheadModel::free());
+    let report = Simulation::new(spec(), cfg).run(&trace, &mut Fixed(2));
+    let o = &report.outcomes()[0];
+    let expected = 2.0 * iterations / curve.iters_per_sec(2).unwrap();
+    assert!(
+        (o.gpu_seconds - expected).abs() < 1e-6,
+        "gpu-seconds {} vs {expected}",
+        o.gpu_seconds
+    );
+}
+
+#[test]
+fn concurrent_jobs_share_without_interference() {
+    // Two 4-GPU jobs on 16 GPUs run truly concurrently: both finish at
+    // their solo analytic times.
+    let net = Interconnect::from_spec(&spec());
+    let curve = ScalingCurve::build_with_max(DnnModel::InceptionV3, 64, &net, 16);
+    let iterations = 6_000.0;
+    let expected = iterations / curve.iters_per_sec(4).unwrap();
+    let jobs = (0..2)
+        .map(|i| {
+            JobSpec::builder(JobId::new(i), DnnModel::InceptionV3, 64)
+                .iterations(iterations)
+                .submit_time(0.0)
+                .deadline(10.0 * expected)
+                .trace_shape(4, expected)
+                .build()
+        })
+        .collect();
+    let trace = Trace::new("pair", jobs);
+    let cfg = SimConfig::default().with_overheads(OverheadModel::free());
+    let report = Simulation::new(spec(), cfg).run(&trace, &mut Fixed(4));
+    for o in report.outcomes() {
+        let finish = o.finish_time.unwrap();
+        assert!((finish - expected).abs() / expected < 1e-9, "{finish} vs {expected}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the discrete-event simulator.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sched::{EdfScheduler, GandivaScheduler, TiresiasScheduler};
+use elasticflow_sim::{FailureSchedule, NodeFailure, SimConfig, Simulation};
+use elasticflow_trace::TraceConfig;
+use proptest::prelude::*;
+
+fn small_trace(seed: u64, jobs: usize) -> elasticflow_trace::Trace {
+    TraceConfig::testbed_small(seed)
+        .with_num_jobs(jobs)
+        .generate(&Interconnect::from_spec(&ClusterSpec::with_servers(2, 8)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation and sanity invariants hold for any seed and any of the
+    /// simple baselines: GPU-seconds are non-negative, finish times are
+    /// causal, and the timeline never exceeds capacity.
+    #[test]
+    fn simulation_invariants(seed in 0u64..5_000, sched_pick in 0u8..3, jobs in 1usize..30) {
+        let spec = ClusterSpec::with_servers(2, 8);
+        let trace = small_trace(seed, jobs);
+        let sim = Simulation::new(spec, SimConfig::default());
+        let report = match sched_pick {
+            0 => sim.run(&trace, &mut EdfScheduler::new()),
+            1 => sim.run(&trace, &mut GandivaScheduler::new()),
+            _ => sim.run(&trace, &mut TiresiasScheduler::new()),
+        };
+        prop_assert_eq!(report.outcomes().len(), trace.jobs().len());
+        for o in report.outcomes() {
+            prop_assert!(o.gpu_seconds >= 0.0);
+            prop_assert!(o.paused_seconds >= 0.0);
+            if let Some(t) = o.finish_time {
+                prop_assert!(t >= o.submit_time, "finished before submission");
+                // A finished job must have consumed GPU time.
+                prop_assert!(o.gpu_seconds > 0.0);
+            }
+        }
+        for p in report.timeline() {
+            prop_assert!(p.used_gpus <= 16);
+            prop_assert!(p.cluster_efficiency <= 1.0 + 1e-9);
+            prop_assert!(p.admitted <= p.submitted);
+        }
+        let dsr = report.deadline_satisfactory_ratio();
+        prop_assert!((0.0..=1.0).contains(&dsr));
+    }
+
+    /// Simulations are bit-deterministic for any seed/scheduler pick.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..5_000) {
+        let spec = ClusterSpec::with_servers(2, 8);
+        let trace = small_trace(seed, 12);
+        let sim = Simulation::new(spec, SimConfig::default());
+        let a = sim.run(&trace, &mut EdfScheduler::new());
+        let b = sim.run(&trace, &mut EdfScheduler::new());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Failure injection never breaks conservation: the simulation always
+    /// terminates and capacity accounting stays within bounds even with
+    /// arbitrary failure schedules.
+    #[test]
+    fn failures_preserve_invariants(
+        seed in 0u64..2_000,
+        fail_times in prop::collection::vec((0.0f64..40_000.0, 0u32..2, 300.0f64..7_200.0), 0..6),
+    ) {
+        let spec = ClusterSpec::with_servers(2, 8);
+        let trace = small_trace(seed, 10);
+        let events = fail_times
+            .into_iter()
+            .map(|(at, server, repair_seconds)| NodeFailure {
+                server,
+                at,
+                repair_seconds,
+            })
+            .collect();
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(events));
+        let report = Simulation::new(spec, cfg).run(&trace, &mut EdfScheduler::new());
+        for p in report.timeline() {
+            prop_assert!(p.used_gpus <= 16);
+        }
+        prop_assert!(report.end_time().is_finite());
+    }
+}

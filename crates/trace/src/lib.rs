@@ -1,0 +1,40 @@
+//! Workload traces for ElasticFlow.
+//!
+//! The paper evaluates on two-month production traces from ten clusters
+//! (164–2 783 GPUs, 260–15 802 jobs each) plus the public Microsoft Philly
+//! trace (§6.1). Those production traces are proprietary, so this crate
+//! provides a *synthetic* trace generator that reproduces their statistical
+//! shape — Poisson/bursty arrivals, heavy-tailed (log-normal) durations,
+//! power-of-two GPU requests — under explicit seeds, plus a Philly-like
+//! preset with a distinct distributional profile.
+//!
+//! Deadlines follow the paper's §6.1 recipe exactly: each job's deadline is
+//! `submission + lambda * duration` with `lambda ~ U[0.5, 1.5]`, and the
+//! number of iterations is derived from the trace duration and the
+//! pre-measured throughput at the trace's GPU count.
+//!
+//! # Example
+//!
+//! ```
+//! use elasticflow_trace::{TraceConfig, JobKind};
+//! use elasticflow_perfmodel::Interconnect;
+//!
+//! let trace = TraceConfig::testbed_small(42).generate(&Interconnect::paper_testbed());
+//! assert_eq!(trace.jobs().len(), 25);
+//! assert!(trace.jobs().iter().all(|j| j.kind == JobKind::Slo));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod job;
+mod philly;
+mod rng;
+mod trace;
+
+pub use generator::{ArrivalPattern, TraceConfig};
+pub use job::{JobId, JobKind, JobSpec};
+pub use philly::philly_like_config;
+pub use rng::Rng;
+pub use trace::Trace;

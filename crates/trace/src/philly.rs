@@ -1,0 +1,84 @@
+//! A Philly-like public-trace preset (paper §6.1, §6.3).
+//!
+//! The paper additionally evaluates on the public Microsoft Philly trace
+//! [Jeon et al., ATC'19]. Offline, we re-synthesize its well-published
+//! distributional profile instead of shipping the CSV: Philly jobs are
+//! dominated by small (1-GPU) requests, have a very heavy duration tail
+//! (minutes to weeks), and arrive with strong diurnal periodicity.
+
+use crate::{ArrivalPattern, TraceConfig};
+
+/// Builds the Philly-like trace configuration.
+///
+/// Distributional shape relative to the production presets:
+/// heavier 1-GPU mass (Philly's median request is a single GPU), heavier
+/// duration tail (`sigma = 1.6`), diurnal arrivals.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_trace::philly_like_config;
+/// use elasticflow_perfmodel::Interconnect;
+///
+/// let trace = philly_like_config(1).generate(&Interconnect::paper_testbed());
+/// assert!(!trace.jobs().is_empty());
+/// ```
+pub fn philly_like_config(seed: u64) -> TraceConfig {
+    TraceConfig {
+        name: "philly-like".to_owned(),
+        seed,
+        num_jobs: 1_200,
+        arrival: ArrivalPattern::Diurnal {
+            mean_interarrival: 25.0,
+            amplitude: 0.7,
+            period: 86_400.0,
+        },
+        duration_median: 1_500.0,
+        duration_sigma: 1.6,
+        // Philly: ~70 % single-GPU, long tail of distributed jobs.
+        gpu_weights: vec![7.0, 1.2, 0.9, 0.6, 0.2, 0.1],
+        lambda_range: (0.5, 1.5),
+        best_effort_fraction: 0.0,
+        soft_deadline_fraction: 0.0,
+        suggested_servers: 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::Interconnect;
+
+    #[test]
+    fn philly_is_single_gpu_dominated() {
+        let trace = philly_like_config(3).generate(&Interconnect::paper_testbed());
+        let singles = trace
+            .jobs()
+            .iter()
+            .filter(|j| j.trace_gpus == 1)
+            .count() as f64;
+        let frac = singles / trace.jobs().len() as f64;
+        assert!(frac > 0.55, "single-GPU fraction {frac}");
+    }
+
+    #[test]
+    fn philly_tail_is_heavier_than_production() {
+        let net = Interconnect::paper_testbed();
+        let philly = philly_like_config(3).generate(&net);
+        let prod = TraceConfig::production(2, 3).generate(&net);
+        let tail = |t: &crate::Trace| {
+            let mut d: Vec<f64> = t.jobs().iter().map(|j| j.trace_duration).collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d[(d.len() as f64 * 0.95) as usize] / d[d.len() / 2]
+        };
+        assert!(tail(&philly) > tail(&prod));
+    }
+
+    #[test]
+    fn philly_name_and_determinism() {
+        let cfg = philly_like_config(9);
+        assert_eq!(cfg.name, "philly-like");
+        let net = Interconnect::paper_testbed();
+        assert_eq!(cfg.generate(&net).jobs(), cfg.generate(&net).jobs());
+    }
+}

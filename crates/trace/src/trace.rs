@@ -1,0 +1,253 @@
+//! A named collection of jobs with persistence.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{JobKind, JobSpec};
+
+/// A workload trace: jobs sorted by submission time.
+///
+/// Traces serialize to JSON Lines (one job per line, with a header line)
+/// so they can be inspected, diffed, and replayed.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_trace::{Trace, TraceConfig};
+/// use elasticflow_perfmodel::Interconnect;
+///
+/// let trace = TraceConfig::testbed_small(1).generate(&Interconnect::paper_testbed());
+/// let dir = std::env::temp_dir().join("ef-trace-doc.jsonl");
+/// trace.save(&dir)?;
+/// let back = Trace::load(&dir)?;
+/// assert_eq!(trace.jobs(), back.jobs());
+/// # std::fs::remove_file(&dir).ok();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    jobs: Vec<JobSpec>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    name: String,
+    num_jobs: usize,
+}
+
+impl Trace {
+    /// Creates a trace, sorting jobs by submission time.
+    pub fn new(name: impl Into<String>, mut jobs: Vec<JobSpec>) -> Self {
+        jobs.sort_by(|a, b| {
+            a.submit_time
+                .partial_cmp(&b.submit_time)
+                .expect("finite submit times")
+                .then(a.id.cmp(&b.id))
+        });
+        Trace {
+            name: name.into(),
+            jobs,
+        }
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The jobs, ascending by submission time.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Number of SLO (deadline) jobs.
+    pub fn num_slo_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.kind == JobKind::Slo).count()
+    }
+
+    /// Number of soft-deadline jobs (§4.4).
+    pub fn num_soft_deadline_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.kind == JobKind::SoftDeadline)
+            .count()
+    }
+
+    /// Number of best-effort jobs.
+    pub fn num_best_effort_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.kind == JobKind::BestEffort)
+            .count()
+    }
+
+    /// Time span from first submission to the last deadline-or-submission,
+    /// seconds. Zero for an empty trace.
+    pub fn span(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let first = self.jobs.first().expect("nonempty").submit_time;
+        let last = self
+            .jobs
+            .iter()
+            .map(|j| {
+                if j.deadline.is_finite() {
+                    j.deadline
+                } else {
+                    j.submit_time
+                }
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        last - first
+    }
+
+    /// Total single-GPU-equivalent work in the trace, GPU-seconds, computed
+    /// from trace shapes (useful for load accounting in experiments).
+    pub fn total_trace_gpu_seconds(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.trace_gpus as f64 * j.trace_duration)
+            .sum()
+    }
+
+    /// Writes the trace as JSON Lines: a header line then one job per line.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O or serialization error.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let header = Header {
+            name: self.name.clone(),
+            num_jobs: self.jobs.len(),
+        };
+        serde_json::to_writer(&mut w, &header)?;
+        w.write_all(b"\n")?;
+        for job in &self.jobs {
+            serde_json::to_writer(&mut w, job)?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()
+    }
+
+    /// Reads a trace previously written by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, a missing header, or malformed job lines.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let mut lines = BufReader::new(file).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty trace file"))??;
+        let header: Header = serde_json::from_str(&header_line)?;
+        let mut jobs = Vec::with_capacity(header.num_jobs);
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            jobs.push(serde_json::from_str(&line)?);
+        }
+        if jobs.len() != header.num_jobs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "trace header promises {} jobs but file has {}",
+                    header.num_jobs,
+                    jobs.len()
+                ),
+            ));
+        }
+        Ok(Trace::new(header.name, jobs))
+    }
+}
+
+impl Extend<JobSpec> for Trace {
+    fn extend<T: IntoIterator<Item = JobSpec>>(&mut self, iter: T) {
+        self.jobs.extend(iter);
+        self.jobs.sort_by(|a, b| {
+            a.submit_time
+                .partial_cmp(&b.submit_time)
+                .expect("finite submit times")
+                .then(a.id.cmp(&b.id))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobId, TraceConfig};
+    use elasticflow_perfmodel::{DnnModel, Interconnect};
+
+    fn sample_trace() -> Trace {
+        TraceConfig::testbed_small(2).generate(&Interconnect::paper_testbed())
+    }
+
+    #[test]
+    fn new_sorts_by_submit_time() {
+        let a = JobSpec::builder(JobId::new(0), DnnModel::Bert, 64)
+            .submit_time(100.0)
+            .build();
+        let b = JobSpec::builder(JobId::new(1), DnnModel::Bert, 64)
+            .submit_time(10.0)
+            .build();
+        let t = Trace::new("x", vec![a, b]);
+        assert_eq!(t.jobs()[0].id, JobId::new(1));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join("ef-trace-test.jsonl");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn load_rejects_truncated_files() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join("ef-trace-trunc.jsonl");
+        t.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(5).collect();
+        std::fs::write(&path, keep.join("\n")).unwrap();
+        let err = Trace::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn span_and_counts() {
+        let t = sample_trace();
+        assert!(t.span() > 0.0);
+        assert_eq!(t.num_slo_jobs() + t.num_best_effort_jobs(), t.jobs().len());
+        assert!(t.total_trace_gpu_seconds() > 0.0);
+    }
+
+    #[test]
+    fn extend_keeps_order() {
+        let mut t = sample_trace();
+        let early = JobSpec::builder(JobId::new(999), DnnModel::Gpt2, 128)
+            .submit_time(0.0)
+            .build();
+        t.extend([early]);
+        assert_eq!(t.jobs()[0].id, JobId::new(999));
+    }
+
+    #[test]
+    fn empty_trace_span_is_zero() {
+        let t = Trace::new("empty", Vec::new());
+        assert_eq!(t.span(), 0.0);
+    }
+}

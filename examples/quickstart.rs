@@ -1,0 +1,85 @@
+//! Quickstart: submit a few serverless training jobs and let ElasticFlow
+//! guarantee their deadlines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use elasticflow::perfmodel::DnnModel;
+use elasticflow::platform::{Platform, TrainingFunction};
+
+fn main() {
+    // A 4-server x 8-GPU cluster, like the paper's small testbed.
+    let mut platform = Platform::small_testbed();
+    println!("cluster capacity: {} GPUs\n", platform.capacity());
+
+    // The serverless interface (paper §3.1): model + hyper-parameters +
+    // termination condition + deadline. No GPU counts anywhere.
+    let submissions = [
+        (
+            "resnet50 nightly",
+            TrainingFunction::new(DnnModel::ResNet50, 256)
+                .learning_rate(0.1)
+                .max_iterations(40_000.0)
+                .deadline_in(6.0 * 3_600.0),
+        ),
+        (
+            "bert finetune",
+            TrainingFunction::new(DnnModel::Bert, 128)
+                .learning_rate(2e-5)
+                .max_iterations(12_000.0)
+                .deadline_in(4.0 * 3_600.0),
+        ),
+        (
+            "gpt2 ablation (best effort)",
+            TrainingFunction::new(DnnModel::Gpt2, 128)
+                .learning_rate(3e-4)
+                .max_iterations(8_000.0),
+        ),
+        (
+            "vgg16 with a hopeless deadline",
+            TrainingFunction::new(DnnModel::Vgg16, 256)
+                .max_iterations(500_000.0)
+                .deadline_in(600.0),
+        ),
+    ];
+    for (name, function) in submissions {
+        let receipt = platform.submit(function);
+        println!(
+            "submitted {name:<32} -> {} (idle-cluster share: {})",
+            receipt.id,
+            receipt
+                .idle_cluster_share
+                .map(|s| format!("{s} GPUs"))
+                .unwrap_or_else(|| "infeasible".into()),
+        );
+    }
+
+    // Run the platform: admission control + elastic scaling + placement.
+    let outcome = platform.run_to_completion();
+    println!();
+    for o in &outcome.reports {
+        if o.dropped {
+            println!("{}: DROPPED at admission (deadline unsatisfiable)", o.id);
+        } else {
+            let finish = o.finish_time.expect("admitted jobs run to completion");
+            let deadline = if o.deadline.is_finite() {
+                format!("{:.1} h (met: {})", o.deadline / 3_600.0, o.met_deadline())
+            } else {
+                "none (best-effort)".into()
+            };
+            println!(
+                "{}: finished at {:.1} h, deadline {}, {:.1} GPU-h, {} scale events",
+                o.id,
+                finish / 3_600.0,
+                deadline,
+                o.gpu_seconds / 3_600.0,
+                o.scale_events,
+            );
+        }
+    }
+    println!(
+        "\ndeadline satisfactory ratio: {:.0}%",
+        100.0 * outcome.sim.deadline_satisfactory_ratio()
+    );
+}

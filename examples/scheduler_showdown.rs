@@ -1,0 +1,62 @@
+//! Run every scheduler in the repository on the same trace and compare
+//! the metrics the paper reports: deadline satisfactory ratio, cluster
+//! efficiency, makespan, and system overheads.
+//!
+//! ```text
+//! cargo run --release --example scheduler_showdown [seed]
+//! ```
+
+use elasticflow::cluster::ClusterSpec;
+use elasticflow::core::{EdfWithAdmission, EdfWithElastic, ElasticFlowScheduler};
+use elasticflow::perfmodel::Interconnect;
+use elasticflow::sched::{
+    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler,
+    ThemisScheduler, TiresiasScheduler,
+};
+use elasticflow::sim::{SimConfig, SimReport, Simulation};
+use elasticflow::trace::TraceConfig;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2023);
+    let spec = ClusterSpec::paper_testbed();
+    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    println!(
+        "trace: {} jobs on {} GPUs (seed {seed})\n",
+        trace.jobs().len(),
+        spec.total_gpus()
+    );
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(EdfScheduler::new()),
+        Box::new(GandivaScheduler::new()),
+        Box::new(TiresiasScheduler::new()),
+        Box::new(ThemisScheduler::new()),
+        Box::new(ChronusScheduler::new()),
+        Box::new(PolluxScheduler::new()),
+        Box::new(EdfWithAdmission::new()),
+        Box::new(EdfWithElastic::new()),
+        Box::new(ElasticFlowScheduler::new()),
+    ];
+
+    println!(
+        "{:<13} {:>5} {:>8} {:>8} {:>11} {:>10} {:>9}",
+        "scheduler", "met", "DSR", "dropped", "makespan(h)", "mean CE", "pauses(h)"
+    );
+    for scheduler in schedulers.iter_mut() {
+        let report: SimReport =
+            Simulation::new(spec.clone(), SimConfig::default()).run(&trace, scheduler.as_mut());
+        println!(
+            "{:<13} {:>5} {:>7.1}% {:>8} {:>11.1} {:>9.1}% {:>9.1}",
+            report.scheduler(),
+            report.deadlines_met(),
+            100.0 * report.deadline_satisfactory_ratio(),
+            report.dropped(),
+            report.makespan().unwrap_or(f64::NAN) / 3_600.0,
+            100.0 * report.mean_cluster_efficiency(10.0 * 3_600.0),
+            report.total_pause_seconds() / 3_600.0,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the §4.4 extensions: soft deadlines, best-effort
+//! scheduling, node failures, and quotas — exercised end to end through
+//! the public API.
+
+use elasticflow::cluster::ClusterSpec;
+use elasticflow::core::ElasticFlowScheduler;
+use elasticflow::perfmodel::{DnnModel, Interconnect};
+use elasticflow::platform::{Platform, QuotaLimits, QuotaPolicy, TrainingFunction};
+use elasticflow::sched::EdfScheduler;
+use elasticflow::sim::{FailureSchedule, SimConfig, Simulation};
+use elasticflow::trace::{JobKind, TraceConfig};
+
+#[test]
+fn soft_deadline_jobs_are_never_dropped_end_to_end() {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(21)
+        .with_soft_deadline_fraction(0.5)
+        .generate(&Interconnect::from_spec(&spec));
+    assert!(trace.jobs().iter().any(|j| j.kind == JobKind::SoftDeadline));
+    let report = Simulation::new(spec, SimConfig::default())
+        .run(&trace, &mut ElasticFlowScheduler::new());
+    for o in report.outcomes() {
+        if o.kind == JobKind::SoftDeadline {
+            assert!(!o.dropped, "{} soft job dropped", o.id);
+            assert!(o.finish_time.is_some(), "{} soft job unfinished", o.id);
+        }
+    }
+    // Soft DSR is tracked separately from the hard-SLO DSR.
+    let soft = report.soft_deadline_satisfactory_ratio();
+    assert!((0.0..=1.0).contains(&soft));
+}
+
+#[test]
+fn failure_injection_degrades_gracefully() {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(5).generate(&Interconnect::from_spec(&spec));
+    let clean = Simulation::new(spec.clone(), SimConfig::default())
+        .run(&trace, &mut ElasticFlowScheduler::new());
+    let failures = FailureSchedule::poisson(4, 86_400.0, 3_600.0, trace.span() * 1.5, 7);
+    let faulty = Simulation::new(spec, SimConfig::default().with_failures(failures))
+        .run(&trace, &mut ElasticFlowScheduler::new());
+    // Failures may cost deadlines, but nothing crashes, everything that was
+    // admitted either finishes or is accounted for, and the DSR stays in
+    // range.
+    assert!(faulty.deadline_satisfactory_ratio() <= clean.deadline_satisfactory_ratio() + 1e-9);
+    assert!(faulty.end_time().is_finite());
+}
+
+#[test]
+fn elasticflow_handles_failures_better_than_edf() {
+    // Under frequent failures, admission control plus elastic re-packing
+    // should hold up at least as well as plain EDF.
+    let spec = ClusterSpec::paper_testbed();
+    let trace = TraceConfig::testbed_large(2023).generate(&Interconnect::from_spec(&spec));
+    let failures = FailureSchedule::poisson(16, 86_400.0, 3_600.0, trace.span() * 1.5, 99);
+    let cfg = SimConfig::default().with_failures(failures);
+    let ef = Simulation::new(spec.clone(), cfg.clone())
+        .run(&trace, &mut ElasticFlowScheduler::new());
+    let edf = Simulation::new(spec, cfg).run(&trace, &mut EdfScheduler::new());
+    assert!(
+        ef.deadline_satisfactory_ratio() > edf.deadline_satisfactory_ratio(),
+        "EF {} vs EDF {} under failures",
+        ef.deadline_satisfactory_ratio(),
+        edf.deadline_satisfactory_ratio()
+    );
+}
+
+#[test]
+fn quota_policy_limits_flooding_users_end_to_end() {
+    let mut platform = Platform::small_testbed();
+    let mut policy = QuotaPolicy::new(QuotaLimits::per_day(3));
+    let mut accepted = 0;
+    let mut refused = 0;
+    for _ in 0..10 {
+        let f = TrainingFunction::new(DnnModel::ResNet50, 128)
+            .max_iterations(1_000.0)
+            .deadline_in(3_600.0);
+        match platform.submit_as("flooder", &mut policy, f) {
+            Ok(_) => accepted += 1,
+            Err(_) => refused += 1,
+        }
+    }
+    assert_eq!(accepted, 3);
+    assert_eq!(refused, 7);
+    // The accepted jobs still run normally.
+    let out = platform.run_to_completion();
+    assert_eq!(out.reports.len(), 3);
+}
+
+#[test]
+fn soft_deadline_platform_flow() {
+    let mut platform = Platform::small_testbed();
+    platform.submit(
+        TrainingFunction::new(DnnModel::Bert, 128)
+            .max_iterations(5_000.0)
+            .deadline_in(2.0 * 3_600.0)
+            .soft(),
+    );
+    let out = platform.run_to_completion();
+    let o = &out.reports[0];
+    assert_eq!(o.kind, JobKind::SoftDeadline);
+    assert!(!o.dropped);
+    assert!(o.finish_time.is_some());
+}
