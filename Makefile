@@ -1,0 +1,22 @@
+# Developer shortcuts; CI (.github/workflows/ci.yml) runs the same steps.
+
+.PHONY: lint fmt clippy test audit check
+
+# Project-specific static analysis (guarantee-soundness rules EF-L001..L004).
+lint:
+	cargo run -q -p elasticflow-lint
+
+fmt:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+test:
+	cargo test --workspace -q
+
+# Full-simulation runs under the runtime invariant auditor.
+audit:
+	cargo test --features audit -q
+
+check: fmt clippy lint test audit

@@ -24,7 +24,9 @@ fn planning_jobs(n: usize, total_gpus: u32) -> Vec<PlanningJob> {
         .map(|i| {
             let (model, gbs) = models[i % models.len()];
             let curve = ScalingCurve::build_with_max(model, gbs, &net, total_gpus);
-            let tput = curve.iters_per_sec(1).unwrap();
+            let tput = curve
+                .iters_per_sec(1)
+                .expect("1 GPU is always on the curve");
             PlanningJob {
                 id: JobId::new(i as u64),
                 curve,
@@ -65,18 +67,21 @@ fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("buddy_placement");
     group.bench_function("alloc_release_churn_128", |b| {
         b.iter(|| {
-            let mut cluster =
-                ClusterState::new(ClusterSpec::paper_testbed().build_topology());
+            let mut cluster = ClusterState::new(ClusterSpec::paper_testbed().build_topology());
             for owner in 0..32u64 {
                 let size = 1u32 << (owner % 4);
-                cluster.allocate_with_defrag(owner, size).unwrap();
+                cluster
+                    .allocate_with_defrag(owner, size)
+                    .expect("warm-up fits an idle cluster");
             }
             for owner in (0..32u64).step_by(2) {
-                cluster.release(owner).unwrap();
+                cluster.release(owner).expect("owner was just allocated");
             }
             // Defrag-forcing growth (48 GPUs idle after the releases).
             for owner in 100..105u64 {
-                cluster.allocate_with_defrag(owner, 8).unwrap();
+                cluster
+                    .allocate_with_defrag(owner, 8)
+                    .expect("48 idle GPUs cover five 8-GPU blocks after defrag");
             }
             cluster.used_gpus()
         })

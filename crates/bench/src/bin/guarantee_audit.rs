@@ -38,7 +38,12 @@ fn main() {
         }
     }
     let n = r.outcomes().len() as f64;
-    let avg_events: f64 = r.outcomes().iter().map(|o| o.scale_events as f64).sum::<f64>() / n;
+    let avg_events: f64 = r
+        .outcomes()
+        .iter()
+        .map(|o| o.scale_events as f64)
+        .sum::<f64>()
+        / n;
     let avg_pause: f64 = r.outcomes().iter().map(|o| o.paused_seconds).sum::<f64>() / n;
     let admitted = r.outcomes().iter().filter(|o| !o.dropped).count();
     println!(

@@ -139,10 +139,7 @@ fn print_stats(trace: &Trace) {
     for j in jobs {
         *by_gpus.entry(j.trace_gpus).or_insert(0usize) += 1;
     }
-    let hist: Vec<String> = by_gpus
-        .iter()
-        .map(|(g, n)| format!("{g}x{n}"))
-        .collect();
+    let hist: Vec<String> = by_gpus.iter().map(|(g, n)| format!("{g}x{n}")).collect();
     println!("gpu histogram:  {}", hist.join("  "));
 }
 

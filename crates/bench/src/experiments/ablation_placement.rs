@@ -85,7 +85,8 @@ pub fn run() -> Vec<Table> {
 }
 
 fn fmt_share(s: Option<u32>) -> String {
-    s.map(|v| v.to_string()).unwrap_or_else(|| "infeasible".into())
+    s.map(|v| v.to_string())
+        .unwrap_or_else(|| "infeasible".into())
 }
 
 #[cfg(test)]

@@ -43,8 +43,7 @@ pub fn run(seed: u64) -> Vec<Table> {
         let mut ef_cells = (String::new(), String::new());
         for name in ["edf", "elasticflow"] {
             let mut scheduler = scheduler_by_name(name);
-            let report =
-                Simulation::new(spec.clone(), cfg.clone()).run(&trace, scheduler.as_mut());
+            let report = Simulation::new(spec.clone(), cfg.clone()).run(&trace, scheduler.as_mut());
             row.push(pct(report.deadline_satisfactory_ratio()));
             if name == "elasticflow" {
                 let admitted = report.outcomes().iter().filter(|o| !o.dropped).count();

@@ -11,7 +11,14 @@ use crate::{run_one, Table};
 /// SLO jobs and (b) the average best-effort JCT normalized to Gandiva's.
 pub fn run(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
-    let schedulers = ["edf", "gandiva", "tiresias", "themis", "chronus", "elasticflow"];
+    let schedulers = [
+        "edf",
+        "gandiva",
+        "tiresias",
+        "themis",
+        "chronus",
+        "elasticflow",
+    ];
     let fractions = [0.1, 0.3, 0.5];
 
     let mut headers: Vec<String> = vec!["BE fraction".into()];

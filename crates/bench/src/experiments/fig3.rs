@@ -30,7 +30,13 @@ pub fn run() -> Vec<Table> {
     let curve = fig3_curve();
     let mut table = Table::new(
         "Fig 3: EDF vs per-job workers (A: M=3 D=3, B: M=3 D=3.5, 2 GPUs)",
-        &["Strategy", "A finishes", "B finishes", "A meets D=3", "B meets D=3.5"],
+        &[
+            "Strategy",
+            "A finishes",
+            "B finishes",
+            "A meets D=3",
+            "B meets D=3.5",
+        ],
     );
 
     // (b) EDF: run A on both workers, then B on both workers.
@@ -72,7 +78,9 @@ pub fn run() -> Vec<Table> {
             deadline_slot: 3, // 3.5 floors to 3 complete slots
         },
     ];
-    let admitted = AdmissionController::new(2).check(&jobs, &grid).is_admitted();
+    let admitted = AdmissionController::new(2)
+        .check(&jobs, &grid)
+        .is_admitted();
     let mut verdict = Table::new(
         "Fig 3 (cont.): ElasticFlow admission on the same instance",
         &["Check", "Result"],
@@ -85,7 +93,11 @@ pub fn run() -> Vec<Table> {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ pub fn run() -> Vec<Table> {
             g.to_string(),
             format!("{t:.1}"),
             format!("{:.3}", 1.0 / t),
-            format!("{:.3}", curve.gpu_time(g, 1.0).expect("positive throughput")),
+            format!(
+                "{:.3}",
+                curve.gpu_time(g, 1.0).expect("positive throughput")
+            ),
         ]);
     }
 

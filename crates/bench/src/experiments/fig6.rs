@@ -54,7 +54,11 @@ pub fn dsr_table(
     for name in baselines {
         let report = run_one(name, spec, trace);
         let dsr = report.deadline_satisfactory_ratio();
-        let gain = if dsr > 0.0 { ef_dsr / dsr } else { f64::INFINITY };
+        let gain = if dsr > 0.0 {
+            ef_dsr / dsr
+        } else {
+            f64::INFINITY
+        };
         table.row(vec![
             name.to_string(),
             report.deadlines_met().to_string(),

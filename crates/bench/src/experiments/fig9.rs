@@ -22,8 +22,7 @@ pub fn run(seed: u64) -> Vec<Table> {
     for servers in [2u32, 4, 8, 16, 32] {
         let spec = ClusterSpec::with_servers(servers, 8);
         // Same trace (load) for every cluster size, like the paper.
-        let trace =
-            TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+        let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
         let mut row = vec![servers.to_string(), spec.total_gpus().to_string()];
         for v in variants {
             let dsr = run_one(v, &spec, &trace).deadline_satisfactory_ratio();

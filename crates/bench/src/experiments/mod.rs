@@ -5,10 +5,10 @@
 //! `DESIGN.md` maps one-to-one onto these modules.
 
 pub mod ablation_placement;
+pub mod failures;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
-pub mod failures;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -23,6 +23,7 @@ pub mod verify;
 use crate::Table;
 
 /// An experiment id and its generator, for the `all` command.
+#[derive(Debug)]
 pub struct Experiment {
     /// Command-line name (`fig6a`, `table1`, ...).
     pub name: &'static str,

@@ -90,7 +90,10 @@ pub fn run(seed: u64) -> Vec<Table> {
     claims.push(Claim {
         text: "Fig 6b/8a: ElasticFlow >= all six baselines (128 GPUs, 195 jobs)",
         pass: tops_all,
-        detail: format!("EF {:.1}%, gains {worst_gain:.2}x-{best_gain:.1}x", 100.0 * ef),
+        detail: format!(
+            "EF {:.1}%, gains {worst_gain:.2}x-{best_gain:.1}x",
+            100.0 * ef
+        ),
     });
     claims.push(Claim {
         text: "Fig 6b: improvement factors bracket the paper's 1.46-7.65x band",
@@ -145,7 +148,11 @@ pub fn run(seed: u64) -> Vec<Table> {
     table.row(vec![
         "ALL".into(),
         String::new(),
-        if all_pass { "PASS".into() } else { "FAIL".into() },
+        if all_pass {
+            "PASS".into()
+        } else {
+            "FAIL".into()
+        },
     ]);
     vec![table]
 }

@@ -3,8 +3,8 @@
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_core::{EdfWithAdmission, EdfWithElastic, ElasticFlowScheduler};
 use elasticflow_sched::{
-    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler,
-    ThemisScheduler, TiresiasScheduler,
+    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler, ThemisScheduler,
+    TiresiasScheduler,
 };
 use elasticflow_sim::{SimConfig, SimReport, Simulation};
 use elasticflow_trace::Trace;
@@ -113,8 +113,7 @@ mod tests {
     #[test]
     fn run_one_produces_full_outcomes() {
         let spec = ClusterSpec::small_testbed();
-        let trace =
-            TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&spec));
+        let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&spec));
         let report = run_one("edf", &spec, &trace);
         assert_eq!(report.outcomes().len(), trace.jobs().len());
     }

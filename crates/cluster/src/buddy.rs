@@ -38,7 +38,10 @@ impl Block {
     /// Panics if `offset` is not aligned to the block size.
     pub fn new(order: u32, offset: u32) -> Self {
         let size = 1u32 << order;
-        assert!(offset.is_multiple_of(size), "block offset {offset} not aligned to {size}");
+        assert!(
+            offset.is_multiple_of(size),
+            "block offset {offset} not aligned to {size}"
+        );
         Block { order, offset }
     }
 
@@ -146,13 +149,15 @@ impl BuddyAllocator {
         }
         let order = size.trailing_zeros();
         // Best fit: smallest order with a free block.
-        let found = (order..=self.max_order)
-            .find(|&k| !self.free[k as usize].is_empty())
+        let (found, offset) = (order..=self.max_order)
+            .find_map(|k| {
+                let &offset = self.free[k as usize].iter().next()?;
+                Some((k, offset))
+            })
             .ok_or(ClusterError::Insufficient {
                 requested: size,
                 idle: self.idle,
             })?;
-        let offset = *self.free[found as usize].iter().next().expect("nonempty");
         self.free[found as usize].remove(&offset);
         // Split down to the requested order, freeing the upper halves.
         let mut k = found;
@@ -180,10 +185,7 @@ impl BuddyAllocator {
         while current.order() < self.max_order {
             let buddy = current.buddy();
             if self.free[current.order() as usize].remove(&buddy.offset()) {
-                current = Block::new(
-                    current.order() + 1,
-                    current.offset().min(buddy.offset()),
-                );
+                current = Block::new(current.order() + 1, current.offset().min(buddy.offset()));
             } else {
                 break;
             }
@@ -257,11 +259,7 @@ impl BuddyAllocator {
             .free
             .iter()
             .enumerate()
-            .flat_map(|(k, offsets)| {
-                offsets
-                    .iter()
-                    .map(move |&off| Block::new(k as u32, off))
-            })
+            .flat_map(|(k, offsets)| offsets.iter().map(move |&off| Block::new(k as u32, off)))
             .collect();
         blocks.sort_by_key(|b| b.offset());
         blocks
@@ -360,8 +358,8 @@ mod tests {
             assert_eq!(b.idle_gpus(), 64 - held_gpus);
             for (i, x) in held.iter().enumerate() {
                 for y in &held[i + 1..] {
-                    let disjoint = x.offset() + x.size() <= y.offset()
-                        || y.offset() + y.size() <= x.offset();
+                    let disjoint =
+                        x.offset() + x.size() <= y.offset() || y.offset() + y.size() <= x.offset();
                     assert!(disjoint, "overlapping blocks {x:?} {y:?}");
                 }
             }

@@ -38,6 +38,13 @@ pub enum ClusterError {
         /// The owner tag that already holds a block.
         owner: u64,
     },
+    /// An internal invariant of this crate was violated — a bug, not bad
+    /// input. Carried as a typed error instead of a panic so scheduling
+    /// loops can surface the diagnostic without aborting the process.
+    Internal {
+        /// What the violated invariant was supposed to guarantee.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -61,6 +68,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::AlreadyAllocated { owner } => {
                 write!(f, "owner {owner} already holds an allocation")
+            }
+            ClusterError::Internal { context } => {
+                write!(f, "internal cluster invariant violated: {context}")
             }
         }
     }
@@ -100,6 +110,12 @@ mod tests {
             (
                 ClusterError::AlreadyAllocated { owner: 7 },
                 "owner 7 already holds an allocation",
+            ),
+            (
+                ClusterError::Internal {
+                    context: "buddy bookkeeping desynced",
+                },
+                "internal cluster invariant violated: buddy bookkeeping desynced",
             ),
         ];
         for (err, msg) in cases {

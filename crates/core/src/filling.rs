@@ -77,6 +77,37 @@ pub fn progressive_filling(
 /// job (the early slots run at full `j`; the trim frees the tail for
 /// others — the source of the "finish early, admit more later" benefit the
 /// paper describes in §4.2).
+/// Shrinks the final active slot's grant to the smallest power of two that
+/// still completes the remaining work. The pseudocode's constant-`j` fill
+/// books `j` GPUs in the finish slot even when only a sliver of work is
+/// left, and that stranded tail capacity breaks the downward closure of
+/// admission: a job filling an emptier cluster books *more* GPU-time than
+/// the same job filling a fuller one (where `free` clamps its grants), so
+/// removing a neighbor could flip an admitted set to rejected. Frugality
+/// here costs nothing — the job still finishes in the same slot.
+fn trim_final_slot(job: &PlanningJob, grid: &SlotGrid, gpus: &mut [u32], fixed_slot0: Option<u32>) {
+    let Some(last) = gpus.iter().rposition(|&g| g > 0) else {
+        return;
+    };
+    if last == 0 && fixed_slot0.is_some() {
+        return; // slot 0 is pinned by Algorithm 2's hypothetical boost
+    }
+    let done_before: f64 = gpus[..last]
+        .iter()
+        .enumerate()
+        .map(|(t, &g)| job.iters_in_slot(g, grid, t))
+        .sum();
+    let needed = job.remaining_iterations - done_before;
+    let mut g = 1u32;
+    while g < gpus[last] {
+        if job.iters_in_slot(g, grid, last) + 1e-9 >= needed {
+            gpus[last] = g;
+            return;
+        }
+        g *= 2;
+    }
+}
+
 fn try_target(
     job: &PlanningJob,
     ledger: &ReservationLedger,
@@ -100,17 +131,18 @@ fn try_target(
             if per_slot <= 0.0 {
                 return None;
             }
-            let need_f = ((job.remaining_iterations - done - 1e-9) / per_slot)
-                .ceil()
-                .max(1.0);
-            if need_f > 10_000_000.0 {
-                return None; // absurd horizon: treat as unsatisfiable
-            }
-            let need = need_f as usize;
+            let need = match elasticflow_cluster::num::slots_ceil(
+                (job.remaining_iterations - done - 1e-9) / per_slot,
+            ) {
+                // Absurd horizons are unsatisfiable, not worth materializing.
+                Some(n) if n <= 10_000_000 => n.max(1),
+                _ => return None,
+            };
             if horizon != usize::MAX && t + need > horizon {
                 return None;
             }
             gpus.extend(std::iter::repeat_n(x, need));
+            trim_final_slot(job, grid, &mut gpus, fixed_slot0);
             return Some(AllocationProfile::new(gpus));
         }
         let x = match (t, fixed_slot0) {
@@ -125,6 +157,7 @@ fn try_target(
         gpus.push(x);
         done += job.iters_in_slot(x, grid, t);
         if done + 1e-9 >= job.remaining_iterations {
+            trim_final_slot(job, grid, &mut gpus, fixed_slot0);
             return Some(AllocationProfile::new(gpus));
         }
         t += 1;
@@ -227,8 +260,7 @@ mod tests {
     fn fixed_slot0_is_respected() {
         let grid = SlotGrid::uniform(1.0);
         let ledger = ReservationLedger::new();
-        let p =
-            progressive_filling(&job(3.5, 2), &ledger, &grid, 4, Some(4)).unwrap();
+        let p = progressive_filling(&job(3.5, 2), &ledger, &grid, 4, Some(4)).unwrap();
         assert_eq!(p.gpus(0), 4);
         // Slot 0 completes 2 units; remaining 1.5 needs 2 GPUs in slot 1.
         assert_eq!(p.gpus(1), 2);

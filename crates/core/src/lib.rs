@@ -41,6 +41,8 @@
 
 mod admission;
 mod alloc;
+#[cfg(feature = "audit")]
+mod audit;
 mod filling;
 pub mod mss;
 mod plan;

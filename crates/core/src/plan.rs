@@ -69,7 +69,8 @@ impl SlotGrid {
         if window < self.first {
             return 0;
         }
-        1 + ((window - self.first) / self.rest).floor() as usize
+        elasticflow_cluster::num::slots_floor((window - self.first) / self.rest)
+            .map_or(usize::MAX, |n| n.saturating_add(1))
     }
 
     /// The regular slot length.

@@ -129,8 +129,7 @@ impl ElasticFlowScheduler {
         lapsed.sort_by(|a, b| {
             a.spec
                 .deadline
-                .partial_cmp(&b.spec.deadline)
-                .expect("comparable deadlines")
+                .total_cmp(&b.spec.deadline)
                 .then(a.id().cmp(&b.id()))
         });
         for job in lapsed {
@@ -147,11 +146,11 @@ impl ElasticFlowScheduler {
         let mut alloc: Vec<(JobId, u32)> = best_effort.iter().map(|j| (j.id(), 0)).collect();
         loop {
             let mut best: Option<(f64, usize, u32, u32)> = None; // (prio, idx, next, extra)
-            for (idx, &(id, cur)) in alloc.iter().enumerate() {
-                let job = best_effort
-                    .iter()
-                    .find(|j| j.id() == id)
-                    .expect("same vector");
+            for (idx, &(_, cur)) in alloc.iter().enumerate() {
+                // `alloc` mirrors `best_effort` index-for-index.
+                let Some(job) = best_effort.get(idx) else {
+                    continue;
+                };
                 let next = if cur == 0 { 1 } else { cur * 2 };
                 if next > job.knee() {
                     continue;
@@ -206,10 +205,11 @@ pub(crate) fn admission_decision(
     let ac = AdmissionController::new(view.total_gpus);
     let (mut all, _lapsed, ledger) = ac.feasible_subset_with_ledger(existing, grid);
     // Booked load over the next ~hour decides how much slack to demand.
-    let horizon = (3_600.0 / grid.rest_seconds()).ceil().max(1.0) as usize;
+    let horizon = elasticflow_cluster::num::slots_ceil(3_600.0 / grid.rest_seconds())
+        .unwrap_or(1)
+        .max(1);
     let contention = ac.booked_fraction(&ledger, horizon);
-    let candidate =
-        ElasticFlowScheduler::planning_job_with_reserve(job, now, grid, contention);
+    let candidate = ElasticFlowScheduler::planning_job_with_reserve(job, now, grid, contention);
     all.push(candidate);
     if ac.check(&all, grid).is_admitted() {
         AdmissionDecision::Admit
@@ -285,7 +285,14 @@ impl Scheduler for ElasticFlowScheduler {
         Self::fill_leftovers(&mut plan, &mut free, &lapsed, &best_effort);
         // Stage 3: remaining GPUs go to the feasible SLO jobs by marginal
         // return (Algorithm 2's greedy boost phase).
-        let granted = allocator.boost(&planning, &grid, &mut profiles, &mut ledger, free, &incumbents);
+        let granted = allocator.boost(
+            &planning,
+            &grid,
+            &mut profiles,
+            &mut ledger,
+            free,
+            &incumbents,
+        );
         free -= granted;
         for (&id, profile) in &profiles {
             if profile.gpus(0) > plan.gpus(id) {
@@ -302,12 +309,19 @@ impl Scheduler for ElasticFlowScheduler {
                 break;
             }
             let assigned = plan.gpus(job.id());
-            let current = job.current_gpus.min(job.curve.clamp_useful(view.total_gpus));
+            let current = job
+                .current_gpus
+                .min(job.curve.clamp_useful(view.total_gpus));
             if current > assigned && current - assigned <= free {
                 plan.assign(job.id(), current);
                 free -= current - assigned;
             }
         }
+        // Always-on fast path; the `audit` feature adds the full
+        // reservation-soundness check of the guarantee invariants.
+        debug_assert!(plan.total_gpus() <= view.total_gpus);
+        #[cfg(feature = "audit")]
+        crate::audit::check_plan(&planning, &profiles, &ledger, &plan, &grid, view.total_gpus);
         plan
     }
 }
@@ -319,8 +333,7 @@ mod tests {
     use elasticflow_trace::JobSpec;
 
     fn runtime(id: u64, now_deadline: Option<f64>, iterations: f64) -> JobRuntime {
-        let curve =
-            ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
         let mut b = JobSpec::builder(JobId::new(id), DnnModel::ResNet50, 128)
             .iterations(iterations)
             .submit_time(0.0)
@@ -334,8 +347,7 @@ mod tests {
     }
 
     fn work_for(seconds: f64, gpus: u32) -> f64 {
-        let curve =
-            ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
         seconds * curve.iters_per_sec(gpus).unwrap()
     }
 
@@ -404,7 +416,11 @@ mod tests {
         let mut ef = ElasticFlowScheduler::new();
         let mut jobs = JobTable::new();
         for i in 0..6 {
-            jobs.insert(runtime(i, Some(10_000.0 + 500.0 * i as f64), work_for(3_000.0, 2)));
+            jobs.insert(runtime(
+                i,
+                Some(10_000.0 + 500.0 * i as f64),
+                work_for(3_000.0, 2),
+            ));
         }
         let a = ef.plan(0.0, &ClusterView::new(32), &jobs);
         let b = ef.plan(0.0, &ClusterView::new(32), &jobs);

@@ -48,12 +48,7 @@ pub struct LinearJob {
 /// ```
 pub fn theorem1_feasible(jobs: &[LinearJob], total_gpus: u32) -> bool {
     let mut sorted: Vec<&LinearJob> = jobs.iter().collect();
-    sorted.sort_by(|a, b| {
-        a.deadline
-            .partial_cmp(&b.deadline)
-            .expect("finite deadlines")
-            .then(a.id.cmp(&b.id))
-    });
+    sorted.sort_by(|a, b| a.deadline.total_cmp(&b.deadline).then(a.id.cmp(&b.id)));
     let mut gpu_time = 0.0f64;
     for job in sorted {
         assert!(
@@ -253,7 +248,10 @@ mod tests {
                     }
                 })
                 .collect();
-            if AdmissionController::new(total).check(&jobs, &grid).is_admitted() {
+            if AdmissionController::new(total)
+                .check(&jobs, &grid)
+                .is_admitted()
+            {
                 admitted_count += 1;
                 assert!(
                     brute_force_feasible(&jobs, &grid, total),
@@ -261,7 +259,10 @@ mod tests {
                 );
             }
         }
-        assert!(admitted_count > 20, "test too weak: {admitted_count} admitted");
+        assert!(
+            admitted_count > 20,
+            "test too weak: {admitted_count} admitted"
+        );
     }
 
     #[test]
@@ -366,8 +367,8 @@ mod tests {
                         continue;
                     }
                     let a_done = jobs[0].iters_in_slot(a0, &grid, 0);
-                    let b_done = jobs[1].iters_in_slot(b0, &grid, 0)
-                        + jobs[1].iters_in_slot(b1, &grid, 1);
+                    let b_done =
+                        jobs[1].iters_in_slot(b0, &grid, 0) + jobs[1].iters_in_slot(b1, &grid, 1);
                     if a_done + 1e-9 >= 1.5 && b_done + 1e-9 >= 2.0 {
                         best = best.min((a0 + b0 + b1) as f64);
                     }
@@ -380,10 +381,9 @@ mod tests {
         let mss_gpu_time: f64 = {
             let ac = AdmissionController::new(4);
             match ac.check(&jobs, &grid) {
-                crate::AdmissionOutcome::Admitted { plan } => plan
-                    .values()
-                    .map(|p| p.gpu_seconds(&grid))
-                    .sum(),
+                crate::AdmissionOutcome::Admitted { plan } => {
+                    plan.values().map(|p| p.gpu_seconds(&grid)).sum()
+                }
                 _ => panic!("instance known feasible"),
             }
         };

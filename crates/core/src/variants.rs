@@ -149,8 +149,7 @@ impl Scheduler for EdfWithElastic {
         actives.sort_by(|a, b| {
             a.spec
                 .deadline
-                .partial_cmp(&b.spec.deadline)
-                .expect("comparable deadlines")
+                .total_cmp(&b.spec.deadline)
                 .then(a.id().cmp(&b.id()))
         });
         let mut ledger = ReservationLedger::new();
@@ -208,8 +207,7 @@ mod tests {
     use elasticflow_trace::{JobId, JobSpec};
 
     fn runtime(id: u64, deadline: f64, iterations: f64) -> JobRuntime {
-        let curve =
-            ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
         let mut rt = JobRuntime::new(
             JobSpec::builder(JobId::new(id), DnnModel::ResNet50, 128)
                 .iterations(iterations)
@@ -224,8 +222,7 @@ mod tests {
     }
 
     fn work_for(seconds: f64, gpus: u32) -> f64 {
-        let curve =
-            ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
         seconds * curve.iters_per_sec(gpus).unwrap()
     }
 

@@ -35,16 +35,15 @@ fn concave_curve() -> impl Strategy<Value = ScalingCurve> {
 }
 
 fn small_instance() -> impl Strategy<Value = Vec<PlanningJob>> {
-    prop::collection::vec(
-        (concave_curve(), 0.2f64..4.0, 1usize..4),
-        1..4,
-    )
-    .prop_map(|specs| {
+    prop::collection::vec((concave_curve(), 0.2f64..4.0, 1usize..4), 1..4).prop_map(|specs| {
         specs
             .into_iter()
             .enumerate()
             .map(|(i, (curve, work_scale, deadline_slot))| {
-                let work = work_scale * curve.iters_per_sec(1).unwrap();
+                let work = work_scale
+                    * curve
+                        .iters_per_sec(1)
+                        .expect("1 GPU is always on the curve");
                 PlanningJob {
                     id: JobId::new(i as u64),
                     curve,
@@ -113,7 +112,7 @@ proptest! {
         let job = PlanningJob {
             id: JobId::new(0),
             curve: curve.clone(),
-            remaining_iterations: work_scale * curve.iters_per_sec(1).unwrap(),
+            remaining_iterations: work_scale * curve.iters_per_sec(1).expect("1 GPU is always on the curve"),
             deadline_slot,
         };
         let mut ledger = ReservationLedger::new();

@@ -44,9 +44,8 @@ fn bigger_clusters_admit_weakly_more() {
     for seed in [4u64, 9] {
         let small = run(2, seed);
         let large = run(8, seed);
-        let admitted = |r: &elasticflow_sim::SimReport| {
-            r.outcomes().iter().filter(|o| !o.dropped).count()
-        };
+        let admitted =
+            |r: &elasticflow_sim::SimReport| r.outcomes().iter().filter(|o| !o.dropped).count();
         assert!(
             admitted(&large) >= admitted(&small),
             "seed {seed}: {} admitted on 64 GPUs vs {} on 16",
@@ -111,8 +110,8 @@ fn best_effort_only_trace_finishes_everything() {
     let trace = TraceConfig::testbed_small(30)
         .with_best_effort_fraction(1.0)
         .generate(&Interconnect::from_spec(&spec));
-    let report = Simulation::new(spec, SimConfig::default())
-        .run(&trace, &mut ElasticFlowScheduler::new());
+    let report =
+        Simulation::new(spec, SimConfig::default()).run(&trace, &mut ElasticFlowScheduler::new());
     for o in report.outcomes() {
         assert!(!o.dropped);
         assert!(o.finish_time.is_some(), "{} never finished", o.id);

@@ -1,0 +1,74 @@
+//! `elasticflow-lint` — the workspace's guarantee-soundness static pass.
+//!
+//! ElasticFlow's value proposition is a *guarantee*: every admitted job
+//! meets its deadline. Code that can panic mid-decision, compare floats
+//! exactly, read host entropy inside the simulator, or truncate a GPU
+//! count with `as` undermines that guarantee in ways ordinary tests miss.
+//! This crate is a zero-dependency static-analysis pass that gates those
+//! patterns at `cargo test` time (via the root `tests/lint.rs`) and on
+//! demand (`cargo run -p elasticflow-lint`).
+//!
+//! # Rules
+//!
+//! | id | title | scope |
+//! |----|-------|-------|
+//! | EF-L000 | suppressions must be well-formed and justified | all |
+//! | EF-L001 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` | core, cluster, sim, sched, platform |
+//! | EF-L002 | no exact float `==`/`!=` against literals | core, cluster, sim, sched, perfmodel |
+//! | EF-L003 | no nondeterminism sources (clocks, OS RNGs, hash order) | core, sim, sched |
+//! | EF-L004 | no raw float→int `as` casts | core, cluster, sim, sched |
+//!
+//! # Suppression
+//!
+//! Any diagnostic can be silenced per line with a mandatory justification:
+//!
+//! ```text
+//! // elasticflow-lint: allow(EF-L001): ledger invariant: committed ≥ profile
+//! let c = self.committed.get_mut(t).expect("committed profile");
+//! ```
+//!
+//! A standalone comment suppresses the next token-bearing line; a trailing
+//! comment suppresses its own line. Justification-free or misspelled
+//! directives are themselves violations (EF-L000).
+//!
+//! # False-positive immunity
+//!
+//! The lexer strips string literals (all flavors), comments (including doc
+//! examples), and test-only regions (`#[cfg(test)]`, `#[test]`,
+//! `mod tests`) before rules run, so forbidden spellings in prose, test
+//! assertions, or `# Panics` sections never fire. The property tests in
+//! `tests/properties.rs` fuzz exactly this claim.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::to_json;
+pub use rules::{rule_info, RuleInfo, RULES};
+pub use scan::{lint_source, lint_workspace, LintReport, Violation};
+
+use std::path::PathBuf;
+
+/// The workspace root, derived from this crate's manifest directory
+/// (`crates/lint` → two levels up). Usable from any workspace member's
+/// build or test context.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
+}
+
+/// Formats one violation the way compilers do: `file:line: [rule] message`.
+pub fn render_violation(v: &Violation) -> String {
+    let title = rule_info(&v.rule).map(|r| r.title).unwrap_or("");
+    format!(
+        "{}:{}: [{}] {} ({})",
+        v.file, v.line, v.rule, v.message, title
+    )
+}

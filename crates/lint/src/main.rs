@@ -1,0 +1,98 @@
+//! CLI entry point: `cargo run -p elasticflow-lint [-- --json] [--rules]`.
+//!
+//! Exit status 0 when the workspace is clean, 1 when violations exist,
+//! 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use elasticflow_lint::{lint_workspace, render_violation, to_json, workspace_root, RULES};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut show_rules = false;
+    let mut root = workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => show_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = dir.into(),
+                None => {
+                    eprintln!("error: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if show_rules {
+        print_rules();
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        // A clean report over zero files is a misconfigured root, not a
+        // clean workspace — fail loudly instead of green-lighting nothing.
+        eprintln!(
+            "error: no sources found under {} (expected crates/*/src)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    if json {
+        print!("{}", to_json(&report));
+    } else {
+        for v in &report.violations {
+            println!("{}", render_violation(v));
+        }
+        println!(
+            "elasticflow-lint: {} file(s) scanned, {} violation(s), {} justified allow(s)",
+            report.files_scanned,
+            report.violations.len(),
+            report.allows_used
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "elasticflow-lint: guarantee-soundness static analysis\n\n\
+         USAGE: elasticflow-lint [--json] [--rules] [--root DIR]\n\n\
+         --json   emit the machine-readable report on stdout\n\
+         --rules  print the rule registry and exit\n\
+         --root   workspace root to scan (default: this checkout)"
+    );
+}
+
+fn print_rules() {
+    for r in RULES {
+        let scope = if r.crates.is_empty() {
+            "all scanned crates".to_string()
+        } else {
+            r.crates.join(", ")
+        };
+        println!(
+            "{} — {}\n  scope: {}\n  why:   {}\n  fix:   {}\n",
+            r.id, r.title, scope, r.rationale, r.remedy
+        );
+    }
+}

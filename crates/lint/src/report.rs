@@ -1,0 +1,102 @@
+//! Machine-readable JSON rendering of a lint run (hand-rolled: the lint
+//! stays std-only so it can gate the workspace without depending on it).
+
+use std::collections::BTreeMap;
+
+use crate::rules::RULES;
+use crate::scan::LintReport;
+
+/// Renders the report as a stable, pretty-printed JSON document.
+pub fn to_json(report: &LintReport) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in RULES {
+        counts.insert(r.id, 0);
+    }
+    for v in &report.violations {
+        *counts.entry(v.rule.as_str()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"allows_used\": {},\n", report.allows_used));
+    out.push_str("  \"summary\": {");
+    let summary: Vec<String> = counts
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {}", escape(k), v))
+        .collect();
+    out.push_str(&summary.join(", "));
+    out.push_str("},\n");
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            escape(&v.rule),
+            escape(&v.file),
+            v.line,
+            escape(&v.message),
+            if i + 1 < report.violations.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Violation;
+
+    #[test]
+    fn clean_report_renders() {
+        let r = LintReport {
+            violations: vec![],
+            files_scanned: 3,
+            allows_used: 1,
+        };
+        let json = to_json(&r);
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"EF-L001\": 0"));
+    }
+
+    #[test]
+    fn violations_render_with_escaping() {
+        let r = LintReport {
+            violations: vec![Violation {
+                rule: "EF-L001".into(),
+                file: "crates/core/src/a.rs".into(),
+                line: 7,
+                message: "`panic!(…)` with \"quotes\"".into(),
+            }],
+            files_scanned: 1,
+            allows_used: 0,
+        };
+        let json = to_json(&r);
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"EF-L001\": 1"));
+    }
+}

@@ -1,0 +1,442 @@
+//! The rule registry and per-rule token checks.
+//!
+//! Every rule has an id (`EF-L00N`), a crate scope (which workspace crates
+//! it gates), and a token-level check. Checks run on the *stripped* token
+//! stream (comments, string contents, and test-only regions removed by the
+//! lexer), so the documented patterns cannot false-positive on prose or
+//! test code. Suppression is per-line via
+//! `// elasticflow-lint: allow(EF-L00N): <justification>`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A reported rule violation before file attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawViolation {
+    /// Rule id, e.g. `EF-L001`.
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the offending pattern.
+    pub message: String,
+}
+
+/// Static description of one rule, for `--rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// What the rule matches and why it exists.
+    pub rationale: &'static str,
+    /// The remedy the rule demands.
+    pub remedy: &'static str,
+    /// Workspace crates (directory names under `crates/`) the rule gates.
+    pub crates: &'static [&'static str],
+}
+
+/// Meta-rule id for malformed suppression directives.
+pub const META_RULE: &str = "EF-L000";
+
+/// The registry, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: META_RULE,
+        title: "suppressions must be well-formed and justified",
+        rationale: "An `elasticflow-lint:` comment that is not exactly \
+                    `allow(RULE): justification` silently suppresses nothing; \
+                    a justification-free allow hides the reasoning the next \
+                    reader needs to re-audit the site.",
+        remedy: "Write `// elasticflow-lint: allow(EF-L00N): <why this site is sound>`.",
+        crates: &[], // empty scope = every scanned crate
+    },
+    RuleInfo {
+        id: "EF-L001",
+        title: "no unwrap/expect/panic in guarantee-critical code",
+        rationale: "A panic in admission control, planning, placement, or the \
+                    simulator aborts the scheduling loop mid-decision and can \
+                    strand committed reservations, silently voiding deadline \
+                    guarantees for every admitted job.",
+        remedy: "Return a typed error (see each crate's `error` module) or \
+                 suppress with a justification stating the invariant that \
+                 makes the site unreachable.",
+        crates: &["core", "cluster", "sim", "sched", "platform"],
+    },
+    RuleInfo {
+        id: "EF-L002",
+        title: "no exact float equality in scheduling math",
+        rationale: "Deadline slack, throughput, and GPU-time values are \
+                    accumulated floats; exact `==`/`!=` against a float \
+                    literal flips on rounding noise and turns an admit/reject \
+                    decision into a coin toss.",
+        remedy: "Use `elasticflow_cluster::num::approx_eq`/`approx_ne` (or an \
+                 explicit tolerance), or compare integers.",
+        crates: &["core", "cluster", "sim", "sched", "perfmodel"],
+    },
+    RuleInfo {
+        id: "EF-L003",
+        title: "no nondeterminism sources in simulation paths",
+        rationale: "The simulator's results must be bit-reproducible: wall \
+                    clocks (`SystemTime::now`, `Instant::now`), OS-seeded \
+                    RNGs (`thread_rng`, `from_entropy`), and hash-order \
+                    iteration (`HashMap`/`HashSet`) all leak host state into \
+                    scheduling decisions.",
+        remedy: "Thread simulated time explicitly, seed RNGs from the \
+                 config, and use `BTreeMap`/`BTreeSet` (or sort before \
+                 iterating).",
+        crates: &["core", "sim", "sched"],
+    },
+    RuleInfo {
+        id: "EF-L004",
+        title: "no raw float->int `as` casts in GPU/slot arithmetic",
+        rationale: "`as` silently saturates, truncates NaN to 0, and drops \
+                    fractional slots; a GPU count or slot index derived that \
+                    way can under-reserve capacity without any error.",
+        remedy: "Use the checked conversions in `elasticflow_cluster::num` \
+                 (`slots_ceil`, `slots_floor`, `gpu_count_from_f64`).",
+        crates: &["core", "cluster", "sim", "sched"],
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// `true` when `rule` gates `crate_name` (an empty scope means "all").
+pub fn rule_applies(rule: &RuleInfo, crate_name: &str) -> bool {
+    rule.crates.is_empty() || rule.crates.contains(&crate_name)
+}
+
+/// Runs every scoped rule over one file's stripped token stream.
+pub fn check_tokens(tokens: &[Token], crate_name: &str) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    let applies = |id: &str| rule_info(id).is_some_and(|r| rule_applies(r, crate_name));
+    if applies("EF-L001") {
+        check_l001(tokens, &mut out);
+    }
+    if applies("EF-L002") {
+        check_l002(tokens, &mut out);
+    }
+    if applies("EF-L003") {
+        check_l003(tokens, &mut out);
+    }
+    if applies("EF-L004") {
+        check_l004(tokens, &mut out);
+    }
+    out
+}
+
+/// EF-L001: `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!`.
+fn check_l001(tokens: &[Token], out: &mut Vec<RawViolation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+        let next_open = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next_open => Some(format!(".{}(…)", t.text)),
+            "panic" | "todo" | "unimplemented" if next_bang && !prev_dot => {
+                Some(format!("{}!(…)", t.text))
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push(RawViolation {
+                rule: "EF-L001",
+                line: t.line,
+                message: format!("`{what}` can abort the scheduling loop"),
+            });
+        }
+    }
+}
+
+/// EF-L002: `==` / `!=` with a float literal on either side.
+fn check_l002(tokens: &[Token], out: &mut Vec<RawViolation>) {
+    let is_float = |t: Option<&Token>| t.is_some_and(|t| t.kind == TokenKind::Float);
+    for i in 0..tokens.len().saturating_sub(1) {
+        let (a, b) = (&tokens[i], &tokens[i + 1]);
+        let eq = a.is_punct('=') && b.is_punct('=') && !(i > 0 && is_cmp_prefix(&tokens[i - 1]));
+        let ne = a.is_punct('!') && b.is_punct('=');
+        if !(eq || ne) {
+            continue;
+        }
+        if is_float(i.checked_sub(1).and_then(|j| tokens.get(j))) || is_float(tokens.get(i + 2)) {
+            out.push(RawViolation {
+                rule: "EF-L002",
+                line: a.line,
+                message: format!(
+                    "exact float {} comparison against a literal",
+                    if eq { "`==`" } else { "`!=`" }
+                ),
+            });
+        }
+    }
+}
+
+/// Part of a two-char operator ending in `=` that is not an equality test.
+fn is_cmp_prefix(t: &Token) -> bool {
+    "<>!=+-*/%&|^".chars().any(|c| t.is_punct(c))
+}
+
+/// EF-L003: wall clocks, OS-seeded RNGs, and hash-order collections.
+fn check_l003(tokens: &[Token], out: &mut Vec<RawViolation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let path_now = (t.is_ident("SystemTime") || t.is_ident("Instant"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"));
+        if path_now {
+            out.push(RawViolation {
+                rule: "EF-L003",
+                line: t.line,
+                message: format!("`{}::now()` reads the host clock", t.text),
+            });
+            continue;
+        }
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+            out.push(RawViolation {
+                rule: "EF-L003",
+                line: t.line,
+                message: format!("`{}` seeds from the OS, breaking replay", t.text),
+            });
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(RawViolation {
+                rule: "EF-L003",
+                line: t.line,
+                message: format!(
+                    "`{}` iteration order is host-random; use BTree{} or sort",
+                    t.text,
+                    if t.is_ident("HashMap") { "Map" } else { "Set" }
+                ),
+            });
+        }
+    }
+}
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float-producing methods whose result flowing into `as <int>` marks a
+/// float->int cast. Deliberately excludes `max`/`min`/`abs` (shared with
+/// the integer API); chains like `.ceil().max(1.0)` are still caught via
+/// the `ceil` earlier in the chain or the float literal argument.
+const FLOAT_METHODS: &[&str] = &[
+    "ceil",
+    "floor",
+    "round",
+    "trunc",
+    "fract",
+    "sqrt",
+    "cbrt",
+    "powf",
+    "powi",
+    "exp",
+    "exp2",
+    "ln",
+    "log",
+    "log2",
+    "log10",
+    "hypot",
+    "atan2",
+    "to_radians",
+    "to_degrees",
+    "mul_add",
+    "recip",
+];
+
+/// EF-L004: `<float expr> as <int type>`, where "float expr" is detected
+/// by walking the postfix chain left of `as` and finding a float literal,
+/// a call to a float-producing method, or a root identifier following the
+/// `*_f` / `*_f64` / `*_f32` naming convention for float temporaries.
+fn check_l004(tokens: &[Token], out: &mut Vec<RawViolation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(ty) = tokens.get(i + 1) else {
+            continue;
+        };
+        if ty.kind != TokenKind::Ident || !INT_TYPES.contains(&ty.text.as_str()) {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        if chain_is_floaty(&tokens[..i]) {
+            out.push(RawViolation {
+                rule: "EF-L004",
+                line: t.line,
+                message: format!("raw float -> `{}` cast truncates silently", ty.text),
+            });
+        }
+    }
+}
+
+/// Walks backwards over the postfix expression ending at `tokens.len()`
+/// and reports whether it is float-valued per the documented heuristic.
+fn chain_is_floaty(tokens: &[Token]) -> bool {
+    let mut depth = 0usize;
+    let mut floaty = false;
+    let mut last_at_depth0: Option<&Token> = None;
+    for j in (0..tokens.len()).rev() {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct => {
+                let c = t.text.chars().next().unwrap_or(' ');
+                match c {
+                    ')' | ']' => depth += 1,
+                    '(' | '[' => {
+                        if depth == 0 {
+                            break; // opened before the chain started
+                        }
+                        depth -= 1;
+                    }
+                    '.' => {}
+                    _ if depth == 0 => break, // operator/stmt boundary
+                    _ => {}
+                }
+            }
+            TokenKind::Float => floaty = true,
+            TokenKind::Ident => {
+                if FLOAT_METHODS.contains(&t.text.as_str())
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    floaty = true;
+                }
+                if depth == 0 {
+                    last_at_depth0 = Some(t);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(root) = last_at_depth0 {
+        if root.text.ends_with("_f") || root.text.ends_with("_f64") || root.text.ends_with("_f32") {
+            floaty = true;
+        }
+    }
+    floaty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_regions};
+
+    fn run(src: &str, crate_name: &str) -> Vec<RawViolation> {
+        let lexed = lex(src);
+        let tokens = strip_test_regions(&lexed.tokens);
+        check_tokens(&tokens, crate_name)
+    }
+
+    fn rules_of(v: &[RawViolation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn l001_matches_all_five_forms() {
+        let src =
+            "fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); todo!(); unimplemented!(); }";
+        assert_eq!(rules_of(&run(src, "core")), vec!["EF-L001"; 5]);
+    }
+
+    #[test]
+    fn l001_skips_lookalikes() {
+        let src =
+            "fn f() { a.unwrap_or(0); a.unwrap_or_else(g); a.expect_err(\"m\"); my_panic(); }";
+        assert!(run(src, "core").is_empty());
+    }
+
+    #[test]
+    fn l001_out_of_scope_crate_is_clean() {
+        assert!(run("fn f() { a.unwrap(); }", "trace").is_empty());
+    }
+
+    #[test]
+    fn l002_literal_equality_both_sides() {
+        assert_eq!(
+            rules_of(&run("fn f() { if x == 0.0 {} }", "core")),
+            vec!["EF-L002"]
+        );
+        assert_eq!(
+            rules_of(&run("fn f() { if 1.5 != y {} }", "sched")),
+            vec!["EF-L002"]
+        );
+    }
+
+    #[test]
+    fn l002_ignores_ordering_and_int_compares() {
+        assert!(run("fn f() { if x <= 0.0 || y >= 1.5 || n == 3 {} }", "core").is_empty());
+    }
+
+    #[test]
+    fn l003_catches_clocks_rngs_and_hash_collections() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); \
+                   let m: HashMap<u32, u32> = HashMap::new(); }";
+        let got = rules_of(&run(src, "sim"));
+        assert_eq!(got, vec!["EF-L003", "EF-L003", "EF-L003", "EF-L003"]);
+    }
+
+    #[test]
+    fn l003_btree_is_fine() {
+        assert!(run(
+            "fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+            "sim"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l004_catches_float_chains() {
+        for src in [
+            "fn f() { let n = x.ceil() as usize; }",
+            "fn f() { let n = (a / b).floor() as u32; }",
+            "fn f() { let n = (x / y).ceil().max(1.0) as usize; }",
+            "fn f() { let n = need_f as usize; }",
+            "fn f() { let n = 2.5 as u64; }",
+        ] {
+            assert_eq!(
+                rules_of(&run(src, "core")),
+                vec!["EF-L004"],
+                "missed: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn l004_ignores_int_casts() {
+        for src in [
+            "fn f() { let n = i as u64; }",
+            "fn f() { let n = v.len() as u32; }",
+            "fn f() { let n = (k + 1) as usize; }",
+            "fn f() { let n = x as f64; }",
+            "fn f() { let n = arr[i as usize]; }",
+        ] {
+            assert!(run(src, "core").is_empty(), "false positive: {src}");
+        }
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); let b = x.ceil() as u32; } }";
+        assert!(run(src, "core").is_empty());
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_sorted() {
+        let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+}

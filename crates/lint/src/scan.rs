@@ -1,0 +1,231 @@
+//! Workspace file discovery and per-file lint orchestration.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, strip_test_regions, AllowDirective};
+use crate::rules::{check_tokens, rule_info, META_RULE};
+
+/// One attributed violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id.
+    pub rule: String,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+/// Result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Violations, ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of suppressions that actually silenced a diagnostic.
+    pub allows_used: usize,
+}
+
+impl LintReport {
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints every in-scope source file under `root` (a workspace checkout).
+///
+/// Scanned: `crates/*/src/**/*.rs` and the facade's `src/**/*.rs`. The
+/// vendored dependency shims (`shims/`), tests, benches, and examples are
+/// out of scope — rules gate the guarantee-critical product code only.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            collect_rs_files(&dir.join("src"), &mut files, &name);
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut files, "elasticflow");
+    for (crate_name, path) in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        lint_file(&src, &crate_name, &rel, &mut report);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+/// Lints a single source string as though it lived in `crate_name`.
+/// Exposed for the rule/property tests.
+pub fn lint_source(src: &str, crate_name: &str, file: &str) -> Vec<Violation> {
+    let mut report = LintReport::default();
+    lint_file(src, crate_name, file, &mut report);
+    report.violations
+}
+
+fn lint_file(src: &str, crate_name: &str, file: &str, report: &mut LintReport) {
+    let lexed = lex(src);
+    let tokens = strip_test_regions(&lexed.tokens);
+    let mut raw = check_tokens(&tokens, crate_name);
+
+    // Malformed directives are themselves violations (meta-rule), on every
+    // scanned file regardless of crate scope.
+    for &line in &lexed.malformed_allows {
+        raw.push(crate::rules::RawViolation {
+            rule: META_RULE,
+            line,
+            message: "malformed suppression: expected \
+                      `elasticflow-lint: allow(EF-L00N): <justification>`"
+                .to_string(),
+        });
+    }
+
+    // Resolve each well-formed allow to the line it suppresses: its own
+    // line when trailing, otherwise the next token-bearing line.
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let resolved: Vec<(String, u32)> = lexed
+        .allows
+        .iter()
+        .map(|a| (a.rule.clone(), allow_target(a, &token_lines)))
+        .collect();
+
+    // Allows naming unknown rules are malformed too (typo protection).
+    for a in &lexed.allows {
+        if rule_info(&a.rule).is_none() {
+            raw.push(crate::rules::RawViolation {
+                rule: META_RULE,
+                line: a.line,
+                message: format!("suppression names unknown rule `{}`", a.rule),
+            });
+        }
+    }
+
+    for v in raw {
+        let suppressed = resolved
+            .iter()
+            .any(|(rule, line)| rule == v.rule && *line == v.line);
+        if suppressed {
+            report.allows_used += 1;
+            continue;
+        }
+        report.violations.push(Violation {
+            rule: v.rule.to_string(),
+            file: file.to_string(),
+            line: v.line,
+            message: v.message,
+        });
+    }
+}
+
+/// The line a directive suppresses.
+fn allow_target(allow: &AllowDirective, token_lines: &BTreeSet<u32>) -> u32 {
+    if allow.trailing {
+        allow.line
+    } else {
+        token_lines
+            .range(allow.line + 1..)
+            .next()
+            .copied()
+            .unwrap_or(allow.line)
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<(String, PathBuf)>, crate_name: &str) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out, crate_name);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((crate_name.to_string(), path));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_allow_suppresses_next_line() {
+        let src = "fn f() {\n    // elasticflow-lint: allow(EF-L001): invariant: key inserted above\n    a.unwrap();\n}";
+        assert!(lint_source(src, "core", "x.rs").is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_line() {
+        let src = "fn f() { a.unwrap(); } // elasticflow-lint: allow(EF-L001): demo justification";
+        assert!(lint_source(src, "core", "x.rs").is_empty());
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src =
+            "fn f() {\n    // elasticflow-lint: allow(EF-L002): wrong rule\n    a.unwrap();\n}";
+        let v = lint_source(src, "core", "x.rs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "EF-L001");
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_its_target_line() {
+        let src = "fn f() {\n    // elasticflow-lint: allow(EF-L001): first only\n    a.unwrap();\n    b.unwrap();\n}";
+        let v = lint_source(src, "core", "x.rs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        let src = "fn f() {\n    // elasticflow-lint: allow(EF-L001)\n    a.unwrap();\n}";
+        let rules: Vec<String> = lint_source(src, "core", "x.rs")
+            .into_iter()
+            .map(|v| v.rule)
+            .collect();
+        assert!(rules.contains(&"EF-L000".to_string()));
+        assert!(rules.contains(&"EF-L001".to_string()));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "// elasticflow-lint: allow(EF-L999): no such rule\nfn f() {}";
+        let v = lint_source(src, "core", "x.rs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "EF-L000");
+    }
+
+    #[test]
+    fn violation_carries_file_and_line() {
+        let src = "fn f() {\n    a.unwrap();\n}";
+        let v = lint_source(src, "sim", "crates/sim/src/engine.rs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, "crates/sim/src/engine.rs");
+        assert_eq!(v[0].line, 2);
+    }
+}

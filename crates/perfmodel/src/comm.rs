@@ -120,8 +120,8 @@ mod tests {
         let p = DnnModel::Bert.profile();
         let one = iteration_time(&p, 128, PlacementShape::single_server(1), &net());
         let two = iteration_time(&p, 128, PlacementShape::single_server(2), &net());
-        let ratio = (one.compute - p.fixed_iteration_seconds)
-            / (two.compute - p.fixed_iteration_seconds);
+        let ratio =
+            (one.compute - p.fixed_iteration_seconds) / (two.compute - p.fixed_iteration_seconds);
         assert!((ratio - 2.0).abs() < 1e-9);
     }
 

@@ -105,15 +105,16 @@ impl Platform {
         );
         let deadline = function.deadline_window().map(|w| self.clock + w);
         let idle_cluster_share = match function.deadline_window() {
-            Some(w) => {
-                mss::minimum_satisfactory_share(&curve, function.max_iterations_value(), w)
-            }
+            Some(w) => mss::minimum_satisfactory_share(&curve, function.max_iterations_value(), w),
             None => Some(1),
         };
         let mut builder = JobSpec::builder(id, function.model(), function.global_batch())
             .iterations(function.max_iterations_value())
             .submit_time(self.clock)
-            .trace_shape(1, function.max_iterations_value() / curve.iters_per_sec(1).unwrap_or(1.0));
+            .trace_shape(
+                1,
+                function.max_iterations_value() / curve.iters_per_sec(1).unwrap_or(1.0),
+            );
         if let Some(d) = deadline {
             builder = if function.is_soft() {
                 builder.soft_deadline(d)
@@ -155,7 +156,8 @@ impl Platform {
         let jobs = std::mem::take(&mut self.pending);
         let trace = Trace::new("platform", jobs);
         let mut scheduler = ElasticFlowScheduler::new();
-        let sim = Simulation::new(self.spec.clone(), self.config.clone()).run(&trace, &mut scheduler);
+        let sim =
+            Simulation::new(self.spec.clone(), self.config.clone()).run(&trace, &mut scheduler);
         PlatformOutcome {
             reports: sim.outcomes().to_vec(),
             sim,
@@ -245,10 +247,18 @@ mod tests {
         let mut p = Platform::small_testbed();
         let mut policy = crate::QuotaPolicy::new(crate::QuotaLimits::per_day(1));
         assert!(p
-            .submit_as("eve", &mut policy, TrainingFunction::new(DnnModel::Bert, 64))
+            .submit_as(
+                "eve",
+                &mut policy,
+                TrainingFunction::new(DnnModel::Bert, 64)
+            )
             .is_ok());
         assert!(p
-            .submit_as("eve", &mut policy, TrainingFunction::new(DnnModel::Bert, 64))
+            .submit_as(
+                "eve",
+                &mut policy,
+                TrainingFunction::new(DnnModel::Bert, 64)
+            )
             .is_err());
         assert_eq!(p.pending_jobs(), 1);
     }

@@ -117,7 +117,11 @@ impl QuotaPolicy {
         let limits = self.limits_for(user);
         self.history
             .get(user)
-            .map(|h| h.iter().filter(|&&t| now - t < limits.window_seconds).count())
+            .map(|h| {
+                h.iter()
+                    .filter(|&&t| now - t < limits.window_seconds)
+                    .count()
+            })
             .unwrap_or(0)
     }
 }

@@ -319,11 +319,7 @@ mod tests {
             .deadline(deadline)
             .trace_shape(4, deadline / 1.2)
             .build();
-        let curve = ScalingCurve::build(
-            DnnModel::ResNet50,
-            128,
-            &Interconnect::paper_testbed(),
-        );
+        let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
         JobRuntime::new(spec, curve)
     }
 
@@ -400,8 +396,9 @@ mod tests {
 
     #[test]
     fn plan_from_iterator() {
-        let plan: SchedulePlan =
-            [(JobId::new(1), 2u32), (JobId::new(2), 4u32)].into_iter().collect();
+        let plan: SchedulePlan = [(JobId::new(1), 2u32), (JobId::new(2), 4u32)]
+            .into_iter()
+            .collect();
         assert_eq!(plan.total_gpus(), 6);
     }
 }

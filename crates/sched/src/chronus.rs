@@ -11,9 +11,7 @@
 
 use elasticflow_trace::JobId;
 
-use crate::{
-    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
-};
+use crate::{AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler};
 
 /// The Chronus baseline scheduler.
 ///
@@ -47,12 +45,7 @@ impl ChronusScheduler {
     /// Simulates preemptive EDF at fixed sizes from `now` and reports
     /// whether every snapshot finishes by its deadline.
     fn feasible(mut pending: Vec<Snapshot>, total_gpus: u32, now: f64) -> bool {
-        pending.sort_by(|a, b| {
-            a.deadline
-                .partial_cmp(&b.deadline)
-                .expect("finite deadlines")
-                .then(a.id.cmp(&b.id))
-        });
+        pending.sort_by(|a, b| a.deadline.total_cmp(&b.deadline).then(a.id.cmp(&b.id)));
         if pending.iter().any(|s| s.gpus > total_gpus) {
             return false;
         }
@@ -88,7 +81,10 @@ impl ChronusScheduler {
             }
             // Early exit: a job that cannot finish by its deadline even if
             // it started right now makes the whole set infeasible.
-            if pending.iter().any(|s| t + s.seconds_left > s.deadline + 1e-9) {
+            if pending
+                .iter()
+                .any(|s| t + s.seconds_left > s.deadline + 1e-9)
+            {
                 return false;
             }
         }
@@ -139,8 +135,7 @@ impl Scheduler for ChronusScheduler {
         order.sort_by(|a, b| {
             a.spec
                 .deadline
-                .partial_cmp(&b.spec.deadline)
-                .expect("comparable deadlines")
+                .total_cmp(&b.spec.deadline)
                 .then(a.id().cmp(&b.id()))
         });
         let mut plan = SchedulePlan::new();

@@ -11,7 +11,7 @@
 use elasticflow_trace::JobId;
 
 use crate::{
-    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,
 };
 
 /// The EDF baseline scheduler.
@@ -38,11 +38,8 @@ impl EdfScheduler {
     /// Active jobs ordered by (deadline, id) — best-effort jobs (infinite
     /// deadline) sort last.
     fn edf_order(jobs: &JobTable) -> Vec<JobId> {
-        let mut ids: Vec<(f64, JobId)> = jobs
-            .active()
-            .map(|j| (j.spec.deadline, j.id()))
-            .collect();
-        ids.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("comparable deadlines").then(a.1.cmp(&b.1)));
+        let mut ids: Vec<(f64, JobId)> = jobs.active().map(|j| (j.spec.deadline, j.id())).collect();
+        ids.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         ids.into_iter().map(|(_, id)| id).collect()
     }
 }
@@ -69,7 +66,7 @@ impl Scheduler for EdfScheduler {
             if free == 0 {
                 break;
             }
-            let job = jobs.get(id).expect("id from the same table");
+            let Some(job) = jobs.get(id) else { continue };
             let give = clamp_pow2(job.knee(), free);
             if give > 0 {
                 plan.assign(id, give);

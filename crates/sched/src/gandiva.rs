@@ -10,9 +10,7 @@
 //! arrival order at their fixed sizes, and let smaller jobs slip into holes
 //! the head of the queue cannot use.
 
-use crate::{
-    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
-};
+use crate::{AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler};
 
 /// The Gandiva baseline scheduler.
 ///
@@ -55,8 +53,7 @@ impl Scheduler for GandivaScheduler {
         order.sort_by(|a, b| {
             a.spec
                 .submit_time
-                .partial_cmp(&b.spec.submit_time)
-                .expect("finite submit times")
+                .total_cmp(&b.spec.submit_time)
                 .then(a.id().cmp(&b.id()))
         });
         let mut plan = SchedulePlan::new();

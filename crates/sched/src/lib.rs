@@ -34,7 +34,7 @@ mod themis;
 mod tiresias;
 
 pub use api::{
-    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
+    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,
 };
 
 #[allow(clippy::items_after_test_module)]

@@ -15,9 +15,7 @@ use std::collections::BTreeMap;
 
 use elasticflow_trace::JobId;
 
-use crate::{
-    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
-};
+use crate::{AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler};
 
 /// The Pollux baseline scheduler.
 ///
@@ -82,7 +80,9 @@ impl Scheduler for PolluxScheduler {
             // Highest marginal normalized gain first; id breaks ties.
             let mut best: Option<(f64, JobId, u32, u32)> = None;
             for (&id, &cur) in &alloc {
-                let job = jobs.get(id).expect("id from the same table");
+                let Some(job) = jobs.get(id) else {
+                    continue;
+                };
                 if let Some((next, gain)) = Self::marginal_gain(job, cur) {
                     let extra = next - cur;
                     if extra <= free {
@@ -106,10 +106,7 @@ impl Scheduler for PolluxScheduler {
                 None => break,
             }
         }
-        alloc
-            .into_iter()
-            .filter(|&(_, g)| g > 0)
-            .collect()
+        alloc.into_iter().filter(|&(_, g)| g > 0).collect()
     }
 }
 

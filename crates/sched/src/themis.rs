@@ -9,9 +9,7 @@
 //! paper also uses (it cites the Gavel reimplementation). Not deadline-
 //! aware; fixed trace sizes.
 
-use crate::{
-    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
-};
+use crate::{AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler};
 
 /// The Themis baseline scheduler.
 ///
@@ -65,11 +63,7 @@ impl Scheduler for ThemisScheduler {
         let mut order: Vec<(f64, &JobRuntime)> =
             jobs.active().map(|j| (Self::rho(j, now), j)).collect();
         // Worst-off (largest rho) first; id as tiebreak for determinism.
-        order.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("finite fairness values")
-                .then(a.1.id().cmp(&b.1.id()))
-        });
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id().cmp(&b.1.id())));
         let mut plan = SchedulePlan::new();
         let mut free = view.total_gpus;
         for (_, job) in order {
@@ -121,9 +115,7 @@ mod tests {
         done_half.remaining_iterations /= 2.0;
         let untouched = job(2, 0.0, None, 4);
         let now = 1_000.0;
-        assert!(
-            ThemisScheduler::rho(&done_half, now) < ThemisScheduler::rho(&untouched, now)
-        );
+        assert!(ThemisScheduler::rho(&done_half, now) < ThemisScheduler::rho(&untouched, now));
     }
 
     #[test]

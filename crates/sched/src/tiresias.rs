@@ -8,9 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler, SchedulePlan,
-};
+use crate::{AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler};
 
 /// The Tiresias baseline scheduler.
 ///
@@ -89,7 +87,7 @@ impl Scheduler for TiresiasScheduler {
         // Lower queue first; FIFO inside a queue; id as final tiebreak.
         order.sort_by(|a, b| {
             a.0.cmp(&b.0)
-                .then(a.1.partial_cmp(&b.1).expect("finite submit times"))
+                .then(a.1.total_cmp(&b.1))
                 .then(a.2.id().cmp(&b.2.id()))
         });
         let mut plan = SchedulePlan::new();

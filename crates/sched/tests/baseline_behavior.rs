@@ -10,7 +10,9 @@ use elasticflow_trace::{JobId, JobSpec};
 
 fn job(id: u64, submit: f64, deadline: Option<f64>, trace_gpus: u32) -> JobRuntime {
     let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
-    let tput = curve.iters_per_sec(trace_gpus.min(curve.max_gpus())).unwrap();
+    let tput = curve
+        .iters_per_sec(trace_gpus.min(curve.max_gpus()))
+        .expect("clamped GPU count is on the curve");
     let mut b = JobSpec::builder(JobId::new(id), DnnModel::ResNet50, 128)
         .iterations(3_600.0 * tput)
         .submit_time(submit)
@@ -43,7 +45,11 @@ fn no_baseline_ever_overcommits() {
         let view = ClusterView::new(total);
         let mut table = JobTable::new();
         for i in 0..20 {
-            let deadline = if i % 3 == 0 { None } else { Some(5_000.0 + 100.0 * i as f64) };
+            let deadline = if i % 3 == 0 {
+                None
+            } else {
+                Some(5_000.0 + 100.0 * i as f64)
+            };
             table.insert(job(i, i as f64 * 10.0, deadline, 1 << (i % 5)));
         }
         for mut s in all_schedulers() {

@@ -1,0 +1,165 @@
+//! Runtime invariant auditor — the dynamic counterpart of the
+//! `elasticflow-lint` static pass.
+//!
+//! With the default-off `audit` cargo feature enabled, the simulation
+//! engine cross-checks the cluster's allocation state against the job
+//! table after every replan. A violated invariant panics immediately with
+//! a structured diagnostic: GPU accounting past such a point is wrong, and
+//! a silently corrupted report is worse than no report. Cheap
+//! `debug_assert!` fast paths in the engine stay on in every debug build
+//! regardless of the feature.
+//!
+//! The invariants audited here are the *structural* ones every scheduler
+//! must uphold. The guarantee-specific invariants of ElasticFlow's
+//! admission control (SLO feasibility, reserved minimum-share floors) live
+//! in `elasticflow-core`'s own `audit` module, at the layer that owns the
+//! guarantee.
+
+use elasticflow_cluster::ClusterState;
+use elasticflow_sched::JobTable;
+use elasticflow_trace::JobId;
+
+/// Audits structural cluster/job-table invariants after each replan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvariantAuditor;
+
+/// Aborts the run with a structured diagnostic on a violated invariant.
+#[cold]
+fn audit_fail(invariant: &str, detail: &str, now: f64) -> ! {
+    // elasticflow-lint: allow(EF-L001): the auditor's entire purpose is a loud structured abort on a violated invariant — continuing would hand back a corrupted report
+    panic!("invariant audit failed at t={now:.3}s\n  invariant: {invariant}\n  detail:    {detail}")
+}
+
+impl InvariantAuditor {
+    /// Checks every structural invariant. `phantom_base` is the owner-tag
+    /// threshold above which blocks stand in for failed servers rather
+    /// than jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a structured diagnostic on the first violation found.
+    pub fn check_cluster(cluster: &ClusterState, jobs: &JobTable, phantom_base: u64, now: f64) {
+        Self::check_capacity(cluster, now);
+        Self::check_placements(cluster, now);
+        Self::check_job_agreement(cluster, jobs, phantom_base, now);
+    }
+
+    /// Total allocated GPUs never exceed capacity, and the buddy
+    /// allocator's idle counter agrees with the sum of live placements.
+    fn check_capacity(cluster: &ClusterState, now: f64) {
+        let placed: u32 = cluster.iter().map(|(_, p)| p.num_gpus()).sum();
+        if placed > cluster.capacity() {
+            audit_fail(
+                "total allocated GPUs <= cluster capacity",
+                &format!(
+                    "placed {placed} GPUs on a {}-GPU cluster",
+                    cluster.capacity()
+                ),
+                now,
+            );
+        }
+        if placed != cluster.used_gpus() {
+            audit_fail(
+                "placement sum == used-GPU counter",
+                &format!(
+                    "placements cover {placed} GPUs but the allocator reports {} used",
+                    cluster.used_gpus()
+                ),
+                now,
+            );
+        }
+    }
+
+    /// Every placement is a power-of-two, contiguous, aligned buddy block —
+    /// i.e. it corresponds to a topology subtree (paper §4.3).
+    fn check_placements(cluster: &ClusterState, now: f64) {
+        for (owner, placement) in cluster.iter() {
+            let n = placement.num_gpus();
+            if n == 0 || !n.is_power_of_two() {
+                audit_fail(
+                    "placement sizes are powers of two",
+                    &format!("owner {owner} holds {n} GPUs"),
+                    now,
+                );
+            }
+            let gpus = placement.gpus();
+            let first = gpus.first().map(|g| g.index()).unwrap_or(0);
+            if first % n != 0 {
+                audit_fail(
+                    "placements are buddy-aligned",
+                    &format!("owner {owner}: block of {n} starts at GPU {first}"),
+                    now,
+                );
+            }
+            let contiguous = gpus
+                .iter()
+                .enumerate()
+                .all(|(i, g)| g.index() == first + i as u32);
+            if gpus.len() != n as usize || !contiguous {
+                audit_fail(
+                    "placements are contiguous buddy blocks",
+                    &format!("owner {owner}: GPUs {gpus:?} are not {n} consecutive leaves"),
+                    now,
+                );
+            }
+        }
+    }
+
+    /// The job table and the cluster agree: every active job with workers
+    /// holds a placement of exactly that size, and every non-phantom
+    /// placement belongs to an active job.
+    fn check_job_agreement(cluster: &ClusterState, jobs: &JobTable, phantom_base: u64, now: f64) {
+        for job in jobs.iter() {
+            if job.is_active() && job.current_gpus > 0 {
+                match cluster.placement_of(job.id().raw()) {
+                    Some(p) if p.num_gpus() == job.current_gpus => {}
+                    Some(p) => audit_fail(
+                        "job worker counts match their placements",
+                        &format!(
+                            "job {} runs {} workers but holds a {}-GPU block",
+                            job.id(),
+                            job.current_gpus,
+                            p.num_gpus()
+                        ),
+                        now,
+                    ),
+                    None => audit_fail(
+                        "running jobs hold a placement",
+                        &format!(
+                            "job {} runs {} workers but holds no GPUs",
+                            job.id(),
+                            job.current_gpus
+                        ),
+                        now,
+                    ),
+                }
+            }
+        }
+        for (owner, placement) in cluster.iter() {
+            if owner >= phantom_base {
+                continue; // fenced-off failed server, not a job
+            }
+            match jobs.get(JobId::new(owner)) {
+                Some(job) if job.is_active() && job.current_gpus == placement.num_gpus() => {}
+                Some(job) => audit_fail(
+                    "placements belong to active jobs of matching size",
+                    &format!(
+                        "owner {owner} holds {} GPUs but job state is active={} workers={}",
+                        placement.num_gpus(),
+                        job.is_active(),
+                        job.current_gpus
+                    ),
+                    now,
+                ),
+                None => audit_fail(
+                    "placements belong to known jobs",
+                    &format!(
+                        "owner {owner} holds {} GPUs but is not in the job table",
+                        placement.num_gpus()
+                    ),
+                    now,
+                ),
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The event-driven simulation engine.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use elasticflow_cluster::{ClusterSpec, ClusterState};
 use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve, ScalingEvent};
@@ -16,6 +16,15 @@ const PHANTOM_BASE: u64 = u64::MAX / 2;
 const EPS_ITERS: f64 = 1e-6;
 /// Time tolerance for batching simultaneous events.
 const EPS_TIME: f64 = 1e-9;
+
+/// Hard-stops the simulation on a broken engine invariant or a plan the
+/// cluster cannot honor. GPU accounting past such a point would be wrong,
+/// so a loud abort beats a silently corrupted [`SimReport`].
+#[cold]
+fn sim_bug(context: &str) -> ! {
+    // elasticflow-lint: allow(EF-L001): deliberate single abort point — every engine invariant failure funnels here so a violation stops the replay instead of corrupting the report
+    panic!("simulation engine invariant violated: {context}")
+}
 
 /// A configured simulation, ready to replay traces against schedulers.
 ///
@@ -59,7 +68,10 @@ impl Simulation {
 
         let mut jobs = JobTable::new();
         let mut stats: BTreeMap<JobId, JobStats> = BTreeMap::new();
-        let mut curves: HashMap<(DnnModel, u32), ScalingCurve> = HashMap::new();
+        // BTreeMap, not HashMap: the memo is lookup-only today, but hash
+        // iteration order leaking into a future refactor would silently
+        // break replay determinism (EF-L003).
+        let mut curves: BTreeMap<(DnnModel, u32), ScalingCurve> = BTreeMap::new();
         let mut timeline: Vec<TimelinePoint> = Vec::new();
         let mut migrations_total: u32 = 0;
         let mut total_pause = 0.0f64;
@@ -81,7 +93,7 @@ impl Simulation {
                 transitions.push((f.at + f.repair_seconds, f.server, true));
             }
         }
-        transitions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        transitions.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut next_transition = 0usize;
         let mut down_servers: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
 
@@ -134,8 +146,7 @@ impl Simulation {
                     let run_from = job.paused_until.max(now);
                     let dt = (t - run_from).max(0.0);
                     let tput = job.curve.iters_per_sec(job.current_gpus).unwrap_or(0.0);
-                    job.remaining_iterations =
-                        (job.remaining_iterations - dt * tput).max(0.0);
+                    job.remaining_iterations = (job.remaining_iterations - dt * tput).max(0.0);
                     job.gpu_seconds += job.current_gpus as f64 * (t - now);
                 }
             }
@@ -150,10 +161,14 @@ impl Simulation {
                 .map(|j| j.id())
                 .collect();
             for id in finished {
-                let job = jobs.get_mut(id).expect("completing job exists");
+                let job = jobs
+                    .get_mut(id)
+                    .unwrap_or_else(|| sim_bug("completing job missing from the job table"));
                 job.finish_time = Some(now);
                 job.current_gpus = 0;
-                cluster.release(id.raw()).expect("completing job held GPUs");
+                cluster
+                    .release(id.raw())
+                    .unwrap_or_else(|_| sim_bug("completing job held no GPUs"));
                 scheduler.on_job_finish(id, now);
             }
 
@@ -166,7 +181,9 @@ impl Simulation {
                 let phantom = PHANTOM_BASE + server as u64;
                 if is_repair {
                     if down_servers.remove(&server) {
-                        cluster.release(phantom).expect("phantom was pinned");
+                        cluster.release(phantom).unwrap_or_else(|_| {
+                            sim_bug("repaired server had no pinned phantom block")
+                        });
                     }
                     continue;
                 }
@@ -178,15 +195,14 @@ impl Simulation {
                 let victims: Vec<u64> = cluster
                     .iter()
                     .filter(|(owner, p)| {
-                        *owner < PHANTOM_BASE
-                            && p.servers()
-                                .iter()
-                                .any(|srv| srv.index() == server)
+                        *owner < PHANTOM_BASE && p.servers().iter().any(|srv| srv.index() == server)
                     })
                     .map(|(owner, _)| owner)
                     .collect();
                 for owner in victims {
-                    cluster.release(owner).expect("victim held GPUs");
+                    cluster
+                        .release(owner)
+                        .unwrap_or_else(|_| sim_bug("evicted victim held no GPUs"));
                     let id = JobId::new(owner);
                     if let Some(job) = jobs.get_mut(id) {
                         let pause = self.config.overheads.pause_seconds(
@@ -203,11 +219,10 @@ impl Simulation {
                 }
                 // Fence the dead server off with a pinned phantom block.
                 let order = gpus_per_server.trailing_zeros();
-                let block =
-                    elasticflow_cluster::Block::new(order, server * gpus_per_server);
-                cluster
-                    .allocate_pinned(phantom, block)
-                    .expect("victims were evicted, server block is free");
+                let block = elasticflow_cluster::Block::new(order, server * gpus_per_server);
+                cluster.allocate_pinned(phantom, block).unwrap_or_else(|_| {
+                    sim_bug("failed server block still occupied after eviction")
+                });
             }
             let up_gpus = total_gpus - down_servers.len() as u32 * gpus_per_server;
             let view = ClusterView::new(up_gpus);
@@ -235,10 +250,14 @@ impl Simulation {
                 jobs.insert(runtime);
                 stats.insert(id, JobStats::default());
                 let decision = {
-                    let job_ref = jobs.get(id).expect("just inserted");
+                    let job_ref = jobs
+                        .get(id)
+                        .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
                     scheduler.on_job_arrival(job_ref, now, &view, &jobs)
                 };
-                let job = jobs.get_mut(id).expect("just inserted");
+                let job = jobs
+                    .get_mut(id)
+                    .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
                 match decision {
                     AdmissionDecision::Admit => {
                         job.admitted = true;
@@ -275,19 +294,28 @@ impl Simulation {
             for (id, from, to) in changes {
                 let mut migrated: Vec<u64> = Vec::new();
                 if to == 0 {
-                    cluster.release(id.raw()).expect("shrinking job held GPUs");
+                    cluster
+                        .release(id.raw())
+                        .unwrap_or_else(|_| sim_bug("shrinking job held no GPUs"));
                 } else if from == 0 {
-                    let (_, migs) = cluster
-                        .allocate_with_defrag(id.raw(), to)
-                        .expect("plan fits the cluster");
+                    let (_, migs) =
+                        cluster
+                            .allocate_with_defrag(id.raw(), to)
+                            .unwrap_or_else(|e| {
+                                sim_bug(&format!("plan does not fit the cluster: {e}"))
+                            });
                     migrated = migs.iter().map(|m| m.owner).collect();
                 } else {
-                    let (_, migs) = cluster.resize(id.raw(), to).expect("plan fits");
+                    let (_, migs) = cluster.resize(id.raw(), to).unwrap_or_else(|e| {
+                        sim_bug(&format!("plan does not fit during resize: {e}"))
+                    });
                     migrated = migs.iter().map(|m| m.owner).collect();
                 }
                 // Charge the scaling pause to the job itself.
                 {
-                    let job = jobs.get_mut(id).expect("planned job exists");
+                    let job = jobs
+                        .get_mut(id)
+                        .unwrap_or_else(|| sim_bug("planned job missing from the job table"));
                     let pause = overheads
                         .pause_seconds(&job.spec.model.profile(), ScalingEvent::scale(from, to));
                     if job.first_start.is_none() && to > 0 {
@@ -319,10 +347,14 @@ impl Simulation {
                     }
                 }
             }
+            // Always-on fast path; the `audit` feature adds the full
+            // structural cross-check of cluster state vs. job table.
             debug_assert_eq!(
                 cluster.used_gpus(),
                 plan.total_gpus() + down_servers.len() as u32 * gpus_per_server
             );
+            #[cfg(feature = "audit")]
+            crate::audit::InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, now);
 
             // ---- record timeline ----
             let ce = jobs
@@ -333,8 +365,7 @@ impl Simulation {
                 / total_gpus as f64;
             timeline.push(TimelinePoint {
                 time: now,
-                used_gpus: cluster.used_gpus()
-                    - down_servers.len() as u32 * gpus_per_server,
+                used_gpus: cluster.used_gpus() - down_servers.len() as u32 * gpus_per_server,
                 cluster_efficiency: ce,
                 submitted,
                 admitted: admitted_count,
@@ -420,11 +451,9 @@ mod tests {
 
     #[test]
     fn zero_overheads_match_analytic_finish_time() {
-        let cfg = SimConfig::default()
-            .with_overheads(elasticflow_perfmodel::OverheadModel::free());
+        let cfg = SimConfig::default().with_overheads(elasticflow_perfmodel::OverheadModel::free());
         let trace = one_job_trace(10.0 * 3_600.0);
-        let report =
-            Simulation::new(small_spec(), cfg).run(&trace, &mut GandivaScheduler::new());
+        let report = Simulation::new(small_spec(), cfg).run(&trace, &mut GandivaScheduler::new());
         let o = &report.outcomes()[0];
         // Gandiva runs the job at its fixed 4-GPU request; with free
         // overheads it should finish in exactly the trace duration.
@@ -504,8 +533,8 @@ mod tests {
     #[test]
     fn timelines_are_monotone_and_bounded() {
         let trace = TraceConfig::testbed_small(5).generate(&Interconnect::from_spec(&small_spec()));
-        let report =
-            Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut PolluxScheduler::new());
+        let report = Simulation::new(small_spec(), SimConfig::default())
+            .run(&trace, &mut PolluxScheduler::new());
         let mut last_t = f64::NEG_INFINITY;
         for p in report.timeline() {
             assert!(p.time >= last_t);
@@ -532,8 +561,8 @@ mod tests {
         let trace = TraceConfig::testbed_small(6)
             .with_best_effort_fraction(1.0)
             .generate(&Interconnect::from_spec(&small_spec()));
-        let report =
-            Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut TiresiasScheduler::new());
+        let report = Simulation::new(small_spec(), SimConfig::default())
+            .run(&trace, &mut TiresiasScheduler::new());
         assert_eq!(report.deadline_satisfactory_ratio(), 1.0);
         assert!(report.avg_best_effort_jct().is_some());
         assert!(report
@@ -595,13 +624,11 @@ mod failure_tests {
     fn failed_server_capacity_is_fenced_off() {
         // Two 8-GPU jobs on a 16-GPU cluster; server 1 fails for an hour.
         let trace = Trace::new("pair", vec![long_job(0, 8), long_job(1, 8)]);
-        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(vec![
-            NodeFailure {
-                server: 1,
-                at: 1_800.0,
-                repair_seconds: 3_600.0,
-            },
-        ]));
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(vec![NodeFailure {
+            server: 1,
+            at: 1_800.0,
+            repair_seconds: 3_600.0,
+        }]));
         let report = Simulation::new(spec(), cfg).run(&trace, &mut EdfScheduler::new());
         // During the outage at most 8 GPUs are in use.
         for p in report.timeline() {

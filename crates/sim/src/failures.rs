@@ -60,7 +60,7 @@ impl FailureSchedule {
                 "repair duration invalid"
             );
         }
-        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
         FailureSchedule { events }
     }
 

@@ -36,12 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 mod config;
 mod engine;
 mod failures;
 mod metrics;
 
+#[cfg(feature = "audit")]
+pub use audit::InvariantAuditor;
 pub use config::SimConfig;
-pub use failures::{FailureSchedule, NodeFailure};
 pub use engine::Simulation;
+pub use failures::{FailureSchedule, NodeFailure};
 pub use metrics::{JobOutcome, SimReport, TimelinePoint};

@@ -287,9 +287,9 @@ mod tests {
     #[test]
     fn dsr_counts_only_slo_jobs() {
         let r = report(vec![
-            outcome(1, JobKind::Slo, Some(50.0), 100.0),   // met
-            outcome(2, JobKind::Slo, Some(150.0), 100.0),  // missed
-            outcome(3, JobKind::Slo, None, 100.0),         // dropped
+            outcome(1, JobKind::Slo, Some(50.0), 100.0),  // met
+            outcome(2, JobKind::Slo, Some(150.0), 100.0), // missed
+            outcome(3, JobKind::Slo, None, 100.0),        // dropped
             outcome(4, JobKind::BestEffort, Some(1.0), f64::INFINITY),
         ]);
         assert!((r.deadline_satisfactory_ratio() - 1.0 / 3.0).abs() < 1e-12);
@@ -299,7 +299,12 @@ mod tests {
 
     #[test]
     fn dsr_for_pure_best_effort_is_one() {
-        let r = report(vec![outcome(1, JobKind::BestEffort, Some(5.0), f64::INFINITY)]);
+        let r = report(vec![outcome(
+            1,
+            JobKind::BestEffort,
+            Some(5.0),
+            f64::INFINITY,
+        )]);
         assert_eq!(r.deadline_satisfactory_ratio(), 1.0);
     }
 

@@ -1,0 +1,80 @@
+//! Negative tests for the runtime invariant auditor: deliberately broken
+//! cluster/job-table states must be caught, proving the auditor is not
+//! vacuous. Compiled only with `--features audit`.
+#![cfg(feature = "audit")]
+
+use elasticflow_cluster::{ClusterSpec, ClusterState};
+use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
+use elasticflow_sched::{JobRuntime, JobTable};
+use elasticflow_sim::InvariantAuditor;
+use elasticflow_trace::{JobId, JobSpec};
+
+const PHANTOM_BASE: u64 = u64::MAX / 2;
+
+fn cluster() -> ClusterState {
+    ClusterState::new(ClusterSpec::with_servers(2, 8).build_topology())
+}
+
+fn runtime(id: u64) -> JobRuntime {
+    let spec = JobSpec::builder(JobId::new(id), DnnModel::ResNet50, 128)
+        .iterations(1000.0)
+        .build();
+    let curve = ScalingCurve::build(DnnModel::ResNet50, 128, &Interconnect::paper_testbed());
+    JobRuntime::new(spec, curve)
+}
+
+#[test]
+fn consistent_state_passes() {
+    let mut cluster = cluster();
+    cluster.allocate(1, 4).expect("idle cluster");
+    let mut jobs = JobTable::new();
+    let mut job = runtime(1);
+    job.admitted = true;
+    job.current_gpus = 4;
+    jobs.insert(job);
+    InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "invariant audit failed")]
+fn placement_without_a_job_is_caught() {
+    let mut cluster = cluster();
+    cluster.allocate(5, 4).expect("idle cluster");
+    let jobs = JobTable::new();
+    InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "invariant audit failed")]
+fn running_job_without_gpus_is_caught() {
+    let cluster = cluster();
+    let mut jobs = JobTable::new();
+    let mut job = runtime(1);
+    job.admitted = true;
+    job.current_gpus = 2;
+    jobs.insert(job);
+    InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "invariant audit failed")]
+fn size_mismatch_is_caught() {
+    let mut cluster = cluster();
+    cluster.allocate(1, 8).expect("idle cluster");
+    let mut jobs = JobTable::new();
+    let mut job = runtime(1);
+    job.admitted = true;
+    job.current_gpus = 2;
+    jobs.insert(job);
+    InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, 0.0);
+}
+
+#[test]
+fn phantom_blocks_are_exempt() {
+    // A pinned phantom block (failed server stand-in) has no job entry and
+    // must not trip the ownership check.
+    let mut cluster = cluster();
+    cluster.allocate(PHANTOM_BASE, 8).expect("idle cluster");
+    let jobs = JobTable::new();
+    InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, 0.0);
+}

@@ -144,6 +144,9 @@ fn concurrent_jobs_share_without_interference() {
     let report = Simulation::new(spec(), cfg).run(&trace, &mut Fixed(4));
     for o in report.outcomes() {
         let finish = o.finish_time.unwrap();
-        assert!((finish - expected).abs() / expected < 1e-9, "{finish} vs {expected}");
+        assert!(
+            (finish - expected).abs() / expected < 1e-9,
+            "{finish} vs {expected}"
+        );
     }
 }

@@ -146,8 +146,7 @@ impl TraceConfig {
             (900, 55.0, 2_400.0, 1.0, 64),
             (1_000, 60.0, 2_100.0, 1.0, 64),
         ];
-        let (num_jobs, mean_interarrival, duration_median, duration_sigma, servers) =
-            presets[idx];
+        let (num_jobs, mean_interarrival, duration_median, duration_sigma, servers) = presets[idx];
         let arrival = if idx % 3 == 1 {
             ArrivalPattern::Bursty {
                 mean_interarrival,

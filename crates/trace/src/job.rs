@@ -204,7 +204,10 @@ impl JobSpecBuilder {
     ///
     /// Panics if `deadline` is not finite (use the default for best-effort).
     pub fn deadline(mut self, deadline: f64) -> Self {
-        assert!(deadline.is_finite(), "use best-effort for infinite deadlines");
+        assert!(
+            deadline.is_finite(),
+            "use best-effort for infinite deadlines"
+        );
         self.spec.deadline = deadline;
         self.spec.kind = JobKind::Slo;
         self
@@ -216,7 +219,10 @@ impl JobSpecBuilder {
     ///
     /// Panics if `deadline` is not finite.
     pub fn soft_deadline(mut self, deadline: f64) -> Self {
-        assert!(deadline.is_finite(), "use best-effort for infinite deadlines");
+        assert!(
+            deadline.is_finite(),
+            "use best-effort for infinite deadlines"
+        );
         self.spec.deadline = deadline;
         self.spec.kind = JobKind::SoftDeadline;
         self

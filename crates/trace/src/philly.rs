@@ -52,11 +52,7 @@ mod tests {
     #[test]
     fn philly_is_single_gpu_dominated() {
         let trace = philly_like_config(3).generate(&Interconnect::paper_testbed());
-        let singles = trace
-            .jobs()
-            .iter()
-            .filter(|j| j.trace_gpus == 1)
-            .count() as f64;
+        let singles = trace.jobs().iter().filter(|j| j.trace_gpus == 1).count() as f64;
         let frac = singles / trace.jobs().len() as f64;
         assert!(frac > 0.55, "single-GPU fraction {frac}");
     }

@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 fn any_arrival() -> impl Strategy<Value = ArrivalPattern> {
     prop_oneof![
-        (60.0f64..1_000.0).prop_map(|mean_interarrival| ArrivalPattern::Poisson {
-            mean_interarrival
-        }),
+        (60.0f64..1_000.0)
+            .prop_map(|mean_interarrival| ArrivalPattern::Poisson { mean_interarrival }),
         (60.0f64..1_000.0, 5usize..50, 2usize..15).prop_map(
             |(mean_interarrival, burst_every, burst_size)| ArrivalPattern::Bursty {
                 mean_interarrival,

@@ -20,14 +20,37 @@ fn main() {
     // A rough afternoon: three servers die in quick succession, one of
     // them twice, each taking an hour to repair.
     let schedule = FailureSchedule::fixed(vec![
-        NodeFailure { server: 2, at: 2.0 * 3_600.0, repair_seconds: 3_600.0 },
-        NodeFailure { server: 7, at: 2.5 * 3_600.0, repair_seconds: 3_600.0 },
-        NodeFailure { server: 11, at: 3.0 * 3_600.0, repair_seconds: 3_600.0 },
-        NodeFailure { server: 2, at: 6.0 * 3_600.0, repair_seconds: 3_600.0 },
+        NodeFailure {
+            server: 2,
+            at: 2.0 * 3_600.0,
+            repair_seconds: 3_600.0,
+        },
+        NodeFailure {
+            server: 7,
+            at: 2.5 * 3_600.0,
+            repair_seconds: 3_600.0,
+        },
+        NodeFailure {
+            server: 11,
+            at: 3.0 * 3_600.0,
+            repair_seconds: 3_600.0,
+        },
+        NodeFailure {
+            server: 2,
+            at: 6.0 * 3_600.0,
+            repair_seconds: 3_600.0,
+        },
     ]);
 
-    println!("{} jobs on {} GPUs; 4 injected server failures\n", trace.jobs().len(), spec.total_gpus());
-    println!("{:<13} {:>10} {:>10} {:>14} {:>12}", "scheduler", "clean DSR", "drill DSR", "evictions", "pauses (h)");
+    println!(
+        "{} jobs on {} GPUs; 4 injected server failures\n",
+        trace.jobs().len(),
+        spec.total_gpus()
+    );
+    println!(
+        "{:<13} {:>10} {:>10} {:>14} {:>12}",
+        "scheduler", "clean DSR", "drill DSR", "evictions", "pauses (h)"
+    );
     for (name, fresh) in [("edf", true), ("elasticflow", false)] {
         let run = |failures: FailureSchedule| {
             let cfg = SimConfig::default().with_failures(failures);

@@ -10,8 +10,8 @@ use elasticflow::cluster::ClusterSpec;
 use elasticflow::core::{EdfWithAdmission, EdfWithElastic, ElasticFlowScheduler};
 use elasticflow::perfmodel::Interconnect;
 use elasticflow::sched::{
-    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler,
-    ThemisScheduler, TiresiasScheduler,
+    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler, ThemisScheduler,
+    TiresiasScheduler,
 };
 use elasticflow::sim::{SimConfig, SimReport, Simulation};
 use elasticflow::trace::TraceConfig;

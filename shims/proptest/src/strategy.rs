@@ -1,0 +1,236 @@
+//! Strategy combinators: how test inputs are generated.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`generate`) plus `Sized`-only combinators, so
+/// `Box<dyn Strategy<Value = T>>` works for heterogeneous unions.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum::<u64>();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.below(self.total_weight);
+        for (weight, strat) in &self.options {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return strat.generate(rng);
+            }
+            ticket -= weight;
+        }
+        // Unreachable given total_weight accounting; fall back to the last.
+        self.options[self.options.len() - 1].1.generate(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up to the exclusive bound.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let wide = Range {
+            start: f64::from(self.start),
+            end: f64::from(self.end),
+        };
+        wide.generate(rng) as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Whole-domain strategies for primitives (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for a whole primitive domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,230 @@
+//! The JSON-like value tree that backs the serde shim's data model.
+
+use std::fmt;
+
+/// A self-describing tree value: the intermediate representation every
+/// `Serialize`/`Deserialize` impl in the shim goes through.
+///
+/// Objects preserve insertion order (fields serialize in declaration order)
+/// so output is deterministic and diffs are stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for negative numbers).
+    Int(i64),
+    /// Unsigned integer (the common case for counts and ids).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` if this is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(x) => Some(x as f64),
+            Value::UInt(x) => Some(x as f64),
+            Value::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if it is an unsigned integer (or a non-negative
+    /// signed one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(x) => Some(x),
+            Value::Int(x) if x >= 0 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Writes the value as compact JSON.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(x) => {
+                let mut buf = String::new();
+                fmt::Write::write_fmt(&mut buf, format_args!("{x}")).ok();
+                out.push_str(&buf);
+            }
+            Value::UInt(x) => {
+                let mut buf = String::new();
+                fmt::Write::write_fmt(&mut buf, format_args!("{x}")).ok();
+                out.push_str(&buf);
+            }
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that parses
+                    // back to the identical f64 (round-trip safe).
+                    let mut buf = String::new();
+                    fmt::Write::write_fmt(&mut buf, format_args!("{x:?}")).ok();
+                    out.push_str(&buf);
+                } else {
+                    // JSON has no infinity/NaN literal; real serde_json
+                    // writes null here as well.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact JSON rendering, so `println!("{value}")` matches `serde_json`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        f.write_str(&out)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+/// Object lookup by key; missing keys index to `Value::Null` (like
+/// `serde_json`).
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Array lookup by position; out-of-range indexes to `Value::Null`.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, std-only re-implementation of the serde
+//! surface it actually uses. The data model is a concrete JSON-like
+//! [`Value`] tree rather than serde's visitor architecture: `Serialize`
+//! lowers a type into a [`Value`], `Deserialize` lifts it back. The public
+//! trait signatures mirror the real crate closely enough that the
+//! application code (including `#[serde(with = "...")]` helper modules) is
+//! written exactly as it would be against real serde, and the whole shim can
+//! be swapped for the genuine crates by flipping the workspace dependency
+//! back to a registry version.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __value;
+
+pub use crate::__value::Value;
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};

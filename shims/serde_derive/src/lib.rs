@@ -1,0 +1,336 @@
+//! Offline derive macros for the serde shim.
+//!
+//! Real `serde_derive` pulls in `syn`/`quote`; neither is available in this
+//! build environment, so this crate hand-parses the item definition from the
+//! token stream's textual rendering and emits impls of the shim's
+//! `Serialize`/`Deserialize` traits (which funnel through a JSON-like
+//! `Value` tree, making codegen straightforward).
+//!
+//! Supported shapes — everything the workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]`, `#[serde(with = "m")]`
+//!   honored per field);
+//! * newtype and tuple structs (newtypes serialize transparently);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics are intentionally unsupported: the macro emits a compile error
+//! naming the offending type so the gap is loud, not silent.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Item, ItemKind};
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let text = input.to_string();
+    let code = match parse::parse_item(&text) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::std::compile_error!({msg:?});"),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => format!("::std::compile_error!(\"serde shim codegen error: {e}\");")
+            .parse()
+            .unwrap_or_default(),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if let Some(with) = &f.with_module {
+                    pushes.push_str(&format!(
+                        "__fields.push(({n:?}.to_string(), \
+                         match {with}::serialize(&self.{n}, ::serde::ser::ValueSerializer) {{ \
+                         ::std::result::Result::Ok(v) => v, \
+                         ::std::result::Result::Err(e) => match e {{}} }}));\n",
+                        n = f.name,
+                    ));
+                } else {
+                    pushes.push_str(&format!(
+                        "__fields.push(({n:?}.to_string(), ::serde::ser::to_value(&self.{n})));\n",
+                        n = f.name,
+                    ));
+                }
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::__value::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                 ::serde::ser::Serializer::serialize_value(__serializer, \
+                 ::serde::__value::Value::Object(__fields))"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(arity)) => match arity {
+            0 => "::serde::ser::Serializer::serialize_unit(__serializer)".to_string(),
+            1 => "::serde::ser::Serializer::serialize_value(__serializer, \
+                  ::serde::ser::to_value(&self.0))"
+                .to_string(),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::ser::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::ser::Serializer::serialize_value(__serializer, \
+                     ::serde::__value::Value::Array(::std::vec![{}]))",
+                    items.join(", ")
+                )
+            }
+        },
+        ItemKind::Struct(Fields::Unit) => {
+            "::serde::ser::Serializer::serialize_unit(__serializer)".to_string()
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::__value::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::__value::Value::Object(::std::vec![\
+                         ({vname:?}.to_string(), ::serde::ser::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::ser::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::__value::Value::Object(::std::vec![\
+                             ({vname:?}.to_string(), ::serde::__value::Value::Array(\
+                             ::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({n:?}.to_string(), ::serde::ser::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::__value::Value::Object(\
+                             ::std::vec![({vname:?}.to_string(), \
+                             ::serde::__value::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __value = match self {{\n{arms}}};\n\
+                 ::serde::ser::Serializer::serialize_value(__serializer, __value)"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression extracting one named field (shared by structs and struct
+/// variants). `source` is a `&Vec<(String, Value)>` expression.
+fn named_field_expr(f: &parse::Field, owner: &str, source: &str) -> String {
+    let n = &f.name;
+    let found = if let Some(with) = &f.with_module {
+        format!(
+            "{with}::deserialize(::serde::de::ValueDeserializer(__v.clone()))\
+             .map_err(<__D::Error as ::serde::de::Error>::custom)?"
+        )
+    } else {
+        "::serde::de::from_value(__v.clone())\
+         .map_err(<__D::Error as ::serde::de::Error>::custom)?"
+            .to_string()
+    };
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+             \"missing field `{n}` in `{owner}`\"))"
+        )
+    };
+    format!(
+        "match {source}.iter().find(|(__k, _)| __k == {n:?}) {{\n\
+         ::std::option::Option::Some((_, __v)) => {found},\n\
+         ::std::option::Option::None => {missing},\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, named_field_expr(f, name, "__entries")))
+                .collect();
+            format!(
+                "let __entries = match __value {{\n\
+                 ::serde::__value::Value::Object(entries) => entries,\n\
+                 other => return ::std::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                 \"expected object for `{name}`, found {{}}\", other.kind()))),\n}};\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join(",\n")
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(arity)) => match arity {
+            0 => format!("let _ = __value; ::std::result::Result::Ok({name}())"),
+            1 => format!(
+                "::std::result::Result::Ok({name}(::serde::de::from_value(__value)\
+                 .map_err(<__D::Error as ::serde::de::Error>::custom)?))"
+            ),
+            n => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::de::from_value(__items[{i}].clone())\
+                             .map_err(<__D::Error as ::serde::de::Error>::custom)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __items = match __value {{\n\
+                     ::serde::__value::Value::Array(items) => items,\n\
+                     other => return ::std::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"expected array for `{name}`, found {{}}\", other.kind()))),\n}};\n\
+                     if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(<__D::Error as \
+                     ::serde::de::Error>::custom(\"wrong tuple arity for `{name}`\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    gets.join(", ")
+                )
+            }
+        },
+        ItemKind::Struct(Fields::Unit) => {
+            format!("let _ = __value; ::std::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept `{ "Variant": null }`.
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::de::from_value(__inner)\
+                         .map_err(<__D::Error as ::serde::de::Error>::custom)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::de::from_value(__items[{i}].clone())\
+                                     .map_err(<__D::Error as ::serde::de::Error>::custom)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __items = match __inner {{\n\
+                             ::serde::__value::Value::Array(items) => items,\n\
+                             other => return ::std::result::Result::Err(\
+                             <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                             \"expected array for variant `{vname}`, found {{}}\", \
+                             other.kind()))),\n}};\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(<__D::Error as \
+                             ::serde::de::Error>::custom(\"wrong arity for `{vname}`\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{}: {}", f.name, named_field_expr(f, vname, "__vfields"))
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __vfields = match __inner {{\n\
+                             ::serde::__value::Value::Object(entries) => entries,\n\
+                             other => return ::std::result::Result::Err(\
+                             <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                             \"expected object for variant `{vname}`, found {{}}\", \
+                             other.kind()))),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{}\n}})\n}}\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::__value::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(<__D::Error as \
+                 ::serde::de::Error>::custom(::std::format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::__value::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let mut __entries = __entries;\n\
+                 let (__tag, __inner) = match __entries.pop() {{\n\
+                 ::std::option::Option::Some(pair) => pair,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\"empty enum object\")),\n}};\n\
+                 let _ = &__inner;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(<__D::Error as \
+                 ::serde::de::Error>::custom(::std::format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}}\n\
+                 other => ::std::result::Result::Err(<__D::Error as \
+                 ::serde::de::Error>::custom(::std::format!(\
+                 \"expected string or single-key object for `{name}`, found {{}}\", \
+                 other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __value = ::serde::de::Deserializer::into_value(__deserializer)?;\n\
+         {body}\n}}\n}}\n"
+    )
+}

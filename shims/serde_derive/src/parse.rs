@@ -1,0 +1,550 @@
+//! A tiny, std-only parser for `struct`/`enum` definitions.
+//!
+//! Operates on the textual rendering of the derive input token stream. The
+//! rendering is already lexically normalized by rustc (comments are gone,
+//! doc comments appear as `#[doc = "..."]` attributes), so a flat token
+//! scan with bracket-depth tracking is sufficient.
+
+/// One lexical token of the item definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Any single punctuation character.
+    Punct(char),
+    /// String literal, with quotes stripped and escapes resolved.
+    Str(String),
+    /// Numeric or char literal (verbatim, unused by codegen).
+    Lit(String),
+    /// Lifetime like `'de`.
+    Lifetime(String),
+}
+
+/// A named field and its serde-relevant attributes.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// `#[serde(default)]` present.
+    pub has_default: bool,
+    /// `#[serde(with = "module")]` module path, if any.
+    pub with_module: Option<String>,
+}
+
+/// Shape of a struct body or enum variant payload.
+#[derive(Debug, Clone)]
+pub enum Fields {
+    /// `{ name: Ty, ... }`
+    Named(Vec<Field>),
+    /// `( Ty, ... )` — the payload arity.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant payload shape.
+    pub fields: Fields,
+}
+
+/// The parsed item kind.
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// A struct with the given fields.
+    Struct(Fields),
+    /// An enum with the given variants.
+    Enum(Vec<Variant>),
+}
+
+/// A parsed `struct` or `enum` definition.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Type name.
+    pub name: String,
+    /// Struct or enum body.
+    pub kind: ItemKind,
+}
+
+/// `rest` starts just after an `r`: is it `#*"`, i.e. a raw string opener?
+fn is_raw_string_start(rest: &[char]) -> bool {
+    let mut i = 0;
+    while i < rest.len() && rest[i] == '#' {
+        i += 1;
+    }
+    i < rest.len() && rest[i] == '"'
+}
+
+/// Tokenizes the textual form of a derive input.
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            // Line comment (doc comments render as `///` in the stream's
+            // textual form).
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            // Block comment, possibly nested.
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if i + 1 < bytes.len() && bytes[i] == '/' && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i] == '*' && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && i + 1 < bytes.len() && is_raw_string_start(&bytes[i + 1..]) {
+            // Raw strings only arise from doc attributes; capture verbatim.
+            let mut hashes = 0;
+            i += 1;
+            while i < bytes.len() && bytes[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != '"' {
+                return Err("malformed raw string".to_string());
+            }
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err("unterminated raw string".to_string());
+                }
+                if bytes[i] == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && j < bytes.len() && bytes[j] == '#' {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        i = j;
+                        break;
+                    }
+                }
+                s.push(bytes[i]);
+                i += 1;
+            }
+            toks.push(Tok::Str(s));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(bytes[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            {
+                i += 1;
+            }
+            toks.push(Tok::Lit(bytes[start..i].iter().collect()));
+        } else if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err("unterminated string literal".to_string());
+                }
+                match bytes[i] {
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\\' => {
+                        i += 1;
+                        if i >= bytes.len() {
+                            return Err("dangling escape".to_string());
+                        }
+                        s.push(match bytes[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '0' => '\0',
+                            other => other,
+                        });
+                        i += 1;
+                    }
+                    other => {
+                        s.push(other);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Tok::Str(s));
+        } else if c == '\'' {
+            // Lifetime or char literal.
+            if i + 1 < bytes.len() && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_') {
+                // Peek past the identifier run: a closing quote means a
+                // char literal like 'a'; otherwise it is a lifetime.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == '\'' {
+                    toks.push(Tok::Lit(bytes[i..=j].iter().collect()));
+                    i = j + 1;
+                } else {
+                    toks.push(Tok::Lifetime(bytes[i + 1..j].iter().collect()));
+                    i = j;
+                }
+            } else {
+                // Escaped or punctuation char literal: scan to closing quote.
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                    } else if bytes[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok::Lit(bytes[start..i].iter().collect()));
+            }
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    Ok(toks)
+}
+
+/// Cursor over the token list.
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), String> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(format!("expected `{c}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_any_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a balanced bracket group; `pos` must be on the opener.
+    fn skip_group(&mut self, open: char, close: char) -> Result<(), String> {
+        self.expect_punct(open)?;
+        let mut depth = 1;
+        while depth > 0 {
+            match self.next() {
+                Some(Tok::Punct(p)) if *p == open => depth += 1,
+                Some(Tok::Punct(p)) if *p == close => depth -= 1,
+                Some(_) => {}
+                None => return Err(format!("unbalanced `{open}`")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the attributes at the cursor, extracting serde ones.
+    fn parse_attrs(&mut self) -> Result<SerdeAttrs, String> {
+        let mut attrs = SerdeAttrs::default();
+        while self.eat_punct('#') {
+            let group_start = self.pos;
+            self.skip_group('[', ']')?;
+            let group = &self.toks[group_start + 1..self.pos - 1];
+            // Recognize `serde ( ... )` groups.
+            if let Some(Tok::Ident(head)) = group.first() {
+                if head == "serde" {
+                    parse_serde_attr(&group[1..], &mut attrs)?;
+                }
+            }
+        }
+        Ok(attrs)
+    }
+
+    /// Skips tokens until a top-level `,` or the end; consumes the comma.
+    fn skip_to_next_field(&mut self) -> Result<(), String> {
+        let mut angle: i32 = 0;
+        loop {
+            match self.peek() {
+                None => return Ok(()),
+                Some(Tok::Punct(',')) if angle == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(Tok::Punct('<')) => {
+                    angle += 1;
+                    self.pos += 1;
+                }
+                Some(Tok::Punct('>')) => {
+                    angle -= 1;
+                    self.pos += 1;
+                }
+                Some(Tok::Punct(p)) if *p == '(' => self.skip_group('(', ')')?,
+                Some(Tok::Punct(p)) if *p == '[' => self.skip_group('[', ']')?,
+                Some(Tok::Punct(p)) if *p == '{' => self.skip_group('{', '}')?,
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Serde attributes the shim honors.
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    has_default: bool,
+    with_module: Option<String>,
+}
+
+fn parse_serde_attr(group: &[Tok], attrs: &mut SerdeAttrs) -> Result<(), String> {
+    // `group` is `( ident [= lit] [, ...] )`.
+    let mut i = 0;
+    while i < group.len() {
+        match &group[i] {
+            Tok::Ident(word) if word == "default" => {
+                attrs.has_default = true;
+                i += 1;
+            }
+            Tok::Ident(word) if word == "with" => {
+                // expect `= "path"`
+                match (group.get(i + 1), group.get(i + 2)) {
+                    (Some(Tok::Punct('=')), Some(Tok::Str(path))) => {
+                        attrs.with_module = Some(path.clone());
+                        i += 3;
+                    }
+                    _ => return Err("malformed #[serde(with = \"...\")]".to_string()),
+                }
+            }
+            Tok::Ident(word) => {
+                return Err(format!(
+                    "unsupported serde attribute `{word}` (shim supports `default`, `with`)"
+                ));
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(())
+}
+
+/// Parses named fields from inside a brace group (cursor past the `{`).
+fn parse_named_fields(cur: &mut Cursor<'_>) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    loop {
+        if cur.eat_punct('}') {
+            break;
+        }
+        let attrs = cur.parse_attrs()?;
+        // Visibility.
+        if cur.eat_ident("pub") && matches!(cur.peek(), Some(Tok::Punct('('))) {
+            cur.skip_group('(', ')')?;
+        }
+        let name = cur.expect_any_ident()?;
+        cur.expect_punct(':')?;
+        // Skip the type, stopping at the matching close brace or comma.
+        let mut angle: i32 = 0;
+        loop {
+            match cur.peek() {
+                None => return Err("unexpected end of fields".to_string()),
+                Some(Tok::Punct(',')) if angle == 0 => {
+                    cur.pos += 1;
+                    break;
+                }
+                Some(Tok::Punct('}')) if angle == 0 => break,
+                Some(Tok::Punct('<')) => {
+                    angle += 1;
+                    cur.pos += 1;
+                }
+                Some(Tok::Punct('>')) => {
+                    angle -= 1;
+                    cur.pos += 1;
+                }
+                Some(Tok::Punct('(')) => cur.skip_group('(', ')')?,
+                Some(Tok::Punct('[')) => cur.skip_group('[', ']')?,
+                Some(_) => cur.pos += 1,
+            }
+        }
+        fields.push(Field {
+            name,
+            has_default: attrs.has_default,
+            with_module: attrs.with_module,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts tuple fields inside a paren group (cursor past the `(`).
+fn parse_tuple_arity(cur: &mut Cursor<'_>) -> Result<usize, String> {
+    let mut arity = 0;
+    let mut any_tokens = false;
+    let mut angle: i32 = 0;
+    loop {
+        match cur.peek() {
+            None => return Err("unexpected end of tuple fields".to_string()),
+            Some(Tok::Punct(')')) if angle == 0 => {
+                cur.pos += 1;
+                if any_tokens {
+                    arity += 1;
+                }
+                return Ok(arity);
+            }
+            Some(Tok::Punct(',')) if angle == 0 => {
+                cur.pos += 1;
+                if any_tokens {
+                    arity += 1;
+                    any_tokens = false;
+                }
+            }
+            Some(Tok::Punct('<')) => {
+                angle += 1;
+                any_tokens = true;
+                cur.pos += 1;
+            }
+            Some(Tok::Punct('>')) => {
+                angle -= 1;
+                cur.pos += 1;
+            }
+            Some(Tok::Punct('(')) => {
+                any_tokens = true;
+                cur.skip_group('(', ')')?;
+            }
+            Some(Tok::Punct('[')) => {
+                any_tokens = true;
+                cur.skip_group('[', ']')?;
+            }
+            Some(Tok::Punct('#')) => {
+                // Field attribute inside a tuple struct.
+                cur.pos += 1;
+                cur.skip_group('[', ']')?;
+            }
+            Some(_) => {
+                any_tokens = true;
+                cur.pos += 1;
+            }
+        }
+    }
+}
+
+/// Parses a full `struct`/`enum` definition.
+pub fn parse_item(src: &str) -> Result<Item, String> {
+    let toks = tokenize(src)?;
+    let mut cur = Cursor {
+        toks: &toks,
+        pos: 0,
+    };
+    // Outer attributes (doc comments etc.).
+    cur.parse_attrs()?;
+    if cur.eat_ident("pub") && matches!(cur.peek(), Some(Tok::Punct('('))) {
+        cur.skip_group('(', ')')?;
+    }
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        return Err(format!(
+            "serde shim derive supports only structs and enums, found {:?}",
+            cur.peek()
+        ));
+    };
+    let name = cur.expect_any_ident()?;
+    if matches!(cur.peek(), Some(Tok::Punct('<'))) {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    if is_enum {
+        cur.expect_punct('{')?;
+        let mut variants = Vec::new();
+        loop {
+            if cur.eat_punct('}') {
+                break;
+            }
+            cur.parse_attrs()?;
+            let vname = cur.expect_any_ident()?;
+            let fields = if cur.eat_punct('{') {
+                Fields::Named(parse_named_fields(&mut cur)?)
+            } else if cur.eat_punct('(') {
+                Fields::Tuple(parse_tuple_arity(&mut cur)?)
+            } else {
+                Fields::Unit
+            };
+            if matches!(cur.peek(), Some(Tok::Punct('='))) {
+                return Err(format!(
+                    "serde shim derive does not support discriminants (variant `{vname}`)"
+                ));
+            }
+            cur.eat_punct(',');
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Ok(Item {
+            name,
+            kind: ItemKind::Enum(variants),
+        })
+    } else {
+        let kind = if cur.eat_punct('{') {
+            ItemKind::Struct(Fields::Named(parse_named_fields(&mut cur)?))
+        } else if cur.eat_punct('(') {
+            let arity = parse_tuple_arity(&mut cur)?;
+            cur.eat_punct(';');
+            ItemKind::Struct(Fields::Tuple(arity))
+        } else {
+            cur.eat_punct(';');
+            ItemKind::Struct(Fields::Unit)
+        };
+        // Ignore any trailing tokens (e.g. `where` clauses are unsupported
+        // but absent from this workspace).
+        let _ = cur.skip_to_next_field();
+        Ok(Item { name, kind })
+    }
+}

@@ -5,8 +5,8 @@ use elasticflow::cluster::ClusterSpec;
 use elasticflow::core::{EdfWithAdmission, EdfWithElastic, ElasticFlowScheduler};
 use elasticflow::perfmodel::Interconnect;
 use elasticflow::sched::{
-    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler,
-    ThemisScheduler, TiresiasScheduler,
+    ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler, ThemisScheduler,
+    TiresiasScheduler,
 };
 use elasticflow::sim::{SimConfig, SimReport, Simulation};
 use elasticflow::trace::{Trace, TraceConfig};
@@ -28,7 +28,10 @@ fn elasticflow_dsr_tops_every_baseline_on_the_small_testbed() {
     let baselines: Vec<(&str, SimReport)> = vec![
         ("edf", run(&spec, &trace, &mut EdfScheduler::new())),
         ("gandiva", run(&spec, &trace, &mut GandivaScheduler::new())),
-        ("tiresias", run(&spec, &trace, &mut TiresiasScheduler::new())),
+        (
+            "tiresias",
+            run(&spec, &trace, &mut TiresiasScheduler::new()),
+        ),
         ("themis", run(&spec, &trace, &mut ThemisScheduler::new())),
         ("chronus", run(&spec, &trace, &mut ChronusScheduler::new())),
         ("pollux", run(&spec, &trace, &mut PolluxScheduler::new())),
@@ -46,7 +49,10 @@ fn elasticflow_dsr_tops_every_baseline_on_the_small_testbed() {
         .iter()
         .filter(|(_, r)| ef_dsr > r.deadline_satisfactory_ratio() + 1e-9)
         .count();
-    assert!(beaten >= 3, "ElasticFlow only strictly beat {beaten}/6 baselines");
+    assert!(
+        beaten >= 3,
+        "ElasticFlow only strictly beat {beaten}/6 baselines"
+    );
 }
 
 #[test]
@@ -84,12 +90,18 @@ fn ablation_ordering_matches_figure9() {
     let es = run(&spec, &trace, &mut EdfWithElastic::new()).deadline_satisfactory_ratio();
     let ef = run(&spec, &trace, &mut ElasticFlowScheduler::new()).deadline_satisfactory_ratio();
     assert!(ef + 1e-9 >= ac, "EDF+AC {ac} beats ElasticFlow {ef}");
-    assert!(ef > es + 0.05, "ElasticFlow {ef} not clearly above EDF+ES {es}");
+    assert!(
+        ef > es + 0.05,
+        "ElasticFlow {ef} not clearly above EDF+ES {es}"
+    );
     assert!(ac + 1e-9 >= edf, "plain EDF {edf} beats EDF+AC {ac}");
     // EDF+ES and EDF differ only in elasticity of the allocation; at this
     // load they are close — allow one-job noise either way.
     assert!(es + 0.03 >= edf, "plain EDF {edf} far above EDF+ES {es}");
-    assert!(ef > edf + 0.1, "ElasticFlow {ef} not clearly above EDF {edf}");
+    assert!(
+        ef > edf + 0.1,
+        "ElasticFlow {ef} not clearly above EDF {edf}"
+    );
 }
 
 #[test]

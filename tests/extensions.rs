@@ -17,8 +17,8 @@ fn soft_deadline_jobs_are_never_dropped_end_to_end() {
         .with_soft_deadline_fraction(0.5)
         .generate(&Interconnect::from_spec(&spec));
     assert!(trace.jobs().iter().any(|j| j.kind == JobKind::SoftDeadline));
-    let report = Simulation::new(spec, SimConfig::default())
-        .run(&trace, &mut ElasticFlowScheduler::new());
+    let report =
+        Simulation::new(spec, SimConfig::default()).run(&trace, &mut ElasticFlowScheduler::new());
     for o in report.outcomes() {
         if o.kind == JobKind::SoftDeadline {
             assert!(!o.dropped, "{} soft job dropped", o.id);
@@ -54,8 +54,8 @@ fn elasticflow_handles_failures_better_than_edf() {
     let trace = TraceConfig::testbed_large(2023).generate(&Interconnect::from_spec(&spec));
     let failures = FailureSchedule::poisson(16, 86_400.0, 3_600.0, trace.span() * 1.5, 99);
     let cfg = SimConfig::default().with_failures(failures);
-    let ef = Simulation::new(spec.clone(), cfg.clone())
-        .run(&trace, &mut ElasticFlowScheduler::new());
+    let ef =
+        Simulation::new(spec.clone(), cfg.clone()).run(&trace, &mut ElasticFlowScheduler::new());
     let edf = Simulation::new(spec, cfg).run(&trace, &mut EdfScheduler::new());
     assert!(
         ef.deadline_satisfactory_ratio() > edf.deadline_satisfactory_ratio(),

@@ -1,0 +1,32 @@
+//! Workspace gate: `cargo test` fails if any guarantee-soundness lint rule
+//! is violated anywhere in the workspace.
+//!
+//! The same checks are available interactively as
+//! `cargo run -p elasticflow-lint` (add `--json` for the machine-readable
+//! report). Rules and the suppression syntax are documented in the
+//! `elasticflow_lint` crate docs and in DESIGN.md.
+
+use elasticflow_lint::{lint_workspace, render_violation, workspace_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 0,
+        "lint scanned no files — workspace layout changed?"
+    );
+    if !report.is_clean() {
+        let mut msg = String::from("guarantee-soundness lint violations:\n");
+        for v in &report.violations {
+            msg.push_str("  ");
+            msg.push_str(&render_violation(v));
+            msg.push('\n');
+        }
+        msg.push_str(
+            "\nFix the sites above or suppress with a justified\n\
+             `// elasticflow-lint: allow(RULE): <why this is sound>` comment.\n\
+             Run `cargo run -p elasticflow-lint -- --rules` for the rule registry.",
+        );
+        panic!("{msg}");
+    }
+}
