@@ -1,6 +1,6 @@
 # Developer shortcuts; CI (.github/workflows/ci.yml) runs the same steps.
 
-.PHONY: lint fmt clippy test audit check
+.PHONY: lint fmt clippy test audit doc check
 
 # Project-specific static analysis (guarantee-soundness rules EF-L001..L004).
 lint:
@@ -19,4 +19,8 @@ test:
 audit:
 	cargo test --features audit -q
 
-check: fmt clippy lint test audit
+# API docs with warnings promoted to errors (same gate as CI).
+doc:
+	RUSTDOCFLAGS=-Dwarnings cargo doc --workspace --no-deps
+
+check: fmt clippy lint test audit doc

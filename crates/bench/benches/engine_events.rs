@@ -1,0 +1,58 @@
+//! Criterion benchmark for the layered engine's event loop: replays a
+//! seeded trace through `Simulation::run_observed` with an
+//! [`EventTraceLogger`] attached, measuring the combined cost of the
+//! event core, executor, scheduler driver, and observer dispatch. The
+//! failure-injection variant additionally exercises the phantom-block
+//! fence and repair paths.
+//!
+//! Baseline numbers are recorded in `EXPERIMENTS.md` ("Engine event
+//! throughput"); re-run with `cargo bench -p elasticflow-bench --bench
+//! engine_events` after engine changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sched::EdfScheduler;
+use elasticflow_sim::{EventTraceLogger, FailureSchedule, NodeFailure, SimConfig, Simulation};
+use elasticflow_trace::TraceConfig;
+
+fn bench_engine_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_events");
+    group.sample_size(10);
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(7).generate(&Interconnect::from_spec(&spec));
+
+    group.bench_function("edf_observed_25_jobs_32_gpus", |b| {
+        b.iter(|| {
+            let mut log = EventTraceLogger::new();
+            let mut s = EdfScheduler::new();
+            Simulation::new(spec.clone(), SimConfig::default()).run_observed(
+                &trace,
+                &mut s,
+                &mut [&mut log],
+            );
+            log.len()
+        })
+    });
+
+    group.bench_function("edf_observed_with_failures", |b| {
+        b.iter(|| {
+            let failures = FailureSchedule::fixed(vec![NodeFailure {
+                server: 1,
+                at: 1_200.0,
+                repair_seconds: 3_600.0,
+            }]);
+            let mut log = EventTraceLogger::new();
+            let mut s = EdfScheduler::new();
+            Simulation::new(spec.clone(), SimConfig::default().with_failures(failures))
+                .run_observed(&trace, &mut s, &mut [&mut log]);
+            log.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_events);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use elasticflow_sched::{
     ChronusScheduler, EdfScheduler, GandivaScheduler, PolluxScheduler, Scheduler, ThemisScheduler,
     TiresiasScheduler,
 };
-use elasticflow_sim::{SimConfig, SimReport, Simulation};
+use elasticflow_sim::{SimConfig, SimObserver, SimReport, Simulation};
 use elasticflow_trace::Trace;
 
 /// One scheduler in the evaluation roster.
@@ -85,6 +85,23 @@ pub fn run_one(name: &str, spec: &ClusterSpec, trace: &Trace) -> SimReport {
     Simulation::new(spec.clone(), SimConfig::default()).run(trace, scheduler.as_mut())
 }
 
+/// Runs one (scheduler, trace, cluster) combination with observers
+/// attached to the engine's hook chain. Observers are read-only, so the
+/// returned report is identical to [`run_one`]'s for the same inputs.
+pub fn run_one_observed(
+    name: &str,
+    spec: &ClusterSpec,
+    trace: &Trace,
+    observers: &mut [&mut dyn SimObserver],
+) -> SimReport {
+    let mut scheduler = scheduler_by_name(name);
+    Simulation::new(spec.clone(), SimConfig::default()).run_observed(
+        trace,
+        scheduler.as_mut(),
+        observers,
+    )
+}
+
 /// The six-baseline subset used in most end-to-end figures.
 pub fn baseline_names() -> Vec<&'static str> {
     vec!["edf", "gandiva", "tiresias", "themis", "chronus", "pollux"]
@@ -116,5 +133,16 @@ mod tests {
         let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&spec));
         let report = run_one("edf", &spec, &trace);
         assert_eq!(report.outcomes().len(), trace.jobs().len());
+    }
+
+    #[test]
+    fn run_one_observed_matches_run_one() {
+        use elasticflow_sim::EventTraceLogger;
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&spec));
+        let mut log = EventTraceLogger::new();
+        let observed = run_one_observed("edf", &spec, &trace, &mut [&mut log]);
+        assert_eq!(observed, run_one("edf", &spec, &trace));
+        assert!(!log.is_empty());
     }
 }

@@ -318,7 +318,12 @@ impl Scheduler for ElasticFlowScheduler {
             }
         }
         // Always-on fast path; the `audit` feature adds the full
-        // reservation-soundness check of the guarantee invariants.
+        // reservation-soundness check of the guarantee invariants. This
+        // check stays at plan time (it needs planner internals — profiles,
+        // the reservation ledger — that never leave this function); the
+        // *structural* cluster audit runs downstream in the simulator's
+        // observer chain (`elasticflow-sim`'s `InvariantAuditor`, a
+        // `SimObserver` hooked on every replan).
         debug_assert!(plan.total_gpus() <= view.total_gpus);
         #[cfg(feature = "audit")]
         crate::audit::check_plan(&planning, &profiles, &ledger, &plan, &grid, view.total_gpus);

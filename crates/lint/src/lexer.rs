@@ -7,7 +7,7 @@
 //! * comments (`//` line, nested `/* */` block, doc comments — which is
 //!   also where `# Panics` sections and doc-test examples live);
 //! * test-only code (`#[cfg(test)]` items, `mod tests { … }`, `#[test]`
-//!   functions) — marked by [`mark_test_regions`] and dropped before rule
+//!   functions) — dropped by [`strip_test_regions`] before rule
 //!   evaluation.
 //!
 //! While skipping comments the lexer *does* parse suppression directives of

@@ -110,6 +110,27 @@ impl JobRuntime {
         self.curve.iters_per_sec(gpus).unwrap_or(0.0)
     }
 
+    /// Throughput at the job's *current* worker count, checked: a running
+    /// job must make progress. This is the one accessor the simulator uses
+    /// both to predict completion times and to advance iteration counters,
+    /// so a zero-throughput bug aborts loudly instead of stalling the job
+    /// (and the whole event loop) forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job holds workers but the scaling curve yields a
+    /// non-positive throughput for that count.
+    pub fn current_iters_per_sec(&self) -> f64 {
+        let tput = self.iters_per_sec(self.current_gpus);
+        assert!(
+            self.current_gpus == 0 || tput > 0.0,
+            "job {} runs {} workers with non-positive throughput {tput}",
+            self.id(),
+            self.current_gpus
+        );
+        tput
+    }
+
     /// Seconds to finish the remaining work with a constant `gpus` workers,
     /// `f64::INFINITY` when `gpus` is 0.
     pub fn time_to_finish(&self, gpus: u32) -> f64 {
@@ -265,6 +286,36 @@ impl FromIterator<(JobId, u32)> for SchedulePlan {
             plan.assign(id, gpus);
         }
         plan
+    }
+}
+
+/// Observer-visible summary of one replan round, assembled by the
+/// simulator after it applies a [`SchedulePlan`] to the cluster.
+///
+/// The simulator's `SimObserver` hooks receive this on every scheduling
+/// event, giving tracing/metrics layers the full per-round picture — what
+/// the policy asked for and what applying it cost — without reaching into
+/// engine internals. It lives here, next to [`Scheduler`], because it is
+/// part of the policy-facing contract: a plan is not just a set of counts
+/// but also the churn (resizes, defragmentation migrations, pauses) its
+/// application implies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanOutcome {
+    /// The plan the policy produced for this round.
+    pub plan: SchedulePlan,
+    /// Jobs whose worker count changed when the plan was applied.
+    pub resized_jobs: u32,
+    /// Defragmentation migrations performed to place the plan.
+    pub migrations: u32,
+    /// Total pause time (seconds) charged for scaling and migration this
+    /// round, summed over all affected jobs.
+    pub pause_seconds: f64,
+}
+
+impl ReplanOutcome {
+    /// `true` when applying the plan changed nothing on the cluster.
+    pub fn is_quiescent(&self) -> bool {
+        self.resized_jobs == 0 && self.migrations == 0
     }
 }
 

@@ -1,13 +1,15 @@
 //! Runtime invariant auditor — the dynamic counterpart of the
 //! `elasticflow-lint` static pass.
 //!
-//! With the default-off `audit` cargo feature enabled, the simulation
-//! engine cross-checks the cluster's allocation state against the job
-//! table after every replan. A violated invariant panics immediately with
-//! a structured diagnostic: GPU accounting past such a point is wrong, and
-//! a silently corrupted report is worse than no report. Cheap
-//! `debug_assert!` fast paths in the engine stay on in every debug build
-//! regardless of the feature.
+//! With the default-off `audit` cargo feature enabled, the
+//! [`InvariantAuditor`] joins the engine's observer chain as a
+//! [`SimObserver`] (see [`crate::Simulation::run_observed`]) and
+//! cross-checks the cluster's allocation state against the job table on
+//! every [`SimObserver::on_replan`] hook. A violated invariant panics
+//! immediately with a structured diagnostic: GPU accounting past such a
+//! point is wrong, and a silently corrupted report is worse than no
+//! report. Cheap `debug_assert!` fast paths in the executor stay on in
+//! every debug build regardless of the feature.
 //!
 //! The invariants audited here are the *structural* ones every scheduler
 //! must uphold. The guarantee-specific invariants of ElasticFlow's
@@ -16,12 +18,25 @@
 //! guarantee.
 
 use elasticflow_cluster::ClusterState;
-use elasticflow_sched::JobTable;
+use elasticflow_sched::{JobTable, ReplanOutcome};
 use elasticflow_trace::JobId;
 
+use crate::observer::{SimContext, SimObserver};
+
 /// Audits structural cluster/job-table invariants after each replan.
+///
+/// Pluggable: implements [`SimObserver`] and is attached automatically by
+/// the engine when the `audit` feature is compiled in; harnesses can also
+/// attach it explicitly or call [`InvariantAuditor::check_cluster`]
+/// directly against hand-built state.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InvariantAuditor;
+
+impl SimObserver for InvariantAuditor {
+    fn on_replan(&mut self, now: f64, _outcome: &ReplanOutcome, ctx: &SimContext<'_>) {
+        Self::check_cluster(ctx.cluster, ctx.jobs, ctx.phantom_base, now);
+    }
+}
 
 /// Aborts the run with a structured diagnostic on a violated invariant.
 #[cold]

@@ -1,0 +1,76 @@
+//! The scheduler driver: the single mediation point between the engine and
+//! a [`Scheduler`] implementation.
+//!
+//! Every trait call funnels through here so the contract is enforced in
+//! one place: admission is consulted exactly once per arrival, completion
+//! notifications fire before the follow-up replan, and every plan is
+//! validated against the (failure-reduced) cluster capacity before the
+//! executor applies it. Keeping validation at this seam means no policy —
+//! ElasticFlow or baseline — can over-allocate without an immediate,
+//! attributable abort.
+
+use elasticflow_sched::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,
+};
+use elasticflow_trace::JobId;
+
+/// Mediates [`Scheduler`] trait calls and validates returned plans.
+pub(crate) struct SchedulerDriver<'s> {
+    scheduler: &'s mut dyn Scheduler,
+}
+
+impl std::fmt::Debug for SchedulerDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerDriver")
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+impl<'s> SchedulerDriver<'s> {
+    /// Wraps a scheduler for one simulation run.
+    pub(crate) fn new(scheduler: &'s mut dyn Scheduler) -> Self {
+        SchedulerDriver { scheduler }
+    }
+
+    /// The policy's report name.
+    pub(crate) fn name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Consults the policy's admission control for a newly arrived job.
+    pub(crate) fn admit(
+        &mut self,
+        job: &JobRuntime,
+        now: f64,
+        view: &ClusterView,
+        jobs: &JobTable,
+    ) -> AdmissionDecision {
+        self.scheduler.on_job_arrival(job, now, view, jobs)
+    }
+
+    /// Notifies the policy that a job completed.
+    pub(crate) fn job_finished(&mut self, job: JobId, now: f64) {
+        self.scheduler.on_job_finish(job, now);
+    }
+
+    /// Requests the allocation for the next interval and validates it
+    /// against the cluster the policy was shown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan allocates more GPUs than the (remaining) cluster
+    /// holds — such a plan is unplaceable and continuing would corrupt GPU
+    /// accounting.
+    pub(crate) fn replan(&mut self, now: f64, view: &ClusterView, jobs: &JobTable) -> SchedulePlan {
+        let plan = self.scheduler.plan(now, view, jobs);
+        assert!(
+            plan.total_gpus() <= view.total_gpus,
+            "{} planned {} GPUs on a {}-GPU (remaining) cluster",
+            self.scheduler.name(),
+            plan.total_gpus(),
+            view.total_gpus
+        );
+        plan
+    }
+}

@@ -1,30 +1,32 @@
-//! The event-driven simulation engine.
-
-use std::collections::BTreeMap;
+//! The simulation engine: a thin orchestrator over the layered simulator.
+//!
+//! The engine composes four layers, each owning one concern:
+//!
+//! * [`crate::event`] — the deterministic event core: typed [`Event`]s,
+//!   next-event selection, `EPS_TIME` batching;
+//! * [`crate::executor`] — the elastic training executor: the only code
+//!   that mutates cluster/job state (plan application, iteration
+//!   advancement, pause/GPU-second charging, failure fencing);
+//! * [`crate::driver`] — the scheduler driver: mediates [`Scheduler`]
+//!   trait calls and validates every plan;
+//! * [`crate::observer`] — pluggable [`SimObserver`]s: the timeline
+//!   collector (always on, feeds the report), the `--features audit`
+//!   invariant auditor, and any user-attached observers.
+//!
+//! Replay is deterministic by construction: the loop body is a fixed
+//! sequence of layer calls, observers are read-only, and every container
+//! on the path iterates in a stable order.
 
 use elasticflow_cluster::{ClusterSpec, ClusterState};
-use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve, ScalingEvent};
-use elasticflow_sched::{AdmissionDecision, ClusterView, JobRuntime, JobTable, Scheduler};
-use elasticflow_trace::{JobId, Trace};
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sched::Scheduler;
+use elasticflow_trace::Trace;
 
-use crate::{JobOutcome, SimConfig, SimReport, TimelinePoint};
-
-/// Owner-tag base for pinned blocks standing in for failed servers.
-const PHANTOM_BASE: u64 = u64::MAX / 2;
-
-/// Iteration-count tolerance below which a job counts as finished.
-const EPS_ITERS: f64 = 1e-6;
-/// Time tolerance for batching simultaneous events.
-const EPS_TIME: f64 = 1e-9;
-
-/// Hard-stops the simulation on a broken engine invariant or a plan the
-/// cluster cannot honor. GPU accounting past such a point would be wrong,
-/// so a loud abort beats a silently corrupted [`SimReport`].
-#[cold]
-fn sim_bug(context: &str) -> ! {
-    // elasticflow-lint: allow(EF-L001): deliberate single abort point — every engine invariant failure funnels here so a violation stops the replay instead of corrupting the report
-    panic!("simulation engine invariant violated: {context}")
-}
+use crate::driver::SchedulerDriver;
+use crate::event::{Event, EventCore};
+use crate::executor::Executor;
+use crate::observer::{SimObserver, TimelineCollector};
+use crate::{SimConfig, SimReport};
 
 /// A configured simulation, ready to replay traces against schedulers.
 ///
@@ -33,13 +35,6 @@ fn sim_bug(context: &str) -> ! {
 pub struct Simulation {
     spec: ClusterSpec,
     config: SimConfig,
-}
-
-/// Per-job bookkeeping the [`JobRuntime`] does not carry.
-#[derive(Debug, Clone, Copy, Default)]
-struct JobStats {
-    paused_seconds: f64,
-    scale_events: u32,
 }
 
 impl Simulation {
@@ -59,353 +54,142 @@ impl Simulation {
     ///
     /// Panics if the scheduler emits an invalid plan (non-power-of-two
     /// counts are rejected by [`elasticflow_sched::SchedulePlan`]; a plan
-    /// exceeding the cluster size is rejected here).
+    /// exceeding the cluster size is rejected by the scheduler driver).
     pub fn run(&self, trace: &Trace, scheduler: &mut dyn Scheduler) -> SimReport {
-        let mut cluster = ClusterState::new(self.spec.build_topology());
+        self.run_observed(trace, scheduler, &mut [])
+    }
+
+    /// Like [`Simulation::run`], with [`SimObserver`]s attached.
+    ///
+    /// Observers are read-only and cannot perturb the replay: the returned
+    /// report is byte-identical whatever combination is attached. With the
+    /// `audit` cargo feature enabled, the structural `InvariantAuditor`
+    /// (see `crate::audit`) is always attached in addition to `observers`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulation::run`].
+    pub fn run_observed(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> SimReport {
+        let cluster = ClusterState::new(self.spec.build_topology());
         let net = Interconnect::from_spec(&self.spec);
-        let total_gpus = cluster.capacity();
-        let slot = self.config.slot_seconds;
-
-        let mut jobs = JobTable::new();
-        let mut stats: BTreeMap<JobId, JobStats> = BTreeMap::new();
-        // BTreeMap, not HashMap: the memo is lookup-only today, but hash
-        // iteration order leaking into a future refactor would silently
-        // break replay determinism (EF-L003).
-        let mut curves: BTreeMap<(DnnModel, u32), ScalingCurve> = BTreeMap::new();
-        let mut timeline: Vec<TimelinePoint> = Vec::new();
-        let mut migrations_total: u32 = 0;
-        let mut total_pause = 0.0f64;
-        let mut submitted = 0usize;
-        let mut admitted_count = 0usize;
-
-        let arrivals = trace.jobs();
-        let last_arrival = arrivals.last().map(|j| j.submit_time).unwrap_or(0.0);
-        let mut next_arrival = 0usize;
-        let mut now = 0.0f64;
-
-        // Failure/repair timeline (paper §4.4): (time, server, is_repair).
-        let gpus_per_server = cluster.topology().gpus_per_server();
         let num_servers = cluster.topology().num_servers();
-        let mut transitions: Vec<(f64, u32, bool)> = Vec::new();
-        for f in self.config.failures.events() {
-            if f.server < num_servers {
-                transitions.push((f.at, f.server, false));
-                transitions.push((f.at + f.repair_seconds, f.server, true));
-            }
+        let mut exec = Executor::new(cluster, net, self.config.overheads);
+        let total_gpus = exec.total_gpus();
+        let mut core = EventCore::new(
+            trace,
+            &self.config.failures,
+            num_servers,
+            self.config.slot_seconds,
+            self.config.horizon_after_last_arrival,
+        );
+        let mut driver = SchedulerDriver::new(scheduler);
+
+        // The observer chain: the internal timeline collector first (the
+        // report depends on it), then the auditor when compiled in, then
+        // the caller's observers.
+        let mut collector = TimelineCollector::new();
+        #[cfg(feature = "audit")]
+        let mut auditor = crate::audit::InvariantAuditor;
+        let mut chain: Vec<&mut dyn SimObserver> = Vec::with_capacity(observers.len() + 2);
+        chain.push(&mut collector);
+        #[cfg(feature = "audit")]
+        chain.push(&mut auditor);
+        for obs in observers.iter_mut() {
+            chain.push(&mut **obs);
         }
-        transitions.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut next_transition = 0usize;
-        let mut down_servers: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
 
-        loop {
-            // ---- pick the next event time ----
-            let t_arrival = arrivals.get(next_arrival).map(|j| j.submit_time);
-            let t_completion = jobs
-                .iter()
-                .filter(|j| j.is_active() && j.current_gpus > 0)
-                .map(|j| {
-                    let tput = j.iters_per_sec(j.current_gpus);
-                    debug_assert!(tput > 0.0, "running job with zero throughput");
-                    j.paused_until.max(now) + j.remaining_iterations / tput
-                })
-                .fold(f64::INFINITY, f64::min);
-            let any_running = jobs.iter().any(|j| j.is_active() && j.current_gpus > 0);
-            let t_slot = if any_running || t_arrival.is_some() {
-                Some(((now / slot).floor() + 1.0) * slot)
-            } else {
-                None
-            };
+        let mut now = 0.0f64;
+        let mut events: Vec<Event> = Vec::new();
+        // Each iteration handles one event batch; selection returns `None`
+        // once the simulation drains or passes the starvation horizon.
+        while let Some(step) = core.next_step(now, exec.jobs()) {
+            let t = step.time.max(now);
 
-            let t_transition = transitions.get(next_transition).map(|&(t, ..)| t);
-
-            let mut t_next = f64::INFINITY;
-            if let Some(t) = t_arrival {
-                t_next = t_next.min(t);
-            }
-            t_next = t_next.min(t_completion);
-            if let Some(t) = t_slot {
-                t_next = t_next.min(t);
-            }
-            if let Some(t) = t_transition {
-                // Failure/repair events only matter while work remains.
-                if jobs.iter().any(|j| j.is_active()) || t_arrival.is_some() {
-                    t_next = t_next.min(t);
-                }
-            }
-            if !t_next.is_finite() {
-                break; // no arrivals, nothing running: simulation drained
-            }
-            if t_next > last_arrival + self.config.horizon_after_last_arrival {
-                break; // starvation horizon
-            }
-            let t = t_next.max(now);
+            events.clear();
+            core.pause_end_events(now, t, exec.jobs(), &mut events);
 
             // ---- advance running jobs from `now` to `t` ----
-            for job in jobs.iter_mut() {
-                if job.is_active() && job.current_gpus > 0 {
-                    let run_from = job.paused_until.max(now);
-                    let dt = (t - run_from).max(0.0);
-                    let tput = job.curve.iters_per_sec(job.current_gpus).unwrap_or(0.0);
-                    job.remaining_iterations = (job.remaining_iterations - dt * tput).max(0.0);
-                    job.gpu_seconds += job.current_gpus as f64 * (t - now);
-                }
-            }
+            exec.advance_to(now, t);
             now = t;
 
             // ---- completions ----
-            let finished: Vec<JobId> = jobs
-                .iter()
-                .filter(|j| {
-                    j.is_active() && j.current_gpus > 0 && j.remaining_iterations <= EPS_ITERS
-                })
-                .map(|j| j.id())
-                .collect();
-            for id in finished {
-                let job = jobs
-                    .get_mut(id)
-                    .unwrap_or_else(|| sim_bug("completing job missing from the job table"));
-                job.finish_time = Some(now);
-                job.current_gpus = 0;
-                cluster
-                    .release(id.raw())
-                    .unwrap_or_else(|_| sim_bug("completing job held no GPUs"));
-                scheduler.on_job_finish(id, now);
+            let finished = exec.finished_jobs();
+            for &id in &finished {
+                exec.complete(id, now);
+                driver.job_finished(id, now);
+                events.push(Event::Completion { job: id });
             }
 
             // ---- server failures and repairs at t ----
-            while let Some(&(tt, server, is_repair)) = transitions.get(next_transition) {
-                if tt > now + EPS_TIME {
-                    break;
-                }
-                next_transition += 1;
-                let phantom = PHANTOM_BASE + server as u64;
-                if is_repair {
-                    if down_servers.remove(&server) {
-                        cluster.release(phantom).unwrap_or_else(|_| {
-                            sim_bug("repaired server had no pinned phantom block")
-                        });
-                    }
-                    continue;
-                }
-                if !down_servers.insert(server) {
-                    continue; // already down
-                }
-                // Evict every job overlapping the failed server: checkpoint
-                // recovery pause, then back to the queue for the replan.
-                let victims: Vec<u64> = cluster
-                    .iter()
-                    .filter(|(owner, p)| {
-                        *owner < PHANTOM_BASE && p.servers().iter().any(|srv| srv.index() == server)
-                    })
-                    .map(|(owner, _)| owner)
-                    .collect();
-                for owner in victims {
-                    cluster
-                        .release(owner)
-                        .unwrap_or_else(|_| sim_bug("evicted victim held no GPUs"));
-                    let id = JobId::new(owner);
-                    if let Some(job) = jobs.get_mut(id) {
-                        let pause = self.config.overheads.pause_seconds(
-                            &job.spec.model.profile(),
-                            ScalingEvent::migrate(job.current_gpus),
-                        );
-                        job.current_gpus = 0;
-                        job.paused_until = job.paused_until.max(now) + pause;
-                        total_pause += pause;
-                        let st = stats.entry(id).or_default();
-                        st.paused_seconds += pause;
-                        st.scale_events += 1;
-                    }
-                }
-                // Fence the dead server off with a pinned phantom block.
-                let order = gpus_per_server.trailing_zeros();
-                let block = elasticflow_cluster::Block::new(order, server * gpus_per_server);
-                cluster.allocate_pinned(phantom, block).unwrap_or_else(|_| {
-                    sim_bug("failed server block still occupied after eviction")
+            for (server, is_repair) in core.due_transitions(now) {
+                exec.apply_transition(server, is_repair, now);
+                events.push(if is_repair {
+                    Event::ServerRepair { server }
+                } else {
+                    Event::ServerFailure { server }
                 });
             }
-            let up_gpus = total_gpus - down_servers.len() as u32 * gpus_per_server;
-            let view = ClusterView::new(up_gpus);
+            let view = exec.scheduler_view();
 
             // ---- arrivals at t ----
-            while let Some(spec) = arrivals.get(next_arrival) {
-                if spec.submit_time > now + EPS_TIME {
-                    break;
-                }
-                next_arrival += 1;
-                submitted += 1;
-                let curve = curves
-                    .entry((spec.model, spec.global_batch))
-                    .or_insert_with(|| {
-                        ScalingCurve::build_with_max(
-                            spec.model,
-                            spec.global_batch,
-                            &net,
-                            total_gpus,
-                        )
-                    })
-                    .clone();
-                let runtime = JobRuntime::new(spec.clone(), curve);
-                let id = runtime.id();
-                jobs.insert(runtime);
-                stats.insert(id, JobStats::default());
-                let decision = {
-                    let job_ref = jobs
-                        .get(id)
-                        .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
-                    scheduler.on_job_arrival(job_ref, now, &view, &jobs)
-                };
-                let job = jobs
-                    .get_mut(id)
-                    .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
-                match decision {
-                    AdmissionDecision::Admit => {
-                        job.admitted = true;
-                        admitted_count += 1;
+            for spec in core.due_arrivals(now) {
+                let id = exec.admit_arrival(spec, &mut driver, now, &view);
+                events.push(Event::Arrival { job: id });
+            }
+            if step.slot_boundary {
+                events.push(Event::SlotBoundary);
+            }
+
+            // ---- observers: the applied batch ----
+            {
+                let ctx = exec.context();
+                for event in &events {
+                    for obs in chain.iter_mut() {
+                        obs.on_event(now, event, &ctx);
                     }
-                    AdmissionDecision::Drop => job.dropped = true,
+                }
+                for &id in &finished {
+                    for obs in chain.iter_mut() {
+                        obs.on_job_finish(now, id, &ctx);
+                    }
                 }
             }
 
             // ---- replan & apply ----
-            let plan = scheduler.plan(now, &view, &jobs);
-            assert!(
-                plan.total_gpus() <= view.total_gpus,
-                "{} planned {} GPUs on a {}-GPU (remaining) cluster",
-                scheduler.name(),
-                plan.total_gpus(),
-                view.total_gpus
-            );
-            let overheads = &self.config.overheads;
-            // Pass 1: shrink and suspend.
-            let mut changes: Vec<(JobId, u32, u32)> = Vec::new(); // (id, from, to)
-            for job in jobs.iter() {
-                if !job.is_active() {
-                    continue;
+            let plan = driver.replan(now, &view, exec.jobs());
+            let outcome = exec.apply_plan(plan, now);
+            {
+                let ctx = exec.context();
+                for obs in chain.iter_mut() {
+                    obs.on_replan(now, &outcome, &ctx);
                 }
-                let desired = plan.gpus(job.id()).min(job.curve.max_gpus());
-                if desired != job.current_gpus {
-                    changes.push((job.id(), job.current_gpus, desired));
+                // ---- tick: timeline sampling et al. ----
+                for obs in chain.iter_mut() {
+                    obs.on_tick(now, &ctx);
                 }
             }
-            // Shrinks first (free capacity), then grows largest-first (less
-            // defragmentation churn).
-            changes.sort_by(|a, b| (a.2 > a.1).cmp(&(b.2 > b.1)).then(b.2.cmp(&a.2)));
-            for (id, from, to) in changes {
-                let mut migrated: Vec<u64> = Vec::new();
-                if to == 0 {
-                    cluster
-                        .release(id.raw())
-                        .unwrap_or_else(|_| sim_bug("shrinking job held no GPUs"));
-                } else if from == 0 {
-                    let (_, migs) =
-                        cluster
-                            .allocate_with_defrag(id.raw(), to)
-                            .unwrap_or_else(|e| {
-                                sim_bug(&format!("plan does not fit the cluster: {e}"))
-                            });
-                    migrated = migs.iter().map(|m| m.owner).collect();
-                } else {
-                    let (_, migs) = cluster.resize(id.raw(), to).unwrap_or_else(|e| {
-                        sim_bug(&format!("plan does not fit during resize: {e}"))
-                    });
-                    migrated = migs.iter().map(|m| m.owner).collect();
-                }
-                // Charge the scaling pause to the job itself.
-                {
-                    let job = jobs
-                        .get_mut(id)
-                        .unwrap_or_else(|| sim_bug("planned job missing from the job table"));
-                    let pause = overheads
-                        .pause_seconds(&job.spec.model.profile(), ScalingEvent::scale(from, to));
-                    if job.first_start.is_none() && to > 0 {
-                        job.first_start = Some(now);
-                    }
-                    job.current_gpus = to;
-                    job.paused_until = job.paused_until.max(now) + pause;
-                    total_pause += pause;
-                    let st = stats.entry(id).or_default();
-                    st.paused_seconds += pause;
-                    st.scale_events += 1;
-                }
-                // Charge migration pauses to relocated bystanders.
-                migrations_total += migrated.len() as u32;
-                for owner in migrated {
-                    let mid = JobId::new(owner);
-                    if mid == id {
-                        continue;
-                    }
-                    if let Some(job) = jobs.get_mut(mid) {
-                        let pause = overheads.pause_seconds(
-                            &job.spec.model.profile(),
-                            ScalingEvent::migrate(job.current_gpus),
-                        );
-                        job.paused_until = job.paused_until.max(now) + pause;
-                        total_pause += pause;
-                        let st = stats.entry(mid).or_default();
-                        st.paused_seconds += pause;
-                    }
-                }
-            }
-            // Always-on fast path; the `audit` feature adds the full
-            // structural cross-check of cluster state vs. job table.
-            debug_assert_eq!(
-                cluster.used_gpus(),
-                plan.total_gpus() + down_servers.len() as u32 * gpus_per_server
-            );
-            #[cfg(feature = "audit")]
-            crate::audit::InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, now);
-
-            // ---- record timeline ----
-            let ce = jobs
-                .iter()
-                .filter(|j| j.is_active() && j.current_gpus > 0)
-                .map(|j| j.curve.speedup(j.current_gpus).unwrap_or(0.0))
-                .sum::<f64>()
-                / total_gpus as f64;
-            timeline.push(TimelinePoint {
-                time: now,
-                used_gpus: cluster.used_gpus() - down_servers.len() as u32 * gpus_per_server,
-                cluster_efficiency: ce,
-                submitted,
-                admitted: admitted_count,
-            });
 
             // ---- stall detection ----
-            let none_running = !jobs.iter().any(|j| j.is_active() && j.current_gpus > 0);
-            if none_running
-                && next_arrival >= arrivals.len()
-                && next_transition >= transitions.len()
-            {
+            if exec.none_running() && core.exhausted() {
                 break; // active-but-unschedulable jobs would never progress
             }
         }
+        drop(chain);
 
-        // ---- assemble outcomes ----
-        let outcomes: Vec<JobOutcome> = jobs
-            .iter()
-            .map(|j| {
-                let st = stats.get(&j.id()).copied().unwrap_or_default();
-                JobOutcome {
-                    id: j.id(),
-                    kind: j.spec.kind,
-                    submit_time: j.spec.submit_time,
-                    deadline: j.spec.deadline,
-                    dropped: j.dropped,
-                    finish_time: j.finish_time,
-                    gpu_seconds: j.gpu_seconds,
-                    paused_seconds: st.paused_seconds,
-                    scale_events: st.scale_events,
-                }
-            })
-            .collect();
+        // ---- assemble the report ----
+        let (outcomes, migrations, total_pause) = exec.into_results();
         SimReport::new(
-            scheduler.name().to_owned(),
+            driver.name().to_owned(),
             trace.name().to_owned(),
             total_gpus,
             outcomes,
-            timeline,
-            migrations_total,
+            collector.into_timeline(),
+            migrations,
             total_pause,
             now,
         )
@@ -415,10 +199,12 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elasticflow_perfmodel::{DnnModel, ScalingCurve};
     use elasticflow_sched::{
-        EdfScheduler, GandivaScheduler, PolluxScheduler, SchedulePlan, TiresiasScheduler,
+        AdmissionDecision, ClusterView, EdfScheduler, GandivaScheduler, JobRuntime, JobTable,
+        PolluxScheduler, SchedulePlan, TiresiasScheduler,
     };
-    use elasticflow_trace::{JobKind, JobSpec, TraceConfig};
+    use elasticflow_trace::{JobId, JobKind, JobSpec, TraceConfig};
 
     fn small_spec() -> ClusterSpec {
         ClusterSpec::with_servers(2, 8)
@@ -471,6 +257,23 @@ mod tests {
         let a = sim.run(&trace, &mut TiresiasScheduler::new());
         let b = sim.run(&trace, &mut TiresiasScheduler::new());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_replay() {
+        let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&small_spec()));
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let bare = sim.run(&trace, &mut TiresiasScheduler::new());
+        let mut log = crate::EventTraceLogger::new();
+        let mut extra = crate::TimelineCollector::new();
+        let observed = sim.run_observed(
+            &trace,
+            &mut TiresiasScheduler::new(),
+            &mut [&mut log, &mut extra],
+        );
+        assert_eq!(bare, observed);
+        assert!(!log.is_empty());
+        assert_eq!(extra.timeline(), observed.timeline());
     }
 
     #[test]
@@ -601,8 +404,9 @@ mod tests {
 mod failure_tests {
     use super::*;
     use crate::{FailureSchedule, NodeFailure};
+    use elasticflow_perfmodel::{DnnModel, ScalingCurve};
     use elasticflow_sched::EdfScheduler;
-    use elasticflow_trace::JobSpec;
+    use elasticflow_trace::{JobId, JobSpec};
 
     fn spec() -> ClusterSpec {
         ClusterSpec::with_servers(2, 8)
@@ -700,5 +504,26 @@ mod failure_tests {
         let o = &report.outcomes()[0];
         assert!(o.finish_time.is_some());
         assert!(o.scale_events >= 3, "expected repeated evictions");
+    }
+
+    #[test]
+    fn failure_events_reach_observers() {
+        let trace = Trace::new("solo", vec![long_job(0, 8)]);
+        let cfg = SimConfig::default().with_failures(FailureSchedule::fixed(vec![NodeFailure {
+            server: 0,
+            at: 600.0,
+            repair_seconds: 1_200.0,
+        }]));
+        let mut log = crate::EventTraceLogger::new();
+        let _ = Simulation::new(spec(), cfg).run_observed(
+            &trace,
+            &mut EdfScheduler::new(),
+            &mut [&mut log],
+        );
+        use crate::Event;
+        assert_eq!(log.count(|e| matches!(e, Event::ServerFailure { .. })), 1);
+        assert_eq!(log.count(|e| matches!(e, Event::ServerRepair { .. })), 1);
+        // The evicted job's recovery pause must surface as a PauseEnd.
+        assert!(log.count(|e| matches!(e, Event::PauseEnd { .. })) >= 1);
     }
 }

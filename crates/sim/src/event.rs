@@ -1,0 +1,222 @@
+//! The deterministic event core: typed events, next-event selection, and
+//! `EPS_TIME` batching.
+//!
+//! This layer owns *when* things happen and *what kind* of thing happens;
+//! it never touches cluster or job state. Two event streams are static and
+//! kept as cursors over pre-sorted vectors (a stable-ordered queue —
+//! arrivals in trace order, failure/repair transitions in time order with
+//! insertion order breaking ties); the other candidates (completions, slot
+//! boundaries) are *derived* from job state at selection time, because any
+//! replan invalidates them — deriving is cheaper and simpler than queue
+//! invalidation, and it is exactly the "fast-forwarding" the paper's
+//! simulator does (§6.2).
+//!
+//! All events within [`EPS_TIME`] of the chosen step time fire as one
+//! batch, preserving the engine's original simultaneous-event semantics.
+
+use elasticflow_sched::JobTable;
+use elasticflow_trace::{JobId, JobSpec, Trace};
+
+use crate::failures::FailureSchedule;
+
+/// Time tolerance for batching simultaneous events.
+pub(crate) const EPS_TIME: f64 = 1e-9;
+
+/// One typed simulation event, as seen by [`crate::SimObserver`] hooks.
+///
+/// Events carry identities only; the event time is passed alongside, and
+/// cluster/job state is available through [`crate::SimContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A job was submitted (admission has already been decided when
+    /// observers see this event).
+    Arrival {
+        /// The arriving job.
+        job: JobId,
+    },
+    /// A job ran its remaining iterations to zero and released its GPUs.
+    Completion {
+        /// The finished job.
+        job: JobId,
+    },
+    /// A scheduling-slot boundary was reached (periodic replan trigger).
+    SlotBoundary,
+    /// A server failed; its GPUs are fenced off and overlapping jobs are
+    /// evicted (paper §4.4).
+    ServerFailure {
+        /// Index of the failing server.
+        server: u32,
+    },
+    /// A failed server returned to service.
+    ServerRepair {
+        /// Index of the repaired server.
+        server: u32,
+    },
+    /// A job's scaling/migration/recovery pause elapsed within this step.
+    /// Informational: paused jobs resume mid-interval without a dedicated
+    /// wake-up, so this variant never influences step selection.
+    PauseEnd {
+        /// The job whose pause ended.
+        job: JobId,
+    },
+}
+
+/// The outcome of next-event selection: the step time plus which derived
+/// candidates fire at it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Step {
+    /// Time of the next event batch (may be in the past by up to
+    /// `EPS_TIME`; callers clamp with `max(now)`).
+    pub time: f64,
+    /// `true` when the slot-boundary candidate fires in this batch.
+    pub slot_boundary: bool,
+}
+
+/// Event selection state: cursors over the static event streams plus the
+/// parameters governing derived candidates.
+#[derive(Debug)]
+pub(crate) struct EventCore<'t> {
+    arrivals: &'t [JobSpec],
+    next_arrival: usize,
+    /// Failure/repair timeline: `(time, server, is_repair)`, stably sorted
+    /// by time.
+    transitions: Vec<(f64, u32, bool)>,
+    next_transition: usize,
+    slot_seconds: f64,
+    last_arrival: f64,
+    horizon_after_last_arrival: f64,
+}
+
+impl<'t> EventCore<'t> {
+    /// Builds the event core for one run: arrival cursor over the trace,
+    /// failure/repair transitions expanded from the schedule (events on
+    /// out-of-range servers are ignored), and the slot/horizon parameters.
+    pub(crate) fn new(
+        trace: &'t Trace,
+        failures: &FailureSchedule,
+        num_servers: u32,
+        slot_seconds: f64,
+        horizon_after_last_arrival: f64,
+    ) -> Self {
+        let arrivals = trace.jobs();
+        let last_arrival = arrivals.last().map(|j| j.submit_time).unwrap_or(0.0);
+        let mut transitions: Vec<(f64, u32, bool)> = Vec::new();
+        for f in failures.events() {
+            if f.server < num_servers {
+                transitions.push((f.at, f.server, false));
+                transitions.push((f.at + f.repair_seconds, f.server, true));
+            }
+        }
+        transitions.sort_by(|a, b| a.0.total_cmp(&b.0));
+        EventCore {
+            arrivals,
+            next_arrival: 0,
+            transitions,
+            next_transition: 0,
+            slot_seconds,
+            last_arrival,
+            horizon_after_last_arrival,
+        }
+    }
+
+    /// Selects the next event batch: the minimum over the pending arrival,
+    /// the earliest predicted completion, the next slot boundary (only
+    /// while work exists), and the next failure/repair transition (only
+    /// while work remains). Returns `None` when the simulation is drained
+    /// or the starvation horizon is exceeded.
+    pub(crate) fn next_step(&self, now: f64, jobs: &JobTable) -> Option<Step> {
+        let t_arrival = self.arrivals.get(self.next_arrival).map(|j| j.submit_time);
+        let t_completion = jobs
+            .iter()
+            .filter(|j| j.is_active() && j.current_gpus > 0)
+            .map(|j| {
+                let tput = j.current_iters_per_sec();
+                j.paused_until.max(now) + j.remaining_iterations / tput
+            })
+            .fold(f64::INFINITY, f64::min);
+        let any_running = jobs.iter().any(|j| j.is_active() && j.current_gpus > 0);
+        let t_slot = if any_running || t_arrival.is_some() {
+            Some(((now / self.slot_seconds).floor() + 1.0) * self.slot_seconds)
+        } else {
+            None
+        };
+        let t_transition = self.transitions.get(self.next_transition).map(|&(t, ..)| t);
+
+        let mut t_next = f64::INFINITY;
+        if let Some(t) = t_arrival {
+            t_next = t_next.min(t);
+        }
+        t_next = t_next.min(t_completion);
+        if let Some(t) = t_slot {
+            t_next = t_next.min(t);
+        }
+        if let Some(t) = t_transition {
+            // Failure/repair events only matter while work remains.
+            if jobs.iter().any(|j| j.is_active()) || t_arrival.is_some() {
+                t_next = t_next.min(t);
+            }
+        }
+        if !t_next.is_finite() {
+            return None; // no arrivals, nothing running: simulation drained
+        }
+        if t_next > self.last_arrival + self.horizon_after_last_arrival {
+            return None; // starvation horizon
+        }
+        let slot_boundary = t_slot.is_some_and(|ts| ts <= t_next + EPS_TIME);
+        Some(Step {
+            time: t_next,
+            slot_boundary,
+        })
+    }
+
+    /// Pops every failure/repair transition due at `now` (within
+    /// `EPS_TIME`), in stable time order.
+    pub(crate) fn due_transitions(&mut self, now: f64) -> Vec<(u32, bool)> {
+        let mut due = Vec::new();
+        while let Some(&(tt, server, is_repair)) = self.transitions.get(self.next_transition) {
+            if tt > now + EPS_TIME {
+                break;
+            }
+            self.next_transition += 1;
+            due.push((server, is_repair));
+        }
+        due
+    }
+
+    /// Pops every arrival due at `now` (within `EPS_TIME`), in trace order.
+    pub(crate) fn due_arrivals(&mut self, now: f64) -> Vec<JobSpec> {
+        let mut due = Vec::new();
+        while let Some(spec) = self.arrivals.get(self.next_arrival) {
+            if spec.submit_time > now + EPS_TIME {
+                break;
+            }
+            self.next_arrival += 1;
+            due.push(spec.clone());
+        }
+        due
+    }
+
+    /// Emits a [`Event::PauseEnd`] for every active job whose pause elapsed
+    /// in `(prev_now, t]`, in job-id order. Informational only — paused
+    /// jobs resume mid-interval without a wake-up, so these events never
+    /// change step selection or replay arithmetic.
+    pub(crate) fn pause_end_events(
+        &self,
+        prev_now: f64,
+        t: f64,
+        jobs: &JobTable,
+        out: &mut Vec<Event>,
+    ) {
+        for job in jobs.iter() {
+            if job.is_active() && job.paused_until > prev_now && job.paused_until <= t {
+                out.push(Event::PauseEnd { job: job.id() });
+            }
+        }
+    }
+
+    /// `true` when both static event streams are exhausted (no pending
+    /// arrivals or failure/repair transitions).
+    pub(crate) fn exhausted(&self) -> bool {
+        self.next_arrival >= self.arrivals.len() && self.next_transition >= self.transitions.len()
+    }
+}

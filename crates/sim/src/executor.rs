@@ -1,0 +1,384 @@
+//! The elastic training executor: the only layer that mutates cluster and
+//! job state.
+//!
+//! The executor applies schedule plans (allocating, resizing, releasing
+//! buddy blocks and charging scaling/migration pauses), advances
+//! `remaining_iterations` between events, accounts GPU-seconds, and owns
+//! the phantom-block fencing that stands in for failed servers (paper
+//! §4.4). Event *selection* lives in [`crate::event`]; policy decisions
+//! come in through the scheduler driver ([`crate::driver`]); observation
+//! happens through [`crate::SimObserver`] hooks fed by the engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use elasticflow_cluster::ClusterState;
+use elasticflow_perfmodel::{DnnModel, Interconnect, OverheadModel, ScalingCurve, ScalingEvent};
+use elasticflow_sched::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, ReplanOutcome, SchedulePlan,
+};
+use elasticflow_trace::{JobId, JobSpec};
+
+use crate::driver::SchedulerDriver;
+use crate::observer::SimContext;
+use crate::JobOutcome;
+
+/// Owner-tag base for pinned blocks standing in for failed servers.
+pub(crate) const PHANTOM_BASE: u64 = u64::MAX / 2;
+
+/// Iteration-count tolerance below which a job counts as finished.
+pub(crate) const EPS_ITERS: f64 = 1e-6;
+
+/// Hard-stops the simulation on a broken engine invariant or a plan the
+/// cluster cannot honor. GPU accounting past such a point would be wrong,
+/// so a loud abort beats a silently corrupted [`crate::SimReport`].
+#[cold]
+pub(crate) fn sim_bug(context: &str) -> ! {
+    // elasticflow-lint: allow(EF-L001): deliberate single abort point — every engine invariant failure funnels here so a violation stops the replay instead of corrupting the report
+    panic!("simulation engine invariant violated: {context}")
+}
+
+/// Per-job bookkeeping the [`JobRuntime`] does not carry.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobStats {
+    paused_seconds: f64,
+    scale_events: u32,
+}
+
+/// Owns and mutates all simulation state: the cluster, the job table, and
+/// the accounting totals that become the final report.
+#[derive(Debug)]
+pub(crate) struct Executor {
+    cluster: ClusterState,
+    jobs: JobTable,
+    stats: BTreeMap<JobId, JobStats>,
+    // BTreeMap, not HashMap: the memo is lookup-only today, but hash
+    // iteration order leaking into a future refactor would silently
+    // break replay determinism (EF-L003).
+    curves: BTreeMap<(DnnModel, u32), ScalingCurve>,
+    net: Interconnect,
+    overheads: OverheadModel,
+    total_gpus: u32,
+    gpus_per_server: u32,
+    down_servers: BTreeSet<u32>,
+    migrations_total: u32,
+    total_pause: f64,
+    submitted: usize,
+    admitted: usize,
+}
+
+impl Executor {
+    /// Creates the executor over an idle cluster.
+    pub(crate) fn new(cluster: ClusterState, net: Interconnect, overheads: OverheadModel) -> Self {
+        let total_gpus = cluster.capacity();
+        let gpus_per_server = cluster.topology().gpus_per_server();
+        Executor {
+            cluster,
+            jobs: JobTable::new(),
+            stats: BTreeMap::new(),
+            curves: BTreeMap::new(),
+            net,
+            overheads,
+            total_gpus,
+            gpus_per_server,
+            down_servers: BTreeSet::new(),
+            migrations_total: 0,
+            total_pause: 0.0,
+            submitted: 0,
+            admitted: 0,
+        }
+    }
+
+    /// The job table (read-only; only the executor mutates it).
+    pub(crate) fn jobs(&self) -> &JobTable {
+        &self.jobs
+    }
+
+    /// Cluster capacity in GPUs.
+    pub(crate) fn total_gpus(&self) -> u32 {
+        self.total_gpus
+    }
+
+    /// An observer-facing snapshot of the current state.
+    pub(crate) fn context(&self) -> SimContext<'_> {
+        SimContext::new(
+            &self.cluster,
+            &self.jobs,
+            self.total_gpus,
+            self.down_servers.len() as u32 * self.gpus_per_server,
+            self.submitted,
+            self.admitted,
+            PHANTOM_BASE,
+        )
+    }
+
+    /// Advances every running job from `now` to `t`, decrementing remaining
+    /// iterations (pauses charge no progress) and accruing GPU-seconds.
+    pub(crate) fn advance_to(&mut self, now: f64, t: f64) {
+        for job in self.jobs.iter_mut() {
+            if job.is_active() && job.current_gpus > 0 {
+                let run_from = job.paused_until.max(now);
+                let dt = (t - run_from).max(0.0);
+                let tput = job.current_iters_per_sec();
+                job.remaining_iterations = (job.remaining_iterations - dt * tput).max(0.0);
+                job.gpu_seconds += job.current_gpus as f64 * (t - now);
+            }
+        }
+    }
+
+    /// Jobs that ran their remaining iterations down to the completion
+    /// tolerance, ascending by id.
+    pub(crate) fn finished_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|j| j.is_active() && j.current_gpus > 0 && j.remaining_iterations <= EPS_ITERS)
+            .map(|j| j.id())
+            .collect()
+    }
+
+    /// Marks `id` finished at `now` and releases its GPUs.
+    pub(crate) fn complete(&mut self, id: JobId, now: f64) {
+        let job = self
+            .jobs
+            .get_mut(id)
+            .unwrap_or_else(|| sim_bug("completing job missing from the job table"));
+        job.finish_time = Some(now);
+        job.current_gpus = 0;
+        self.cluster
+            .release(id.raw())
+            .unwrap_or_else(|_| sim_bug("completing job held no GPUs"));
+    }
+
+    /// Applies one server failure or repair at `now`. On failure: evicts
+    /// every overlapping job (charging a checkpoint-recovery pause) and
+    /// fences the dead server off with a pinned phantom block; on repair:
+    /// releases the phantom block. Duplicate transitions are no-ops.
+    pub(crate) fn apply_transition(&mut self, server: u32, is_repair: bool, now: f64) {
+        let phantom = PHANTOM_BASE + server as u64;
+        if is_repair {
+            if self.down_servers.remove(&server) {
+                self.cluster
+                    .release(phantom)
+                    .unwrap_or_else(|_| sim_bug("repaired server had no pinned phantom block"));
+            }
+            return;
+        }
+        if !self.down_servers.insert(server) {
+            return; // already down
+        }
+        // Evict every job overlapping the failed server: checkpoint
+        // recovery pause, then back to the queue for the replan.
+        let victims: Vec<u64> = self
+            .cluster
+            .iter()
+            .filter(|(owner, p)| {
+                *owner < PHANTOM_BASE && p.servers().iter().any(|srv| srv.index() == server)
+            })
+            .map(|(owner, _)| owner)
+            .collect();
+        for owner in victims {
+            self.cluster
+                .release(owner)
+                .unwrap_or_else(|_| sim_bug("evicted victim held no GPUs"));
+            let id = JobId::new(owner);
+            if let Some(job) = self.jobs.get_mut(id) {
+                let pause = self.overheads.pause_seconds(
+                    &job.spec.model.profile(),
+                    ScalingEvent::migrate(job.current_gpus),
+                );
+                job.current_gpus = 0;
+                job.paused_until = job.paused_until.max(now) + pause;
+                self.total_pause += pause;
+                let st = self.stats.entry(id).or_default();
+                st.paused_seconds += pause;
+                st.scale_events += 1;
+            }
+        }
+        // Fence the dead server off with a pinned phantom block.
+        let order = self.gpus_per_server.trailing_zeros();
+        let block = elasticflow_cluster::Block::new(order, server * self.gpus_per_server);
+        self.cluster
+            .allocate_pinned(phantom, block)
+            .unwrap_or_else(|_| sim_bug("failed server block still occupied after eviction"));
+    }
+
+    /// The cluster as the scheduler may see it: capacity net of fenced-off
+    /// failed servers.
+    pub(crate) fn scheduler_view(&self) -> ClusterView {
+        ClusterView::new(self.total_gpus - self.down_servers.len() as u32 * self.gpus_per_server)
+    }
+
+    /// Registers an arriving job (memoizing its scaling curve per
+    /// model/batch pair) and routes the admission decision through the
+    /// scheduler driver. Returns the job's id.
+    pub(crate) fn admit_arrival(
+        &mut self,
+        spec: JobSpec,
+        driver: &mut SchedulerDriver<'_>,
+        now: f64,
+        view: &ClusterView,
+    ) -> JobId {
+        self.submitted += 1;
+        let curve = self
+            .curves
+            .entry((spec.model, spec.global_batch))
+            .or_insert_with(|| {
+                ScalingCurve::build_with_max(
+                    spec.model,
+                    spec.global_batch,
+                    &self.net,
+                    self.total_gpus,
+                )
+            })
+            .clone();
+        let runtime = JobRuntime::new(spec, curve);
+        let id = runtime.id();
+        self.jobs.insert(runtime);
+        self.stats.insert(id, JobStats::default());
+        let decision = {
+            let job_ref = self
+                .jobs
+                .get(id)
+                .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
+            driver.admit(job_ref, now, view, &self.jobs)
+        };
+        let job = self
+            .jobs
+            .get_mut(id)
+            .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
+        match decision {
+            AdmissionDecision::Admit => {
+                job.admitted = true;
+                self.admitted += 1;
+            }
+            AdmissionDecision::Drop => job.dropped = true,
+        }
+        id
+    }
+
+    /// Applies `plan` to the cluster at `now`: shrinks and suspends first
+    /// (freeing capacity), then grows largest-first (less defragmentation
+    /// churn), charging scaling pauses to resized jobs and migration pauses
+    /// to relocated bystanders. Returns the observer-visible summary.
+    pub(crate) fn apply_plan(&mut self, plan: SchedulePlan, now: f64) -> ReplanOutcome {
+        let mut changes: Vec<(JobId, u32, u32)> = Vec::new(); // (id, from, to)
+        for job in self.jobs.iter() {
+            if !job.is_active() {
+                continue;
+            }
+            let desired = plan.gpus(job.id()).min(job.curve.max_gpus());
+            if desired != job.current_gpus {
+                changes.push((job.id(), job.current_gpus, desired));
+            }
+        }
+        // Shrinks first (free capacity), then grows largest-first (less
+        // defragmentation churn).
+        changes.sort_by(|a, b| (a.2 > a.1).cmp(&(b.2 > b.1)).then(b.2.cmp(&a.2)));
+        let resized_jobs = changes.len() as u32;
+        let mut round_migrations = 0u32;
+        let mut round_pause = 0.0f64;
+        for (id, from, to) in changes {
+            let mut migrated: Vec<u64> = Vec::new();
+            if to == 0 {
+                self.cluster
+                    .release(id.raw())
+                    .unwrap_or_else(|_| sim_bug("shrinking job held no GPUs"));
+            } else if from == 0 {
+                let (_, migs) = self
+                    .cluster
+                    .allocate_with_defrag(id.raw(), to)
+                    .unwrap_or_else(|e| sim_bug(&format!("plan does not fit the cluster: {e}")));
+                migrated = migs.iter().map(|m| m.owner).collect();
+            } else {
+                let (_, migs) = self
+                    .cluster
+                    .resize(id.raw(), to)
+                    .unwrap_or_else(|e| sim_bug(&format!("plan does not fit during resize: {e}")));
+                migrated = migs.iter().map(|m| m.owner).collect();
+            }
+            // Charge the scaling pause to the job itself.
+            {
+                let job = self
+                    .jobs
+                    .get_mut(id)
+                    .unwrap_or_else(|| sim_bug("planned job missing from the job table"));
+                let pause = self
+                    .overheads
+                    .pause_seconds(&job.spec.model.profile(), ScalingEvent::scale(from, to));
+                if job.first_start.is_none() && to > 0 {
+                    job.first_start = Some(now);
+                }
+                job.current_gpus = to;
+                job.paused_until = job.paused_until.max(now) + pause;
+                self.total_pause += pause;
+                round_pause += pause;
+                let st = self.stats.entry(id).or_default();
+                st.paused_seconds += pause;
+                st.scale_events += 1;
+            }
+            // Charge migration pauses to relocated bystanders.
+            self.migrations_total += migrated.len() as u32;
+            round_migrations += migrated.len() as u32;
+            for owner in migrated {
+                let mid = JobId::new(owner);
+                if mid == id {
+                    continue;
+                }
+                if let Some(job) = self.jobs.get_mut(mid) {
+                    let pause = self.overheads.pause_seconds(
+                        &job.spec.model.profile(),
+                        ScalingEvent::migrate(job.current_gpus),
+                    );
+                    job.paused_until = job.paused_until.max(now) + pause;
+                    self.total_pause += pause;
+                    round_pause += pause;
+                    let st = self.stats.entry(mid).or_default();
+                    st.paused_seconds += pause;
+                }
+            }
+        }
+        // Always-on fast path; the `audit` feature attaches the full
+        // structural cross-check as a `SimObserver` (see `crate::audit`).
+        debug_assert_eq!(
+            self.cluster.used_gpus(),
+            plan.total_gpus() + self.down_servers.len() as u32 * self.gpus_per_server
+        );
+        ReplanOutcome {
+            plan,
+            resized_jobs,
+            migrations: round_migrations,
+            pause_seconds: round_pause,
+        }
+    }
+
+    /// `true` while no admitted job holds GPUs (stall detection).
+    pub(crate) fn none_running(&self) -> bool {
+        !self
+            .jobs
+            .iter()
+            .any(|j| j.is_active() && j.current_gpus > 0)
+    }
+
+    /// Consumes the executor into final per-job outcomes plus the run-wide
+    /// migration and pause totals.
+    pub(crate) fn into_results(self) -> (Vec<JobOutcome>, u32, f64) {
+        let outcomes: Vec<JobOutcome> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let st = self.stats.get(&j.id()).copied().unwrap_or_default();
+                JobOutcome {
+                    id: j.id(),
+                    kind: j.spec.kind,
+                    submit_time: j.spec.submit_time,
+                    deadline: j.spec.deadline,
+                    dropped: j.dropped,
+                    finish_time: j.finish_time,
+                    gpu_seconds: j.gpu_seconds,
+                    paused_seconds: st.paused_seconds,
+                    scale_events: st.scale_events,
+                }
+            })
+            .collect();
+        (outcomes, self.migrations_total, self.total_pause)
+    }
+}

@@ -8,6 +8,15 @@
 //! scheduling event (job arrival, job completion, slot boundary) — the
 //! "fast-forwarding" of §6.2 falls out of event-driven execution naturally.
 //!
+//! The simulator is layered: a deterministic *event core* (typed
+//! [`Event`]s in stable order with tolerance-batched simultaneity), an
+//! *executor* that owns every cluster/job-state mutation, a *scheduler
+//! driver* that mediates and validates policy calls, and a pluggable
+//! *observation* layer — implement [`SimObserver`] and attach it with
+//! [`Simulation::run_observed`] to trace or measure a run without touching
+//! engine code. Observers are read-only; attaching any combination leaves
+//! the [`SimReport`] byte-identical.
+//!
 //! Fidelity features carried over from the paper's simulator:
 //!
 //! * per-job throughput from the profiled scaling curves, exact for buddy
@@ -39,13 +48,19 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 mod config;
+mod driver;
 mod engine;
+mod event;
+mod executor;
 mod failures;
 mod metrics;
+mod observer;
 
 #[cfg(feature = "audit")]
 pub use audit::InvariantAuditor;
 pub use config::SimConfig;
 pub use engine::Simulation;
+pub use event::Event;
 pub use failures::{FailureSchedule, NodeFailure};
 pub use metrics::{JobOutcome, SimReport, TimelinePoint};
+pub use observer::{EventTraceLogger, SimContext, SimObserver, TimelineCollector, TraceRecord};

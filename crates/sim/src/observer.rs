@@ -1,0 +1,220 @@
+//! The pluggable observation layer: [`SimObserver`] hooks plus the stock
+//! observers (timeline collector, event-trace logger; the invariant
+//! auditor joins them under `--features audit`).
+//!
+//! Observers are strictly read-only: hooks receive a [`SimContext`]
+//! snapshot borrowing the live cluster and job table, and nothing an
+//! observer does can change replay arithmetic — attaching any combination
+//! of observers yields a byte-identical [`crate::SimReport`] (the golden
+//! replay test enforces this).
+//!
+//! # Hook order within one scheduling event
+//!
+//! 1. [`SimObserver::on_event`] — once per batched [`Event`] (pause ends,
+//!    completions, failures/repairs, arrivals, slot boundary), after the
+//!    batch is applied to the state but before the replan;
+//! 2. [`SimObserver::on_job_finish`] — once per completed job;
+//! 3. [`SimObserver::on_replan`] — after the new plan is applied, with the
+//!    round's [`ReplanOutcome`];
+//! 4. [`SimObserver::on_tick`] — once per event loop iteration, last.
+
+use elasticflow_cluster::ClusterState;
+use elasticflow_sched::{JobTable, ReplanOutcome};
+use elasticflow_trace::JobId;
+
+use crate::event::Event;
+use crate::TimelinePoint;
+
+/// Read-only snapshot of simulation state, lent to observer hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct SimContext<'a> {
+    /// The cluster's allocation state (includes phantom blocks fencing off
+    /// failed servers).
+    pub cluster: &'a ClusterState,
+    /// Every job the simulator has seen so far.
+    pub jobs: &'a JobTable,
+    /// Cluster capacity in GPUs.
+    pub total_gpus: u32,
+    /// GPUs currently fenced off behind failed-server phantom blocks.
+    pub fenced_gpus: u32,
+    /// Jobs submitted so far.
+    pub submitted: usize,
+    /// Jobs admitted so far.
+    pub admitted: usize,
+    /// Owner-tag threshold above which cluster blocks stand in for failed
+    /// servers rather than jobs.
+    pub phantom_base: u64,
+}
+
+impl<'a> SimContext<'a> {
+    /// Assembles a snapshot. Public so tests and external harnesses can
+    /// drive observers directly against hand-built state.
+    pub fn new(
+        cluster: &'a ClusterState,
+        jobs: &'a JobTable,
+        total_gpus: u32,
+        fenced_gpus: u32,
+        submitted: usize,
+        admitted: usize,
+        phantom_base: u64,
+    ) -> Self {
+        SimContext {
+            cluster,
+            jobs,
+            total_gpus,
+            fenced_gpus,
+            submitted,
+            admitted,
+            phantom_base,
+        }
+    }
+
+    /// GPUs allocated to jobs right now (net of fenced failed servers).
+    pub fn used_gpus(&self) -> u32 {
+        self.cluster.used_gpus() - self.fenced_gpus
+    }
+}
+
+/// Hooks called by the simulation engine at every scheduling event.
+///
+/// All hooks default to no-ops, so an observer implements only what it
+/// needs. Attach observers with [`crate::Simulation::run_observed`]:
+///
+/// ```
+/// use elasticflow_cluster::ClusterSpec;
+/// use elasticflow_perfmodel::Interconnect;
+/// use elasticflow_sched::EdfScheduler;
+/// use elasticflow_sim::{EventTraceLogger, SimConfig, Simulation};
+/// use elasticflow_trace::TraceConfig;
+///
+/// let spec = ClusterSpec::small_testbed();
+/// let trace = TraceConfig::testbed_small(1).generate(&Interconnect::from_spec(&spec));
+/// let mut log = EventTraceLogger::default();
+/// let report = Simulation::new(spec, SimConfig::default())
+///     .run_observed(&trace, &mut EdfScheduler::new(), &mut [&mut log]);
+/// assert!(log.len() > 0);
+/// assert_eq!(report.outcomes().len(), 25);
+/// ```
+pub trait SimObserver {
+    /// One typed [`Event`] from the current batch, after it was applied.
+    fn on_event(&mut self, _now: f64, _event: &Event, _ctx: &SimContext<'_>) {}
+
+    /// A replan round finished and its plan was applied to the cluster.
+    fn on_replan(&mut self, _now: f64, _outcome: &ReplanOutcome, _ctx: &SimContext<'_>) {}
+
+    /// A job ran to completion (fires in addition to the corresponding
+    /// [`Event::Completion`]).
+    fn on_job_finish(&mut self, _now: f64, _job: JobId, _ctx: &SimContext<'_>) {}
+
+    /// End of one event-loop iteration; the canonical place to sample
+    /// cluster-wide series.
+    fn on_tick(&mut self, _now: f64, _ctx: &SimContext<'_>) {}
+}
+
+/// The stock metrics observer: samples one [`TimelinePoint`] per tick —
+/// the series behind the paper's Figs. 7 and 10. The engine always runs
+/// one internally to assemble the [`crate::SimReport`].
+#[derive(Debug, Clone, Default)]
+pub struct TimelineCollector {
+    timeline: Vec<TimelinePoint>,
+}
+
+impl TimelineCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TimelineCollector::default()
+    }
+
+    /// The points sampled so far.
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
+
+    /// Consumes the collector into its samples.
+    pub fn into_timeline(self) -> Vec<TimelinePoint> {
+        self.timeline
+    }
+}
+
+impl SimObserver for TimelineCollector {
+    fn on_tick(&mut self, now: f64, ctx: &SimContext<'_>) {
+        let ce = ctx
+            .jobs
+            .iter()
+            .filter(|j| j.is_active() && j.current_gpus > 0)
+            .map(|j| j.curve.speedup(j.current_gpus).unwrap_or(0.0))
+            .sum::<f64>()
+            / ctx.total_gpus as f64;
+        self.timeline.push(TimelinePoint {
+            time: now,
+            used_gpus: ctx.used_gpus(),
+            cluster_efficiency: ce,
+            submitted: ctx.submitted,
+            admitted: ctx.admitted,
+        });
+    }
+}
+
+/// One record in an [`EventTraceLogger`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Event time, seconds.
+    pub time: f64,
+    /// The event.
+    pub event: Event,
+}
+
+/// A lightweight event-trace logger: records every typed event with its
+/// timestamp plus a replan counter. Cheap enough to attach to large
+/// sweeps; the raw stream feeds timeline debugging and future tracing
+/// layers.
+#[derive(Debug, Clone, Default)]
+pub struct EventTraceLogger {
+    records: Vec<TraceRecord>,
+    replans: u64,
+}
+
+impl EventTraceLogger {
+    /// An empty logger.
+    pub fn new() -> Self {
+        EventTraceLogger::default()
+    }
+
+    /// All recorded events, in firing order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of replan rounds observed.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Count of recorded events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+}
+
+impl SimObserver for EventTraceLogger {
+    fn on_event(&mut self, now: f64, event: &Event, _ctx: &SimContext<'_>) {
+        self.records.push(TraceRecord {
+            time: now,
+            event: *event,
+        });
+    }
+
+    fn on_replan(&mut self, _now: f64, _outcome: &ReplanOutcome, _ctx: &SimContext<'_>) {
+        self.replans += 1;
+    }
+}

@@ -5,8 +5,8 @@
 
 use elasticflow_cluster::{ClusterSpec, ClusterState};
 use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
-use elasticflow_sched::{JobRuntime, JobTable};
-use elasticflow_sim::InvariantAuditor;
+use elasticflow_sched::{JobRuntime, JobTable, ReplanOutcome, SchedulePlan};
+use elasticflow_sim::{InvariantAuditor, SimContext, SimObserver};
 use elasticflow_trace::{JobId, JobSpec};
 
 const PHANTOM_BASE: u64 = u64::MAX / 2;
@@ -67,6 +67,44 @@ fn size_mismatch_is_caught() {
     job.current_gpus = 2;
     jobs.insert(job);
     InvariantAuditor::check_cluster(&cluster, &jobs, PHANTOM_BASE, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "invariant audit failed")]
+fn observer_hook_fires_on_corrupted_state() {
+    // The auditor must catch corruption through the same SimObserver seam
+    // the engine drives, not only via direct check_cluster calls: here a
+    // placement with no owning job reaches it through on_replan.
+    let mut cluster = cluster();
+    cluster.allocate(5, 4).expect("idle cluster");
+    let jobs = JobTable::new();
+    let ctx = SimContext::new(&cluster, &jobs, 16, 0, 0, 0, PHANTOM_BASE);
+    let outcome = ReplanOutcome {
+        plan: SchedulePlan::new(),
+        resized_jobs: 0,
+        migrations: 0,
+        pause_seconds: 0.0,
+    };
+    InvariantAuditor.on_replan(0.0, &outcome, &ctx);
+}
+
+#[test]
+fn observer_hook_accepts_consistent_state() {
+    let mut cluster = cluster();
+    cluster.allocate(1, 4).expect("idle cluster");
+    let mut jobs = JobTable::new();
+    let mut job = runtime(1);
+    job.admitted = true;
+    job.current_gpus = 4;
+    jobs.insert(job);
+    let ctx = SimContext::new(&cluster, &jobs, 16, 0, 1, 1, PHANTOM_BASE);
+    let outcome = ReplanOutcome {
+        plan: SchedulePlan::new(),
+        resized_jobs: 1,
+        migrations: 0,
+        pause_seconds: 0.0,
+    };
+    InvariantAuditor.on_replan(0.0, &outcome, &ctx);
 }
 
 #[test]

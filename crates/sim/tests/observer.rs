@@ -1,0 +1,125 @@
+//! Integration tests for the [`SimObserver`] seam: a counting observer's
+//! hook-call tallies must agree with the engine's own event accounting,
+//! and attaching observers must leave the replay byte-identical.
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sched::{EdfScheduler, ReplanOutcome};
+use elasticflow_sim::{
+    Event, EventTraceLogger, FailureSchedule, NodeFailure, SimConfig, SimContext, SimObserver,
+    Simulation,
+};
+use elasticflow_trace::{JobId, TraceConfig};
+
+/// Tallies every hook invocation, bucketed by event kind.
+#[derive(Debug, Default)]
+struct CountingObserver {
+    events: usize,
+    arrivals: usize,
+    completions: usize,
+    slot_boundaries: usize,
+    failures: usize,
+    repairs: usize,
+    pause_ends: usize,
+    replans: usize,
+    finishes: usize,
+    ticks: usize,
+}
+
+impl SimObserver for CountingObserver {
+    fn on_event(&mut self, _now: f64, event: &Event, _ctx: &SimContext<'_>) {
+        self.events += 1;
+        match event {
+            Event::Arrival { .. } => self.arrivals += 1,
+            Event::Completion { .. } => self.completions += 1,
+            Event::SlotBoundary => self.slot_boundaries += 1,
+            Event::ServerFailure { .. } => self.failures += 1,
+            Event::ServerRepair { .. } => self.repairs += 1,
+            Event::PauseEnd { .. } => self.pause_ends += 1,
+        }
+    }
+
+    fn on_replan(&mut self, _now: f64, _outcome: &ReplanOutcome, _ctx: &SimContext<'_>) {
+        self.replans += 1;
+    }
+
+    fn on_job_finish(&mut self, _now: f64, _job: JobId, _ctx: &SimContext<'_>) {
+        self.finishes += 1;
+    }
+
+    fn on_tick(&mut self, _now: f64, _ctx: &SimContext<'_>) {
+        self.ticks += 1;
+    }
+}
+
+fn run_counted(seed: u64, config: SimConfig) -> (CountingObserver, EventTraceLogger, usize) {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+    let mut counter = CountingObserver::default();
+    let mut logger = EventTraceLogger::new();
+    let report = Simulation::new(spec, config).run_observed(
+        &trace,
+        &mut EdfScheduler::new(),
+        &mut [&mut counter, &mut logger],
+    );
+    (counter, logger, report.outcomes().len())
+}
+
+#[test]
+fn hook_call_counts_match_event_counts() {
+    let (counter, logger, num_jobs) = run_counted(3, SimConfig::default());
+
+    // Two independent observers of the same run see the same event stream.
+    assert_eq!(counter.events, logger.len());
+    assert_eq!(counter.replans, usize::try_from(logger.replans()).unwrap());
+
+    // Per-kind tallies agree with the engine's accounting: every trace job
+    // arrives exactly once, every completion is paired with an
+    // `on_job_finish` hook, and every loop iteration replans and ticks
+    // exactly once.
+    assert_eq!(counter.arrivals, num_jobs);
+    assert_eq!(counter.completions, counter.finishes);
+    assert_eq!(counter.replans, counter.ticks);
+    assert!(counter.ticks > 0, "engine never ticked");
+    assert_eq!(
+        counter.events,
+        counter.arrivals
+            + counter.completions
+            + counter.slot_boundaries
+            + counter.failures
+            + counter.repairs
+            + counter.pause_ends,
+        "on_event fired for an unclassified event kind"
+    );
+    assert_eq!(counter.failures + counter.repairs, 0);
+}
+
+#[test]
+fn failure_and_repair_events_are_observed() {
+    let failures = FailureSchedule::fixed(vec![NodeFailure {
+        server: 1,
+        at: 1_200.0,
+        repair_seconds: 3_600.0,
+    }]);
+    let (counter, _, _) = run_counted(3, SimConfig::default().with_failures(failures));
+    assert!(
+        counter.failures >= 1,
+        "ServerFailure never reached observers"
+    );
+    assert!(counter.repairs >= 1, "ServerRepair never reached observers");
+}
+
+#[test]
+fn attached_observers_leave_the_report_unchanged() {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(9).generate(&Interconnect::from_spec(&spec));
+    let plain =
+        Simulation::new(spec.clone(), SimConfig::default()).run(&trace, &mut EdfScheduler::new());
+    let mut counter = CountingObserver::default();
+    let observed = Simulation::new(spec, SimConfig::default()).run_observed(
+        &trace,
+        &mut EdfScheduler::new(),
+        &mut [&mut counter],
+    );
+    assert_eq!(plain, observed);
+}

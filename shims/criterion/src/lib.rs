@@ -1,4 +1,4 @@
-//! Offline stand-in for [`criterion`].
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
 //!
 //! Keeps the workspace's `harness = false` benchmarks compiling and
 //! runnable without registry access. Statistical machinery is intentionally

@@ -1,4 +1,4 @@
-//! Offline stand-in for [`serde_json`].
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json).
 //!
 //! Implements the subset of the real crate's API this workspace uses:
 //! [`to_string`], [`from_str`], [`to_writer`], the [`json!`] macro, and a
