@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runners;
+pub mod telemetry;
 
 pub use report::Table;
 pub use runners::{run_one, scheduler_by_name, RosterEntry, ROSTER};

@@ -2,10 +2,14 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! experiments <id> [--seed N] [--json]
-//! experiments all  [--seed N] [--json]
+//! experiments <id> [--seed N] [--json] [--telemetry-out <dir>]
+//! experiments all  [--seed N] [--json] [--telemetry-out <dir>]
 //! experiments list
 //! ```
+//!
+//! With `--telemetry-out`, every simulation also drops Prometheus
+//! (`.prom`) and Perfetto-loadable Chrome-trace (`.trace.json`) exports
+//! into the given directory.
 
 use std::process::ExitCode;
 
@@ -27,6 +31,18 @@ fn main() -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--telemetry-out" => match it.next() {
+                Some(dir) => {
+                    if let Err(e) = elasticflow_bench::telemetry::enable(&dir) {
+                        eprintln!("--telemetry-out {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    eprintln!("--telemetry-out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if command.is_none() => command = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument: {other}");
@@ -79,6 +95,7 @@ fn emit(tables: Vec<elasticflow_bench::Table>, json: bool) {
 }
 
 fn print_usage() {
-    eprintln!("usage: experiments <id|all|list> [--seed N] [--json]");
+    eprintln!("usage: experiments <id|all|list> [--seed N] [--json] [--telemetry-out <dir>]");
     eprintln!("run `experiments list` to see every table/figure id");
+    eprintln!("--telemetry-out <dir>: also write .prom / .trace.json exports per simulation");
 }

@@ -80,9 +80,12 @@ pub fn scheduler_by_name(name: &str) -> Box<dyn Scheduler> {
 }
 
 /// Runs one (scheduler, trace, cluster) combination.
+///
+/// When `--telemetry-out` capture is enabled (see [`crate::telemetry`]),
+/// the run carries a telemetry session and its exports land in the
+/// capture directory; the report is identical either way.
 pub fn run_one(name: &str, spec: &ClusterSpec, trace: &Trace) -> SimReport {
-    let mut scheduler = scheduler_by_name(name);
-    Simulation::new(spec.clone(), SimConfig::default()).run(trace, scheduler.as_mut())
+    crate::telemetry::run_maybe_instrumented(name, spec, trace)
 }
 
 /// Runs one (scheduler, trace, cluster) combination with observers

@@ -1,0 +1,111 @@
+//! Opt-in telemetry capture for the experiment harness.
+//!
+//! `experiments ... --telemetry-out <dir>` calls [`enable`] once at
+//! startup; from then on every simulation routed through
+//! [`crate::runners::run_one`] runs with a deterministic
+//! [`TelemetrySession`] attached and drops
+//! `<dir>/<scheduler>-<trace>.prom` (Prometheus text exposition) and
+//! `<dir>/<scheduler>-<trace>.trace.json` (Perfetto-loadable Chrome
+//! trace) next to the tables. Telemetry observers are read-only, so
+//! experiment results are unchanged by the flag.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_sim::{SimConfig, SimReport, Simulation};
+use elasticflow_telemetry::TelemetrySession;
+use elasticflow_trace::Trace;
+
+use crate::runners::scheduler_by_name;
+
+static OUT_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Enables export capture into `dir` for the rest of the process.
+/// Creates the directory; returns an error if that fails or if capture
+/// was already enabled with a different directory.
+pub fn enable<P: AsRef<Path>>(dir: P) -> std::io::Result<()> {
+    let dir = dir.as_ref().to_path_buf();
+    std::fs::create_dir_all(&dir)?;
+    let stored = OUT_DIR.get_or_init(|| dir.clone());
+    if stored != &dir {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!(
+                "telemetry already enabled for {}, cannot switch to {}",
+                stored.display(),
+                dir.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Whether `--telemetry-out` capture is active.
+pub fn is_enabled() -> bool {
+    OUT_DIR.get().is_some()
+}
+
+/// `"{scheduler}-{trace}"` with every non-alphanumeric run collapsed to
+/// a single `-`, so names like `edf+ac` make safe file stems.
+fn stem(scheduler: &str, trace: &str) -> String {
+    let mut out = String::with_capacity(scheduler.len() + trace.len() + 1);
+    for c in format!("{scheduler}-{trace}").chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_owned()
+}
+
+/// Runs one scheduler/trace combination, attaching a telemetry session
+/// and writing its exports when capture is enabled. Export I/O failures
+/// are reported on stderr but never fail the experiment.
+pub fn run_maybe_instrumented(name: &str, spec: &ClusterSpec, trace: &Trace) -> SimReport {
+    let mut scheduler = scheduler_by_name(name);
+    let sim = Simulation::new(spec.clone(), SimConfig::default());
+    let Some(dir) = OUT_DIR.get() else {
+        return sim.run(trace, scheduler.as_mut());
+    };
+    let mut session = TelemetrySession::deterministic();
+    let report = sim.run_observed(trace, scheduler.as_mut(), &mut session.observers());
+    let stem = stem(name, trace.name());
+    if let Err(e) = session.write_to_dir(dir, &stem) {
+        eprintln!("warning: telemetry export for {stem} failed: {e} (results unaffected)");
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stems_are_filesystem_safe() {
+        assert_eq!(stem("edf+ac", "philly 40%"), "edf-ac-philly-40");
+        assert_eq!(
+            stem("elasticflow", "testbed_small"),
+            "elasticflow-testbed-small"
+        );
+        assert!(stem("a//b", "c")
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-'));
+    }
+
+    #[test]
+    fn disabled_capture_runs_plain() {
+        // OUT_DIR is process-global; this test only asserts the
+        // uninstrumented path works when nothing enabled it first.
+        if is_enabled() {
+            return;
+        }
+        use elasticflow_perfmodel::Interconnect;
+        use elasticflow_trace::TraceConfig;
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&spec));
+        let report = run_maybe_instrumented("edf", &spec, &trace);
+        assert_eq!(report.outcomes().len(), trace.jobs().len());
+    }
+}

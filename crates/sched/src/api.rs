@@ -317,6 +317,18 @@ impl ReplanOutcome {
     pub fn is_quiescent(&self) -> bool {
         self.resized_jobs == 0 && self.migrations == 0
     }
+
+    /// Fraction of a `total_gpus`-sized cluster this round's plan uses, in
+    /// `[0, 1]` (0 on an empty cluster). The per-replan utilization series
+    /// behind the telemetry layer's histogram and the paper's cluster-
+    /// efficiency discussion (§6.4).
+    pub fn utilization(&self, total_gpus: u32) -> f64 {
+        if total_gpus == 0 {
+            0.0
+        } else {
+            f64::from(self.plan.total_gpus()) / f64::from(total_gpus)
+        }
+    }
 }
 
 /// A scheduling policy, driven by the simulator.

@@ -8,6 +8,15 @@
 //! executor applies it. Keeping validation at this seam means no policy —
 //! ElasticFlow or baseline — can over-allocate without an immediate,
 //! attributable abort.
+//!
+//! This seam is also where scheduler-phase profiling attaches: the engine
+//! brackets [`SchedulerDriver::admit`] with
+//! [`crate::SchedPhase::Admission`] edges, [`SchedulerDriver::replan`]
+//! with [`crate::SchedPhase::Planning`] edges, and the executor's plan
+//! application with [`crate::SchedPhase::Placement`] edges, all delivered
+//! through [`crate::SimObserver::on_phase`]. Phase timing lives entirely
+//! on the observer side, so the driver (and replay arithmetic) never reads
+//! a clock.
 
 use elasticflow_sched::{
     AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,

@@ -25,8 +25,21 @@ use elasticflow_trace::Trace;
 use crate::driver::SchedulerDriver;
 use crate::event::{Event, EventCore};
 use crate::executor::Executor;
-use crate::observer::{SimObserver, TimelineCollector};
+use crate::observer::{PhaseEdge, SchedPhase, SimContext, SimObserver, TimelineCollector};
 use crate::{SimConfig, SimReport};
+
+/// Fans one phase edge out to the whole observer chain.
+fn emit_phase(
+    chain: &mut [&mut dyn SimObserver],
+    now: f64,
+    phase: SchedPhase,
+    edge: PhaseEdge,
+    ctx: &SimContext<'_>,
+) {
+    for obs in chain.iter_mut() {
+        obs.on_phase(now, phase, edge, ctx);
+    }
+}
 
 /// A configured simulation, ready to replay traces against schedulers.
 ///
@@ -136,10 +149,26 @@ impl Simulation {
             }
             let view = exec.scheduler_view();
 
-            // ---- arrivals at t ----
-            for spec in core.due_arrivals(now) {
+            // ---- arrivals at t (admission phase, when non-empty) ----
+            let due = core.due_arrivals(now);
+            let had_arrivals = !due.is_empty();
+            if had_arrivals {
+                let ctx = exec.context();
+                emit_phase(
+                    &mut chain,
+                    now,
+                    SchedPhase::Admission,
+                    PhaseEdge::Begin,
+                    &ctx,
+                );
+            }
+            for spec in due {
                 let id = exec.admit_arrival(spec, &mut driver, now, &view);
                 events.push(Event::Arrival { job: id });
+            }
+            if had_arrivals {
+                let ctx = exec.context();
+                emit_phase(&mut chain, now, SchedPhase::Admission, PhaseEdge::End, &ctx);
             }
             if step.slot_boundary {
                 events.push(Event::SlotBoundary);
@@ -160,11 +189,33 @@ impl Simulation {
                 }
             }
 
-            // ---- replan & apply ----
+            // ---- replan & apply (planning, then placement phases) ----
+            {
+                let ctx = exec.context();
+                emit_phase(
+                    &mut chain,
+                    now,
+                    SchedPhase::Planning,
+                    PhaseEdge::Begin,
+                    &ctx,
+                );
+            }
             let plan = driver.replan(now, &view, exec.jobs());
+            {
+                let ctx = exec.context();
+                emit_phase(&mut chain, now, SchedPhase::Planning, PhaseEdge::End, &ctx);
+                emit_phase(
+                    &mut chain,
+                    now,
+                    SchedPhase::Placement,
+                    PhaseEdge::Begin,
+                    &ctx,
+                );
+            }
             let outcome = exec.apply_plan(plan, now);
             {
                 let ctx = exec.context();
+                emit_phase(&mut chain, now, SchedPhase::Placement, PhaseEdge::End, &ctx);
                 for obs in chain.iter_mut() {
                     obs.on_replan(now, &outcome, &ctx);
                 }

@@ -16,6 +16,7 @@
 
 use elasticflow_sched::JobTable;
 use elasticflow_trace::{JobId, JobSpec, Trace};
+use serde::{Deserialize, Serialize};
 
 use crate::failures::FailureSchedule;
 
@@ -26,7 +27,7 @@ pub(crate) const EPS_TIME: f64 = 1e-9;
 ///
 /// Events carry identities only; the event time is passed alongside, and
 /// cluster/job state is available through [`crate::SimContext`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
     /// A job was submitted (admission has already been decided when
     /// observers see this event).

@@ -63,4 +63,7 @@ pub use engine::Simulation;
 pub use event::Event;
 pub use failures::{FailureSchedule, NodeFailure};
 pub use metrics::{JobOutcome, SimReport, TimelinePoint};
-pub use observer::{EventTraceLogger, SimContext, SimObserver, TimelineCollector, TraceRecord};
+pub use observer::{
+    EventTraceLogger, PhaseEdge, SchedPhase, SimContext, SimObserver, TimelineCollector,
+    TraceRecord,
+};

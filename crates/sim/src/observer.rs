@@ -10,20 +10,82 @@
 //!
 //! # Hook order within one scheduling event
 //!
-//! 1. [`SimObserver::on_event`] — once per batched [`Event`] (pause ends,
+//! 1. [`SimObserver::on_phase`] with [`SchedPhase::Admission`]
+//!    `Begin`/`End` — bracketing the admission-control consultations, only
+//!    in rounds with arrivals (admission happens before the event batch is
+//!    shown to observers);
+//! 2. [`SimObserver::on_event`] — once per batched [`Event`] (pause ends,
 //!    completions, failures/repairs, arrivals, slot boundary), after the
 //!    batch is applied to the state but before the replan;
-//! 2. [`SimObserver::on_job_finish`] — once per completed job;
-//! 3. [`SimObserver::on_replan`] — after the new plan is applied, with the
+//! 3. [`SimObserver::on_job_finish`] — once per completed job;
+//! 4. [`SimObserver::on_phase`] with [`SchedPhase::Planning`]
+//!    `Begin`/`End` — bracketing the policy's `plan` call, every round;
+//! 5. [`SimObserver::on_phase`] with [`SchedPhase::Placement`]
+//!    `Begin`/`End` — bracketing plan application (buddy allocation,
+//!    defragmentation, pause charging), every round;
+//! 6. [`SimObserver::on_replan`] — after the new plan is applied, with the
 //!    round's [`ReplanOutcome`];
-//! 4. [`SimObserver::on_tick`] — once per event loop iteration, last.
+//! 7. [`SimObserver::on_tick`] — once per event loop iteration, last.
 
 use elasticflow_cluster::ClusterState;
 use elasticflow_sched::{JobTable, ReplanOutcome};
 use elasticflow_trace::JobId;
+use serde::{Deserialize, Serialize};
 
 use crate::event::Event;
 use crate::TimelinePoint;
+
+/// One profiled phase of a scheduling round, as bracketed by
+/// [`SimObserver::on_phase`] hooks.
+///
+/// The phases map onto the paper's decomposition of a scheduling pass:
+/// admission control (Algorithm 1), resource allocation (Algorithm 2 — the
+/// policy's `plan` call, which for ElasticFlow spans minimum-satisfactory-
+/// share computation and elastic allocation), and placement (buddy
+/// allocation plus defragmentation). Planning is opaque at this seam: the
+/// simulator cannot see inside a policy, so MSS computation and allocation
+/// are profiled together under [`SchedPhase::Planning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SchedPhase {
+    /// Admission-control consultation for the round's arrivals.
+    Admission,
+    /// The policy's `plan` call (MSS computation + allocation).
+    Planning,
+    /// Applying the plan to the cluster (buddy placement, defrag, pauses).
+    Placement,
+}
+
+impl SchedPhase {
+    /// Stable lowercase label, used for metric labels and span names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPhase::Admission => "admission",
+            SchedPhase::Planning => "planning",
+            SchedPhase::Placement => "placement",
+        }
+    }
+
+    /// All phases, in within-round order.
+    pub const ALL: [SchedPhase; 3] = [
+        SchedPhase::Admission,
+        SchedPhase::Planning,
+        SchedPhase::Placement,
+    ];
+}
+
+/// Whether an [`SimObserver::on_phase`] call opens or closes the phase.
+///
+/// The engine emits the edges; observers that want durations time the
+/// span between them with a clock of their choosing (the simulated clock
+/// does not advance while scheduler code runs, so wall or deterministic
+/// tick clocks both stay outside replay arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseEdge {
+    /// The phase starts now.
+    Begin,
+    /// The phase ended now.
+    End,
+}
 
 /// Read-only snapshot of simulation state, lent to observer hooks.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +161,13 @@ pub trait SimObserver {
     /// One typed [`Event`] from the current batch, after it was applied.
     fn on_event(&mut self, _now: f64, _event: &Event, _ctx: &SimContext<'_>) {}
 
+    /// A scheduling phase opened (`Begin`) or closed (`End`). `Admission`
+    /// edges fire only in rounds with arrivals; `Planning` and `Placement`
+    /// edges fire every round. Simulated time is identical on both edges —
+    /// observers profiling real durations bring their own clock.
+    fn on_phase(&mut self, _now: f64, _phase: SchedPhase, _edge: PhaseEdge, _ctx: &SimContext<'_>) {
+    }
+
     /// A replan round finished and its plan was applied to the cluster.
     fn on_replan(&mut self, _now: f64, _outcome: &ReplanOutcome, _ctx: &SimContext<'_>) {}
 
@@ -138,13 +207,17 @@ impl TimelineCollector {
 
 impl SimObserver for TimelineCollector {
     fn on_tick(&mut self, now: f64, ctx: &SimContext<'_>) {
-        let ce = ctx
-            .jobs
-            .iter()
-            .filter(|j| j.is_active() && j.current_gpus > 0)
-            .map(|j| j.curve.speedup(j.current_gpus).unwrap_or(0.0))
-            .sum::<f64>()
-            / ctx.total_gpus as f64;
+        // Guard the empty-cluster spec: 0/0 would record NaN efficiency.
+        let ce = if ctx.total_gpus == 0 {
+            0.0
+        } else {
+            ctx.jobs
+                .iter()
+                .filter(|j| j.is_active() && j.current_gpus > 0)
+                .map(|j| j.curve.speedup(j.current_gpus).unwrap_or(0.0))
+                .sum::<f64>()
+                / ctx.total_gpus as f64
+        };
         self.timeline.push(TimelinePoint {
             time: now,
             used_gpus: ctx.used_gpus(),
@@ -156,7 +229,7 @@ impl SimObserver for TimelineCollector {
 }
 
 /// One record in an [`EventTraceLogger`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecord {
     /// Event time, seconds.
     pub time: f64,
@@ -203,6 +276,25 @@ impl EventTraceLogger {
     /// Count of recorded events matching `pred`.
     pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
         self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// Serializes the trace as JSON Lines: one `{"time": .., "event": ..}`
+    /// object per line, in firing order. The format is stable across runs
+    /// of the same seed, so diffs of two dumps localize a divergence.
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&serde_json::to_string(record)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Writes the JSONL dump (see [`EventTraceLogger::to_jsonl`]) to a
+    /// file, creating or truncating it.
+    pub fn write_jsonl<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        let text = self.to_jsonl().map_err(std::io::Error::from)?;
+        std::fs::write(path, text)
     }
 }
 

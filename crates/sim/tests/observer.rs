@@ -6,8 +6,8 @@ use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_sched::{EdfScheduler, ReplanOutcome};
 use elasticflow_sim::{
-    Event, EventTraceLogger, FailureSchedule, NodeFailure, SimConfig, SimContext, SimObserver,
-    Simulation,
+    Event, EventTraceLogger, FailureSchedule, NodeFailure, PhaseEdge, SchedPhase, SimConfig,
+    SimContext, SimObserver, Simulation,
 };
 use elasticflow_trace::{JobId, TraceConfig};
 
@@ -107,6 +107,120 @@ fn failure_and_repair_events_are_observed() {
         "ServerFailure never reached observers"
     );
     assert!(counter.repairs >= 1, "ServerRepair never reached observers");
+}
+
+/// One token per hook call, for replaying the exact interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Phase(SchedPhase, PhaseEdge),
+    Event,
+    Finish,
+    Replan,
+    Tick,
+}
+
+/// Records the hook interleaving verbatim.
+#[derive(Debug, Default)]
+struct RecordingObserver {
+    tokens: Vec<Token>,
+}
+
+impl SimObserver for RecordingObserver {
+    fn on_event(&mut self, _now: f64, _event: &Event, _ctx: &SimContext<'_>) {
+        self.tokens.push(Token::Event);
+    }
+
+    fn on_phase(&mut self, _now: f64, phase: SchedPhase, edge: PhaseEdge, _ctx: &SimContext<'_>) {
+        self.tokens.push(Token::Phase(phase, edge));
+    }
+
+    fn on_replan(&mut self, _now: f64, _outcome: &ReplanOutcome, _ctx: &SimContext<'_>) {
+        self.tokens.push(Token::Replan);
+    }
+
+    fn on_job_finish(&mut self, _now: f64, _job: JobId, _ctx: &SimContext<'_>) {
+        self.tokens.push(Token::Finish);
+    }
+
+    fn on_tick(&mut self, _now: f64, _ctx: &SimContext<'_>) {
+        self.tokens.push(Token::Tick);
+    }
+}
+
+/// The documented per-round hook grammar (observer.rs module docs):
+///
+/// ```text
+/// (AdmissionBegin AdmissionEnd)? Event* Finish*
+/// PlanningBegin PlanningEnd PlacementBegin PlacementEnd Replan Tick
+/// ```
+///
+/// Consumes one round from `tokens[i..]`, returning the next index.
+fn consume_round(tokens: &[Token], mut i: usize) -> Result<usize, String> {
+    use PhaseEdge::{Begin, End};
+    use SchedPhase::{Admission, Placement, Planning};
+
+    let at = |i: usize| -> String { format!("at token {i}: {:?}", tokens.get(i)) };
+    if tokens.get(i) == Some(&Token::Phase(Admission, Begin)) {
+        i += 1;
+        if tokens.get(i) != Some(&Token::Phase(Admission, End)) {
+            return Err(format!("AdmissionBegin not closed {}", at(i)));
+        }
+        i += 1;
+    }
+    while tokens.get(i) == Some(&Token::Event) {
+        i += 1;
+    }
+    while tokens.get(i) == Some(&Token::Finish) {
+        i += 1;
+    }
+    for expected in [
+        Token::Phase(Planning, Begin),
+        Token::Phase(Planning, End),
+        Token::Phase(Placement, Begin),
+        Token::Phase(Placement, End),
+        Token::Replan,
+        Token::Tick,
+    ] {
+        if tokens.get(i) != Some(&expected) {
+            return Err(format!("expected {expected:?} {}", at(i)));
+        }
+        i += 1;
+    }
+    Ok(i)
+}
+
+#[test]
+fn hook_ordering_follows_the_documented_contract() {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(3).generate(&Interconnect::from_spec(&spec));
+    let mut recorder = RecordingObserver::default();
+    let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+        &trace,
+        &mut EdfScheduler::new(),
+        &mut [&mut recorder],
+    );
+
+    let tokens = &recorder.tokens;
+    assert!(!tokens.is_empty(), "no hooks fired");
+    let mut i = 0;
+    let mut rounds = 0usize;
+    while i < tokens.len() {
+        i = consume_round(tokens, i)
+            .unwrap_or_else(|e| panic!("round {rounds} violates the hook contract: {e}"));
+        rounds += 1;
+    }
+    let ticks = tokens.iter().filter(|t| **t == Token::Tick).count();
+    assert_eq!(rounds, ticks, "every round ends in exactly one tick");
+
+    // Admission phases appear only in rounds with arrivals, and at least
+    // one round of this trace has them.
+    use PhaseEdge::Begin;
+    let admissions = tokens
+        .iter()
+        .filter(|t| **t == Token::Phase(SchedPhase::Admission, Begin))
+        .count();
+    assert!(admissions > 0, "no admission phase was ever bracketed");
+    assert!(admissions <= rounds);
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! `telemetry-validate <dir>` — CI smoke checker for telemetry exports.
+//!
+//! Walks `dir`, parses every `*.prom` file with the Prometheus
+//! text-format parser and every `*.json` file as a Chrome trace-event
+//! document, and exits non-zero if anything fails to parse (or no
+//! export files are found at all).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Validates one Prometheus text file; returns the sample count.
+fn check_prom(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let samples = elasticflow_telemetry::prometheus::parse(&text)?;
+    if samples.is_empty() {
+        return Err("no samples".to_owned());
+    }
+    Ok(samples.len())
+}
+
+/// Validates one Chrome trace-event file; returns the event count.
+fn check_trace(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_owned());
+    }
+    for (idx, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {idx}: missing ph"))?;
+        if ev.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("event {idx}: missing name"));
+        }
+        if ev.get("pid").and_then(|v| v.as_u64()).is_none() {
+            return Err(format!("event {idx}: missing pid"));
+        }
+        // Metadata events carry no timestamp; everything else must.
+        if ph != "M" && ev.get("ts").and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("event {idx}: missing ts"));
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry-validate <dir>");
+        return ExitCode::FAILURE;
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("telemetry-validate: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checked = 0usize;
+    let mut failed = false;
+    let mut paths: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let result = if name.ends_with(".prom") {
+            Some(("prometheus", check_prom(&path)))
+        } else if name.ends_with(".json") {
+            Some(("trace-event", check_trace(&path)))
+        } else {
+            None
+        };
+        if let Some((kind, outcome)) = result {
+            checked += 1;
+            match outcome {
+                Ok(n) => println!("ok   {} [{kind}] {n} records", path.display()),
+                Err(e) => {
+                    eprintln!("FAIL {} [{kind}] {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("telemetry-validate: no .prom or .json files under {dir}");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,150 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! The output is an object with a `traceEvents` array per the trace-event
+//! spec. Events are hand-rendered (rather than round-tripped through a
+//! `Value` tree) so field order and float formatting are fixed, which
+//! keeps files byte-stable across reruns of the same seed — the property
+//! the golden fixture tests pin down.
+
+use crate::spans::{ArgValue, SpanTracer, TraceEvent};
+
+/// JSON string escaping (control characters, quote, backslash).
+fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float for the trace file: shortest round-trip, with
+/// non-finite values clamped to 0 (the spec has no Inf/NaN).
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn render_args(args: &[(String, ArgValue)]) -> String {
+    let fields: Vec<String> = args
+        .iter()
+        .map(|(k, v)| {
+            let rendered = match v {
+                ArgValue::Num(n) => fmt_num(*n),
+                ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+            };
+            format!("\"{}\":{rendered}", escape_json(k))
+        })
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn render_event(ev: &TraceEvent) -> String {
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        escape_json(&ev.name),
+        escape_json(&ev.cat),
+        ev.ph,
+        fmt_num(ev.ts_us),
+        ev.pid,
+        ev.tid
+    );
+    if let Some(dur) = ev.dur_us {
+        out.push_str(&format!(",\"dur\":{}", fmt_num(dur)));
+    }
+    if ev.ph == 'i' {
+        // Instant scope: thread-scoped keeps the marker on its own track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !ev.args.is_empty() {
+        out.push_str(&format!(",\"args\":{}", render_args(&ev.args)));
+    }
+    out.push('}');
+    out
+}
+
+/// A process/thread-name metadata event.
+fn metadata(name: &str, pid: u32, tid: u64, label: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(label)
+    )
+}
+
+/// Renders the tracer's events as a Chrome trace-event JSON document.
+/// Finalizes the tracer (closing any still-open spans) first.
+pub fn render(tracer: &mut SpanTracer) -> String {
+    tracer.finalize();
+    let mut records = vec![
+        metadata("process_name", 1, 0, "simulation (sim time)"),
+        metadata("process_name", 2, 0, "scheduler phases (profiled)"),
+    ];
+    for (pid, tid, label) in tracer.track_names() {
+        records.push(metadata("thread_name", pid, tid, &label));
+    }
+    records.extend(tracer.events().iter().map(render_event));
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        records.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::SpanTracer;
+    use elasticflow_cluster::ClusterSpec;
+    use elasticflow_core::ElasticFlowScheduler;
+    use elasticflow_perfmodel::Interconnect;
+    use elasticflow_sim::{SimConfig, Simulation};
+    use elasticflow_trace::TraceConfig;
+
+    fn render_run(seed: u64) -> String {
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+        let mut tracer = SpanTracer::default();
+        let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+            &trace,
+            &mut ElasticFlowScheduler::new(),
+            &mut [&mut tracer],
+        );
+        render(&mut tracer)
+    }
+
+    #[test]
+    fn output_is_valid_json_with_trace_events() {
+        let text = render_run(42);
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(events.len() > 10);
+        for ev in events {
+            assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+            assert!(ev.get("ph").and_then(|v| v.as_str()).is_some());
+            assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some());
+        }
+    }
+
+    #[test]
+    fn rerenders_byte_identically() {
+        assert_eq!(render_run(42), render_run(42));
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,338 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with label sets.
+//!
+//! Determinism rules:
+//!
+//! * all series live in `BTreeMap`s, so iteration (and therefore every
+//!   export) is in a stable order;
+//! * values only ever come from simulation state or a pluggable
+//!   [`crate::Clock`] — the registry itself never reads host state;
+//! * histograms have *fixed* bucket bounds declared up front, so the
+//!   rendered series set cannot drift between runs.
+
+use std::collections::BTreeMap;
+
+/// What a metric name is declared as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing total.
+    Counter,
+    /// A point-in-time value, overwritten on every set.
+    Gauge,
+    /// A fixed-bucket distribution of observed values.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Declared metadata for one metric name.
+#[derive(Debug, Clone)]
+pub struct MetricDesc {
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Help text rendered into the `# HELP` line.
+    pub help: String,
+    /// Upper bucket bounds (histograms only), strictly increasing.
+    pub buckets: Vec<f64>,
+}
+
+/// One time series: a metric name plus its sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Builds a key from a name and unordered label pairs (sorted here).
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+}
+
+/// Default bucket bounds used when a histogram is observed before being
+/// described: powers of ten from 1 µs to 10 s.
+pub const DEFAULT_BUCKETS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A fixed-bucket histogram: per-bucket counts plus sum and count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1], // final slot = +Inf overflow
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Upper bucket bounds (exclusive of the implicit `+Inf` bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// *Cumulative* count at each bound, ending with the `+Inf` total —
+    /// the exact series Prometheus `_bucket` lines carry.
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Deterministic store of counters, gauges, and histograms.
+///
+/// ```
+/// use elasticflow_telemetry::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.describe_counter("ef_jobs_admitted_total", "Jobs admitted");
+/// reg.inc("ef_jobs_admitted_total", &[], 1.0);
+/// reg.inc("ef_jobs_admitted_total", &[], 2.0);
+/// assert_eq!(reg.counter_value("ef_jobs_admitted_total", &[]), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    descs: BTreeMap<String, MetricDesc>,
+    counters: BTreeMap<SeriesKey, f64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Declares a counter and its help text.
+    pub fn describe_counter(&mut self, name: &str, help: &str) {
+        self.describe(name, MetricKind::Counter, help, &[]);
+    }
+
+    /// Declares a gauge and its help text.
+    pub fn describe_gauge(&mut self, name: &str, help: &str) {
+        self.describe(name, MetricKind::Gauge, help, &[]);
+    }
+
+    /// Declares a histogram with fixed upper bucket bounds (strictly
+    /// increasing; the `+Inf` bucket is implicit).
+    pub fn describe_histogram(&mut self, name: &str, help: &str, buckets: &[f64]) {
+        self.describe(name, MetricKind::Histogram, help, buckets);
+    }
+
+    fn describe(&mut self, name: &str, kind: MetricKind, help: &str, buckets: &[f64]) {
+        self.descs.insert(
+            name.to_owned(),
+            MetricDesc {
+                kind,
+                help: help.to_owned(),
+                buckets: buckets.to_vec(),
+            },
+        );
+    }
+
+    /// Adds `by` to a counter series, creating it at zero on first use.
+    /// Undescribed names are auto-described as counters.
+    pub fn inc(&mut self, name: &str, labels: &[(&str, &str)], by: f64) {
+        self.ensure_described(name, MetricKind::Counter);
+        *self
+            .counters
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(0.0) += by;
+    }
+
+    /// Sets a gauge series to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.ensure_described(name, MetricKind::Gauge);
+        self.gauges.insert(SeriesKey::new(name, labels), value);
+    }
+
+    /// Records one observation into a histogram series. Buckets come from
+    /// the description (or [`DEFAULT_BUCKETS`] if the name was never
+    /// described).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.ensure_described(name, MetricKind::Histogram);
+        let bounds = self
+            .descs
+            .get(name)
+            .filter(|d| !d.buckets.is_empty())
+            .map(|d| d.buckets.clone())
+            .unwrap_or_else(|| DEFAULT_BUCKETS.to_vec());
+        self.histograms
+            .entry(SeriesKey::new(name, labels))
+            .or_insert_with(|| Histogram::new(&bounds))
+            .observe(value);
+    }
+
+    fn ensure_described(&mut self, name: &str, kind: MetricKind) {
+        if !self.descs.contains_key(name) {
+            let buckets = match kind {
+                MetricKind::Histogram => DEFAULT_BUCKETS.to_vec(),
+                _ => Vec::new(),
+            };
+            self.descs.insert(
+                name.to_owned(),
+                MetricDesc {
+                    kind,
+                    help: "(undocumented)".to_owned(),
+                    buckets,
+                },
+            );
+        }
+    }
+
+    /// Current value of a counter series (0 when never incremented).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.counters
+            .get(&SeriesKey::new(name, labels))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Current value of a gauge series, if ever set.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&SeriesKey::new(name, labels)).copied()
+    }
+
+    /// A histogram series, if it has observations.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&SeriesKey::new(name, labels))
+    }
+
+    /// Declared metadata per name, ascending by name.
+    pub fn descriptions(&self) -> impl Iterator<Item = (&str, &MetricDesc)> {
+        self.descs.iter().map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// All counter series, ascending by key.
+    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, f64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauge series, ascending by key.
+    pub fn gauges(&self) -> impl Iterator<Item = (&SeriesKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All histogram series, ascending by key.
+    pub fn histograms(&self) -> impl Iterator<Item = (&SeriesKey, &Histogram)> {
+        self.histograms.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("hits", &[("kind", "slo")], 1.0);
+        reg.inc("hits", &[("kind", "slo")], 1.0);
+        reg.inc("hits", &[("kind", "best_effort")], 1.0);
+        assert_eq!(reg.counter_value("hits", &[("kind", "slo")]), 2.0);
+        assert_eq!(reg.counter_value("hits", &[("kind", "best_effort")]), 1.0);
+        assert_eq!(reg.counter_value("hits", &[]), 0.0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("m", &[("a", "1"), ("b", "2")], 1.0);
+        reg.inc("m", &[("b", "2"), ("a", "1")], 1.0);
+        assert_eq!(reg.counter_value("m", &[("a", "1"), ("b", "2")]), 2.0);
+        assert_eq!(reg.counters().count(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("g", &[], 5.0);
+        reg.set_gauge("g", &[], 2.5);
+        assert_eq!(reg.gauge_value("g", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_overflow() {
+        let mut reg = MetricsRegistry::new();
+        reg.describe_histogram("h", "test", &[1.0, 2.0]);
+        for v in [0.5, 1.5, 1.5, 99.0] {
+            reg.observe("h", &[], v);
+        }
+        let h = reg.histogram("h", &[]).expect("histogram exists");
+        assert_eq!(h.cumulative_counts(), vec![1, 3, 4]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 102.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_le_bucket() {
+        let mut reg = MetricsRegistry::new();
+        reg.describe_histogram("h", "test", &[1.0]);
+        reg.observe("h", &[], 1.0);
+        let h = reg.histogram("h", &[]).expect("histogram exists");
+        assert_eq!(h.cumulative_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn undescribed_histogram_gets_default_buckets() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("h", &[], 0.5);
+        let h = reg.histogram("h", &[]).expect("histogram exists");
+        assert_eq!(h.bounds(), &DEFAULT_BUCKETS);
+    }
+}

@@ -1,0 +1,77 @@
+//! One-stop bundle: a metrics collector plus a span tracer, with export
+//! helpers. This is the type the bench harness and examples attach.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use elasticflow_sim::SimObserver;
+
+use crate::chrome;
+use crate::clock::{MonotonicClock, TickClock};
+use crate::collector::MetricsCollector;
+use crate::prometheus;
+use crate::spans::SpanTracer;
+
+/// A paired [`MetricsCollector`] and [`SpanTracer`] sharing a clock
+/// policy, with Prometheus / Chrome-trace export helpers.
+#[derive(Debug, Default)]
+pub struct TelemetrySession {
+    /// The metrics side of the session.
+    pub metrics: MetricsCollector,
+    /// The span-tracing side of the session.
+    pub spans: SpanTracer,
+}
+
+impl TelemetrySession {
+    /// A session using deterministic [`TickClock`]s: exports are
+    /// byte-stable across reruns of the same seed. This is the default.
+    pub fn deterministic() -> Self {
+        TelemetrySession {
+            metrics: MetricsCollector::new(Box::<TickClock>::default()),
+            spans: SpanTracer::new(Box::<TickClock>::default()),
+        }
+    }
+
+    /// A session timing scheduler phases with the host's monotonic
+    /// clock — real profiling numbers, non-deterministic output.
+    pub fn wall() -> Self {
+        TelemetrySession {
+            metrics: MetricsCollector::new(Box::new(MonotonicClock::new())),
+            spans: SpanTracer::new(Box::new(MonotonicClock::new())),
+        }
+    }
+
+    /// Both observers, ready to splice into
+    /// [`run_observed`](elasticflow_sim::Simulation::run_observed)'s
+    /// observer slice.
+    pub fn observers(&mut self) -> Vec<&mut dyn SimObserver> {
+        vec![&mut self.metrics, &mut self.spans]
+    }
+
+    /// The metrics registry rendered in Prometheus text format.
+    pub fn prometheus(&self) -> String {
+        prometheus::render(self.metrics.registry())
+    }
+
+    /// The span trace rendered as Chrome trace-event JSON (finalizes the
+    /// tracer, closing any still-open spans).
+    pub fn chrome_trace(&mut self) -> String {
+        chrome::render(&mut self.spans)
+    }
+
+    /// Writes `<stem>.prom` and `<stem>.trace.json` under `dir`
+    /// (creating it), returning both paths.
+    pub fn write_to_dir<P: AsRef<Path>>(
+        &mut self,
+        dir: P,
+        stem: &str,
+    ) -> io::Result<(PathBuf, PathBuf)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let prom_path = dir.join(format!("{stem}.prom"));
+        let trace_path = dir.join(format!("{stem}.trace.json"));
+        std::fs::write(&prom_path, self.prometheus())?;
+        std::fs::write(&trace_path, self.chrome_trace())?;
+        Ok((prom_path, trace_path))
+    }
+}

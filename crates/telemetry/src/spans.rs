@@ -1,0 +1,456 @@
+//! Job-lifecycle and scheduler-phase span tracing.
+//!
+//! [`SpanTracer`] turns the observer hook stream into a flat list of
+//! [`TraceEvent`]s matching the Chrome trace-event model, which the
+//! [`crate::chrome`] exporter serializes into a Perfetto-loadable file.
+//!
+//! Two timelines coexist in one trace:
+//!
+//! - **pid 1 — simulation (sim time).** Track 0 carries cluster-level
+//!   instants and counters; each job gets its own track (`tid =
+//!   JobId + 1`) holding one span per contiguous GPU allocation, so
+//!   resizes and migrations are visible as span boundaries.
+//! - **pid 2 — scheduler phases (profiled).** One track per
+//!   [`SchedPhase`], timed by the tracer's [`Clock`] rather than sim
+//!   time. With the default [`TickClock`] these are deterministic; with
+//!   [`crate::MonotonicClock`](crate::clock::MonotonicClock) they show
+//!   real host-side cost.
+
+use std::collections::BTreeMap;
+
+use elasticflow_sched::ReplanOutcome;
+use elasticflow_sim::{Event, PhaseEdge, SchedPhase, SimContext, SimObserver};
+use elasticflow_trace::JobId;
+
+use crate::clock::{Clock, TickClock};
+
+/// Seconds of simulated time per trace-file microsecond: sim seconds are
+/// written as trace microseconds 1:1 so a 24 h run stays readable.
+const SIM_US_PER_SECOND: f64 = 1.0;
+
+/// A scalar or string argument attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A numeric argument.
+    Num(f64),
+    /// A string argument.
+    Str(String),
+}
+
+/// One Chrome trace-event record (subset of the spec the exporter needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name shown in the UI.
+    pub name: String,
+    /// Comma-free category tag.
+    pub cat: String,
+    /// Phase letter: `X` complete, `i` instant, `C` counter, `M` metadata.
+    pub ph: char,
+    /// Timestamp in trace microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: Option<f64>,
+    /// Process id (1 = sim time, 2 = profiled phases).
+    pub pid: u32,
+    /// Thread id within the process.
+    pub tid: u64,
+    /// Ordered `args` payload.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl TraceEvent {
+    fn instant(name: &str, cat: &str, ts_us: f64, pid: u32, tid: u64) -> Self {
+        TraceEvent {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            ph: 'i',
+            ts_us,
+            dur_us: None,
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    fn complete(name: &str, cat: &str, ts_us: f64, dur_us: f64, pid: u32, tid: u64) -> Self {
+        TraceEvent {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    fn arg_num(mut self, key: &str, value: f64) -> Self {
+        self.args.push((key.to_owned(), ArgValue::Num(value)));
+        self
+    }
+
+    fn arg_str(mut self, key: &str, value: &str) -> Self {
+        self.args
+            .push((key.to_owned(), ArgValue::Str(value.to_owned())));
+        self
+    }
+}
+
+/// Per-job bookkeeping for the open allocation segment.
+#[derive(Debug)]
+struct JobTrack {
+    label: String,
+    arrival: f64,
+    seg_start: f64,
+    seg_gpus: u32,
+}
+
+/// A [`SimObserver`] recording the job lifecycle and scheduler phases as
+/// nested spans. Call [`SpanTracer::finalize`] (or let
+/// [`crate::TelemetrySession`] do it) before exporting so still-open
+/// spans are closed at the last observed timestamp.
+#[derive(Debug)]
+pub struct SpanTracer {
+    clock: Box<dyn Clock>,
+    events: Vec<TraceEvent>,
+    jobs: BTreeMap<u64, JobTrack>,
+    phase_starts: BTreeMap<SchedPhase, u64>,
+    last_ts: f64,
+    finalized: bool,
+}
+
+impl Default for SpanTracer {
+    fn default() -> Self {
+        SpanTracer::new(Box::<TickClock>::default())
+    }
+}
+
+/// Sim process id.
+const PID_SIM: u32 = 1;
+/// Phase-profiling process id.
+const PID_PHASES: u32 = 2;
+/// Cluster/scheduler track inside the sim process.
+const TID_CLUSTER: u64 = 0;
+
+fn job_tid(job: JobId) -> u64 {
+    job.raw().saturating_add(1)
+}
+
+impl SpanTracer {
+    /// A tracer timing scheduler phases with `clock`.
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        SpanTracer {
+            clock,
+            events: Vec::new(),
+            jobs: BTreeMap::new(),
+            phase_starts: BTreeMap::new(),
+            last_ts: 0.0,
+            finalized: false,
+        }
+    }
+
+    fn ts(now: f64) -> f64 {
+        now * SIM_US_PER_SECOND
+    }
+
+    /// Closes the job's open allocation segment, if it has width.
+    fn close_segment(&mut self, tid: u64, now: f64) {
+        if let Some(track) = self.jobs.get_mut(&tid) {
+            if track.seg_gpus > 0 && now > track.seg_start {
+                let name = format!("{}x GPU", track.seg_gpus);
+                let ev = TraceEvent::complete(
+                    &name,
+                    "allocation",
+                    Self::ts(track.seg_start),
+                    Self::ts(now - track.seg_start),
+                    PID_SIM,
+                    tid,
+                )
+                .arg_num("gpus", f64::from(track.seg_gpus));
+                self.events.push(ev);
+            }
+        }
+    }
+
+    /// Closes every open span at the last observed timestamp. Idempotent;
+    /// exporting through [`crate::chrome::render`] calls this for you.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let now = self.last_ts;
+        let open: Vec<u64> = self.jobs.keys().copied().collect();
+        for tid in open {
+            self.close_segment(tid, now);
+            if let Some(track) = self.jobs.remove(&tid) {
+                let ev = TraceEvent::complete(
+                    &track.label,
+                    "job",
+                    Self::ts(track.arrival),
+                    Self::ts((now - track.arrival).max(0.0)),
+                    PID_SIM,
+                    tid,
+                )
+                .arg_str("state", "unfinished");
+                self.events.push(ev);
+            }
+        }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Human-readable labels for the fixed tracks, used by the exporter's
+    /// metadata events: `(pid, tid, label)` triples.
+    pub fn track_names(&self) -> Vec<(u32, u64, String)> {
+        let mut names = vec![(PID_SIM, TID_CLUSTER, "cluster".to_owned())];
+        for (idx, phase) in SchedPhase::ALL.iter().enumerate() {
+            names.push((PID_PHASES, idx as u64, phase.label().to_owned()));
+        }
+        names
+    }
+}
+
+impl SimObserver for SpanTracer {
+    fn on_event(&mut self, now: f64, event: &Event, ctx: &SimContext<'_>) {
+        self.last_ts = self.last_ts.max(now);
+        match event {
+            Event::Arrival { job } => {
+                let Some(j) = ctx.jobs.get(*job) else { return };
+                let label = format!("job {} ({})", job.raw(), j.spec.model);
+                if j.dropped {
+                    let ev = TraceEvent::instant(
+                        "declined",
+                        "admission",
+                        Self::ts(now),
+                        PID_SIM,
+                        TID_CLUSTER,
+                    )
+                    .arg_str("job", &label);
+                    self.events.push(ev);
+                } else {
+                    self.jobs.insert(
+                        job_tid(*job),
+                        JobTrack {
+                            label,
+                            arrival: now,
+                            seg_start: now,
+                            seg_gpus: 0,
+                        },
+                    );
+                }
+            }
+            Event::ServerFailure { server } => {
+                let ev = TraceEvent::instant(
+                    "server failure",
+                    "cluster",
+                    Self::ts(now),
+                    PID_SIM,
+                    TID_CLUSTER,
+                )
+                .arg_num("server", f64::from(*server));
+                self.events.push(ev);
+            }
+            Event::ServerRepair { server } => {
+                let ev = TraceEvent::instant(
+                    "server repair",
+                    "cluster",
+                    Self::ts(now),
+                    PID_SIM,
+                    TID_CLUSTER,
+                )
+                .arg_num("server", f64::from(*server));
+                self.events.push(ev);
+            }
+            Event::Completion { .. } | Event::SlotBoundary | Event::PauseEnd { .. } => {}
+        }
+    }
+
+    fn on_phase(&mut self, now: f64, phase: SchedPhase, edge: PhaseEdge, _ctx: &SimContext<'_>) {
+        self.last_ts = self.last_ts.max(now);
+        match edge {
+            PhaseEdge::Begin => {
+                self.phase_starts.insert(phase, self.clock.now_nanos());
+            }
+            PhaseEdge::End => {
+                if let Some(start) = self.phase_starts.remove(&phase) {
+                    let end = self.clock.now_nanos();
+                    let tid = SchedPhase::ALL
+                        .iter()
+                        .position(|p| *p == phase)
+                        .unwrap_or(0) as u64;
+                    let ev = TraceEvent::complete(
+                        phase.label(),
+                        "phase",
+                        start as f64 / 1e3,
+                        end.saturating_sub(start) as f64 / 1e3,
+                        PID_PHASES,
+                        tid,
+                    )
+                    .arg_num("sim_time_s", now);
+                    self.events.push(ev);
+                }
+            }
+        }
+    }
+
+    fn on_replan(&mut self, now: f64, outcome: &ReplanOutcome, ctx: &SimContext<'_>) {
+        self.last_ts = self.last_ts.max(now);
+        // Roll job tracks over to the new allocation where it changed.
+        for j in ctx.jobs.iter() {
+            let tid = job_tid(j.id());
+            let Some(track) = self.jobs.get(&tid) else {
+                continue;
+            };
+            if track.seg_gpus != j.current_gpus {
+                self.close_segment(tid, now);
+                if let Some(track) = self.jobs.get_mut(&tid) {
+                    track.seg_start = now;
+                    track.seg_gpus = j.current_gpus;
+                }
+            }
+        }
+        if !outcome.is_quiescent() {
+            let ev =
+                TraceEvent::instant("replan", "scheduler", Self::ts(now), PID_SIM, TID_CLUSTER)
+                    .arg_num("resized_jobs", f64::from(outcome.resized_jobs))
+                    .arg_num("migrations", f64::from(outcome.migrations))
+                    .arg_num("pause_seconds", outcome.pause_seconds)
+                    .arg_num("utilization", outcome.utilization(ctx.total_gpus));
+            self.events.push(ev);
+        }
+    }
+
+    fn on_job_finish(&mut self, now: f64, job: JobId, ctx: &SimContext<'_>) {
+        self.last_ts = self.last_ts.max(now);
+        let tid = job_tid(job);
+        self.close_segment(tid, now);
+        if let Some(track) = self.jobs.remove(&tid) {
+            let mut ev = TraceEvent::complete(
+                &track.label,
+                "job",
+                Self::ts(track.arrival),
+                Self::ts((now - track.arrival).max(0.0)),
+                PID_SIM,
+                tid,
+            );
+            if let Some(j) = ctx.jobs.get(job) {
+                ev = ev
+                    .arg_num("gpu_seconds", j.gpu_seconds)
+                    .arg_str("met_deadline", if j.met_deadline() { "yes" } else { "no" });
+                if j.spec.kind.has_deadline() {
+                    ev = ev.arg_num("deadline_s", j.spec.deadline);
+                }
+            }
+            self.events.push(ev);
+        }
+    }
+
+    fn on_tick(&mut self, now: f64, ctx: &SimContext<'_>) {
+        self.last_ts = self.last_ts.max(now);
+        let used = TraceEvent {
+            name: "used_gpus".to_owned(),
+            cat: "cluster".to_owned(),
+            ph: 'C',
+            ts_us: Self::ts(now),
+            dur_us: None,
+            pid: PID_SIM,
+            tid: TID_CLUSTER,
+            args: vec![
+                ("used".to_owned(), ArgValue::Num(f64::from(ctx.used_gpus()))),
+                (
+                    "fenced".to_owned(),
+                    ArgValue::Num(f64::from(ctx.fenced_gpus)),
+                ),
+            ],
+        };
+        self.events.push(used);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_cluster::ClusterSpec;
+    use elasticflow_core::ElasticFlowScheduler;
+    use elasticflow_perfmodel::Interconnect;
+    use elasticflow_sim::{SimConfig, Simulation};
+    use elasticflow_trace::TraceConfig;
+
+    fn trace_events(seed: u64) -> Vec<TraceEvent> {
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+        let mut tracer = SpanTracer::default();
+        let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+            &trace,
+            &mut ElasticFlowScheduler::new(),
+            &mut [&mut tracer],
+        );
+        tracer.finalize();
+        tracer.events().to_vec()
+    }
+
+    #[test]
+    fn every_admitted_job_gets_a_lifecycle_span() {
+        let events = trace_events(42);
+        let job_spans = events
+            .iter()
+            .filter(|e| e.ph == 'X' && e.cat == "job")
+            .count();
+        let declines = events
+            .iter()
+            .filter(|e| e.ph == 'i' && e.name == "declined")
+            .count();
+        assert_eq!(
+            job_spans + declines,
+            25,
+            "every submission is accounted for"
+        );
+    }
+
+    #[test]
+    fn phase_spans_cover_all_three_phases() {
+        let events = trace_events(42);
+        for (idx, phase) in SchedPhase::ALL.iter().enumerate() {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.pid == PID_PHASES && e.tid == idx as u64 && e.name == phase.label()),
+                "missing {} phase span",
+                phase.label()
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(7).generate(&Interconnect::from_spec(&spec));
+        let mut tracer = SpanTracer::default();
+        let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+            &trace,
+            &mut ElasticFlowScheduler::new(),
+            &mut [&mut tracer],
+        );
+        tracer.finalize();
+        let n = tracer.events().len();
+        tracer.finalize();
+        assert_eq!(tracer.events().len(), n);
+    }
+
+    #[test]
+    fn allocation_segments_nest_inside_sim_process() {
+        let events = trace_events(13);
+        assert!(events
+            .iter()
+            .all(|e| e.pid == PID_SIM || e.pid == PID_PHASES));
+        assert!(events
+            .iter()
+            .filter(|e| e.cat == "allocation")
+            .all(|e| e.ph == 'X' && e.dur_us.unwrap_or(0.0) > 0.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Golden fixture tests for the telemetry exporters.
+//!
+//! A tiny hand-built scenario (3 jobs on a 2×8 cluster) runs under the
+//! ElasticFlow policy with a deterministic [`TelemetrySession`]; the
+//! Prometheus and Chrome-trace exports must match the checked-in
+//! fixtures byte for byte. Regenerate on intentional format changes
+//! with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p elasticflow-telemetry --test golden_exports
+//! ```
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_core::ElasticFlowScheduler;
+use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
+use elasticflow_sim::{SimConfig, Simulation};
+use elasticflow_telemetry::TelemetrySession;
+use elasticflow_trace::{JobId, JobSpec, Trace};
+
+const PROM_FIXTURE: &str = include_str!("fixtures/mini.prom");
+const TRACE_FIXTURE: &str = include_str!("fixtures/mini.trace.json");
+
+fn mini_spec() -> ClusterSpec {
+    ClusterSpec::with_servers(2, 8)
+}
+
+/// Three jobs: a comfortable SLO job, a tight SLO job, and a
+/// best-effort job — enough to exercise admission, resizes, deadline
+/// accounting, and span boundaries without drowning the fixtures.
+fn mini_trace() -> Trace {
+    let net = Interconnect::from_spec(&mini_spec());
+    let resnet = ScalingCurve::build(DnnModel::ResNet50, 128, &net);
+    let bert = ScalingCurve::build(DnnModel::Bert, 32, &net);
+    let resnet_tput = resnet.iters_per_sec(4).expect("4-GPU throughput");
+    let bert_tput = bert.iters_per_sec(2).expect("2-GPU throughput");
+
+    let comfortable = JobSpec::builder(JobId::new(0), DnnModel::ResNet50, 128)
+        .iterations(1_800.0 * resnet_tput)
+        .submit_time(0.0)
+        .deadline(4.0 * 3_600.0)
+        .trace_shape(4, 1_800.0)
+        .build();
+    let tight = JobSpec::builder(JobId::new(1), DnnModel::Bert, 32)
+        .iterations(1_200.0 * bert_tput)
+        .submit_time(600.0)
+        .deadline(600.0 + 1_500.0)
+        .trace_shape(2, 1_200.0)
+        .build();
+    let best_effort = JobSpec::builder(JobId::new(2), DnnModel::ResNet50, 128)
+        .iterations(900.0 * resnet_tput)
+        .submit_time(900.0)
+        .trace_shape(4, 900.0)
+        .build();
+    Trace::new("mini", vec![comfortable, tight, best_effort])
+}
+
+fn run_session() -> TelemetrySession {
+    let mut session = TelemetrySession::deterministic();
+    let _ = Simulation::new(mini_spec(), SimConfig::default()).run_observed(
+        &mini_trace(),
+        &mut ElasticFlowScheduler::new(),
+        &mut session.observers(),
+    );
+    session
+}
+
+fn check_golden(name: &str, fixture: &str, actual: &str) {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name);
+        std::fs::write(&path, actual).expect("rewrite fixture");
+        return;
+    }
+    assert_eq!(
+        actual, fixture,
+        "{name} drifted from its fixture; if the format change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn prometheus_export_matches_fixture() {
+    let session = run_session();
+    check_golden("mini.prom", PROM_FIXTURE, &session.prometheus());
+}
+
+#[test]
+fn chrome_trace_export_matches_fixture() {
+    let mut session = run_session();
+    check_golden("mini.trace.json", TRACE_FIXTURE, &session.chrome_trace());
+}
+
+#[test]
+fn exports_are_byte_stable_across_reruns() {
+    let (mut a, mut b) = (run_session(), run_session());
+    assert_eq!(a.prometheus(), b.prometheus());
+    assert_eq!(a.chrome_trace(), b.chrome_trace());
+}
+
+#[test]
+fn fixtures_parse_with_the_shipped_parsers() {
+    let samples = elasticflow_telemetry::prometheus::parse(PROM_FIXTURE).expect("fixture parses");
+    assert!(samples.iter().any(|s| s.name == "ef_jobs_submitted_total"));
+    let value: serde_json::Value = serde_json::from_str(TRACE_FIXTURE).expect("fixture is JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+}

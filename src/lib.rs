@@ -11,7 +11,9 @@
 //! * [`sim`] — the discrete-event cluster simulator (§6.1);
 //! * [`core`] — minimum satisfactory share, admission control
 //!   (Algorithm 1), elastic allocation (Algorithm 2), ElasticFlow itself;
-//! * [`platform`] — the serverless front-end (§3.1).
+//! * [`platform`] — the serverless front-end (§3.1);
+//! * [`telemetry`] — metrics registry, lifecycle span tracing, and
+//!   Prometheus / Perfetto exporters on the observer seam.
 //!
 //! # Quickstart
 //!
@@ -41,4 +43,5 @@ pub use elasticflow_perfmodel as perfmodel;
 pub use elasticflow_platform as platform;
 pub use elasticflow_sched as sched;
 pub use elasticflow_sim as sim;
+pub use elasticflow_telemetry as telemetry;
 pub use elasticflow_trace as trace;

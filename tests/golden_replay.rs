@@ -20,6 +20,7 @@ use elasticflow::core::ElasticFlowScheduler;
 use elasticflow::perfmodel::Interconnect;
 use elasticflow::sched::{EdfScheduler, Scheduler};
 use elasticflow::sim::{FailureSchedule, NodeFailure, SimConfig, SimReport, Simulation};
+use elasticflow::telemetry::TelemetrySession;
 use elasticflow::trace::TraceConfig;
 
 /// FNV-1a 64-bit over the report's canonical JSON encoding. Self-contained
@@ -85,6 +86,48 @@ fn failure_injection_replay_digest_is_stable() {
     let config = SimConfig::default().with_failures(failures);
     let report = run_scenario(13, config, &mut ElasticFlowScheduler::new());
     check("failure-injection", FAILURE_DIGEST, &report);
+}
+
+/// Like [`run_scenario`], but with the full telemetry stack (metrics
+/// collector + span tracer) attached through `run_observed`.
+fn run_scenario_with_telemetry(
+    seed: u64,
+    config: SimConfig,
+    scheduler: &mut dyn Scheduler,
+) -> SimReport {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+    let mut session = TelemetrySession::deterministic();
+    Simulation::new(spec, config).run_observed(&trace, scheduler, &mut session.observers())
+}
+
+/// Telemetry observers are read-only by contract: every golden scenario
+/// must produce the exact same digest with the full telemetry stack
+/// attached as without it.
+#[test]
+fn telemetry_observers_leave_golden_digests_unchanged() {
+    let report =
+        run_scenario_with_telemetry(42, SimConfig::default(), &mut ElasticFlowScheduler::new());
+    check("elasticflow+telemetry", ELASTICFLOW_DIGEST, &report);
+
+    let report = run_scenario_with_telemetry(7, SimConfig::default(), &mut EdfScheduler::new());
+    check("edf+telemetry", EDF_DIGEST, &report);
+
+    let failures = FailureSchedule::fixed(vec![
+        NodeFailure {
+            server: 1,
+            at: 1_200.0,
+            repair_seconds: 3_600.0,
+        },
+        NodeFailure {
+            server: 0,
+            at: 5_400.0,
+            repair_seconds: 1_800.0,
+        },
+    ]);
+    let config = SimConfig::default().with_failures(failures);
+    let report = run_scenario_with_telemetry(13, config, &mut ElasticFlowScheduler::new());
+    check("failure-injection+telemetry", FAILURE_DIGEST, &report);
 }
 
 #[test]
