@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drill;
 pub mod experiments;
+pub mod persist;
 pub mod report;
 pub mod runners;
 pub mod telemetry;

@@ -3,60 +3,135 @@
 //!
 //! ```text
 //! experiments <id> [--seed N] [--json] [--telemetry-out <dir>]
-//! experiments all  [--seed N] [--json] [--telemetry-out <dir>]
+//!                  [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]
+//! experiments all  [...same options...]
+//! experiments crash-drill [--seed N] [--state-dir <dir>] [--checkpoint-every <secs>]
 //! experiments list
 //! ```
 //!
 //! With `--telemetry-out`, every simulation also drops Prometheus
 //! (`.prom`) and Perfetto-loadable Chrome-trace (`.trace.json`) exports
 //! into the given directory.
+//!
+//! With `--state-dir`, every simulation checkpoints its full resumable
+//! state every `--checkpoint-every` simulated seconds (default 600) and
+//! streams its events into a write-ahead log under
+//! `<dir>/<scheduler>-<trace>/`; add `--resume` to pick up from the
+//! newest valid snapshot after an interruption. Results are bit-identical
+//! with or without persistence.
+//!
+//! `crash-drill` runs the self-checking crash-restart drill: baseline,
+//! mid-run kill, recovery — and exits nonzero if the resumed report or
+//! the recovered write-ahead log diverges.
 
 use std::process::ExitCode;
 
 use elasticflow_bench::experiments::registry;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command: Option<String> = None;
-    let mut seed: u64 = 2023;
-    let mut json = false;
+struct Options {
+    command: Option<String>,
+    seed: u64,
+    json: bool,
+    state_dir: Option<String>,
+    checkpoint_every: f64,
+    resume: bool,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        command: None,
+        seed: 2023,
+        json: false,
+        state_dir: None,
+        checkpoint_every: 600.0,
+        resume: false,
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => {
-                    eprintln!("--seed needs an integer value");
-                    return ExitCode::FAILURE;
-                }
+                Some(v) => opts.seed = v,
+                None => return Err("--seed needs an integer value".to_owned()),
             },
-            "--json" => json = true,
+            "--json" => opts.json = true,
             "--telemetry-out" => match it.next() {
                 Some(dir) => {
                     if let Err(e) = elasticflow_bench::telemetry::enable(&dir) {
-                        eprintln!("--telemetry-out {dir}: {e}");
-                        return ExitCode::FAILURE;
+                        return Err(format!("--telemetry-out {dir}: {e}"));
                     }
                 }
-                None => {
-                    eprintln!("--telemetry-out needs a directory");
-                    return ExitCode::FAILURE;
-                }
+                None => return Err("--telemetry-out needs a directory".to_owned()),
             },
-            other if command.is_none() => command = Some(other.to_owned()),
-            other => {
-                eprintln!("unexpected argument: {other}");
-                return ExitCode::FAILURE;
-            }
+            "--state-dir" => match it.next() {
+                Some(dir) => opts.state_dir = Some(dir),
+                None => return Err("--state-dir needs a directory".to_owned()),
+            },
+            "--checkpoint-every" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => opts.checkpoint_every = v,
+                _ => return Err("--checkpoint-every needs a positive number of seconds".to_owned()),
+            },
+            "--resume" => opts.resume = true,
+            other if opts.command.is_none() => opts.command = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument: {other}")),
         }
     }
+    Ok(opts)
+}
 
-    let registry = registry();
-    let Some(command) = command else {
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(command) = opts.command.as_deref() else {
         print_usage();
         return ExitCode::FAILURE;
     };
-    match command.as_str() {
+
+    if command == "crash-drill" {
+        let state_dir = opts.state_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("elasticflow-crash-drill-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+        return match elasticflow_bench::drill::run_crash_drill(
+            std::path::Path::new(&state_dir),
+            opts.seed,
+            opts.checkpoint_every,
+        ) {
+            Ok(report) => {
+                println!("{report}");
+                if report.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("crash-drill failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(dir) = &opts.state_dir {
+        if let Err(e) = elasticflow_bench::persist::enable(dir, opts.checkpoint_every, opts.resume)
+        {
+            eprintln!("--state-dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if opts.resume {
+        eprintln!("--resume requires --state-dir");
+        return ExitCode::FAILURE;
+    }
+
+    let registry = registry();
+    match command {
         "list" => {
             for exp in &registry {
                 println!("{:<20} {}", exp.name, exp.description);
@@ -66,13 +141,13 @@ fn main() -> ExitCode {
         "all" => {
             for exp in &registry {
                 eprintln!("== running {} — {}", exp.name, exp.description);
-                emit((exp.run)(seed), json);
+                emit((exp.run)(opts.seed), opts.json);
             }
             ExitCode::SUCCESS
         }
         name => match registry.iter().find(|e| e.name == name) {
             Some(exp) => {
-                emit((exp.run)(seed), json);
+                emit((exp.run)(opts.seed), opts.json);
                 ExitCode::SUCCESS
             }
             None => {
@@ -95,7 +170,17 @@ fn emit(tables: Vec<elasticflow_bench::Table>, json: bool) {
 }
 
 fn print_usage() {
-    eprintln!("usage: experiments <id|all|list> [--seed N] [--json] [--telemetry-out <dir>]");
+    eprintln!(
+        "usage: experiments <id|all|list|crash-drill> [--seed N] [--json] \
+         [--telemetry-out <dir>] [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]"
+    );
     eprintln!("run `experiments list` to see every table/figure id");
     eprintln!("--telemetry-out <dir>: also write .prom / .trace.json exports per simulation");
+    eprintln!(
+        "--state-dir <dir>: checkpoint + write-ahead-log every simulation; \
+         --resume recovers after an interruption"
+    );
+    eprintln!(
+        "crash-drill: self-checking kill-and-recover determinism drill (nonzero on divergence)"
+    );
 }

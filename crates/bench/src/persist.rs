@@ -1,0 +1,192 @@
+//! Opt-in crash-consistent persistence for the experiment harness.
+//!
+//! `experiments ... --state-dir <dir> --checkpoint-every <secs>
+//! [--resume]` calls [`enable`] once at startup; from then on every
+//! simulation routed through [`crate::runners::run_one`] carries a
+//! [`PersistSession`]: its events stream into a per-run write-ahead log
+//! and full-state snapshots are cut every `<secs>` of *simulated* time
+//! under `<dir>/<scheduler>-<trace>/`. With `--resume`, a run that finds
+//! a valid snapshot picks up from it and still produces the bit-identical
+//! report (persistence observers are read-only; resume is replay-exact).
+//!
+//! When `--telemetry-out` is also active, `ef_checkpoint_*` /
+//! `ef_wal_*` counters and histograms land in the same Prometheus
+//! exposition as the simulation metrics.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use elasticflow_persist::{CheckpointStats, PersistSession};
+use elasticflow_sim::{SimObserver, SimReport, Simulation};
+use elasticflow_trace::Trace;
+
+use crate::runners::scheduler_by_name;
+
+/// Process-wide persistence settings, set once by [`enable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistConfig {
+    /// Root directory; each simulation gets a subdirectory per file stem.
+    pub dir: PathBuf,
+    /// Simulated seconds between snapshots.
+    pub every_seconds: f64,
+    /// Attempt recovery before each run.
+    pub resume: bool,
+}
+
+static CONFIG: OnceLock<PersistConfig> = OnceLock::new();
+
+/// Enables persistence for the rest of the process. Creates the state
+/// root; returns an error if that fails or if persistence was already
+/// enabled with different settings.
+pub fn enable<P: AsRef<Path>>(dir: P, every_seconds: f64, resume: bool) -> std::io::Result<()> {
+    let cfg = PersistConfig {
+        dir: dir.as_ref().to_path_buf(),
+        every_seconds,
+        resume,
+    };
+    std::fs::create_dir_all(&cfg.dir)?;
+    let stored = CONFIG.get_or_init(|| cfg.clone());
+    if stored != &cfg {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            "persistence already enabled with different settings",
+        ));
+    }
+    Ok(())
+}
+
+/// The active persistence settings, if [`enable`] was called.
+pub fn config() -> Option<&'static PersistConfig> {
+    CONFIG.get()
+}
+
+/// Whether `--state-dir` persistence is active.
+pub fn is_enabled() -> bool {
+    CONFIG.get().is_some()
+}
+
+/// Runs one persisted simulation into `state_dir`, resuming from a
+/// recovered snapshot when `resume` allows and one exists.
+///
+/// `extra` observers (e.g. telemetry) are attached alongside the WAL
+/// observer. A rejected or failed recovery degrades to a fresh persisted
+/// run with a warning — experiments never fail because stored state was
+/// unusable. Returns the report plus the run's persistence statistics
+/// (`None` only if the state directory itself could not be opened).
+pub fn run_persisted(
+    sim: &Simulation,
+    trace: &Trace,
+    scheduler_name: &str,
+    state_dir: &Path,
+    every_seconds: f64,
+    resume: bool,
+    extra: &mut [&mut dyn SimObserver],
+) -> (SimReport, Option<CheckpointStats>) {
+    let mut session = match PersistSession::begin(state_dir, every_seconds, resume) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "warning: persistence disabled for {}: {e} (results unaffected)",
+                state_dir.display()
+            );
+            let mut scheduler = scheduler_by_name(scheduler_name);
+            return (sim.run_observed(trace, scheduler.as_mut(), extra), None);
+        }
+    };
+    if let Some(r) = session.recovered() {
+        for (seq, why) in &r.skipped {
+            eprintln!("warning: skipped corrupt snapshot {seq}: {why}");
+        }
+        if r.wal_was_torn {
+            eprintln!("note: truncated a torn write-ahead-log tail (crash artifact)");
+        }
+    }
+
+    if let Some(snap) = session.snapshot().cloned() {
+        let mut scheduler = scheduler_by_name(scheduler_name);
+        let resume_result = {
+            let (wal, ckpt) = session.parts();
+            let mut observers: Vec<&mut dyn SimObserver> = vec![wal];
+            for o in extra.iter_mut() {
+                observers.push(&mut **o);
+            }
+            sim.resume_controlled(trace, scheduler.as_mut(), &mut observers, ckpt, &snap)
+        };
+        match resume_result {
+            Ok(outcome) => {
+                report_session_errors(&session);
+                return (outcome.report, Some(session.stats()));
+            }
+            Err(e) => {
+                eprintln!("warning: stored snapshot rejected ({e}); restarting fresh");
+                session = match PersistSession::begin(state_dir, every_seconds, false) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!(
+                            "warning: persistence disabled for {}: {e} (results unaffected)",
+                            state_dir.display()
+                        );
+                        let mut scheduler = scheduler_by_name(scheduler_name);
+                        return (sim.run_observed(trace, scheduler.as_mut(), extra), None);
+                    }
+                };
+            }
+        }
+    }
+
+    let mut scheduler = scheduler_by_name(scheduler_name);
+    let outcome = {
+        let (wal, ckpt) = session.parts();
+        let mut observers: Vec<&mut dyn SimObserver> = vec![wal];
+        for o in extra.iter_mut() {
+            observers.push(&mut **o);
+        }
+        sim.run_controlled(trace, scheduler.as_mut(), &mut observers, ckpt)
+    };
+    report_session_errors(&session);
+    (outcome.report, Some(session.stats()))
+}
+
+fn report_session_errors(session: &PersistSession) {
+    if let Some(e) = session.first_error() {
+        eprintln!("warning: persistence write error during run: {e} (results unaffected)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_cluster::ClusterSpec;
+    use elasticflow_perfmodel::Interconnect;
+    use elasticflow_sim::SimConfig;
+    use elasticflow_trace::TraceConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "elasticflow-bench-persist-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn persisted_run_report_matches_plain_run() {
+        let spec = ClusterSpec::with_servers(2, 8);
+        let trace = TraceConfig::testbed_small(9).generate(&Interconnect::from_spec(&spec));
+        let sim = Simulation::new(spec, SimConfig::default());
+        let plain = sim.run(&trace, scheduler_by_name("edf").as_mut());
+        let dir = temp_dir("match");
+        let (report, stats) = run_persisted(&sim, &trace, "edf", &dir, 600.0, false, &mut []);
+        assert_eq!(plain, report);
+        let stats = stats.expect("persistence was active");
+        assert!(stats.wal_records > 0);
+        assert_eq!(stats.wal_failures, 0);
+        assert_eq!(stats.failures, 0);
+
+        // A second pass with --resume picks up the last snapshot (or runs
+        // fresh if none was cut) and lands on the same report either way.
+        let (resumed, _) = run_persisted(&sim, &trace, "edf", &dir, 600.0, true, &mut []);
+        assert_eq!(plain, resumed);
+    }
+}

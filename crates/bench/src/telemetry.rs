@@ -61,19 +61,58 @@ fn stem(scheduler: &str, trace: &str) -> String {
 }
 
 /// Runs one scheduler/trace combination, attaching a telemetry session
-/// and writing its exports when capture is enabled. Export I/O failures
-/// are reported on stderr but never fail the experiment.
+/// and/or a persistence session when the corresponding flags enabled
+/// them. Export I/O failures are reported on stderr but never fail the
+/// experiment; checkpoint statistics are merged into the telemetry
+/// exposition as `ef_checkpoint_*` / `ef_wal_*` series.
 pub fn run_maybe_instrumented(name: &str, spec: &ClusterSpec, trace: &Trace) -> SimReport {
-    let mut scheduler = scheduler_by_name(name);
     let sim = Simulation::new(spec.clone(), SimConfig::default());
-    let Some(dir) = OUT_DIR.get() else {
+    let tel_dir = OUT_DIR.get();
+    let persist_cfg = crate::persist::config();
+    if tel_dir.is_none() && persist_cfg.is_none() {
+        let mut scheduler = scheduler_by_name(name);
         return sim.run(trace, scheduler.as_mut());
-    };
-    let mut session = TelemetrySession::deterministic();
-    let report = sim.run_observed(trace, scheduler.as_mut(), &mut session.observers());
+    }
     let stem = stem(name, trace.name());
-    if let Err(e) = session.write_to_dir(dir, &stem) {
-        eprintln!("warning: telemetry export for {stem} failed: {e} (results unaffected)");
+    let mut session = tel_dir.map(|_| TelemetrySession::deterministic());
+
+    let report = match persist_cfg {
+        None => {
+            let mut scheduler = scheduler_by_name(name);
+            let mut observers = match session.as_mut() {
+                Some(s) => s.observers(),
+                None => Vec::new(),
+            };
+            sim.run_observed(trace, scheduler.as_mut(), &mut observers)
+        }
+        Some(cfg) => {
+            let state_dir = cfg.dir.join(&stem);
+            let (report, stats) = {
+                let mut observers = match session.as_mut() {
+                    Some(s) => s.observers(),
+                    None => Vec::new(),
+                };
+                crate::persist::run_persisted(
+                    &sim,
+                    trace,
+                    name,
+                    &state_dir,
+                    cfg.every_seconds,
+                    cfg.resume,
+                    &mut observers,
+                )
+            };
+            if let (Some(s), Some(stats)) = (session.as_mut(), stats) {
+                stats.record_metrics(s.metrics.registry_mut());
+            }
+            report
+        }
+    };
+
+    if let (Some(dir), Some(session)) = (tel_dir, session.as_mut()) {
+        if let Err(e) = session.write_to_dir(dir, &stem) {
+            eprintln!("warning: telemetry export for {stem} failed: {e} (results unaffected)");
+        }
     }
     report
 }

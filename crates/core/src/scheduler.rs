@@ -2,9 +2,11 @@
 //! best-effort extension, packaged behind the simulator-facing trait.
 
 use elasticflow_sched::{
-    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler,
+    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, RestoreError, SchedulePlan,
+    Scheduler, Snapshottable,
 };
 use elasticflow_trace::JobId;
+use serde::{Deserialize, Serialize};
 
 use crate::{AdmissionController, PlanningJob, ResourceAllocator, SlotGrid};
 
@@ -22,7 +24,7 @@ use crate::{AdmissionController, PlanningJob, ResourceAllocator, SlotGrid};
 /// let ef = ElasticFlowScheduler::new();
 /// assert_eq!(ef.name(), "elasticflow");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ElasticFlowScheduler {
     planning_slot_seconds: f64,
 }
@@ -328,6 +330,37 @@ impl Scheduler for ElasticFlowScheduler {
         #[cfg(feature = "audit")]
         crate::audit::check_plan(&planning, &profiles, &ledger, &plan, &grid, view.total_gpus);
         plan
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        serde_json::to_string(&self.capture()).ok()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), RestoreError> {
+        let parsed: ElasticFlowScheduler = serde_json::from_str(state)
+            .map_err(|e| RestoreError::new(format!("elasticflow state did not parse: {e}")))?;
+        self.restore(parsed)
+    }
+}
+
+// ElasticFlow recomputes every plan from the job table, so its persistent
+// state is just the planning-slot configuration; the scheduler itself is
+// its own checkpoint payload.
+impl Snapshottable for ElasticFlowScheduler {
+    type State = ElasticFlowScheduler;
+
+    fn capture(&self) -> Self::State {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: Self::State) -> Result<(), RestoreError> {
+        if !(state.planning_slot_seconds.is_finite() && state.planning_slot_seconds > 0.0) {
+            return Err(RestoreError::new(
+                "planning slot must be positive and finite",
+            ));
+        }
+        *self = state;
+        Ok(())
     }
 }
 

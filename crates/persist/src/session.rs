@@ -1,0 +1,108 @@
+//! One-call wiring of the persistence harness around a simulation run.
+//!
+//! [`PersistSession::begin`] owns the whole fresh-vs-resume decision:
+//!
+//! * **fresh** — truncate/create the write-ahead log and checkpoint
+//!   periodically from simulated time zero;
+//! * **resume** — recover the state directory (newest valid snapshot,
+//!   torn WAL tail truncated, log rolled back to the snapshot's record
+//!   count) and hand back the [`SimSnapshot`] to pass to
+//!   [`Simulation::resume_controlled`](elasticflow_sim::Simulation::resume_controlled).
+//!
+//! Because the resumed run re-appends every event after the cut exactly
+//! as the lost run would have, an interrupted-and-resumed session leaves
+//! the same write-ahead log as an uninterrupted one — the property the
+//! crash-restart drill asserts end to end.
+
+use std::cell::Cell;
+use std::path::Path;
+use std::rc::Rc;
+
+use elasticflow_sim::SimSnapshot;
+
+use crate::checkpoint::{CheckpointStats, Checkpointer, WalObserver};
+use crate::error::PersistError;
+use crate::store::{Recovered, StateDir};
+use crate::wal::WalWriter;
+
+/// A wired persistence harness for one simulation run.
+#[derive(Debug)]
+pub struct PersistSession {
+    wal: WalObserver,
+    checkpointer: Checkpointer,
+    recovered: Option<Recovered>,
+}
+
+impl PersistSession {
+    /// Opens `state_dir` and wires the harness.
+    ///
+    /// With `resume` set, recovery is attempted first: if a valid
+    /// snapshot exists the session resumes from it ([`Self::snapshot`]
+    /// returns `Some`); if the directory holds no snapshot the session
+    /// silently degrades to a fresh run. With `resume` unset any existing
+    /// log is truncated and the run starts clean.
+    pub fn begin<P: AsRef<Path>>(
+        state_dir: P,
+        checkpoint_every_seconds: f64,
+        resume: bool,
+    ) -> Result<Self, PersistError> {
+        let dir = StateDir::open(state_dir)?;
+        let recovered = if resume { dir.recover()? } else { None };
+        let count = Rc::new(Cell::new(0));
+        let (writer, start_time) = match &recovered {
+            Some(r) => (
+                WalWriter::open_truncated(dir.wal_path(), r.snapshot.wal_records)?,
+                r.snapshot.sim.now,
+            ),
+            None => (WalWriter::create(dir.wal_path())?, 0.0),
+        };
+        let wal = WalObserver::new(writer, Rc::clone(&count));
+        let checkpointer = Checkpointer::new(dir, checkpoint_every_seconds, count, start_time);
+        Ok(PersistSession {
+            wal,
+            checkpointer,
+            recovered,
+        })
+    }
+
+    /// Arms a hard stop (no final checkpoint) at `round` — the crash half
+    /// of a crash-restart drill.
+    pub fn kill_at_round(mut self, round: u64) -> Self {
+        self.checkpointer = self.checkpointer.kill_at_round(round);
+        self
+    }
+
+    /// The snapshot to resume from, when recovery found one.
+    pub fn snapshot(&self) -> Option<&SimSnapshot> {
+        self.recovered.as_ref().map(|r| &r.snapshot.sim)
+    }
+
+    /// Details of what recovery found (sequence, skipped snapshots, torn
+    /// tail), when resuming.
+    pub fn recovered(&self) -> Option<&Recovered> {
+        self.recovered.as_ref()
+    }
+
+    /// Splits the session into the observer to attach and the controller
+    /// to drive the run with (distinct borrows of the same session).
+    pub fn parts(&mut self) -> (&mut WalObserver, &mut Checkpointer) {
+        (&mut self.wal, &mut self.checkpointer)
+    }
+
+    /// Merged persistence statistics for the run so far (checkpointer
+    /// counters plus observer-side WAL counters).
+    pub fn stats(&self) -> CheckpointStats {
+        let mut stats = self.checkpointer.stats().clone();
+        stats.wal_records = self.wal.appended();
+        stats.wal_failures = self.wal.failures();
+        stats
+    }
+
+    /// The first persistence error swallowed by the non-propagating hooks
+    /// (WAL append or snapshot write), if any.
+    pub fn first_error(&self) -> Option<&PersistError> {
+        self.wal
+            .last_error()
+            .or_else(|| self.checkpointer.last_error())
+    }
+}

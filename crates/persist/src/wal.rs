@@ -1,0 +1,161 @@
+//! The append-only write-ahead event log.
+//!
+//! Every typed simulation event is appended as one framed
+//! [`TraceRecord`] (JSON payload, length-prefixed, FNV-1a-64
+//! checksummed) behind an `EFWL` + version header. The WAL is an audit
+//! trail with crash-grade durability semantics:
+//!
+//! * a crash mid-append leaves a *torn tail* — an incomplete final frame
+//!   — which recovery detects and truncates away, keeping every record
+//!   before it;
+//! * a complete frame whose payload no longer matches its checksum is
+//!   bit rot, not a crash artifact, and surfaces as a typed
+//!   [`PersistError::ChecksumMismatch`] rather than silent truncation.
+//!
+//! On resume the log is truncated back to the record count captured in
+//! the snapshot being resumed from; the resumed run then re-appends the
+//! same records the lost run would have, so an interrupted-and-resumed
+//! session converges to the byte-identical log of an uninterrupted one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use elasticflow_sim::TraceRecord;
+
+use crate::error::PersistError;
+use crate::frame::{
+    check_header, decode_frame, encode_frame, encode_header, FrameRead, HEADER_LEN, WAL_MAGIC,
+};
+
+/// An open write-ahead log positioned for appending.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the log at `path` and writes a fresh header.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let mut file = File::create(path)?;
+        file.write_all(&encode_header(WAL_MAGIC, crate::frame::PERSIST_VERSION))?;
+        file.flush()?;
+        Ok(WalWriter { file, records: 0 })
+    }
+
+    /// Opens an existing log, truncates it to its first `keep` records,
+    /// and positions for appending record `keep`.
+    ///
+    /// The log is fully validated up to the kept prefix; fewer than `keep`
+    /// intact records on disk is [`PersistError::Corrupt`] (the snapshot
+    /// being resumed from promises they exist).
+    pub fn open_truncated<P: AsRef<Path>>(path: P, keep: u64) -> Result<Self, PersistError> {
+        let contents = read_wal(&path)?;
+        if (contents.records.len() as u64) < keep {
+            return Err(PersistError::Corrupt(format!(
+                "write-ahead log holds {} records but the snapshot requires {keep}",
+                contents.records.len()
+            )));
+        }
+        let keep_bytes = contents.record_offsets[keep as usize];
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(keep_bytes)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            records: keep,
+        })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, record: &TraceRecord) -> Result<(), PersistError> {
+        let payload = serde_json::to_string(record)?;
+        let mut frame = Vec::with_capacity(payload.len() + crate::frame::FRAME_HEADER_LEN);
+        encode_frame(&mut frame, payload.as_bytes());
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended so far (including any kept prefix).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// The decoded contents of a write-ahead log.
+#[derive(Debug)]
+pub struct WalContents {
+    /// Every intact record, in append order.
+    pub records: Vec<TraceRecord>,
+    /// Byte offset where record `i` begins; the final entry is the offset
+    /// just past the last intact record (`record_offsets.len() ==
+    /// records.len() + 1`). Truncating the file to any of these offsets
+    /// yields a clean log prefix.
+    pub record_offsets: Vec<u64>,
+    /// `true` when the log ended in an incomplete frame (crash mid-append).
+    pub torn: bool,
+}
+
+impl WalContents {
+    /// Byte length of the clean prefix (header + intact records).
+    pub fn clean_len(&self) -> u64 {
+        *self.record_offsets.last().unwrap_or(&(HEADER_LEN as u64))
+    }
+}
+
+/// Reads and validates a write-ahead log.
+///
+/// A torn final frame stops the scan and sets [`WalContents::torn`]; a
+/// complete frame with a bad checksum or undecodable payload is a typed
+/// error.
+pub fn read_wal<P: AsRef<Path>>(path: P) -> Result<WalContents, PersistError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    check_header(&bytes, WAL_MAGIC, "EFWL")?;
+    let mut records = Vec::new();
+    let mut record_offsets = vec![HEADER_LEN as u64];
+    let mut offset = HEADER_LEN;
+    let mut torn = false;
+    loop {
+        if offset == bytes.len() {
+            break;
+        }
+        match decode_frame(&bytes, offset)? {
+            FrameRead::Complete { payload, next } => {
+                let text = std::str::from_utf8(payload).map_err(|_| {
+                    PersistError::Corrupt(format!(
+                        "WAL record at offset {offset} is not valid UTF-8"
+                    ))
+                })?;
+                records.push(serde_json::from_str::<TraceRecord>(text)?);
+                record_offsets.push(next as u64);
+                offset = next;
+            }
+            FrameRead::Torn => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    Ok(WalContents {
+        records,
+        record_offsets,
+        torn,
+    })
+}
+
+/// Reads the log and, if it ends in a torn frame, truncates the file back
+/// to its clean prefix. Returns the (now guaranteed clean) contents.
+pub fn recover_wal<P: AsRef<Path>>(path: P) -> Result<WalContents, PersistError> {
+    let mut contents = read_wal(&path)?;
+    if contents.torn {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(contents.clean_len())?;
+        contents.torn = false;
+    }
+    Ok(contents)
+}

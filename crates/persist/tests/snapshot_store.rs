@@ -1,0 +1,192 @@
+//! Snapshot-file format and state-directory recovery tests.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_persist::store::{decode_snapshot, encode_snapshot};
+use elasticflow_persist::{PersistError, PersistSession, StateDir, StoredSnapshot};
+use elasticflow_sched::EdfScheduler;
+use elasticflow_sim::{RunDirective, SimConfig, SimController, SimSnapshot, Simulation};
+use elasticflow_trace::{Trace, TraceConfig};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "elasticflow-persist-store-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spec() -> ClusterSpec {
+    ClusterSpec::with_servers(2, 8)
+}
+
+fn trace() -> Trace {
+    TraceConfig::testbed_small(11).generate(&Interconnect::from_spec(&spec()))
+}
+
+/// Captures one snapshot mid-run via the engine's controller seam.
+fn capture_snapshot(at_round: u64) -> SimSnapshot {
+    struct Capture {
+        at: u64,
+        snap: Option<SimSnapshot>,
+    }
+    impl SimController for Capture {
+        fn directive(&mut self, _now: f64, round: u64) -> RunDirective {
+            if round == self.at {
+                RunDirective::CheckpointThenStop
+            } else {
+                RunDirective::Continue
+            }
+        }
+        fn on_snapshot(&mut self, snapshot: SimSnapshot) {
+            self.snap = Some(snapshot);
+        }
+    }
+    let mut capture = Capture {
+        at: at_round,
+        snap: None,
+    };
+    let sim = Simulation::new(spec(), SimConfig::default());
+    let _ = sim.run_controlled(&trace(), &mut EdfScheduler::new(), &mut [], &mut capture);
+    capture.snap.expect("snapshot captured")
+}
+
+fn stored(at_round: u64, wal_records: u64) -> StoredSnapshot {
+    StoredSnapshot {
+        version: elasticflow_persist::PERSIST_VERSION,
+        wal_records,
+        sim: capture_snapshot(at_round),
+    }
+}
+
+#[test]
+fn snapshot_encoding_is_byte_stable_and_round_trips() {
+    let s = stored(4, 17);
+    let bytes = encode_snapshot(&s).unwrap();
+    let back = decode_snapshot(&bytes).unwrap();
+    assert_eq!(s, back);
+    // Byte-stable: re-encoding the decoded value yields identical bytes.
+    assert_eq!(bytes, encode_snapshot(&back).unwrap());
+}
+
+#[test]
+fn unknown_payload_version_is_a_typed_error() {
+    let mut s = stored(3, 0);
+    s.version = elasticflow_persist::PERSIST_VERSION + 7;
+    let bytes = encode_snapshot(&s).unwrap();
+    match decode_snapshot(&bytes) {
+        Err(PersistError::UnknownVersion { found, supported }) => {
+            assert_eq!(found, elasticflow_persist::PERSIST_VERSION + 7);
+            assert_eq!(supported, elasticflow_persist::PERSIST_VERSION);
+        }
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_and_corrupted_snapshot_files_are_typed_errors() {
+    let bytes = encode_snapshot(&stored(3, 0)).unwrap();
+    // Every truncation is Corrupt or BadMagic/Torn — never a panic.
+    for cut in 0..bytes.len() {
+        match decode_snapshot(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("cut at {cut}: truncated snapshot decoded successfully"),
+        }
+    }
+    // Payload bit-flip: checksum mismatch.
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x10;
+    assert!(matches!(
+        decode_snapshot(&flipped),
+        Err(PersistError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn latest_valid_snapshot_skips_corrupt_newer_files() {
+    let dir = StateDir::open(temp_dir()).unwrap();
+    let good = stored(4, 2);
+    let (seq1, _) = dir.write_next_snapshot(&good).unwrap();
+    let newer = stored(6, 5);
+    let (seq2, _) = dir.write_next_snapshot(&newer).unwrap();
+    assert_eq!((seq1, seq2), (1, 2));
+
+    // Corrupt the newest file's tail.
+    let path = dir.snapshot_path(seq2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (seq, loaded, skipped) = dir.latest_valid_snapshot().unwrap().expect("one valid");
+    assert_eq!(seq, seq1);
+    assert_eq!(loaded, good);
+    assert_eq!(skipped.len(), 1);
+    assert_eq!(skipped[0].0, seq2);
+    assert!(
+        skipped[0].1.contains("checksum mismatch"),
+        "{}",
+        skipped[0].1
+    );
+}
+
+#[test]
+fn recover_on_empty_dir_is_none_and_fresh_session_starts_clean() {
+    let root = temp_dir();
+    let dir = StateDir::open(&root).unwrap();
+    assert!(dir.recover().unwrap().is_none());
+
+    let session = PersistSession::begin(&root, 600.0, true).unwrap();
+    assert!(session.snapshot().is_none(), "nothing to resume from");
+}
+
+#[test]
+fn session_checkpoints_and_resumes_to_an_identical_report() {
+    let root = temp_dir();
+    let sim = Simulation::new(spec(), SimConfig::default());
+    let tr = trace();
+    let baseline = sim.run(&tr, &mut EdfScheduler::new());
+
+    // Run with aggressive checkpointing and a mid-run kill.
+    let mut session = PersistSession::begin(&root, 300.0, false)
+        .unwrap()
+        .kill_at_round(10);
+    {
+        let (wal, ckpt) = session.parts();
+        let outcome = sim.run_controlled(&tr, &mut EdfScheduler::new(), &mut [wal], ckpt);
+        assert!(!outcome.completed, "kill round did not fire");
+    }
+    let stats = session.stats();
+    assert!(
+        stats.checkpoints > 0,
+        "no checkpoint was cut before the kill"
+    );
+    assert_eq!(stats.failures, 0);
+    assert!(stats.wal_records > 0);
+    assert!(session.first_error().is_none());
+    drop(session);
+
+    // Resume in a "new process": recover and run to completion.
+    let mut session = PersistSession::begin(&root, 300.0, true).unwrap();
+    let snap = session
+        .snapshot()
+        .cloned()
+        .expect("recovery found a snapshot");
+    let (wal, ckpt) = session.parts();
+    let outcome = sim
+        .resume_controlled(&tr, &mut EdfScheduler::new(), &mut [wal], ckpt, &snap)
+        .unwrap();
+    assert!(outcome.completed);
+    assert_eq!(
+        baseline, outcome.report,
+        "resumed run diverged from the uninterrupted baseline"
+    );
+}

@@ -331,6 +331,60 @@ impl ReplanOutcome {
     }
 }
 
+/// Error returned when restoring persisted state into a component fails —
+/// the serialized form did not parse, carried impossible values, or came
+/// from an incompatible configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError {
+    reason: String,
+}
+
+impl RestoreError {
+    /// Wraps a human-readable failure reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        RestoreError {
+            reason: reason.into(),
+        }
+    }
+
+    /// The failure reason.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "state restore failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Checkpoint/restore seam for stateful scheduling components.
+///
+/// A `Snapshottable` component can externalize its mutable state as a
+/// serializable value and later re-absorb it, so a crashed control plane
+/// resumes exactly where it stopped. Implementations must round-trip
+/// losslessly: `restore(capture())` leaves the component in a state that
+/// behaves identically — the simulator's bit-identical resume tests hold
+/// every implementation to that contract.
+///
+/// Trait-object call sites (the simulation engine holds `&mut dyn
+/// Scheduler`) go through the object-safe string form instead:
+/// [`Scheduler::snapshot_state`] / [`Scheduler::restore_state`].
+pub trait Snapshottable {
+    /// The externalized state. Implementations choose a serde-serializable
+    /// type (often `Self` for plain-old-data policies).
+    type State;
+
+    /// Captures the current state.
+    fn capture(&self) -> Self::State;
+
+    /// Replaces the current state with a previously captured one.
+    fn restore(&mut self, state: Self::State) -> Result<(), RestoreError>;
+}
+
 /// A scheduling policy, driven by the simulator.
 ///
 /// The simulator calls [`Scheduler::on_job_arrival`] once per submission
@@ -357,6 +411,26 @@ pub trait Scheduler {
 
     /// Notification that a job completed (optional hook).
     fn on_job_finish(&mut self, _job: JobId, _now: f64) {}
+
+    /// Serialized policy state for checkpointing, or `None` for policies
+    /// whose `plan` is a pure function of the job table (the default) —
+    /// those need nothing restored beyond their construction arguments.
+    ///
+    /// Stateful policies override this (typically by serializing their
+    /// [`Snapshottable::capture`] value as JSON) together with
+    /// [`Scheduler::restore_state`].
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state produced by [`Scheduler::snapshot_state`] on an
+    /// identically configured policy. The default accepts anything and
+    /// changes nothing, matching the stateless default above; resume paths
+    /// only call this when the snapshot actually carried state.
+    fn restore_state(&mut self, state: &str) -> Result<(), RestoreError> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// Clamps `want` down to the largest power of two that fits in `available`

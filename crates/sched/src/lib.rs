@@ -34,8 +34,8 @@ mod themis;
 mod tiresias;
 
 pub use api::{
-    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, ReplanOutcome, SchedulePlan,
-    Scheduler,
+    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, ReplanOutcome, RestoreError,
+    SchedulePlan, Scheduler, Snapshottable,
 };
 
 #[allow(clippy::items_after_test_module)]

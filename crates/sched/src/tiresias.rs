@@ -8,7 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{AdmissionDecision, ClusterView, JobRuntime, JobTable, SchedulePlan, Scheduler};
+use crate::{
+    AdmissionDecision, ClusterView, JobRuntime, JobTable, RestoreError, SchedulePlan, Scheduler,
+    Snapshottable,
+};
 
 /// The Tiresias baseline scheduler.
 ///
@@ -64,6 +67,29 @@ impl Default for TiresiasScheduler {
     }
 }
 
+// Tiresias is plain-old-data (the threshold vector), so the whole policy
+// doubles as its own checkpoint state.
+impl Snapshottable for TiresiasScheduler {
+    type State = TiresiasScheduler;
+
+    fn capture(&self) -> Self::State {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: Self::State) -> Result<(), RestoreError> {
+        if state.queue_thresholds.is_empty()
+            || !state.queue_thresholds.windows(2).all(|w| w[0] < w[1])
+            || !state.queue_thresholds.iter().all(|&t| t > 0.0)
+        {
+            return Err(RestoreError::new(
+                "tiresias queue thresholds must be positive and strictly ascending",
+            ));
+        }
+        *self = state;
+        Ok(())
+    }
+}
+
 impl Scheduler for TiresiasScheduler {
     fn name(&self) -> &str {
         "tiresias"
@@ -100,6 +126,16 @@ impl Scheduler for TiresiasScheduler {
             }
         }
         plan
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        serde_json::to_string(&self.capture()).ok()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), RestoreError> {
+        let parsed: TiresiasScheduler = serde_json::from_str(state)
+            .map_err(|e| RestoreError::new(format!("tiresias state did not parse: {e}")))?;
+        self.restore(parsed)
     }
 }
 

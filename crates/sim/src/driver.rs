@@ -47,6 +47,11 @@ impl<'s> SchedulerDriver<'s> {
         self.scheduler.name()
     }
 
+    /// The policy's serialized checkpoint state (`None` when stateless).
+    pub(crate) fn snapshot_state(&self) -> Option<String> {
+        self.scheduler.snapshot_state()
+    }
+
     /// Consults the policy's admission control for a newly arrived job.
     pub(crate) fn admit(
         &mut self,

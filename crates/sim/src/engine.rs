@@ -26,6 +26,7 @@ use crate::driver::SchedulerDriver;
 use crate::event::{Event, EventCore};
 use crate::executor::Executor;
 use crate::observer::{PhaseEdge, SchedPhase, SimContext, SimObserver, TimelineCollector};
+use crate::snapshot::{fingerprint_json, ResumeError, SimSnapshot, SIM_SNAPSHOT_VERSION};
 use crate::{SimConfig, SimReport};
 
 /// Fans one phase edge out to the whole observer chain.
@@ -39,6 +40,62 @@ fn emit_phase(
     for obs in chain.iter_mut() {
         obs.on_phase(now, phase, edge, ctx);
     }
+}
+
+/// What the engine should do after the round a [`SimController`] was just
+/// consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunDirective {
+    /// Keep running (the default).
+    #[default]
+    Continue,
+    /// Capture a [`SimSnapshot`] of the round boundary and hand it to
+    /// [`SimController::on_snapshot`], then keep running.
+    Checkpoint,
+    /// Stop the run at this round boundary (simulated crash or graceful
+    /// early stop); the returned outcome has `completed == false`.
+    Stop,
+    /// Capture a snapshot, then stop.
+    CheckpointThenStop,
+}
+
+/// Control seam consulted once per event-loop round, after the round is
+/// fully applied and observers have seen it.
+///
+/// Controllers drive *when* durable state is taken and whether the run
+/// stops early; they cannot mutate simulation state, so — like observers —
+/// attaching one never perturbs replay arithmetic. `elasticflow-persist`
+/// builds its checkpointer on this seam.
+pub trait SimController {
+    /// Decides what happens after round `round` (1-based) at simulated
+    /// time `now`. Defaults to [`RunDirective::Continue`].
+    fn directive(&mut self, _now: f64, _round: u64) -> RunDirective {
+        RunDirective::Continue
+    }
+
+    /// Receives the snapshot requested via [`RunDirective::Checkpoint`] or
+    /// [`RunDirective::CheckpointThenStop`].
+    fn on_snapshot(&mut self, _snapshot: SimSnapshot) {}
+}
+
+/// The no-op controller behind the plain run paths.
+#[derive(Debug, Clone, Copy, Default)]
+struct FreeRun;
+
+impl SimController for FreeRun {}
+
+/// Outcome of a controlled (or resumed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// The report assembled from the state at stop time. For an early stop
+    /// this is a partial report (unfinished jobs show no finish time).
+    pub report: SimReport,
+    /// `false` when a [`SimController`] stopped the run before the event
+    /// loop drained.
+    pub completed: bool,
+    /// Event-loop rounds executed in total (including rounds replayed
+    /// into the snapshot on a resumed run).
+    pub rounds: u64,
 }
 
 /// A configured simulation, ready to replay traces against schedulers.
@@ -88,6 +145,96 @@ impl Simulation {
         scheduler: &mut dyn Scheduler,
         observers: &mut [&mut dyn SimObserver],
     ) -> SimReport {
+        self.run_controlled(trace, scheduler, observers, &mut FreeRun)
+            .report
+    }
+
+    /// Like [`Simulation::run_observed`], with a [`SimController`] consulted
+    /// at every round boundary — the checkpoint/early-stop seam.
+    ///
+    /// Controllers are consulted *after* each round is applied and observed,
+    /// so a requested [`SimSnapshot`] is always a consistent cut; resuming
+    /// it with [`Simulation::resume_controlled`] continues bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulation::run`].
+    pub fn run_controlled(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+        controller: &mut dyn SimController,
+    ) -> SimOutcome {
+        match self.run_inner(trace, scheduler, observers, controller, None) {
+            Ok(outcome) => outcome,
+            // Resume validation only runs when a snapshot is supplied.
+            Err(_) => crate::executor::sim_bug("fresh run failed resume validation"),
+        }
+    }
+
+    /// Resumes a run from a [`SimSnapshot`] and drives it to completion,
+    /// returning the final report. The snapshot must come from the same
+    /// trace, cluster spec, sim config, and scheduler (fingerprints are
+    /// checked); the resumed run then reproduces the uninterrupted run's
+    /// report byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ResumeError`] when the snapshot's version, fingerprints,
+    /// cursors, or scheduler state do not match this run's inputs.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulation::run`] once resumed.
+    pub fn resume_observed(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+        snapshot: &SimSnapshot,
+    ) -> Result<SimReport, ResumeError> {
+        self.resume_controlled(trace, scheduler, observers, &mut FreeRun, snapshot)
+            .map(|outcome| outcome.report)
+    }
+
+    /// Resumes from a snapshot with a [`SimController`] attached, so a
+    /// resumed run can itself be checkpointed or stopped again.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::resume_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulation::run`] once resumed.
+    pub fn resume_controlled(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+        controller: &mut dyn SimController,
+        snapshot: &SimSnapshot,
+    ) -> Result<SimOutcome, ResumeError> {
+        self.run_inner(trace, scheduler, observers, controller, Some(snapshot))
+    }
+
+    /// Fingerprint of the run context (cluster spec + sim config) embedded
+    /// in snapshots to block resuming against mismatched inputs.
+    fn context_fingerprint(&self) -> u64 {
+        fingerprint_json(&(&self.spec, &self.config))
+    }
+
+    /// The one event loop behind every entry point: fresh or resumed,
+    /// free-running or controlled.
+    fn run_inner(
+        &self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+        controller: &mut dyn SimController,
+        resume: Option<&SimSnapshot>,
+    ) -> Result<SimOutcome, ResumeError> {
         let cluster = ClusterState::new(self.spec.build_topology());
         let net = Interconnect::from_spec(&self.spec);
         let num_servers = cluster.topology().num_servers();
@@ -100,23 +247,70 @@ impl Simulation {
             self.config.slot_seconds,
             self.config.horizon_after_last_arrival,
         );
+
+        // The internal timeline collector is *not* part of the generic
+        // chain: snapshot assembly needs to read its samples mid-run, so
+        // the engine calls its single hook (`on_tick`) explicitly, first —
+        // preserving the original first-in-chain ordering.
+        let mut collector = TimelineCollector::new();
+        let mut now = 0.0f64;
+        let mut round: u64 = 0;
+        // Computed lazily: only snapshot capture and resume validation pay
+        // for fingerprinting the trace and run context.
+        let mut fingerprints: Option<(u64, u64)> = None;
+
+        if let Some(snap) = resume {
+            if snap.version != SIM_SNAPSHOT_VERSION {
+                return Err(ResumeError::UnknownVersion {
+                    found: snap.version,
+                    supported: SIM_SNAPSHOT_VERSION,
+                });
+            }
+            if snap.scheduler_name != scheduler.name() {
+                return Err(ResumeError::SchedulerMismatch {
+                    snapshot: snap.scheduler_name.clone(),
+                    actual: scheduler.name().to_owned(),
+                });
+            }
+            if snap.trace_name != trace.name() {
+                return Err(ResumeError::TraceMismatch { what: "name" });
+            }
+            let fp = (fingerprint_json(trace), self.context_fingerprint());
+            if snap.trace_fingerprint != fp.0 {
+                return Err(ResumeError::TraceMismatch {
+                    what: "fingerprint",
+                });
+            }
+            if snap.context_fingerprint != fp.1 {
+                return Err(ResumeError::ContextMismatch);
+            }
+            fingerprints = Some(fp);
+            core.restore(&snap.event_core)?;
+            exec.restore(snap.executor.clone());
+            collector = TimelineCollector::from_timeline(snap.timeline.clone());
+            if let Some(state) = &snap.scheduler_state {
+                scheduler
+                    .restore_state(state)
+                    .map_err(ResumeError::SchedulerState)?;
+            }
+            now = snap.now;
+            round = snap.round;
+        }
+
         let mut driver = SchedulerDriver::new(scheduler);
 
-        // The observer chain: the internal timeline collector first (the
-        // report depends on it), then the auditor when compiled in, then
-        // the caller's observers.
-        let mut collector = TimelineCollector::new();
+        // The rest of the observer chain: the auditor when compiled in,
+        // then the caller's observers.
         #[cfg(feature = "audit")]
         let mut auditor = crate::audit::InvariantAuditor;
-        let mut chain: Vec<&mut dyn SimObserver> = Vec::with_capacity(observers.len() + 2);
-        chain.push(&mut collector);
+        let mut chain: Vec<&mut dyn SimObserver> = Vec::with_capacity(observers.len() + 1);
         #[cfg(feature = "audit")]
         chain.push(&mut auditor);
         for obs in observers.iter_mut() {
             chain.push(&mut **obs);
         }
 
-        let mut now = 0.0f64;
+        let mut completed = true;
         let mut events: Vec<Event> = Vec::new();
         // Each iteration handles one event batch; selection returns `None`
         // once the simulation drains or passes the starvation horizon.
@@ -220,21 +414,53 @@ impl Simulation {
                     obs.on_replan(now, &outcome, &ctx);
                 }
                 // ---- tick: timeline sampling et al. ----
+                collector.on_tick(now, &ctx);
                 for obs in chain.iter_mut() {
                     obs.on_tick(now, &ctx);
                 }
             }
+            round += 1;
 
             // ---- stall detection ----
             if exec.none_running() && core.exhausted() {
                 break; // active-but-unschedulable jobs would never progress
+            }
+
+            // ---- controller: checkpoint / early-stop seam ----
+            let directive = controller.directive(now, round);
+            if matches!(
+                directive,
+                RunDirective::Checkpoint | RunDirective::CheckpointThenStop
+            ) {
+                let (trace_fp, context_fp) = *fingerprints
+                    .get_or_insert_with(|| (fingerprint_json(trace), self.context_fingerprint()));
+                controller.on_snapshot(SimSnapshot {
+                    version: SIM_SNAPSHOT_VERSION,
+                    now,
+                    round,
+                    scheduler_name: driver.name().to_owned(),
+                    scheduler_state: driver.snapshot_state(),
+                    trace_name: trace.name().to_owned(),
+                    trace_fingerprint: trace_fp,
+                    context_fingerprint: context_fp,
+                    executor: exec.capture(),
+                    event_core: core.capture(),
+                    timeline: collector.timeline().to_vec(),
+                });
+            }
+            if matches!(
+                directive,
+                RunDirective::Stop | RunDirective::CheckpointThenStop
+            ) {
+                completed = false;
+                break;
             }
         }
         drop(chain);
 
         // ---- assemble the report ----
         let (outcomes, migrations, total_pause) = exec.into_results();
-        SimReport::new(
+        let report = SimReport::new(
             driver.name().to_owned(),
             trace.name().to_owned(),
             total_gpus,
@@ -243,7 +469,12 @@ impl Simulation {
             migrations,
             total_pause,
             now,
-        )
+        );
+        Ok(SimOutcome {
+            report,
+            completed,
+            rounds: round,
+        })
     }
 }
 
@@ -448,6 +679,192 @@ mod tests {
         }
         let trace = one_job_trace(3_600.0);
         let _ = Simulation::new(small_spec(), SimConfig::default()).run(&trace, &mut Greedy);
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use elasticflow_sched::{EdfScheduler, TiresiasScheduler};
+    use elasticflow_trace::TraceConfig;
+
+    fn small_spec() -> ClusterSpec {
+        ClusterSpec::with_servers(2, 8)
+    }
+
+    fn testbed_trace(seed: u64) -> Trace {
+        TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&small_spec()))
+    }
+
+    /// Checkpoints once at `kill_round`, then stops — the in-memory
+    /// equivalent of a crash right after a checkpoint.
+    struct KillAt {
+        kill_round: u64,
+        snapshot: Option<SimSnapshot>,
+    }
+
+    impl SimController for KillAt {
+        fn directive(&mut self, _now: f64, round: u64) -> RunDirective {
+            if round == self.kill_round {
+                RunDirective::CheckpointThenStop
+            } else {
+                RunDirective::Continue
+            }
+        }
+
+        fn on_snapshot(&mut self, snapshot: SimSnapshot) {
+            self.snapshot = Some(snapshot);
+        }
+    }
+
+    #[test]
+    fn controlled_run_with_noop_controller_matches_plain_run() {
+        let trace = testbed_trace(3);
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let plain = sim.run(&trace, &mut EdfScheduler::new());
+        let outcome = sim.run_controlled(&trace, &mut EdfScheduler::new(), &mut [], &mut FreeRun);
+        assert!(outcome.completed);
+        assert!(outcome.rounds > 0);
+        assert_eq!(plain, outcome.report);
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_report_at_many_cut_points() {
+        let trace = testbed_trace(3);
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let baseline =
+            sim.run_controlled(&trace, &mut TiresiasScheduler::new(), &mut [], &mut FreeRun);
+        assert!(baseline.rounds > 8, "scenario too short to cut");
+        for cut in [
+            1,
+            baseline.rounds / 3,
+            baseline.rounds / 2,
+            baseline.rounds - 1,
+        ] {
+            let mut controller = KillAt {
+                kill_round: cut,
+                snapshot: None,
+            };
+            let crashed = sim.run_controlled(
+                &trace,
+                &mut TiresiasScheduler::new(),
+                &mut [],
+                &mut controller,
+            );
+            assert!(!crashed.completed, "cut {cut} did not stop the run");
+            let snap = controller.snapshot.expect("checkpoint was captured");
+            assert_eq!(snap.round, cut);
+            let resumed = sim
+                .resume_observed(&trace, &mut TiresiasScheduler::new(), &mut [], &snap)
+                .expect("snapshot resumes");
+            assert_eq!(
+                baseline.report, resumed,
+                "cut {cut}: resumed report diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde_and_still_resumes() {
+        let trace = testbed_trace(5);
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let baseline = sim.run(&trace, &mut EdfScheduler::new());
+        let mut controller = KillAt {
+            kill_round: 7,
+            snapshot: None,
+        };
+        let _ = sim.run_controlled(&trace, &mut EdfScheduler::new(), &mut [], &mut controller);
+        let snap = controller.snapshot.expect("checkpoint was captured");
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: SimSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+        assert_eq!(snap, back);
+        // Byte-stable round trip: re-encoding the parsed value is identical.
+        assert_eq!(json, serde_json::to_string(&back).expect("re-serializes"));
+        let resumed = sim
+            .resume_observed(&trace, &mut EdfScheduler::new(), &mut [], &back)
+            .expect("parsed snapshot resumes");
+        assert_eq!(baseline, resumed);
+    }
+
+    #[test]
+    fn resume_validation_rejects_mismatched_inputs() {
+        let trace = testbed_trace(3);
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let mut controller = KillAt {
+            kill_round: 5,
+            snapshot: None,
+        };
+        let _ = sim.run_controlled(&trace, &mut EdfScheduler::new(), &mut [], &mut controller);
+        let snap = controller.snapshot.expect("checkpoint was captured");
+
+        // Unknown version.
+        let mut wrong = snap.clone();
+        wrong.version = SIM_SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            sim.resume_observed(&trace, &mut EdfScheduler::new(), &mut [], &wrong),
+            Err(ResumeError::UnknownVersion { .. })
+        ));
+
+        // Different policy.
+        assert!(matches!(
+            sim.resume_observed(&trace, &mut TiresiasScheduler::new(), &mut [], &snap),
+            Err(ResumeError::SchedulerMismatch { .. })
+        ));
+
+        // Different trace (same name check happens via fingerprint too).
+        let other = testbed_trace(4);
+        assert!(matches!(
+            sim.resume_observed(&other, &mut EdfScheduler::new(), &mut [], &snap),
+            Err(ResumeError::TraceMismatch { .. })
+        ));
+
+        // Different cluster/config context.
+        let bigger = Simulation::new(ClusterSpec::with_servers(4, 8), SimConfig::default());
+        assert!(matches!(
+            bigger.resume_observed(&trace, &mut EdfScheduler::new(), &mut [], &snap),
+            Err(ResumeError::ContextMismatch)
+        ));
+
+        // Corrupted cursor.
+        let mut wrong = snap.clone();
+        wrong.event_core.next_arrival = usize::MAX;
+        assert!(matches!(
+            sim.resume_observed(&trace, &mut EdfScheduler::new(), &mut [], &wrong),
+            Err(ResumeError::CursorOutOfRange { .. })
+        ));
+
+        // The pristine snapshot still resumes fine after all the rejects.
+        assert!(sim
+            .resume_observed(&trace, &mut EdfScheduler::new(), &mut [], &snap)
+            .is_ok());
+    }
+
+    #[test]
+    fn periodic_checkpoints_do_not_perturb_the_run() {
+        struct Every {
+            n: u64,
+            count: usize,
+        }
+        impl SimController for Every {
+            fn directive(&mut self, _now: f64, round: u64) -> RunDirective {
+                if round.is_multiple_of(self.n) {
+                    RunDirective::Checkpoint
+                } else {
+                    RunDirective::Continue
+                }
+            }
+            fn on_snapshot(&mut self, _snapshot: SimSnapshot) {
+                self.count += 1;
+            }
+        }
+        let trace = testbed_trace(3);
+        let sim = Simulation::new(small_spec(), SimConfig::default());
+        let plain = sim.run(&trace, &mut EdfScheduler::new());
+        let mut every = Every { n: 4, count: 0 };
+        let outcome = sim.run_controlled(&trace, &mut EdfScheduler::new(), &mut [], &mut every);
+        assert!(outcome.completed);
+        assert!(every.count > 0);
+        assert_eq!(plain, outcome.report);
     }
 }
 

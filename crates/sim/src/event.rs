@@ -19,6 +19,7 @@ use elasticflow_trace::{JobId, JobSpec, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::failures::FailureSchedule;
+use crate::snapshot::{EventCoreSnapshot, ResumeError};
 
 /// Time tolerance for batching simultaneous events.
 pub(crate) const EPS_TIME: f64 = 1e-9;
@@ -219,5 +220,36 @@ impl<'t> EventCore<'t> {
     /// arrivals or failure/repair transitions).
     pub(crate) fn exhausted(&self) -> bool {
         self.next_arrival >= self.arrivals.len() && self.next_transition >= self.transitions.len()
+    }
+
+    /// Captures the cursor positions; the streams themselves are rebuilt
+    /// from the trace and failure schedule on resume.
+    pub(crate) fn capture(&self) -> EventCoreSnapshot {
+        EventCoreSnapshot {
+            next_arrival: self.next_arrival,
+            next_transition: self.next_transition,
+        }
+    }
+
+    /// Restores captured cursor positions, validating them against the
+    /// freshly rebuilt streams.
+    pub(crate) fn restore(&mut self, snap: &EventCoreSnapshot) -> Result<(), ResumeError> {
+        if snap.next_arrival > self.arrivals.len() {
+            return Err(ResumeError::CursorOutOfRange {
+                cursor: "arrival",
+                value: snap.next_arrival,
+                len: self.arrivals.len(),
+            });
+        }
+        if snap.next_transition > self.transitions.len() {
+            return Err(ResumeError::CursorOutOfRange {
+                cursor: "transition",
+                value: snap.next_transition,
+                len: self.transitions.len(),
+            });
+        }
+        self.next_arrival = snap.next_arrival;
+        self.next_transition = snap.next_transition;
+        Ok(())
     }
 }

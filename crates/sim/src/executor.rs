@@ -20,6 +20,7 @@ use elasticflow_trace::{JobId, JobSpec};
 
 use crate::driver::SchedulerDriver;
 use crate::observer::SimContext;
+use crate::snapshot::{ExecutorSnapshot, JobStatsSnapshot};
 use crate::JobOutcome;
 
 /// Owner-tag base for pinned blocks standing in for failed servers.
@@ -348,6 +349,63 @@ impl Executor {
             migrations: round_migrations,
             pause_seconds: round_pause,
         }
+    }
+
+    /// Captures the executor's full mutable state for a checkpoint. The
+    /// scaling-curve memo, interconnect, and overhead model are omitted:
+    /// they are pure functions of the run's inputs and are rebuilt
+    /// identically on demand after a restore.
+    pub(crate) fn capture(&self) -> ExecutorSnapshot {
+        ExecutorSnapshot {
+            cluster: self.cluster.clone(),
+            jobs: self.jobs.clone(),
+            stats: self
+                .stats
+                .iter()
+                .map(|(&id, st)| {
+                    (
+                        id,
+                        JobStatsSnapshot {
+                            paused_seconds: st.paused_seconds,
+                            scale_events: st.scale_events,
+                        },
+                    )
+                })
+                .collect(),
+            down_servers: self.down_servers.clone(),
+            migrations_total: self.migrations_total,
+            total_pause: self.total_pause,
+            submitted: self.submitted,
+            admitted: self.admitted,
+        }
+    }
+
+    /// Replaces the executor's mutable state with a captured snapshot.
+    /// The curve memo is left empty — future arrivals repopulate it with
+    /// bit-identical curves (deterministic construction), and restored
+    /// jobs already carry their own curve copies.
+    pub(crate) fn restore(&mut self, snap: ExecutorSnapshot) {
+        self.cluster = snap.cluster;
+        self.jobs = snap.jobs;
+        self.stats = snap
+            .stats
+            .into_iter()
+            .map(|(id, st)| {
+                (
+                    id,
+                    JobStats {
+                        paused_seconds: st.paused_seconds,
+                        scale_events: st.scale_events,
+                    },
+                )
+            })
+            .collect();
+        self.down_servers = snap.down_servers;
+        self.migrations_total = snap.migrations_total;
+        self.total_pause = snap.total_pause;
+        self.submitted = snap.submitted;
+        self.admitted = snap.admitted;
+        self.curves.clear();
     }
 
     /// `true` while no admitted job holds GPUs (stall detection).

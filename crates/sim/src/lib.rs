@@ -55,15 +55,20 @@ mod executor;
 mod failures;
 mod metrics;
 mod observer;
+mod snapshot;
 
 #[cfg(feature = "audit")]
 pub use audit::InvariantAuditor;
 pub use config::SimConfig;
-pub use engine::Simulation;
+pub use engine::{RunDirective, SimController, SimOutcome, Simulation};
 pub use event::Event;
 pub use failures::{FailureSchedule, NodeFailure};
 pub use metrics::{JobOutcome, SimReport, TimelinePoint};
 pub use observer::{
     EventTraceLogger, PhaseEdge, SchedPhase, SimContext, SimObserver, TimelineCollector,
     TraceRecord,
+};
+pub use snapshot::{
+    fnv1a64, EventCoreSnapshot, ExecutorSnapshot, JobStatsSnapshot, ResumeError, SimSnapshot,
+    SIM_SNAPSHOT_VERSION,
 };

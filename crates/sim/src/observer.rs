@@ -194,6 +194,12 @@ impl TimelineCollector {
         TimelineCollector::default()
     }
 
+    /// A collector pre-seeded with points sampled before a checkpoint cut,
+    /// so a resumed run appends to the original series seamlessly.
+    pub fn from_timeline(timeline: Vec<TimelinePoint>) -> Self {
+        TimelineCollector { timeline }
+    }
+
     /// The points sampled so far.
     pub fn timeline(&self) -> &[TimelinePoint] {
         &self.timeline
@@ -295,6 +301,35 @@ impl EventTraceLogger {
     pub fn write_jsonl<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
         let text = self.to_jsonl().map_err(std::io::Error::from)?;
         std::fs::write(path, text)
+    }
+
+    /// Parses a [`EventTraceLogger::to_jsonl`] dump back into a logger, so
+    /// logged traces can be re-ingested (diffed, replayed against recovered
+    /// WALs) rather than just written out. Blank lines are skipped; any
+    /// malformed line fails the whole parse.
+    ///
+    /// The replan counter is not part of the JSONL format (it is a run
+    /// statistic, not an event), so the returned logger reports
+    /// [`EventTraceLogger::replans`] of 0.
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(serde_json::from_str::<TraceRecord>(line)?);
+        }
+        Ok(EventTraceLogger {
+            records,
+            replans: 0,
+        })
+    }
+
+    /// Reads and parses a JSONL dump from a file (see
+    /// [`EventTraceLogger::from_jsonl`]).
+    pub fn read_jsonl<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_jsonl(&text).map_err(std::io::Error::from)
     }
 }
 

@@ -128,6 +128,13 @@ impl MetricsCollector {
         &self.registry
     }
 
+    /// Mutable access to the registry, so harnesses can merge series
+    /// recorded outside the observer hooks (e.g. checkpoint counters)
+    /// into the same exposition.
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
     /// Consumes the collector into its registry.
     pub fn into_registry(self) -> MetricsRegistry {
         self.registry

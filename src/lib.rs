@@ -13,7 +13,9 @@
 //!   (Algorithm 1), elastic allocation (Algorithm 2), ElasticFlow itself;
 //! * [`platform`] — the serverless front-end (§3.1);
 //! * [`telemetry`] — metrics registry, lifecycle span tracing, and
-//!   Prometheus / Perfetto exporters on the observer seam.
+//!   Prometheus / Perfetto exporters on the observer seam;
+//! * [`persist`] — checkpoint snapshots, the write-ahead event log, and
+//!   bit-identical crash recovery.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 pub use elasticflow_cluster as cluster;
 pub use elasticflow_core as core;
 pub use elasticflow_perfmodel as perfmodel;
+pub use elasticflow_persist as persist;
 pub use elasticflow_platform as platform;
 pub use elasticflow_sched as sched;
 pub use elasticflow_sim as sim;
