@@ -1,0 +1,188 @@
+//! `bench-trajectory` — machine-readable performance snapshot.
+//!
+//! ```text
+//! bench-trajectory [--out PATH] [--samples N] [--jobs N]
+//! ```
+//!
+//! Times the admission hot path (from-scratch Algorithm 1 vs the
+//! incremental `AdmissionSet::whatif_admit` entry point, plus the full
+//! replan pass) at 50/200/1000 jobs, and the fig6b experiment sweep
+//! wall-clock at `--jobs 1` vs `--jobs N` (default: available cores),
+//! then writes everything as JSON (default `BENCH_RESULTS.json`):
+//!
+//! ```json
+//! {
+//!   "benchmarks": { "<name>": <mean ns/iter>, ... },
+//!   "sweeps": { "fig6b_jobs_1_ms": ..., "fig6b_jobs_N_ms": ...,
+//!               "fig6b_parallel_jobs": N, "fig6b_speedup": ... },
+//!   "samples": N
+//! }
+//! ```
+//!
+//! The tracked trajectory lives in `EXPERIMENTS.md`; regenerate this
+//! file on a quiet machine before recording new numbers there.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use elasticflow_bench::experiments::fig6;
+use elasticflow_bench::workloads::{arriving_candidate, planning_jobs};
+use elasticflow_core::{AdmissionController, ResourceAllocator, SlotGrid};
+use serde_json::Value;
+
+const SIZES: [usize; 3] = [50, 200, 1000];
+const TOTAL_GPUS: u32 = 128;
+const SWEEP_SEED: u64 = 2023;
+
+struct Options {
+    out: String,
+    samples: u32,
+    jobs: usize,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_RESULTS.json".to_owned(),
+        samples: 20,
+        jobs: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => opts.out = path,
+                None => return Err("--out needs a path".to_owned()),
+            },
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => opts.samples = v,
+                _ => return Err("--samples needs a positive integer".to_owned()),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => opts.jobs = v,
+                _ => return Err("--jobs needs a positive integer".to_owned()),
+            },
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Mean wall-clock nanoseconds per call over `samples` calls (after one
+/// untimed warm-up).
+fn mean_ns<R>(samples: u32, mut f: impl FnMut() -> R) -> u64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..samples {
+        std::hint::black_box(f());
+    }
+    u64::try_from(start.elapsed().as_nanos() / u128::from(samples)).unwrap_or(u64::MAX)
+}
+
+fn admission_benchmarks(samples: u32) -> Vec<(String, Value)> {
+    let grid = SlotGrid::uniform(60.0);
+    let ac = AdmissionController::new(TOTAL_GPUS);
+    let alloc = ResourceAllocator::new(TOTAL_GPUS);
+    let mut out = Vec::new();
+    for n in SIZES {
+        let existing = planning_jobs(n, TOTAL_GPUS);
+        let candidate = arriving_candidate(n as u64, TOTAL_GPUS);
+        let mut union = existing.clone();
+        union.push(candidate.clone());
+        let (set, _lapsed) = ac.fill(&existing, &grid);
+
+        let scratch = mean_ns(samples, || ac.check(&union, &grid).is_admitted());
+        let incremental = mean_ns(samples, || set.whatif_admit(&candidate, &grid).is_ok());
+        let replan = mean_ns(samples.min(10), || {
+            alloc.allocate(&existing, &grid).slot0_gpus()
+        });
+        eprintln!(
+            "admission n={n}: from-scratch {scratch} ns, incremental {incremental} ns \
+             ({:.1}x), replan {replan} ns",
+            scratch as f64 / incremental.max(1) as f64
+        );
+        out.push((format!("admission_from_scratch/{n}"), Value::UInt(scratch)));
+        out.push((
+            format!("admission_incremental_arrival/{n}"),
+            Value::UInt(incremental),
+        ));
+        out.push((format!("replan_allocate/{n}"), Value::UInt(replan)));
+    }
+    out
+}
+
+fn sweep_benchmarks(jobs: usize) -> Result<Vec<(String, Value)>, String> {
+    let sequential = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let parallel = rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
+    let baseline = sequential.install(|| fig6::run_large(SWEEP_SEED));
+    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let fanned = parallel.install(|| fig6::run_large(SWEEP_SEED));
+    let par_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The determinism contract, enforced rather than assumed: the same
+    // sweep renders byte-identically at any worker count.
+    let (a, b) = (baseline[0].render(), fanned[0].render());
+    if a != b {
+        return Err("fig6b output differs between --jobs 1 and --jobs N".to_owned());
+    }
+    eprintln!(
+        "fig6b sweep: {seq_ms:.0} ms at --jobs 1, {par_ms:.0} ms at --jobs {jobs} \
+         ({:.2}x), outputs byte-identical",
+        seq_ms / par_ms.max(1e-9)
+    );
+    Ok(vec![
+        ("fig6b_jobs_1_ms".to_owned(), Value::Float(seq_ms)),
+        ("fig6b_jobs_N_ms".to_owned(), Value::Float(par_ms)),
+        ("fig6b_parallel_jobs".to_owned(), Value::UInt(jobs as u64)),
+        (
+            "fig6b_speedup".to_owned(),
+            Value::Float(seq_ms / par_ms.max(1e-9)),
+        ),
+    ])
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: bench-trajectory [--out PATH] [--samples N] [--jobs N]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let benchmarks = admission_benchmarks(opts.samples);
+    let sweeps = match sweep_benchmarks(opts.jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = Value::Object(vec![
+        ("benchmarks".to_owned(), Value::Object(benchmarks)),
+        ("sweeps".to_owned(), Value::Object(sweeps)),
+        ("samples".to_owned(), Value::UInt(u64::from(opts.samples))),
+    ]);
+    let mut json = String::new();
+    doc.write_json(&mut json);
+    json.push('\n');
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("writing {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", opts.out);
+    ExitCode::SUCCESS
+}

@@ -1,21 +1,25 @@
 //! Extension experiment (paper §4.4, "Node failures"): deadline
 //! satisfaction under injected server failures.
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
-use elasticflow_sim::{FailureSchedule, SimConfig, Simulation};
+use elasticflow_sim::{FailureSchedule, SimConfig};
 use elasticflow_trace::TraceConfig;
 
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::pct;
-use crate::{scheduler_by_name, Table};
+use crate::Table;
 
 /// Sweeps the per-server mean time between failures and reports the DSR of
 /// ElasticFlow and EDF, plus ElasticFlow's residual guarantee quality
-/// (admitted jobs that still met their deadlines).
+/// (admitted jobs that still met their deadlines). The `4 MTBFs x 2
+/// schedulers` runs share one worker-pool batch.
 pub fn run(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
     let net = Interconnect::from_spec(&spec);
-    let trace = TraceConfig::testbed_large(seed).generate(&net);
+    let trace = Arc::new(TraceConfig::testbed_large(seed).generate(&net));
     let horizon = trace.span() * 1.5;
     let mut table = Table::new(
         "Node failures: DSR under per-server Poisson failures (1 h repair)",
@@ -27,43 +31,46 @@ pub fn run(seed: u64) -> Vec<Table> {
             "EF evictions (scale events)",
         ],
     );
-    for (label, mtbf) in [
+    let cases = [
         ("no failures", f64::INFINITY),
         ("1 week", 7.0 * 86_400.0),
         ("2 days", 2.0 * 86_400.0),
         ("12 hours", 12.0 * 3_600.0),
-    ] {
+    ];
+    let mut requests = Vec::new();
+    for (_, mtbf) in cases {
         let failures = if mtbf.is_finite() {
             FailureSchedule::poisson(spec.servers, mtbf, 3_600.0, horizon, seed ^ 0xFA11)
         } else {
             FailureSchedule::none()
         };
         let cfg = SimConfig::default().with_failures(failures);
-        let mut row = vec![label.to_string()];
-        let mut ef_cells = (String::new(), String::new());
         for name in ["edf", "elasticflow"] {
-            let mut scheduler = scheduler_by_name(name);
-            let report = Simulation::new(spec.clone(), cfg.clone()).run(&trace, scheduler.as_mut());
-            row.push(pct(report.deadline_satisfactory_ratio()));
-            if name == "elasticflow" {
-                let admitted = report.outcomes().iter().filter(|o| !o.dropped).count();
-                let kept = report
-                    .outcomes()
-                    .iter()
-                    .filter(|o| !o.dropped && o.met_deadline())
-                    .count();
-                ef_cells.0 = format!("{kept}/{admitted}");
-                ef_cells.1 = report
-                    .outcomes()
-                    .iter()
-                    .map(|o| o.scale_events as u64)
-                    .sum::<u64>()
-                    .to_string();
-            }
+            requests.push(RunRequest::with_config(name, &spec, &trace, cfg.clone()));
         }
-        row.push(ef_cells.0);
-        row.push(ef_cells.1);
-        table.row(row);
+    }
+    let reports = run_batch(requests);
+
+    for ((label, _), chunk) in cases.into_iter().zip(reports.chunks(2)) {
+        let (edf, ef) = (&chunk[0], &chunk[1]);
+        let admitted = ef.outcomes().iter().filter(|o| !o.dropped).count();
+        let kept = ef
+            .outcomes()
+            .iter()
+            .filter(|o| !o.dropped && o.met_deadline())
+            .count();
+        let scale_events = ef
+            .outcomes()
+            .iter()
+            .map(|o| o.scale_events as u64)
+            .sum::<u64>();
+        table.row(vec![
+            label.to_string(),
+            pct(edf.deadline_satisfactory_ratio()),
+            pct(ef.deadline_satisfactory_ratio()),
+            format!("{kept}/{admitted}"),
+            scale_events.to_string(),
+        ]);
     }
     vec![table]
 }

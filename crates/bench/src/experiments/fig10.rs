@@ -1,30 +1,37 @@
 //! Fig. 10: cluster efficiency over time and makespan.
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_sim::SimReport;
 use elasticflow_trace::TraceConfig;
 
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::pct;
-use crate::{run_one, runners::baseline_names, Table};
+use crate::{runners::baseline_names, Table};
 
 /// The paper's §6.4 cluster-efficiency experiment: a 100-job trace on 128
 /// GPUs with deadlines loose enough (lambda = 1.5) that every scheduler
 /// runs the same set of jobs; cluster efficiency (Eq. 8) is compared over
-/// time, along with the makespan.
+/// time, along with the makespan. The per-scheduler runs share one
+/// worker-pool batch.
 pub fn run(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
-    let trace = TraceConfig::testbed_large(seed)
-        .with_num_jobs(100)
-        .with_lambda_range(1.5, 1.5)
-        .generate(&Interconnect::from_spec(&spec));
+    let trace = Arc::new(
+        TraceConfig::testbed_large(seed)
+            .with_num_jobs(100)
+            .with_lambda_range(1.5, 1.5)
+            .generate(&Interconnect::from_spec(&spec)),
+    );
 
     let mut names = baseline_names();
     names.push("elasticflow");
-    let reports: Vec<(&str, SimReport)> = names
+    let requests = names
         .iter()
-        .map(|n| (*n, run_one(n, &spec, &trace)))
+        .map(|n| RunRequest::new(n, &spec, &trace))
         .collect();
+    let reports: Vec<(&str, SimReport)> = names.iter().copied().zip(run_batch(requests)).collect();
 
     let horizon = reports
         .iter()

@@ -1,14 +1,18 @@
 //! Fig. 11: mixed SLO and best-effort workloads (paper §6.5).
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_trace::TraceConfig;
 
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::pct;
-use crate::{run_one, Table};
+use crate::Table;
 
 /// Varies the best-effort fraction (10–50 %) and reports (a) the DSR of
 /// SLO jobs and (b) the average best-effort JCT normalized to Gandiva's.
+/// The `3 fractions x 6 schedulers` runs share one worker-pool batch.
 pub fn run(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
     let schedulers = [
@@ -30,14 +34,23 @@ pub fn run(seed: u64) -> Vec<Table> {
         &header_refs,
     );
 
+    let mut requests = Vec::new();
     for frac in fractions {
-        let trace = TraceConfig::testbed_large(seed)
-            .with_best_effort_fraction(frac)
-            .generate(&Interconnect::from_spec(&spec));
+        let trace = Arc::new(
+            TraceConfig::testbed_large(seed)
+                .with_best_effort_fraction(frac)
+                .generate(&Interconnect::from_spec(&spec)),
+        );
+        for name in schedulers {
+            requests.push(RunRequest::new(name, &spec, &trace));
+        }
+    }
+    let reports = run_batch(requests);
+
+    for (frac, chunk) in fractions.into_iter().zip(reports.chunks(schedulers.len())) {
         let mut dsr_row = vec![pct(frac)];
         let mut jcts = Vec::new();
-        for name in schedulers {
-            let report = run_one(name, &spec, &trace);
+        for report in chunk {
             dsr_row.push(pct(report.deadline_satisfactory_ratio()));
             jcts.push(report.avg_best_effort_jct());
         }

@@ -1,17 +1,21 @@
 //! Fig. 6: end-to-end deadline satisfactory ratio on the testbeds.
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_trace::TraceConfig;
 
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::{pct, times};
-use crate::{run_one, runners::baseline_names, Table};
+use crate::{runners::baseline_names, Table};
 
 /// Fig. 6(a): 4 servers / 32 GPUs / 25 jobs, all six baselines (including
 /// Pollux) vs ElasticFlow.
 pub fn run_small(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::small_testbed();
-    let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+    let trace =
+        Arc::new(TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec)));
     vec![dsr_table(
         "Fig 6(a): deadline satisfactory ratio, 32 GPUs / 25 jobs",
         &spec,
@@ -24,7 +28,8 @@ pub fn run_small(seed: u64) -> Vec<Table> {
 /// this scale for cost, and we keep the same roster for comparability.
 pub fn run_large(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
-    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    let trace =
+        Arc::new(TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec)));
     let names: Vec<&str> = baseline_names()
         .into_iter()
         .filter(|n| *n != "pollux")
@@ -37,22 +42,25 @@ pub fn run_large(seed: u64) -> Vec<Table> {
     )]
 }
 
-/// Runs ElasticFlow plus the given baselines on one trace and reports DSR
-/// and ElasticFlow's improvement factor per baseline.
+/// Runs ElasticFlow plus the given baselines on one trace (fanned across
+/// the worker pool) and reports DSR and ElasticFlow's improvement factor
+/// per baseline.
 pub fn dsr_table(
     title: &str,
     spec: &ClusterSpec,
-    trace: &elasticflow_trace::Trace,
+    trace: &Arc<elasticflow_trace::Trace>,
     baselines: &[&str],
 ) -> Table {
-    let ef = run_one("elasticflow", spec, trace);
+    let mut requests = vec![RunRequest::new("elasticflow", spec, trace)];
+    requests.extend(baselines.iter().map(|n| RunRequest::new(n, spec, trace)));
+    let mut reports = run_batch(requests).into_iter();
+    let ef = reports.next().expect("the batch starts with elasticflow");
     let ef_dsr = ef.deadline_satisfactory_ratio();
     let mut table = Table::new(
         title,
         &["Scheduler", "Deadlines met", "DSR", "ElasticFlow gain"],
     );
-    for name in baselines {
-        let report = run_one(name, spec, trace);
+    for (name, report) in baselines.iter().zip(reports) {
         let dsr = report.deadline_satisfactory_ratio();
         let gain = if dsr > 0.0 {
             ef_dsr / dsr

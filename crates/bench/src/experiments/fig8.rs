@@ -1,18 +1,22 @@
 //! Fig. 8: simulation results at larger scales and across traces.
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_trace::{philly_like_config, TraceConfig};
 
 use crate::experiments::fig6::dsr_table;
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::{pct, times};
-use crate::{run_one, runners::baseline_names, Table};
+use crate::{runners::baseline_names, Table};
 
 /// Fig. 8(a): the 195-job trace in simulation with the full roster
 /// including Pollux (the paper uses Pollux's published profiles here).
 pub fn run_with_pollux(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
-    let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
+    let trace =
+        Arc::new(TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec)));
     vec![dsr_table(
         "Fig 8(a): simulated DSR incl. Pollux, 128 GPUs / 195 jobs",
         &spec,
@@ -22,7 +26,10 @@ pub fn run_with_pollux(seed: u64) -> Vec<Table> {
 }
 
 /// Fig. 8(b): DSR across the ten production-like traces plus the
-/// Philly-like trace, each paired with its suggested cluster size.
+/// Philly-like trace, each paired with its suggested cluster size. All
+/// `11 traces x (1 + 6 schedulers)` runs go through one worker-pool
+/// batch; rows are assembled from fixed-size chunks so the table is
+/// independent of worker count.
 pub fn run_traces(seed: u64) -> Vec<Table> {
     let names = baseline_names();
     let mut headers: Vec<String> = vec!["Trace".into(), "Jobs".into(), "GPUs".into()];
@@ -37,17 +44,25 @@ pub fn run_traces(seed: u64) -> Vec<Table> {
 
     let mut configs: Vec<TraceConfig> = (0..10).map(|i| TraceConfig::production(i, seed)).collect();
     configs.push(philly_like_config(seed));
+    let mut requests = Vec::new();
+    let mut meta: Vec<(String, usize, u32)> = Vec::new();
     for cfg in &configs {
         let spec = ClusterSpec::with_servers(cfg.suggested_servers, 8);
-        let trace = cfg.generate(&Interconnect::from_spec(&spec));
-        let ef = run_one("elasticflow", &spec, &trace).deadline_satisfactory_ratio();
-        let mut row = vec![
-            cfg.name.clone(),
-            trace.jobs().len().to_string(),
-            spec.total_gpus().to_string(),
-        ];
-        for (i, name) in names.iter().enumerate() {
-            let dsr = run_one(name, &spec, &trace).deadline_satisfactory_ratio();
+        let trace = Arc::new(cfg.generate(&Interconnect::from_spec(&spec)));
+        meta.push((cfg.name.clone(), trace.jobs().len(), spec.total_gpus()));
+        requests.push(RunRequest::new("elasticflow", &spec, &trace));
+        for name in &names {
+            requests.push(RunRequest::new(name, &spec, &trace));
+        }
+    }
+    let reports = run_batch(requests);
+
+    let runs_per_trace = 1 + names.len();
+    for ((trace_name, jobs, gpus), chunk) in meta.into_iter().zip(reports.chunks(runs_per_trace)) {
+        let ef = chunk[0].deadline_satisfactory_ratio();
+        let mut row = vec![trace_name, jobs.to_string(), gpus.to_string()];
+        for (i, report) in chunk[1..].iter().enumerate() {
+            let dsr = report.deadline_satisfactory_ratio();
             if dsr > 0.0 {
                 gains[i].push(ef / dsr);
             }

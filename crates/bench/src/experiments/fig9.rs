@@ -1,15 +1,19 @@
 //! Fig. 9: sources of improvement — ablation across cluster sizes.
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_trace::TraceConfig;
 
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::pct;
-use crate::{run_one, Table};
+use crate::Table;
 
 /// Runs EDF, EDF+AdmissionControl, EDF+ElasticScaling, and ElasticFlow on
 /// the same workload across cluster sizes (the paper keeps the load fixed
-/// and varies the cluster).
+/// and varies the cluster). The `5 sizes x 4 variants` runs share one
+/// worker-pool batch.
 pub fn run(seed: u64) -> Vec<Table> {
     let variants = ["edf", "edf+ac", "edf+es", "elasticflow"];
     let mut headers: Vec<String> = vec!["Servers".into(), "GPUs".into()];
@@ -19,14 +23,24 @@ pub fn run(seed: u64) -> Vec<Table> {
         "Fig 9: DSR of EDF, EDF+AC, EDF+ES, ElasticFlow vs cluster size",
         &header_refs,
     );
-    for servers in [2u32, 4, 8, 16, 32] {
+    let sizes = [2u32, 4, 8, 16, 32];
+    let mut requests = Vec::new();
+    let mut meta: Vec<(u32, u32)> = Vec::new();
+    for servers in sizes {
         let spec = ClusterSpec::with_servers(servers, 8);
         // Same trace (load) for every cluster size, like the paper.
-        let trace = TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec));
-        let mut row = vec![servers.to_string(), spec.total_gpus().to_string()];
+        let trace =
+            Arc::new(TraceConfig::testbed_large(seed).generate(&Interconnect::from_spec(&spec)));
+        meta.push((servers, spec.total_gpus()));
         for v in variants {
-            let dsr = run_one(v, &spec, &trace).deadline_satisfactory_ratio();
-            row.push(pct(dsr));
+            requests.push(RunRequest::new(v, &spec, &trace));
+        }
+    }
+    let reports = run_batch(requests);
+    for ((servers, gpus), chunk) in meta.into_iter().zip(reports.chunks(variants.len())) {
+        let mut row = vec![servers.to_string(), gpus.to_string()];
+        for report in chunk {
+            row.push(pct(report.deadline_satisfactory_ratio()));
         }
         table.row(row);
     }
@@ -36,6 +50,7 @@ pub fn run(seed: u64) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_one;
 
     #[test]
     fn covers_five_cluster_sizes() {

@@ -1,16 +1,20 @@
 //! Extension experiment (paper §4.4, "hard vs. soft deadlines"): traces
 //! mixing hard-SLO and soft-deadline jobs.
 
+use std::sync::Arc;
+
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
 use elasticflow_trace::{JobKind, TraceConfig};
 
+use crate::parallel::{run_batch, RunRequest};
 use crate::report::pct;
-use crate::{run_one, Table};
+use crate::Table;
 
 /// Varies the soft-deadline share and reports, for ElasticFlow: the hard
 /// DSR (unchanged guarantee), the soft DSR, and the fact that soft jobs
-/// are never dropped.
+/// are never dropped. The three per-fraction runs share one worker-pool
+/// batch.
 pub fn run(seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::paper_testbed();
     let mut table = Table::new(
@@ -23,11 +27,19 @@ pub fn run(seed: u64) -> Vec<Table> {
             "Soft jobs finished",
         ],
     );
-    for frac in [0.0, 0.2, 0.4] {
-        let trace = TraceConfig::testbed_large(seed)
-            .with_soft_deadline_fraction(frac)
-            .generate(&Interconnect::from_spec(&spec));
-        let report = run_one("elasticflow", &spec, &trace);
+    let fractions = [0.0, 0.2, 0.4];
+    let requests = fractions
+        .iter()
+        .map(|frac| {
+            let trace = Arc::new(
+                TraceConfig::testbed_large(seed)
+                    .with_soft_deadline_fraction(*frac)
+                    .generate(&Interconnect::from_spec(&spec)),
+            );
+            RunRequest::new("elasticflow", &spec, &trace)
+        })
+        .collect();
+    for (frac, report) in fractions.into_iter().zip(run_batch(requests)) {
         let soft: Vec<_> = report
             .outcomes()
             .iter()

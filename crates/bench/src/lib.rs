@@ -11,10 +11,12 @@
 
 pub mod drill;
 pub mod experiments;
+pub mod parallel;
 pub mod persist;
 pub mod report;
 pub mod runners;
 pub mod telemetry;
+pub mod workloads;
 
 pub use report::Table;
 pub use runners::{run_one, scheduler_by_name, RosterEntry, ROSTER};

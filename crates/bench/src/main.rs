@@ -2,12 +2,18 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! experiments <id> [--seed N] [--json] [--telemetry-out <dir>]
+//! experiments <id> [--seed N] [--jobs N] [--json] [--telemetry-out <dir>]
 //!                  [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]
 //! experiments all  [...same options...]
 //! experiments crash-drill [--seed N] [--state-dir <dir>] [--checkpoint-every <secs>]
 //! experiments list
 //! ```
+//!
+//! `--jobs N` fans the independent simulation runs of multi-run
+//! experiments across N worker threads (default: the available cores;
+//! `--jobs 1` runs everything sequentially on the main thread). Results
+//! are collected in request order, so the tables on stdout are
+//! byte-identical regardless of N; only wall-clock changes.
 //!
 //! With `--telemetry-out`, every simulation also drops Prometheus
 //! (`.prom`) and Perfetto-loadable Chrome-trace (`.trace.json`) exports
@@ -31,6 +37,7 @@ use elasticflow_bench::experiments::registry;
 struct Options {
     command: Option<String>,
     seed: u64,
+    jobs: Option<usize>,
     json: bool,
     state_dir: Option<String>,
     checkpoint_every: f64,
@@ -41,6 +48,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
     let mut opts = Options {
         command: None,
         seed: 2023,
+        jobs: None,
         json: false,
         state_dir: None,
         checkpoint_every: 600.0,
@@ -52,6 +60,10 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => opts.seed = v,
                 None => return Err("--seed needs an integer value".to_owned()),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => opts.jobs = Some(v),
+                _ => return Err("--jobs needs a positive integer".to_owned()),
             },
             "--json" => opts.json = true,
             "--telemetry-out" => match it.next() {
@@ -119,6 +131,13 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(n) = opts.jobs {
+        if let Err(e) = elasticflow_bench::parallel::set_jobs(n) {
+            eprintln!("--jobs {n}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if let Some(dir) = &opts.state_dir {
         if let Err(e) = elasticflow_bench::persist::enable(dir, opts.checkpoint_every, opts.resume)
         {
@@ -139,10 +158,24 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "all" => {
+            // Timing lines go to stderr: stdout carries only the tables,
+            // which are golden-compared across `--jobs` settings.
+            let sweep = std::time::Instant::now();
             for exp in &registry {
                 eprintln!("== running {} — {}", exp.name, exp.description);
+                let start = std::time::Instant::now();
                 emit((exp.run)(opts.seed), opts.json);
+                eprintln!(
+                    "== {} finished in {:.2}s",
+                    exp.name,
+                    start.elapsed().as_secs_f64()
+                );
             }
+            eprintln!(
+                "== all experiments finished in {:.2}s (--jobs {})",
+                sweep.elapsed().as_secs_f64(),
+                elasticflow_bench::parallel::jobs()
+            );
             ExitCode::SUCCESS
         }
         name => match registry.iter().find(|e| e.name == name) {
@@ -171,10 +204,14 @@ fn emit(tables: Vec<elasticflow_bench::Table>, json: bool) {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <id|all|list|crash-drill> [--seed N] [--json] \
+        "usage: experiments <id|all|list|crash-drill> [--seed N] [--jobs N] [--json] \
          [--telemetry-out <dir>] [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]"
     );
     eprintln!("run `experiments list` to see every table/figure id");
+    eprintln!(
+        "--jobs N: fan independent simulation runs across N worker threads \
+         (default: available cores; output is identical for any N)"
+    );
     eprintln!("--telemetry-out <dir>: also write .prom / .trace.json exports per simulation");
     eprintln!(
         "--state-dir <dir>: checkpoint + write-ahead-log every simulation; \

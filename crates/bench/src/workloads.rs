@@ -1,0 +1,66 @@
+//! Synthetic planning workloads shared by the criterion benches and the
+//! bench-trajectory harness.
+
+use elasticflow_core::PlanningJob;
+use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
+use elasticflow_trace::JobId;
+
+/// A deterministic mixed-model planning workload: `n` jobs cycling over
+/// four DNN models, with remaining work spanning 0.5–2.5 h of single-GPU
+/// time and deadlines spread over 60–240 slots.
+pub fn planning_jobs(n: usize, total_gpus: u32) -> Vec<PlanningJob> {
+    let net = Interconnect::paper_testbed();
+    let models = [
+        (DnnModel::ResNet50, 256u32),
+        (DnnModel::Vgg16, 128),
+        (DnnModel::Bert, 128),
+        (DnnModel::Gpt2, 256),
+    ];
+    (0..n)
+        .map(|i| {
+            let (model, gbs) = models[i % models.len()];
+            let curve = ScalingCurve::build_with_max(model, gbs, &net, total_gpus);
+            let tput = curve
+                .iters_per_sec(1)
+                .expect("1 GPU is always on the curve");
+            PlanningJob {
+                id: JobId::new(i as u64),
+                curve,
+                remaining_iterations: tput * 1_800.0 * ((i % 5) + 1) as f64,
+                deadline_slot: 60 + 30 * (i % 7),
+            }
+        })
+        .collect()
+}
+
+/// A candidate whose deadline (slot 300) lands past every
+/// [`planning_jobs`] deadline (those top out at 240 slots) — the common
+/// arrival shape, since deadlines grow with arrival time.
+pub fn arriving_candidate(id: u64, total_gpus: u32) -> PlanningJob {
+    let net = Interconnect::paper_testbed();
+    let curve = ScalingCurve::build_with_max(DnnModel::ResNet50, 256, &net, total_gpus);
+    let tput = curve
+        .iters_per_sec(1)
+        .expect("1 GPU is always on the curve");
+    PlanningJob {
+        id: JobId::new(id),
+        curve,
+        remaining_iterations: tput * 3_600.0,
+        deadline_slot: 300,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_sized() {
+        let a = planning_jobs(50, 128);
+        let b = planning_jobs(50, 128);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+        let c = arriving_candidate(50, 128);
+        assert!(a.iter().all(|j| j.deadline_slot < c.deadline_slot));
+    }
+}

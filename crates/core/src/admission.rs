@@ -4,7 +4,14 @@ use std::collections::BTreeMap;
 
 use elasticflow_trace::JobId;
 
-use crate::{progressive_filling, AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
+use crate::filling::{progressive_filling_with, FillScratch};
+use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
+
+/// Sort key of Algorithm 1's deadline order (ties broken by job id so
+/// the fill order — and with it every downstream plan — is total).
+fn fill_key(job: &PlanningJob) -> (usize, JobId) {
+    (job.deadline_slot, job.id)
+}
 
 /// Result of an admission check over a set of jobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,11 +92,13 @@ impl AdmissionController {
     /// (Algorithm 1 lines 2–9: sort by deadline, progressively fill each).
     pub fn check(&self, jobs: &[PlanningJob], grid: &SlotGrid) -> AdmissionOutcome {
         let mut order: Vec<&PlanningJob> = jobs.iter().collect();
-        order.sort_by(|a, b| a.deadline_slot.cmp(&b.deadline_slot).then(a.id.cmp(&b.id)));
+        order.sort_by_key(|j| fill_key(j));
         let mut ledger = ReservationLedger::new();
         let mut plan = BTreeMap::new();
+        let mut scratch = FillScratch::new();
         for job in order {
-            match progressive_filling(job, &ledger, grid, self.total_gpus, None) {
+            match progressive_filling_with(job, &ledger, grid, self.total_gpus, None, &mut scratch)
+            {
                 Some(profile) => {
                     ledger.commit(&profile);
                     plan.insert(job.id, profile);
@@ -102,6 +111,45 @@ impl AdmissionController {
             }
         }
         AdmissionOutcome::Admitted { plan }
+    }
+
+    /// Runs Algorithm 1's fill over `jobs` once, *keeping* the result:
+    /// the returned [`AdmissionSet`] owns the deadline-ordered feasible
+    /// jobs, their minimum-satisfactory profiles, and the committed
+    /// ledger, so later arrivals can be answered incrementally via
+    /// [`AdmissionSet::whatif_admit`] instead of refilling every job.
+    /// The second element lists the lapsed jobs (infeasible against the
+    /// earlier ones; they commit nothing, exactly as in
+    /// [`AdmissionController::feasible_subset`]).
+    pub fn fill(&self, jobs: &[PlanningJob], grid: &SlotGrid) -> (AdmissionSet, Vec<JobId>) {
+        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
+        order.sort_by_key(|j| fill_key(j));
+        let mut set = AdmissionSet {
+            total_gpus: self.total_gpus,
+            jobs: Vec::new(),
+            profiles: Vec::new(),
+            ledger: ReservationLedger::new(),
+        };
+        let mut lapsed = Vec::new();
+        let mut scratch = FillScratch::new();
+        for job in order {
+            match progressive_filling_with(
+                job,
+                &set.ledger,
+                grid,
+                self.total_gpus,
+                None,
+                &mut scratch,
+            ) {
+                Some(profile) => {
+                    set.ledger.commit(&profile);
+                    set.jobs.push(job.clone());
+                    set.profiles.push(profile);
+                }
+                None => lapsed.push(job.id),
+            }
+        }
+        (set, lapsed)
     }
 
     /// Splits `jobs` into the deadline-ordered *feasible subset* (each job
@@ -128,20 +176,8 @@ impl AdmissionController {
         jobs: &[PlanningJob],
         grid: &SlotGrid,
     ) -> (Vec<PlanningJob>, Vec<JobId>, ReservationLedger) {
-        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
-        order.sort_by(|a, b| a.deadline_slot.cmp(&b.deadline_slot).then(a.id.cmp(&b.id)));
-        let mut ledger = ReservationLedger::new();
-        let mut feasible = Vec::new();
-        let mut lapsed = Vec::new();
-        for job in order {
-            match progressive_filling(job, &ledger, grid, self.total_gpus, None) {
-                Some(profile) => {
-                    ledger.commit(&profile);
-                    feasible.push(job.clone());
-                }
-                None => lapsed.push(job.id),
-            }
-        }
+        let (set, lapsed) = self.fill(jobs, grid);
+        let (feasible, _profiles, ledger) = set.into_parts();
         (feasible, lapsed, ledger)
     }
 
@@ -151,9 +187,17 @@ impl AdmissionController {
         if horizon_slots == 0 {
             return 0.0;
         }
-        let total: f64 = (0..horizon_slots)
-            .map(|t| ledger.committed(t).min(self.total_gpus) as f64)
-            .sum();
+        // Per-slot commitments are small integers, so summing them in f64
+        // is exact — when nothing exceeds the cluster size the clamp is
+        // the identity and the cached integer prefix sum gives the same
+        // value in O(1) instead of an O(horizon) walk.
+        let total = if ledger.peak() <= self.total_gpus {
+            ledger.committed_before(horizon_slots) as f64
+        } else {
+            (0..horizon_slots)
+                .map(|t| ledger.committed(t).min(self.total_gpus) as f64)
+                .sum()
+        };
         total / (horizon_slots as f64 * self.total_gpus as f64)
     }
 
@@ -168,9 +212,237 @@ impl AdmissionController {
         candidate: &PlanningJob,
         grid: &SlotGrid,
     ) -> bool {
-        let (mut all, _lapsed) = self.feasible_subset(existing, grid);
-        all.push(candidate.clone());
-        self.check(&all, grid).is_admitted()
+        let (set, _lapsed) = self.fill(existing, grid);
+        set.whatif_admit(candidate, grid).is_ok()
+    }
+}
+
+/// The committed outcome of one Algorithm-1 fill, kept around so the
+/// next admission question touches only the suffix it can change.
+///
+/// Algorithm 1 fills jobs in deadline order, each against the ledger of
+/// strictly earlier jobs only. Inserting a candidate at deadline
+/// position `k` therefore cannot alter any profile in positions
+/// `[0, k)` — that prefix was computed from inputs the candidate does
+/// not reach. This is the *incremental admission invariant*: reusing
+/// the stored prefix profiles and refilling only `[k, n]` yields, job
+/// for job and bit for bit, the plan a from-scratch
+/// [`AdmissionController::check`] over the union would produce, and the
+/// same first blocking job on rejection.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_core::{AdmissionController, PlanningJob, SlotGrid};
+/// use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+/// use elasticflow_trace::JobId;
+///
+/// let curve = ScalingCurve::from_points(DnnModel::ResNet50, 64, vec![
+///     CurvePoint { gpus: 1, iters_per_sec: 1.0 },
+///     CurvePoint { gpus: 2, iters_per_sec: 1.5 },
+/// ]);
+/// let job = |id: u64, work: f64, slots: usize| PlanningJob {
+///     id: JobId::new(id),
+///     curve: curve.clone(),
+///     remaining_iterations: work,
+///     deadline_slot: slots,
+/// };
+/// let ac = AdmissionController::new(2);
+/// let grid = SlotGrid::uniform(1.0);
+/// let (mut set, lapsed) = ac.fill(&[job(0, 2.0, 2)], &grid);
+/// assert!(lapsed.is_empty());
+/// // One more 1-GPU job fits; a third does not.
+/// assert!(set.admit(job(1, 2.0, 2), &grid).is_ok());
+/// assert_eq!(set.whatif_admit(&job(2, 2.0, 2), &grid), Err(JobId::new(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionSet {
+    total_gpus: u32,
+    /// Feasible jobs in fill order (deadline, then id).
+    jobs: Vec<PlanningJob>,
+    /// `profiles[i]` is the minimum-satisfactory profile of `jobs[i]`.
+    profiles: Vec<AllocationProfile>,
+    /// Sum of all committed profiles.
+    ledger: ReservationLedger,
+}
+
+impl AdmissionSet {
+    /// The committed reservation ledger of every job in the set.
+    pub fn ledger(&self) -> &ReservationLedger {
+        &self.ledger
+    }
+
+    /// The feasible jobs in fill order.
+    pub fn jobs(&self) -> &[PlanningJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs in the set.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no job is committed.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The committed plan as an id-keyed map (cloned).
+    pub fn plan(&self) -> BTreeMap<JobId, AllocationProfile> {
+        self.jobs
+            .iter()
+            .zip(&self.profiles)
+            .map(|(job, profile)| (job.id, profile.clone()))
+            .collect()
+    }
+
+    /// Decomposes the set into jobs (fill order), their profiles, and
+    /// the committed ledger.
+    pub fn into_parts(self) -> (Vec<PlanningJob>, Vec<AllocationProfile>, ReservationLedger) {
+        (self.jobs, self.profiles, self.ledger)
+    }
+
+    /// Index at which `candidate` would fill (jobs with an equal key
+    /// cannot exist: ids are unique within a set).
+    fn insertion_point(&self, candidate: &PlanningJob) -> usize {
+        self.jobs
+            .partition_point(|j| fill_key(j) < fill_key(candidate))
+    }
+
+    /// Refills the suffix at or after `candidate`'s fill position with
+    /// the candidate included. On success returns the insertion index,
+    /// the candidate's profile, the refilled suffix profiles, and the
+    /// updated ledger; on failure the first job (in fill order) that
+    /// cannot be satisfied. The set itself is untouched.
+    #[allow(clippy::type_complexity)]
+    fn refill_suffix(
+        &self,
+        candidate: &PlanningJob,
+        grid: &SlotGrid,
+    ) -> Result<
+        (
+            usize,
+            AllocationProfile,
+            Vec<AllocationProfile>,
+            ReservationLedger,
+        ),
+        JobId,
+    > {
+        let k = self.insertion_point(candidate);
+        let mut ledger = self.ledger.clone();
+        for profile in &self.profiles[k..] {
+            ledger.uncommit(profile);
+        }
+        let mut scratch = FillScratch::new();
+        let cand_profile = match progressive_filling_with(
+            candidate,
+            &ledger,
+            grid,
+            self.total_gpus,
+            None,
+            &mut scratch,
+        ) {
+            Some(profile) => {
+                ledger.commit(&profile);
+                profile
+            }
+            None => return Err(candidate.id),
+        };
+        let mut suffix = Vec::with_capacity(self.profiles.len() - k);
+        for job in &self.jobs[k..] {
+            match progressive_filling_with(job, &ledger, grid, self.total_gpus, None, &mut scratch)
+            {
+                Some(profile) => {
+                    ledger.commit(&profile);
+                    suffix.push(profile);
+                }
+                None => return Err(job.id),
+            }
+        }
+        Ok((k, cand_profile, suffix, ledger))
+    }
+
+    /// Incremental Algorithm 1: would admitting `candidate` keep every
+    /// job (existing and new) satisfiable? Refills only the
+    /// deadline-ordered suffix from the candidate's position; the prefix
+    /// is reused unchanged. `Err` names the first unsatisfiable job —
+    /// the same blocking job a from-scratch check would report. The set
+    /// is not modified.
+    pub fn whatif_admit(&self, candidate: &PlanningJob, grid: &SlotGrid) -> Result<(), JobId> {
+        self.refill_suffix(candidate, grid).map(|_| ())
+    }
+
+    /// The full [`AdmissionOutcome`] (witness plan or blocking job) of
+    /// admitting `candidate`, built incrementally. Equals
+    /// `AdmissionController::check` over `jobs() + candidate`.
+    pub fn admission_outcome(&self, candidate: &PlanningJob, grid: &SlotGrid) -> AdmissionOutcome {
+        match self.refill_suffix(candidate, grid) {
+            Ok((k, cand_profile, suffix, _ledger)) => {
+                let mut plan = BTreeMap::new();
+                for (job, profile) in self.jobs[..k].iter().zip(&self.profiles[..k]) {
+                    plan.insert(job.id, profile.clone());
+                }
+                plan.insert(candidate.id, cand_profile);
+                for (job, profile) in self.jobs[k..].iter().zip(&suffix) {
+                    plan.insert(job.id, profile.clone());
+                }
+                AdmissionOutcome::Admitted { plan }
+            }
+            Err(blocking_job) => AdmissionOutcome::Rejected { blocking_job },
+        }
+    }
+
+    /// Commits `candidate` into the set (incremental fill). On failure
+    /// the set is unchanged and the blocking job is returned.
+    pub fn admit(&mut self, candidate: PlanningJob, grid: &SlotGrid) -> Result<(), JobId> {
+        let (k, cand_profile, suffix, ledger) = self.refill_suffix(&candidate, grid)?;
+        self.jobs.insert(k, candidate);
+        self.profiles.truncate(k);
+        self.profiles.push(cand_profile);
+        self.profiles.extend(suffix);
+        self.ledger = ledger;
+        Ok(())
+    }
+
+    /// Removes the job `id` and refills the jobs after it against the
+    /// freed capacity, exactly as a from-scratch fill over the remaining
+    /// jobs would. Returns the ids of any suffix jobs that can no longer
+    /// be satisfied (possible outside the idealized model; they are
+    /// dropped from the set, mirroring [`AdmissionController::fill`]'s
+    /// lapsed handling). A no-op returning an empty list if `id` is not
+    /// in the set.
+    pub fn withdraw(&mut self, id: JobId, grid: &SlotGrid) -> Vec<JobId> {
+        let Some(k) = self.jobs.iter().position(|j| j.id == id) else {
+            return Vec::new();
+        };
+        for profile in &self.profiles[k..] {
+            self.ledger.uncommit(profile);
+        }
+        self.profiles.truncate(k);
+        let tail: Vec<PlanningJob> = self.jobs.drain(k..).collect();
+        let mut lapsed = Vec::new();
+        let mut scratch = FillScratch::new();
+        for job in tail {
+            if job.id == id {
+                continue;
+            }
+            match progressive_filling_with(
+                &job,
+                &self.ledger,
+                grid,
+                self.total_gpus,
+                None,
+                &mut scratch,
+            ) {
+                Some(profile) => {
+                    self.ledger.commit(&profile);
+                    self.jobs.push(job);
+                    self.profiles.push(profile);
+                }
+                None => lapsed.push(job.id),
+            }
+        }
+        lapsed
     }
 }
 
@@ -334,6 +606,70 @@ mod tests {
                 "removing job {skip} broke admission"
             );
         }
+    }
+
+    #[test]
+    fn incremental_outcome_matches_from_scratch_check() {
+        let ac = AdmissionController::new(4);
+        let grid = SlotGrid::uniform(1.0);
+        let existing = [job(0, 2.0, 1), job(1, 3.0, 3), job(2, 1.0, 2)];
+        let (set, lapsed) = ac.fill(&existing, &grid);
+        assert!(lapsed.is_empty());
+        // Candidates landing before, between, and after the existing
+        // deadlines; feasible and infeasible alike.
+        for candidate in [
+            job(9, 1.0, 1),
+            job(9, 2.0, 2),
+            job(9, 4.0, 4),
+            job(9, 50.0, 3),
+        ] {
+            let mut union: Vec<PlanningJob> = existing.to_vec();
+            union.push(candidate.clone());
+            assert_eq!(
+                set.admission_outcome(&candidate, &grid),
+                ac.check(&union, &grid),
+                "candidate deadline {}",
+                candidate.deadline_slot
+            );
+        }
+    }
+
+    #[test]
+    fn admit_then_withdraw_round_trips() {
+        let ac = AdmissionController::new(4);
+        let grid = SlotGrid::uniform(1.0);
+        let (mut set, _) = ac.fill(&[job(0, 2.0, 2), job(1, 2.0, 3)], &grid);
+        let before_plan = set.plan();
+        let before_ledger = set.ledger().clone();
+        set.admit(job(2, 1.0, 2), &grid).unwrap();
+        assert_eq!(set.len(), 3);
+        // The mutated set must equal a from-scratch fill of the union...
+        let (scratch_set, _) = ac.fill(&[job(0, 2.0, 2), job(1, 2.0, 3), job(2, 1.0, 2)], &grid);
+        assert_eq!(set.plan(), scratch_set.plan());
+        assert_eq!(set.ledger(), scratch_set.ledger());
+        // ...and withdrawing restores the original committed state.
+        let lapsed = set.withdraw(JobId::new(2), &grid);
+        assert!(lapsed.is_empty());
+        assert_eq!(set.plan(), before_plan);
+        assert_eq!(set.ledger(), &before_ledger);
+    }
+
+    #[test]
+    fn failed_admit_leaves_the_set_unchanged() {
+        let ac = AdmissionController::new(2);
+        let grid = SlotGrid::uniform(1.0);
+        let (mut set, _) = ac.fill(&[job(0, 2.0, 2), job(1, 2.0, 2)], &grid);
+        let plan = set.plan();
+        assert_eq!(set.admit(job(2, 2.0, 2), &grid), Err(JobId::new(2)));
+        assert_eq!(set.plan(), plan);
+        // A tight candidate with the earliest deadline blocks a *later*
+        // job, not itself; the error names that job, like check does.
+        let (set2, _) = ac.fill(&[job(5, 1.5, 2)], &grid);
+        let bully = job(1, 3.0, 1);
+        let mut union = vec![job(5, 1.5, 2), bully.clone()];
+        let scratch = ac.check(&union, &grid);
+        union.pop();
+        assert_eq!(set2.admission_outcome(&bully, &grid), scratch);
     }
 
     #[test]

@@ -4,9 +4,9 @@ use std::collections::BTreeMap;
 
 use elasticflow_trace::JobId;
 
+use crate::filling::{progressive_filling_with, FillScratch};
 use crate::{
-    progressive_filling, AdmissionController, AdmissionOutcome, AllocationProfile, PlanningJob,
-    ReservationLedger, SlotGrid,
+    AdmissionController, AllocationProfile, PlanningJob, ReservationLedger, SlotGrid, WORK_EPSILON,
 };
 
 /// Outcome of a resource-allocation round.
@@ -123,19 +123,19 @@ impl ResourceAllocator {
         Vec<JobId>,
         ReservationLedger,
     ) {
+        // One fill serves both cases: an all-feasible set is exactly the
+        // admitted plan of Algorithm 1, and when guarantees have drifted
+        // (scaling pauses, discretization) the same pass keeps the
+        // satisfiable jobs and surfaces the lapsed rest for fallback —
+        // no second from-scratch fill on the rejected path.
         let ac = AdmissionController::new(self.total_gpus);
-        let (profiles, mut infeasible) = match ac.check(jobs, grid) {
-            AdmissionOutcome::Admitted { plan } => (plan, Vec::new()),
-            AdmissionOutcome::Rejected { .. } => {
-                // Guarantees drifted (scaling pauses, discretization): keep
-                // the satisfiable prefix, surface the rest for fallback.
-                self.fill_best_prefix(jobs, grid)
-            }
-        };
-        let mut ledger = ReservationLedger::new();
-        for p in profiles.values() {
-            ledger.commit(p);
-        }
+        let (set, mut infeasible) = ac.fill(jobs, grid);
+        let (filled_jobs, filled_profiles, ledger) = set.into_parts();
+        let profiles: BTreeMap<JobId, AllocationProfile> = filled_jobs
+            .into_iter()
+            .map(|j| j.id)
+            .zip(filled_profiles)
+            .collect();
         infeasible.sort();
         (profiles, infeasible, ledger)
     }
@@ -155,10 +155,18 @@ impl ResourceAllocator {
         let jobs_by_id: BTreeMap<JobId, &PlanningJob> = jobs.iter().map(|j| (j.id, j)).collect();
         let mut free0 = budget;
         let mut version = 0u64;
+        let mut scratch = FillScratch::new();
         let mut queue: Vec<Boost> = Vec::new();
         for (&id, profile) in profiles.iter() {
-            if let Some(b) = self.candidate(jobs_by_id[&id], profile, ledger, grid, free0, version)
-            {
+            if let Some(b) = self.candidate(
+                jobs_by_id[&id],
+                profile,
+                ledger,
+                grid,
+                free0,
+                version,
+                &mut scratch,
+            ) {
                 queue.push(b);
             }
         }
@@ -185,7 +193,9 @@ impl ResourceAllocator {
             if boost.version < version {
                 // Stale: recompute against the current ledger and re-queue.
                 let current = &profiles[&boost.id];
-                if let Some(fresh) = self.candidate(job, current, ledger, grid, free0, version) {
+                if let Some(fresh) =
+                    self.candidate(job, current, ledger, grid, free0, version, &mut scratch)
+                {
                     queue.push(fresh);
                 }
                 continue;
@@ -203,9 +213,15 @@ impl ResourceAllocator {
             free0 -= boost.extra;
             version += 1;
             // Queue this job's next step.
-            if let Some(next) =
-                self.candidate(job, &profiles[&boost.id], ledger, grid, free0, version)
-            {
+            if let Some(next) = self.candidate(
+                job,
+                &profiles[&boost.id],
+                ledger,
+                grid,
+                free0,
+                version,
+                &mut scratch,
+            ) {
                 queue.push(next);
             }
         }
@@ -215,6 +231,7 @@ impl ResourceAllocator {
     /// Computes the next boost candidate for one job: double its slot-0
     /// allocation (or start it at 1) and progressively re-fill the future.
     /// Returns `None` when no further boost helps or fits.
+    #[allow(clippy::too_many_arguments)]
     fn candidate(
         &self,
         job: &PlanningJob,
@@ -223,6 +240,7 @@ impl ResourceAllocator {
         grid: &SlotGrid,
         free0: u32,
         version: u64,
+        scratch: &mut FillScratch,
     ) -> Option<Boost> {
         let cur0 = current.gpus(0);
         let next0 = if cur0 == 0 { 1 } else { cur0 * 2 };
@@ -235,7 +253,8 @@ impl ResourceAllocator {
         }
         // Evaluate against the ledger without this job's own reservations.
         ledger.uncommit(current);
-        let fresh = progressive_filling(job, ledger, grid, self.total_gpus, Some(next0));
+        let fresh =
+            progressive_filling_with(job, ledger, grid, self.total_gpus, Some(next0), scratch);
         ledger.commit(current);
         let fresh = fresh?;
         // Paper line 10/23: enqueue only if the boost finishes the job
@@ -244,7 +263,7 @@ impl ResourceAllocator {
             job.finish_seconds(&fresh, grid),
             job.finish_seconds(current, grid),
         ) {
-            (Some(a), Some(b)) => a + 1e-9 < b,
+            (Some(a), Some(b)) => a + WORK_EPSILON < b,
             (Some(_), None) => true,
             (None, _) => false,
         };
@@ -259,31 +278,6 @@ impl ResourceAllocator {
             profile: fresh,
             version,
         })
-    }
-
-    /// Deadline-ordered greedy prefix when the full set is no longer
-    /// satisfiable: commit profiles for every job that still fits, report
-    /// the rest.
-    fn fill_best_prefix(
-        &self,
-        jobs: &[PlanningJob],
-        grid: &SlotGrid,
-    ) -> (BTreeMap<JobId, AllocationProfile>, Vec<JobId>) {
-        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
-        order.sort_by(|a, b| a.deadline_slot.cmp(&b.deadline_slot).then(a.id.cmp(&b.id)));
-        let mut ledger = ReservationLedger::new();
-        let mut profiles = BTreeMap::new();
-        let mut infeasible = Vec::new();
-        for job in order {
-            match progressive_filling(job, &ledger, grid, self.total_gpus, None) {
-                Some(p) => {
-                    ledger.commit(&p);
-                    profiles.insert(job.id, p);
-                }
-                None => infeasible.push(job.id),
-            }
-        }
-        (profiles, infeasible)
     }
 }
 

@@ -21,8 +21,9 @@ use elasticflow_trace::JobId;
 
 use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
 
-/// Iteration tolerance: profiles are built with a 1e-9 completion slack,
-/// so audit with a slightly looser one to avoid false alarms on rounding.
+/// Iteration tolerance: profiles are built with the `WORK_EPSILON`
+/// completion slack, so audit with a slightly looser one to avoid false
+/// alarms on rounding.
 const EPS_ITERS: f64 = 1e-6;
 
 /// Aborts the run with a structured diagnostic on a violated invariant.

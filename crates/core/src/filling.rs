@@ -1,8 +1,37 @@
 //! Progressive filling (the inner loop of the paper's Algorithm 1).
 
+use elasticflow_perfmodel::CurveMemo;
 use elasticflow_sched::clamp_pow2;
 
+use crate::plan::WORK_EPSILON;
 use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
+
+/// Reusable buffers for [`progressive_filling_with`].
+///
+/// Progressive filling is the planner's innermost loop: every admission
+/// check and every Algorithm-2 boost probe builds per-slot candidate
+/// vectors and re-derives the job's curve knee. A scratch owns both —
+/// the candidate slot vector (cleared, never freed, between targets) and
+/// a [`CurveMemo`] rebuilt once per fill — so a replan round allocates
+/// O(1) times instead of O(candidates).
+///
+/// Lifetime rule: a scratch may be reused across any sequence of fills
+/// (its contents are dead between calls), but it must not be shared
+/// concurrently — each worker thread owns its own. Returned
+/// [`AllocationProfile`]s are copied out of the scratch, so they stay
+/// valid after the scratch is reused or dropped.
+#[derive(Debug, Default)]
+pub struct FillScratch {
+    gpus: Vec<u32>,
+    memo: CurveMemo,
+}
+
+impl FillScratch {
+    /// A scratch with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        FillScratch::default()
+    }
+}
 
 /// Computes the job's minimum-satisfactory allocation against the current
 /// reservations: the smallest power-of-two target `j` such that giving the
@@ -19,6 +48,9 @@ use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
 /// Unlike the pseudocode's `j = 1..G`, candidates walk the power-of-two
 /// ladder: buddy placement restricts worker counts to powers of two
 /// (§4.3), and per-slot grants are rounded *down* to powers of two.
+///
+/// This convenience wrapper allocates a fresh [`FillScratch`] per call;
+/// hot paths thread one through [`progressive_filling_with`] instead.
 ///
 /// # Example
 ///
@@ -54,14 +86,44 @@ pub fn progressive_filling(
     total_gpus: u32,
     fixed_slot0: Option<u32>,
 ) -> Option<AllocationProfile> {
+    progressive_filling_with(
+        job,
+        ledger,
+        grid,
+        total_gpus,
+        fixed_slot0,
+        &mut FillScratch::new(),
+    )
+}
+
+/// [`progressive_filling`] with caller-owned scratch buffers — identical
+/// results, no per-candidate allocation.
+pub fn progressive_filling_with(
+    job: &PlanningJob,
+    ledger: &ReservationLedger,
+    grid: &SlotGrid,
+    total_gpus: u32,
+    fixed_slot0: Option<u32>,
+    scratch: &mut FillScratch,
+) -> Option<AllocationProfile> {
     let horizon = job.deadline_slot;
     if horizon == 0 {
         return None;
     }
-    let max_target = job.curve.clamp_useful(total_gpus).max(1);
+    scratch.memo.rebuild(&job.curve);
+    let max_target = scratch.memo.clamp_useful(total_gpus).max(1);
     let mut j = 1u32;
     loop {
-        if let Some(profile) = try_target(job, ledger, grid, total_gpus, j, fixed_slot0) {
+        if let Some(profile) = try_target(
+            job,
+            ledger,
+            grid,
+            total_gpus,
+            j,
+            fixed_slot0,
+            &scratch.memo,
+            &mut scratch.gpus,
+        ) {
             return Some(profile);
         }
         if j >= max_target {
@@ -85,7 +147,13 @@ pub fn progressive_filling(
 /// the same job filling a fuller one (where `free` clamps its grants), so
 /// removing a neighbor could flip an admitted set to rejected. Frugality
 /// here costs nothing — the job still finishes in the same slot.
-fn trim_final_slot(job: &PlanningJob, grid: &SlotGrid, gpus: &mut [u32], fixed_slot0: Option<u32>) {
+fn trim_final_slot(
+    job: &PlanningJob,
+    grid: &SlotGrid,
+    memo: &CurveMemo,
+    gpus: &mut [u32],
+    fixed_slot0: Option<u32>,
+) {
     let Some(last) = gpus.iter().rposition(|&g| g > 0) else {
         return;
     };
@@ -95,12 +163,12 @@ fn trim_final_slot(job: &PlanningJob, grid: &SlotGrid, gpus: &mut [u32], fixed_s
     let done_before: f64 = gpus[..last]
         .iter()
         .enumerate()
-        .map(|(t, &g)| job.iters_in_slot(g, grid, t))
+        .map(|(t, &g)| memo.iters_per_sec(g) * grid.duration(t))
         .sum();
     let needed = job.remaining_iterations - done_before;
     let mut g = 1u32;
     while g < gpus[last] {
-        if job.iters_in_slot(g, grid, last) + 1e-9 >= needed {
+        if memo.iters_per_sec(g) * grid.duration(last) + WORK_EPSILON >= needed {
             gpus[last] = g;
             return;
         }
@@ -108,6 +176,7 @@ fn trim_final_slot(job: &PlanningJob, grid: &SlotGrid, gpus: &mut [u32], fixed_s
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_target(
     job: &PlanningJob,
     ledger: &ReservationLedger,
@@ -115,10 +184,28 @@ fn try_target(
     total_gpus: u32,
     j: u32,
     fixed_slot0: Option<u32>,
+    memo: &CurveMemo,
+    gpus: &mut Vec<u32>,
 ) -> Option<AllocationProfile> {
     let horizon = job.deadline_slot;
+    // Conservative infeasibility prune: even running every slot at the
+    // best throughput reachable under this candidate's cap (a prefix max,
+    // so safe for measured curves that dip before the knee), with a whole
+    // extra slot of slack on top, the work cannot finish by the deadline
+    // — skip the slot walk. The full-slot slack dwarfs both WORK_EPSILON
+    // and the float rounding of the bound itself, so the prune can never
+    // fire on a target the walk would have accepted. Skipped when slot 0
+    // is pinned: a pinned grant may exceed the candidate's own cap.
+    if fixed_slot0.is_none() && horizon != usize::MAX {
+        let cap = memo.clamp_useful(j.min(total_gpus));
+        let best = memo.peak_rate_at_or_below(cap);
+        let slack = best * grid.rest_seconds();
+        if slack > WORK_EPSILON && slack * (horizon as f64 + 1.0) < job.remaining_iterations {
+            return None;
+        }
+    }
     let committed_horizon = ledger.horizon();
-    let mut gpus = Vec::new();
+    gpus.clear();
     let mut done = 0.0f64;
     let mut t = 0usize;
     while t < horizon {
@@ -126,13 +213,13 @@ fn try_target(
         // fully free, so the number of additional slots needed follows
         // analytically instead of slot-by-slot.
         if t >= committed_horizon.max(1) {
-            let x = job.curve.clamp_useful(j.min(total_gpus));
-            let per_slot = job.iters_in_slot(x, grid, t);
+            let x = memo.clamp_useful(j.min(total_gpus));
+            let per_slot = memo.iters_per_sec(x) * grid.duration(t);
             if per_slot <= 0.0 {
                 return None;
             }
             let need = match elasticflow_cluster::num::slots_ceil(
-                (job.remaining_iterations - done - 1e-9) / per_slot,
+                (job.remaining_iterations - done - WORK_EPSILON) / per_slot,
             ) {
                 // Absurd horizons are unsatisfiable, not worth materializing.
                 Some(n) if n <= 10_000_000 => n.max(1),
@@ -142,8 +229,8 @@ fn try_target(
                 return None;
             }
             gpus.extend(std::iter::repeat_n(x, need));
-            trim_final_slot(job, grid, &mut gpus, fixed_slot0);
-            return Some(AllocationProfile::new(gpus));
+            trim_final_slot(job, grid, memo, gpus, fixed_slot0);
+            return Some(AllocationProfile::new(gpus.clone()));
         }
         let x = match (t, fixed_slot0) {
             (0, Some(x0)) => x0,
@@ -153,12 +240,12 @@ fn try_target(
             }
         };
         // Never allocate past the knee (constraint (7)).
-        let x = if x == 0 { 0 } else { job.curve.clamp_useful(x) };
+        let x = if x == 0 { 0 } else { memo.clamp_useful(x) };
         gpus.push(x);
-        done += job.iters_in_slot(x, grid, t);
-        if done + 1e-9 >= job.remaining_iterations {
-            trim_final_slot(job, grid, &mut gpus, fixed_slot0);
-            return Some(AllocationProfile::new(gpus));
+        done += memo.iters_per_sec(x) * grid.duration(t);
+        if done + WORK_EPSILON >= job.remaining_iterations {
+            trim_final_slot(job, grid, memo, gpus, fixed_slot0);
+            return Some(AllocationProfile::new(gpus.clone()));
         }
         t += 1;
     }
@@ -289,5 +376,36 @@ mod tests {
         // But a 3-slot deadline leaves slot 2 free.
         let p = progressive_filling(&job(1.0, 3), &ledger, &grid, 4, None).unwrap();
         assert_eq!(p.as_slice(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_between_fills() {
+        let grid = SlotGrid::uniform(1.0);
+        let mut scratch = FillScratch::new();
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(&AllocationProfile::new(vec![3]));
+        let a =
+            progressive_filling_with(&job(3.0, 2), &ledger, &grid, 4, None, &mut scratch).unwrap();
+        assert_eq!(a.as_slice(), &[1, 4]);
+        // A second, different fill through the same scratch must match the
+        // fresh-scratch result exactly.
+        let empty = ReservationLedger::new();
+        let b =
+            progressive_filling_with(&job(1.5, 1), &empty, &grid, 4, None, &mut scratch).unwrap();
+        assert_eq!(b.as_slice(), &[2]);
+        // And the first profile is an independent copy, not a view.
+        assert_eq!(a.as_slice(), &[1, 4]);
+    }
+
+    #[test]
+    fn prune_agrees_with_slot_walk_on_infeasible_targets() {
+        // Work far beyond the horizon's capacity: both the pruned and the
+        // walked path must reject, and feasible cases must be unaffected.
+        let grid = SlotGrid::uniform(1.0);
+        let ledger = ReservationLedger::new();
+        assert!(progressive_filling(&job(1000.0, 3), &ledger, &grid, 4, None).is_none());
+        // Just-feasible boundary: 2 slots at T(4)=2 completes 4.0 exactly.
+        let p = progressive_filling(&job(4.0, 2), &ledger, &grid, 4, None).unwrap();
+        assert_eq!(p.as_slice(), &[4, 4]);
     }
 }

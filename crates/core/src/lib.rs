@@ -50,9 +50,9 @@ pub(crate) mod scheduler;
 pub mod theory;
 mod variants;
 
-pub use admission::{AdmissionController, AdmissionOutcome};
+pub use admission::{AdmissionController, AdmissionOutcome, AdmissionSet};
 pub use alloc::ResourceAllocator;
-pub use filling::progressive_filling;
-pub use plan::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
+pub use filling::{progressive_filling, progressive_filling_with, FillScratch};
+pub use plan::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid, WORK_EPSILON};
 pub use scheduler::ElasticFlowScheduler;
 pub use variants::{EdfWithAdmission, EdfWithElastic};

@@ -5,9 +5,26 @@
 //! running system "slot 0" is the remainder of the current scheduling
 //! interval and later slots have the full interval length.
 
+use std::cell::RefCell;
+
 use elasticflow_perfmodel::ScalingCurve;
 use elasticflow_trace::JobId;
 use serde::{Deserialize, Serialize};
+
+/// The shared work-completion tolerance of the planning stack, in
+/// iterations.
+///
+/// Progressive filling accumulates per-slot iteration counts in floating
+/// point, so a job whose work is an exact multiple of its per-slot
+/// throughput can land a few ulps short of `remaining_iterations` purely
+/// from discretization drift (summing `rate * duration` slot by slot is
+/// not associative). Every "has this job finished its work?" comparison
+/// therefore allows this absolute slack: `done + WORK_EPSILON >=
+/// remaining`. The value must be a single shared constant — if the
+/// planner, the trimmer, the runtime auditor, and the theory oracles
+/// drift to different epsilons, they start disagreeing about which plans
+/// are feasible (enforced by lint rule EF-L005).
+pub const WORK_EPSILON: f64 = 1e-9; // elasticflow-lint: allow(EF-L005): canonical definition site of the shared epsilon
 
 /// The discrete slot grid anchored at "now".
 ///
@@ -168,11 +185,80 @@ impl AllocationProfile {
     }
 }
 
+/// Derived views of a ledger's committed vector, rebuilt lazily after
+/// each mutation: GPU-slot prefix sums (`prefix[t]` = GPUs committed
+/// across slots `[0, t)`), the peak commitment, and the horizon. Turns
+/// the admission loop's repeated O(slots) scans into O(1) amortized
+/// lookups.
+#[derive(Debug, Default)]
+struct LedgerCache {
+    prefix: Vec<u64>,
+    peak: u32,
+    horizon: usize,
+}
+
 /// Committed GPUs per slot across all already-planned jobs: the
 /// `sum_{k < i} x_k(t)` term of Algorithm 1, line 15.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality, cloning, and serialization are all defined over the
+/// committed vector alone; the interior-mutability cache is a pure
+/// acceleration structure that readers rebuild on demand.
+#[derive(Default)]
 pub struct ReservationLedger {
     committed: Vec<u32>,
+    cache: RefCell<Option<LedgerCache>>,
+}
+
+impl std::fmt::Debug for ReservationLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReservationLedger")
+            .field("committed", &self.committed)
+            .finish()
+    }
+}
+
+impl Clone for ReservationLedger {
+    fn clone(&self) -> Self {
+        ReservationLedger {
+            committed: self.committed.clone(),
+            cache: RefCell::new(None),
+        }
+    }
+}
+
+impl PartialEq for ReservationLedger {
+    fn eq(&self, other: &Self) -> bool {
+        self.committed == other.committed
+    }
+}
+
+impl Eq for ReservationLedger {}
+
+/// Serialization mirror of [`ReservationLedger`], keeping the on-disk
+/// shape identical to the former derived form (`{"committed": [...]}`)
+/// so existing snapshots stay readable.
+#[derive(Serialize, Deserialize)]
+struct LedgerRepr {
+    committed: Vec<u32>,
+}
+
+impl Serialize for ReservationLedger {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        LedgerRepr {
+            committed: self.committed.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ReservationLedger {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = LedgerRepr::deserialize(deserializer)?;
+        Ok(ReservationLedger {
+            committed: repr.committed,
+            cache: RefCell::new(None),
+        })
+    }
 }
 
 impl ReservationLedger {
@@ -199,6 +285,7 @@ impl ReservationLedger {
         for (t, &g) in profile.as_slice().iter().enumerate() {
             self.committed[t] += g;
         }
+        *self.cache.get_mut() = None;
     }
 
     /// Removes a previously committed profile.
@@ -213,22 +300,62 @@ impl ReservationLedger {
                 *c -= g;
             }
         }
+        // Keep the representation canonical (no trailing zero slots) so
+        // two ledgers holding the same reservations compare equal no
+        // matter which commit/uncommit sequence produced them.
+        while self.committed.last() == Some(&0) {
+            self.committed.pop();
+        }
+        *self.cache.get_mut() = None;
+    }
+
+    /// Runs `f` against the cached derived views, rebuilding them first
+    /// if a mutation invalidated the cache. O(slots) on the first read
+    /// after a mutation, O(1) afterwards.
+    fn with_cache<R>(&self, f: impl FnOnce(&LedgerCache) -> R) -> R {
+        let mut guard = self.cache.borrow_mut();
+        let cache = guard.get_or_insert_with(|| {
+            let mut prefix = Vec::with_capacity(self.committed.len() + 1);
+            prefix.push(0u64);
+            let mut sum = 0u64;
+            let mut peak = 0u32;
+            for &c in &self.committed {
+                sum += u64::from(c);
+                peak = peak.max(c);
+                prefix.push(sum);
+            }
+            let horizon = self
+                .committed
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            LedgerCache {
+                prefix,
+                peak,
+                horizon,
+            }
+        });
+        f(cache)
+    }
+
+    /// Total GPU-slots committed across slots `[0, t)` — an O(1)
+    /// amortized prefix-sum lookup (slots past the ledger's end
+    /// contribute zero).
+    pub fn committed_before(&self, t: usize) -> u64 {
+        self.with_cache(|c| c.prefix[t.min(c.prefix.len() - 1)])
     }
 
     /// The highest committed value across all slots.
     pub fn peak(&self) -> u32 {
-        self.committed.iter().copied().max().unwrap_or(0)
+        self.with_cache(|c| c.peak)
     }
 
     /// First slot index from which nothing is committed (every slot at or
     /// beyond it is fully free). Lets planners switch to an analytic fast
     /// path instead of walking empty slots one by one.
     pub fn horizon(&self) -> usize {
-        self.committed
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|i| i + 1)
-            .unwrap_or(0)
+        self.with_cache(|c| c.horizon)
     }
 }
 
@@ -296,5 +423,43 @@ mod tests {
         let mut ledger = ReservationLedger::new();
         ledger.commit(&AllocationProfile::new(vec![16]));
         assert_eq!(ledger.free(0, 8), 0);
+    }
+
+    #[test]
+    fn prefix_sums_track_mutations() {
+        let mut ledger = ReservationLedger::new();
+        assert_eq!(ledger.committed_before(5), 0);
+        let a = AllocationProfile::new(vec![2, 2, 0]);
+        let b = AllocationProfile::new(vec![1, 4, 4, 4]);
+        ledger.commit(&a);
+        // Prime the cache, then mutate again: the stale prefix sums must
+        // be rebuilt, not served.
+        assert_eq!(ledger.committed_before(3), 4);
+        ledger.commit(&b);
+        assert_eq!(ledger.committed_before(0), 0);
+        assert_eq!(ledger.committed_before(1), 3);
+        assert_eq!(ledger.committed_before(2), 9);
+        assert_eq!(ledger.committed_before(100), 17);
+        assert_eq!(ledger.peak(), 6);
+        assert_eq!(ledger.horizon(), 4);
+        ledger.uncommit(&b);
+        assert_eq!(ledger.committed_before(100), 4);
+        assert_eq!(ledger.peak(), 2);
+        assert_eq!(ledger.horizon(), 2);
+    }
+
+    #[test]
+    fn ledger_identity_ignores_cache_state() {
+        let mut warm = ReservationLedger::new();
+        warm.commit(&AllocationProfile::new(vec![1, 2]));
+        let _ = warm.committed_before(2); // populate the cache
+        let mut cold = ReservationLedger::new();
+        cold.commit(&AllocationProfile::new(vec![1, 2]));
+        assert_eq!(warm, cold);
+        assert_eq!(warm.clone(), cold);
+        let json = serde_json::to_string(&warm).unwrap();
+        assert_eq!(json, serde_json::to_string(&cold).unwrap());
+        let back: ReservationLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, warm);
     }
 }

@@ -8,7 +8,7 @@ use elasticflow_sched::{
 use elasticflow_trace::JobId;
 use serde::{Deserialize, Serialize};
 
-use crate::{AdmissionController, PlanningJob, ResourceAllocator, SlotGrid};
+use crate::{AdmissionController, PlanningJob, ResourceAllocator, SlotGrid, WORK_EPSILON};
 
 /// ElasticFlow (paper §4): guarantees the deadline of every admitted SLO
 /// job via minimum-satisfactory-share admission control, spends leftover
@@ -66,7 +66,7 @@ impl ElasticFlowScheduler {
     pub(crate) fn anchored_grid(&self, now: f64) -> SlotGrid {
         let rest = self.planning_slot_seconds;
         let into_slot = now.rem_euclid(rest);
-        let first = if into_slot < 1e-9 || rest - into_slot < 1.0 {
+        let first = if into_slot < WORK_EPSILON || rest - into_slot < 1.0 {
             rest
         } else {
             rest - into_slot
@@ -166,7 +166,7 @@ impl ElasticFlowScheduler {
                     continue;
                 }
                 // Favor short jobs: gain per GPU per unit of remaining work.
-                let prio = gain / extra as f64 / job.remaining_iterations.max(1e-9);
+                let prio = gain / extra as f64 / job.remaining_iterations.max(WORK_EPSILON);
                 if best.map(|(p, ..)| prio > p).unwrap_or(true) {
                     best = Some((prio, idx, next, extra));
                 }
@@ -205,15 +205,17 @@ pub(crate) fn admission_decision(
     grid: &SlotGrid,
 ) -> AdmissionDecision {
     let ac = AdmissionController::new(view.total_gpus);
-    let (mut all, _lapsed, ledger) = ac.feasible_subset_with_ledger(existing, grid);
+    // One fill commits the feasible subset; the candidate is then answered
+    // incrementally — only the deadline-ordered suffix at or after its
+    // insertion point refills, instead of every job from scratch.
+    let (set, _lapsed) = ac.fill(existing, grid);
     // Booked load over the next ~hour decides how much slack to demand.
     let horizon = elasticflow_cluster::num::slots_ceil(3_600.0 / grid.rest_seconds())
         .unwrap_or(1)
         .max(1);
-    let contention = ac.booked_fraction(&ledger, horizon);
+    let contention = ac.booked_fraction(set.ledger(), horizon);
     let candidate = ElasticFlowScheduler::planning_job_with_reserve(job, now, grid, contention);
-    all.push(candidate);
-    if ac.check(&all, grid).is_admitted() {
+    if set.whatif_admit(&candidate, grid).is_ok() {
         AdmissionDecision::Admit
     } else {
         AdmissionDecision::Drop

@@ -9,7 +9,7 @@
 
 use elasticflow_trace::JobId;
 
-use crate::{PlanningJob, SlotGrid};
+use crate::{PlanningJob, SlotGrid, WORK_EPSILON};
 
 /// A job under the *linear-scaling* model of Theorem 1: throughput
 /// `k * g` for `g` GPUs.
@@ -56,7 +56,7 @@ pub fn theorem1_feasible(jobs: &[LinearJob], total_gpus: u32) -> bool {
             "invalid linear job"
         );
         gpu_time += job.work / job.per_gpu_throughput;
-        if gpu_time > total_gpus as f64 * job.deadline + 1e-9 {
+        if gpu_time > total_gpus as f64 * job.deadline + WORK_EPSILON {
             return false;
         }
     }
@@ -111,7 +111,7 @@ pub fn brute_force_feasible(jobs: &[PlanningJob], grid: &SlotGrid, total_gpus: u
                 let done: f64 = (0..horizon.min(job.deadline_slot))
                     .map(|t| job.iters_in_slot(ladder[assignment[i * horizon + t]], grid, t))
                     .sum();
-                done + 1e-9 >= job.remaining_iterations
+                done + WORK_EPSILON >= job.remaining_iterations
             });
             if all_done {
                 return true;

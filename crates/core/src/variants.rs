@@ -14,13 +14,13 @@ use elasticflow_sched::{
     AdmissionDecision, ClusterView, EdfScheduler, JobRuntime, JobTable, SchedulePlan, Scheduler,
 };
 
-use crate::{ElasticFlowScheduler, PlanningJob, SlotGrid};
+use crate::{ElasticFlowScheduler, PlanningJob, SlotGrid, WORK_EPSILON};
 
 /// Planning grid anchored to absolute slot boundaries (see
 /// `ElasticFlowScheduler::anchored_grid`).
 fn anchored_grid(slot_seconds: f64, now: f64) -> SlotGrid {
     let into_slot = now.rem_euclid(slot_seconds);
-    let first = if into_slot < 1e-9 || slot_seconds - into_slot < 1.0 {
+    let first = if into_slot < WORK_EPSILON || slot_seconds - into_slot < 1.0 {
         slot_seconds
     } else {
         slot_seconds - into_slot

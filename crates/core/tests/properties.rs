@@ -156,6 +156,57 @@ proptest! {
         }
     }
 
+    /// The incremental admission entry point agrees *exactly* with a
+    /// from-scratch Algorithm 1 run over the union: same witness plan
+    /// (bit-identical profiles) when admitted, same blocking job when
+    /// rejected.
+    #[test]
+    fn incremental_admission_matches_from_scratch_check(jobs in small_instance()) {
+        let grid = SlotGrid::uniform(1.0);
+        let ac = AdmissionController::new(4);
+        let (candidate, existing) = jobs.split_last().expect("instances are non-empty");
+        let (set, _lapsed) = ac.fill(existing, &grid);
+        let mut union: Vec<PlanningJob> = set.jobs().to_vec();
+        union.push(candidate.clone());
+        let incremental = set.admission_outcome(candidate, &grid);
+        let from_scratch = ac.check(&union, &grid);
+        prop_assert_eq!(incremental, from_scratch);
+    }
+
+    /// An [`elasticflow_core::AdmissionSet`] mutated through admit /
+    /// withdraw sequences is indistinguishable from a set filled from
+    /// scratch over the same resident jobs: identical plans and identical
+    /// reservation ledgers.
+    #[test]
+    fn admit_withdraw_sequences_match_from_scratch_fill(jobs in small_instance()) {
+        let grid = SlotGrid::uniform(1.0);
+        let ac = AdmissionController::new(4);
+        let (mut set, _) = ac.fill(&[], &grid);
+        let mut resident: Vec<PlanningJob> = Vec::new();
+        for job in &jobs {
+            if set.admit(job.clone(), &grid).is_ok() {
+                resident.push(job.clone());
+            }
+        }
+        // Mid-sequence checkpoint: the mutated set matches a fresh fill.
+        let (fresh, lapsed) = ac.fill(&resident, &grid);
+        prop_assert!(lapsed.is_empty(), "admitted jobs cannot lapse on refill");
+        prop_assert_eq!(set.plan(), fresh.plan());
+        prop_assert_eq!(set.ledger(), fresh.ledger());
+        // Withdrawing only frees capacity, so nobody lapses and the
+        // survivors match a from-scratch fill again.
+        let withdrawn: Vec<JobId> = resident.iter().step_by(2).map(|j| j.id).collect();
+        for id in &withdrawn {
+            let lapsed = set.withdraw(*id, &grid);
+            prop_assert!(lapsed.is_empty(), "withdrawal freed capacity but lapsed {lapsed:?}");
+            resident.retain(|j| j.id != *id);
+        }
+        let (fresh, lapsed) = ac.fill(&resident, &grid);
+        prop_assert!(lapsed.is_empty());
+        prop_assert_eq!(set.plan(), fresh.plan());
+        prop_assert_eq!(set.ledger(), fresh.ledger());
+    }
+
     /// Admission is monotone in workload: removing a job from an admitted
     /// set keeps it admitted.
     #[test]

@@ -96,6 +96,18 @@ pub const RULES: &[RuleInfo] = &[
                  (`slots_ceil`, `slots_floor`, `gpu_count_from_f64`).",
         crates: &["core", "cluster", "sim", "sched"],
     },
+    RuleInfo {
+        id: "EF-L005",
+        title: "no literal work-epsilon in planning code",
+        rationale: "The `1e-9` iteration-count slack appears in admission, \
+                    filling, boosting, and the feasibility theorems; a copy \
+                    that drifts independently makes two layers disagree on \
+                    whether a profile completes a job, flipping admit/reject \
+                    decisions between them.",
+        remedy: "Use `elasticflow_core::WORK_EPSILON`; only its definition \
+                 site may spell the literal (with a suppression).",
+        crates: &["core"],
+    },
 ];
 
 /// Looks up a rule by id.
@@ -123,6 +135,9 @@ pub fn check_tokens(tokens: &[Token], crate_name: &str) -> Vec<RawViolation> {
     }
     if applies("EF-L004") {
         check_l004(tokens, &mut out);
+    }
+    if applies("EF-L005") {
+        check_l005(tokens, &mut out);
     }
     out
 }
@@ -327,6 +342,30 @@ fn chain_is_floaty(tokens: &[Token]) -> bool {
     floaty
 }
 
+/// EF-L005: a float literal spelling the shared work epsilon (`1e-9`,
+/// however written: `1e-9`, `1E-9`, `0.000000001`, with underscores).
+/// Matching is by parsed value, so every spelling of the same constant is
+/// caught; only the `WORK_EPSILON` definition site may carry it, under a
+/// suppression.
+fn check_l005(tokens: &[Token], out: &mut Vec<RawViolation>) {
+    for t in tokens {
+        if t.kind != TokenKind::Float {
+            continue;
+        }
+        let text: String = t.text.chars().filter(|&c| c != '_').collect();
+        // Exact-value match is intentional here: we are comparing a parsed
+        // literal against the one canonical constant, not accumulated math.
+        let hit = matches!(text.parse::<f64>(), Ok(v) if v.to_bits() == 1e-9f64.to_bits());
+        if hit {
+            out.push(RawViolation {
+                rule: "EF-L005",
+                line: t.line,
+                message: format!("literal `{}` duplicates WORK_EPSILON", t.text),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +468,30 @@ mod tests {
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); let b = x.ceil() as u32; } }";
         assert!(run(src, "core").is_empty());
+    }
+
+    #[test]
+    fn l005_catches_every_spelling_of_the_epsilon() {
+        for src in [
+            "fn f() { let e = 1e-9; }",
+            "fn f() { let e = 1E-9; }",
+            "fn f() { let e = 0.000000001; }",
+            "fn f() { let e = 0.000_000_001; }",
+            "fn f() { if done + 1e-9 >= need {} }",
+        ] {
+            assert_eq!(
+                rules_of(&run(src, "core")),
+                vec!["EF-L005"],
+                "missed: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn l005_ignores_other_tolerances_and_scopes() {
+        assert!(run("fn f() { let e = 1e-12; let f = 1e-6; }", "core").is_empty());
+        assert!(run("fn f() { let e = 1e-9; }", "sim").is_empty());
+        assert!(run("fn f() { let e = WORK_EPSILON; }", "core").is_empty());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! absent: each benchmark runs a fixed number of timed iterations and
 //! prints the mean wall-clock time per iteration. Good enough for "did my
 //! change make this 2x slower", not for microsecond-level comparisons.
+//! Passing `--test` (as in `cargo bench ... -- --test`) runs every
+//! benchmark exactly once as a CI smoke check, like real criterion.
 
 #![forbid(unsafe_code)]
 
@@ -78,7 +80,18 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// `true` when the binary was invoked with `--test` (as in
+/// `cargo bench ... -- --test`): run each benchmark once as a smoke
+/// check instead of the full sample count, mirroring real criterion's
+/// test mode.
+fn smoke_mode() -> bool {
+    use std::sync::OnceLock;
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = if smoke_mode() { 1 } else { samples };
     let mut bencher = Bencher {
         total_nanos: 0,
         iters: 0,
