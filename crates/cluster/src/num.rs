@@ -43,7 +43,8 @@ pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
         return false;
     }
     if a == b {
-        // elasticflow-lint: allow(EF-L002): bitwise fast path of the approx helper itself
+        // Bitwise fast path of the approx helper itself (variable-vs-
+        // variable compare; EF-L002 gates literal comparisons only).
         return true; // covers equal infinities and exact hits
     }
     if a.is_infinite() || b.is_infinite() {
@@ -77,7 +78,6 @@ pub fn gpu_count_from_f64(x: f64) -> Option<u32> {
         return None;
     }
     // Range-checked above; `as` here is exact for integers ≤ u32::MAX.
-    // elasticflow-lint: allow(EF-L004): rounded, range- and integrality-checked above
     Some(rounded as u32)
 }
 

@@ -1,0 +1,575 @@
+//! Cross-file structural analysis: the EF-L006 snapshot-coverage check.
+//!
+//! PR 4 made checkpoint/resume a bit-identical guarantee. The invariant
+//! behind it — *every* piece of persisted engine state round-trips through
+//! `SimSnapshot` — used to live only in runtime golden-digest tests,
+//! which fire after a regression ships. This pass enforces it statically:
+//! a committed manifest (`crates/lint/snapshot-manifest.json`) names the
+//! persisted state structs, their snapshot counterparts, their
+//! capture/restore functions, and the fields that are deliberately
+//! *reconstructed* on resume instead of captured. The check then diffs the
+//! real structs (recovered by [`crate::items`]) against the manifest, so:
+//!
+//! * adding a field to `Executor` without capturing it fails the lint
+//!   until the field is snapshotted or explicitly listed as reconstructed;
+//! * adding a field to a snapshot struct without wiring both the capture
+//!   and the restore path fails;
+//! * a stale manifest (naming fields or files that no longer exist) fails
+//!   loudly rather than green-lighting nothing.
+
+use crate::items::StructKind;
+use crate::json::{parse, JsonValue};
+use crate::scan::{FileAnalysis, Violation};
+
+/// Workspace-relative path of the manifest, for diagnostics and loading.
+pub const MANIFEST_PATH: &str = "crates/lint/snapshot-manifest.json";
+
+/// Rule id this module reports under.
+pub const SNAPSHOT_RULE: &str = "EF-L006";
+
+/// One persisted state struct and its snapshot counterpart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateEntry {
+    /// Live state struct name (e.g. `Executor`).
+    pub owner: String,
+    /// Workspace-relative file declaring `owner` and its impl.
+    pub file: String,
+    /// Snapshot struct name (e.g. `ExecutorSnapshot`).
+    pub snapshot: String,
+    /// Workspace-relative file declaring the snapshot struct.
+    pub snapshot_file: String,
+    /// Name of the capture method in `owner`'s impl.
+    pub capture_fn: String,
+    /// Name of the restore method in `owner`'s impl.
+    pub restore_fn: String,
+    /// Owner fields deliberately rebuilt on resume instead of captured.
+    pub reconstructed: Vec<String>,
+}
+
+/// The top-level snapshot struct and its out-of-impl capture/restore sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootEntry {
+    /// Root snapshot struct name (e.g. `SimSnapshot`).
+    pub snapshot: String,
+    /// Workspace-relative file declaring it.
+    pub snapshot_file: String,
+    /// File containing the `SimSnapshot { … }` capture literal.
+    pub capture_file: String,
+    /// File containing the resume path.
+    pub restore_file: String,
+    /// The binding the resume path reads fields through (`snap` in
+    /// `snap.executor`).
+    pub restore_binding: String,
+    /// The complete expected field list, in declaration order.
+    pub fields: Vec<String>,
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Per-subsystem state/snapshot pairs.
+    pub states: Vec<StateEntry>,
+    /// The top-level snapshot entry.
+    pub root: Option<RootEntry>,
+}
+
+/// Parses the manifest JSON; errors name the missing/ill-typed key.
+pub fn parse_manifest(src: &str) -> Result<SnapshotManifest, String> {
+    let doc = parse(src)?;
+    let need_str = |v: &JsonValue, key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing or non-string `{key}`"))
+    };
+    let mut manifest = SnapshotManifest::default();
+    for entry in doc
+        .get("states")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing `states` array")?
+    {
+        manifest.states.push(StateEntry {
+            owner: need_str(entry, "owner")?,
+            file: need_str(entry, "file")?,
+            snapshot: need_str(entry, "snapshot")?,
+            snapshot_file: need_str(entry, "snapshot_file")?,
+            capture_fn: need_str(entry, "capture_fn")?,
+            restore_fn: need_str(entry, "restore_fn")?,
+            reconstructed: entry
+                .get("reconstructed")
+                .and_then(JsonValue::as_str_arr)
+                .ok_or("missing or non-string-array `reconstructed`")?,
+        });
+    }
+    if let Some(root) = doc.get("root") {
+        manifest.root = Some(RootEntry {
+            snapshot: need_str(root, "snapshot")?,
+            snapshot_file: need_str(root, "snapshot_file")?,
+            capture_file: need_str(root, "capture_file")?,
+            restore_file: need_str(root, "restore_file")?,
+            restore_binding: need_str(root, "restore_binding")?,
+            fields: root
+                .get("fields")
+                .and_then(JsonValue::as_str_arr)
+                .ok_or("missing or non-string-array `fields`")?,
+        });
+    }
+    Ok(manifest)
+}
+
+fn violation(file: &str, line: u32, message: String) -> Violation {
+    Violation {
+        rule: SNAPSHOT_RULE.to_string(),
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+fn find_file<'a>(files: &'a [FileAnalysis], rel: &str) -> Option<&'a FileAnalysis> {
+    files.iter().find(|f| f.file == rel)
+}
+
+/// Finds a named-field struct declaration in one file's items.
+fn find_struct<'a>(fa: &'a FileAnalysis, name: &str) -> Option<&'a crate::items::StructItem> {
+    fa.items
+        .structs
+        .iter()
+        .find(|s| s.name == name && s.kind == StructKind::Named)
+}
+
+/// Runs the full snapshot-coverage check over the scanned files.
+pub fn check_snapshot_coverage(
+    manifest: &SnapshotManifest,
+    files: &[FileAnalysis],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for state in &manifest.states {
+        check_state(state, files, &mut out);
+    }
+    if let Some(root) = &manifest.root {
+        check_root(root, files, &mut out);
+    }
+    out
+}
+
+fn check_state(state: &StateEntry, files: &[FileAnalysis], out: &mut Vec<Violation>) {
+    let Some(owner_fa) = find_file(files, &state.file) else {
+        out.push(violation(
+            MANIFEST_PATH,
+            1,
+            format!(
+                "manifest references `{}` (state `{}`) but that file was not scanned",
+                state.file, state.owner
+            ),
+        ));
+        return;
+    };
+    let Some(owner) = find_struct(owner_fa, &state.owner) else {
+        out.push(violation(
+            &state.file,
+            1,
+            format!(
+                "manifest expects state struct `{}` here, but it was not found",
+                state.owner
+            ),
+        ));
+        return;
+    };
+    let Some(snap_fa) = find_file(files, &state.snapshot_file) else {
+        out.push(violation(
+            MANIFEST_PATH,
+            1,
+            format!(
+                "manifest references `{}` (snapshot `{}`) but that file was not scanned",
+                state.snapshot_file, state.snapshot
+            ),
+        ));
+        return;
+    };
+    let Some(snapshot) = find_struct(snap_fa, &state.snapshot) else {
+        out.push(violation(
+            &state.snapshot_file,
+            1,
+            format!(
+                "manifest expects snapshot struct `{}` here, but it was not found",
+                state.snapshot
+            ),
+        ));
+        return;
+    };
+
+    // 1. Every owner field is either captured or declared reconstructed.
+    let snap_fields: Vec<&str> = snapshot.fields.iter().map(|f| f.name.as_str()).collect();
+    for field in &owner.fields {
+        let captured = snap_fields.contains(&field.name.as_str());
+        let reconstructed = state.reconstructed.iter().any(|r| r == &field.name);
+        if !captured && !reconstructed {
+            out.push(violation(
+                &state.file,
+                field.line,
+                format!(
+                    "field `{}.{}` is neither captured in `{}` nor listed as \
+                     reconstructed in {} — resume would silently drop it",
+                    state.owner, field.name, state.snapshot, MANIFEST_PATH
+                ),
+            ));
+        }
+        if captured && reconstructed {
+            out.push(violation(
+                &state.file,
+                field.line,
+                format!(
+                    "field `{}.{}` is both captured in `{}` and listed as \
+                     reconstructed — pick one and update {}",
+                    state.owner, field.name, state.snapshot, MANIFEST_PATH
+                ),
+            ));
+        }
+    }
+
+    // 2. No stale `reconstructed` entries.
+    for rec in &state.reconstructed {
+        if !owner.fields.iter().any(|f| &f.name == rec) {
+            out.push(violation(
+                &state.file,
+                owner.line,
+                format!(
+                    "manifest lists `{}.{}` as reconstructed, but `{}` has no \
+                     such field — update {}",
+                    state.owner, rec, state.owner, MANIFEST_PATH
+                ),
+            ));
+        }
+    }
+
+    // 3. Capture and restore bodies mention every snapshot field.
+    for (fn_name, label) in [
+        (&state.capture_fn, "capture"),
+        (&state.restore_fn, "restore"),
+    ] {
+        let body = owner_fa
+            .items
+            .impls
+            .iter()
+            .filter(|im| im.type_name == state.owner)
+            .flat_map(|im| im.fns.iter())
+            .find(|f| &f.name == fn_name);
+        let Some(body) = body else {
+            out.push(violation(
+                &state.file,
+                owner.line,
+                format!(
+                    "manifest expects {label} fn `{}::{}`, but it was not found",
+                    state.owner, fn_name
+                ),
+            ));
+            continue;
+        };
+        let tokens = &owner_fa.stripped[body.body.clone()];
+        for field in &snapshot.fields {
+            let mentioned = tokens.iter().any(|t| t.is_ident(&field.name));
+            if !mentioned {
+                out.push(violation(
+                    &state.file,
+                    body.line,
+                    format!(
+                        "{label} fn `{}::{}` never mentions snapshot field \
+                         `{}.{}` — the field would not round-trip",
+                        state.owner, fn_name, state.snapshot, field.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_root(root: &RootEntry, files: &[FileAnalysis], out: &mut Vec<Violation>) {
+    // 1. The snapshot struct's field list matches the manifest exactly.
+    let Some(snap_fa) = find_file(files, &root.snapshot_file) else {
+        out.push(violation(
+            MANIFEST_PATH,
+            1,
+            format!(
+                "manifest references `{}` (root snapshot) but that file was not scanned",
+                root.snapshot_file
+            ),
+        ));
+        return;
+    };
+    let Some(snapshot) = find_struct(snap_fa, &root.snapshot) else {
+        out.push(violation(
+            &root.snapshot_file,
+            1,
+            format!(
+                "manifest expects root snapshot struct `{}` here, but it was not found",
+                root.snapshot
+            ),
+        ));
+        return;
+    };
+    for want in &root.fields {
+        if !snapshot.fields.iter().any(|f| &f.name == want) {
+            out.push(violation(
+                &root.snapshot_file,
+                snapshot.line,
+                format!(
+                    "manifest field `{}.{}` is missing from the struct — update \
+                     the struct or {}",
+                    root.snapshot, want, MANIFEST_PATH
+                ),
+            ));
+        }
+    }
+    for field in &snapshot.fields {
+        if !root.fields.iter().any(|w| w == &field.name) {
+            out.push(violation(
+                &root.snapshot_file,
+                field.line,
+                format!(
+                    "field `{}.{}` is not in the snapshot manifest — add it to \
+                     {} and wire the capture and resume paths",
+                    root.snapshot, field.name, MANIFEST_PATH
+                ),
+            ));
+        }
+    }
+
+    // 2. The capture site populates every field explicitly (no spread, so
+    //    a new field cannot be defaulted in silently).
+    if let Some(cap_fa) = find_file(files, &root.capture_file) {
+        let literals: Vec<_> = cap_fa
+            .items
+            .literals
+            .iter()
+            .filter(|l| l.name == root.snapshot)
+            .collect();
+        if literals.is_empty() {
+            out.push(violation(
+                &root.capture_file,
+                1,
+                format!(
+                    "no `{} {{ … }}` capture literal found — the snapshot is \
+                     never assembled here",
+                    root.snapshot
+                ),
+            ));
+        } else {
+            for want in &root.fields {
+                let populated = literals
+                    .iter()
+                    .any(|l| l.has_spread || l.fields.iter().any(|f| &f.name == want));
+                if !populated {
+                    out.push(violation(
+                        &root.capture_file,
+                        literals[0].line,
+                        format!(
+                            "capture literal `{} {{ … }}` never populates `{}`",
+                            root.snapshot, want
+                        ),
+                    ));
+                }
+            }
+        }
+    } else {
+        out.push(violation(
+            MANIFEST_PATH,
+            1,
+            format!(
+                "manifest references `{}` (capture site) but that file was not scanned",
+                root.capture_file
+            ),
+        ));
+    }
+
+    // 3. The resume path reads every field through the manifest binding
+    //    (`snap.executor`, `snap.now`, …).
+    if let Some(res_fa) = find_file(files, &root.restore_file) {
+        let toks = &res_fa.stripped;
+        for want in &root.fields {
+            let read = toks.windows(3).any(|w| {
+                w[0].is_ident(&root.restore_binding) && w[1].is_punct('.') && w[2].is_ident(want)
+            });
+            if !read {
+                out.push(violation(
+                    &root.restore_file,
+                    1,
+                    format!(
+                        "resume path never reads `{}.{}` — the field is captured \
+                         but ignored on restore",
+                        root.restore_binding, want
+                    ),
+                ));
+            }
+        }
+    } else {
+        out.push(violation(
+            MANIFEST_PATH,
+            1,
+            format!(
+                "manifest references `{}` (resume path) but that file was not scanned",
+                root.restore_file
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileAnalysis;
+
+    const MANIFEST: &str = r#"{
+      "schema_version": 1,
+      "states": [
+        {
+          "owner": "Engine",
+          "file": "crates/sim/src/engine.rs",
+          "snapshot": "EngineSnapshot",
+          "snapshot_file": "crates/sim/src/snap.rs",
+          "capture_fn": "capture",
+          "restore_fn": "restore",
+          "reconstructed": ["cache"]
+        }
+      ],
+      "root": {
+        "snapshot": "EngineSnapshot",
+        "snapshot_file": "crates/sim/src/snap.rs",
+        "capture_file": "crates/sim/src/engine.rs",
+        "restore_file": "crates/sim/src/engine.rs",
+        "restore_binding": "snap",
+        "fields": ["now", "cursor"]
+      }
+    }"#;
+
+    const SNAP_SRC: &str = "pub struct EngineSnapshot { pub now: f64, pub cursor: usize }";
+
+    fn engine_src(capture_body: &str, restore_body: &str) -> String {
+        format!(
+            "pub struct Engine {{ now: f64, cursor: usize, cache: Vec<u8> }}\n\
+             impl Engine {{\n\
+               fn capture(&self) -> EngineSnapshot {{ {capture_body} }}\n\
+               fn restore(&mut self, snap: &EngineSnapshot) {{ {restore_body} }}\n\
+             }}\n"
+        )
+    }
+
+    fn run(engine: &str) -> Vec<Violation> {
+        let manifest = parse_manifest(MANIFEST).expect("manifest parses");
+        let files = [
+            FileAnalysis::new("sim", "crates/sim/src/engine.rs", engine),
+            FileAnalysis::new("sim", "crates/sim/src/snap.rs", SNAP_SRC),
+        ];
+        check_snapshot_coverage(&manifest, &files)
+    }
+
+    #[test]
+    fn complete_coverage_is_clean() {
+        let src = engine_src(
+            "EngineSnapshot { now: self.now, cursor: self.cursor }",
+            "self.now = snap.now; self.cursor = snap.cursor;",
+        );
+        let v = run(&src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn uncaptured_owner_field_fires() {
+        // `cursor` is in the struct but absent from the reconstructed list
+        // and (here) from the snapshot struct's capture body.
+        let src = "pub struct Engine { now: f64, cursor: usize, cache: Vec<u8>, extra: u8 }\n\
+                   impl Engine {\n\
+                     fn capture(&self) -> EngineSnapshot { EngineSnapshot { now: self.now, cursor: self.cursor } }\n\
+                     fn restore(&mut self, snap: &EngineSnapshot) { self.now = snap.now; self.cursor = snap.cursor; }\n\
+                   }\n";
+        let v = run(src);
+        assert!(
+            v.iter().any(|v| v.message.contains("`Engine.extra`")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn capture_fn_missing_field_mention_fires() {
+        let src = engine_src(
+            "EngineSnapshot { now: self.now, cursor: 0 }",
+            "self.now = snap.now; self.cursor = snap.cursor;",
+        )
+        .replace("cursor: 0", "..Default::default()");
+        let v = run(&src);
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains("never mentions snapshot field")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn restore_ignoring_a_field_fires() {
+        let src = engine_src(
+            "EngineSnapshot { now: self.now, cursor: self.cursor }",
+            "self.now = snap.now; let _ = self.cursor;",
+        );
+        let v = run(&src);
+        // Both the state restore-fn check and the root resume-read check
+        // notice `cursor` never comes out of the snapshot.
+        assert!(
+            v.iter().any(|v| v.message.contains("snap.cursor")
+                || v.message.contains("`EngineSnapshot.cursor`")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_reconstructed_entry_fires() {
+        let src = "pub struct Engine { now: f64, cursor: usize }\n\
+                   impl Engine {\n\
+                     fn capture(&self) -> EngineSnapshot { EngineSnapshot { now: self.now, cursor: self.cursor } }\n\
+                     fn restore(&mut self, snap: &EngineSnapshot) { self.now = snap.now; self.cursor = snap.cursor; }\n\
+                   }\n";
+        let v = run(src);
+        assert!(
+            v.iter().any(|v| v.message.contains("as reconstructed")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_struct_field_not_in_manifest_fires() {
+        let manifest = parse_manifest(MANIFEST).unwrap();
+        let snap = "pub struct EngineSnapshot { pub now: f64, pub cursor: usize, pub rogue: u8 }";
+        let engine = engine_src(
+            "EngineSnapshot { now: self.now, cursor: self.cursor, rogue: 0 }",
+            "self.now = snap.now; self.cursor = snap.cursor; let _ = snap.rogue;",
+        );
+        let files = [
+            FileAnalysis::new("sim", "crates/sim/src/engine.rs", &engine),
+            FileAnalysis::new("sim", "crates/sim/src/snap.rs", snap),
+        ];
+        let v = check_snapshot_coverage(&manifest, &files);
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains("not in the snapshot manifest")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_file_is_reported_against_manifest() {
+        let manifest = parse_manifest(MANIFEST).unwrap();
+        let files = [FileAnalysis::new(
+            "sim",
+            "crates/sim/src/engine.rs",
+            "fn x() {}",
+        )];
+        let v = check_snapshot_coverage(&manifest, &files);
+        assert!(v.iter().any(|v| v.file == MANIFEST_PATH), "{v:?}");
+    }
+
+    #[test]
+    fn manifest_parse_errors_name_the_key() {
+        assert!(parse_manifest("{}").unwrap_err().contains("states"));
+        let err = parse_manifest(r#"{"states": [{"owner": "X"}]}"#).unwrap_err();
+        assert!(err.contains("file"), "{err}");
+    }
+}

@@ -1,0 +1,210 @@
+//! The suppression ratchet: a committed per-rule violation budget.
+//!
+//! `lint-baseline.json` at the workspace root records how many violations
+//! of each rule the tree is allowed to carry. The lint binary (and the
+//! `tests/lint.rs` gate) fails whenever a rule's live count **rises above**
+//! its budget — so new violations cannot ship — while counts *below*
+//! budget produce a tightening hint instead of silently leaving headroom
+//! for the next regression.
+//!
+//! The healthy steady state is an all-zero baseline (the tree is
+//! lint-clean); the budget mechanism exists so that a rule landing with
+//! pre-existing fallout can be introduced immediately and burned down
+//! ratchet-style, never loosened. Regenerate after burning down debt with
+//! `cargo run -p elasticflow-lint -- --write-baseline`.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, JsonValue};
+use crate::rules::RULES;
+use crate::scan::LintReport;
+
+/// Workspace-relative path of the committed baseline.
+pub const BASELINE_PATH: &str = "lint-baseline.json";
+
+/// Parsed budgets, keyed by rule id. Rules absent from the file default
+/// to a budget of zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Maximum tolerated violation count per rule.
+    pub budgets: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// The budget for one rule (zero when unlisted).
+    pub fn budget(&self, rule: &str) -> usize {
+        self.budgets.get(rule).copied().unwrap_or(0)
+    }
+}
+
+/// One rule whose live count differs from its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetDelta {
+    /// Rule id.
+    pub rule: String,
+    /// Live violation count.
+    pub count: usize,
+    /// Committed budget.
+    pub budget: usize,
+}
+
+/// Result of diffing a report against the baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RatchetOutcome {
+    /// Rules over budget — these fail the run.
+    pub regressions: Vec<RatchetDelta>,
+    /// Rules under budget — the baseline should be tightened.
+    pub improvements: Vec<RatchetDelta>,
+}
+
+impl RatchetOutcome {
+    /// `true` when no rule exceeds its budget.
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Parses `lint-baseline.json`.
+pub fn parse_baseline(src: &str) -> Result<Baseline, String> {
+    let doc = parse(src)?;
+    let budgets_obj = doc
+        .get("budgets")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing `budgets` object")?;
+    let mut budgets = BTreeMap::new();
+    for (rule, v) in budgets_obj {
+        let n = v
+            .as_usize()
+            .ok_or_else(|| format!("budget for `{rule}` is not a non-negative integer"))?;
+        budgets.insert(rule.clone(), n);
+    }
+    Ok(Baseline { budgets })
+}
+
+/// Renders a baseline matching `report`'s live counts: every registered
+/// rule is listed (zero included), so diffs of the committed file stay
+/// readable as rules are added.
+pub fn render_baseline(report: &LintReport) -> String {
+    let counts = rule_counts(report);
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"budgets\": {\n");
+    let lines: Vec<String> = counts
+        .iter()
+        .map(|(rule, n)| format!("    \"{rule}\": {n}"))
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Live violation counts per registered rule (violations under unknown
+/// rule ids — which cannot occur today — would be counted too).
+pub fn rule_counts(report: &LintReport) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for r in RULES {
+        counts.insert(r.id.to_string(), 0);
+    }
+    for v in &report.violations {
+        *counts.entry(v.rule.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Diffs the report's per-rule counts against the committed budgets.
+pub fn ratchet(report: &LintReport, baseline: &Baseline) -> RatchetOutcome {
+    let counts = rule_counts(report);
+    let mut outcome = RatchetOutcome::default();
+    // Union of registered/observed rules and budgeted rules, so a stale
+    // budget for a renamed rule surfaces as an improvement-to-zero.
+    let mut rules: Vec<&str> = counts.keys().map(String::as_str).collect();
+    for rule in baseline.budgets.keys() {
+        if !rules.contains(&rule.as_str()) {
+            rules.push(rule);
+        }
+    }
+    rules.sort_unstable();
+    for rule in rules {
+        let count = counts.get(rule).copied().unwrap_or(0);
+        let budget = baseline.budget(rule);
+        let delta = RatchetDelta {
+            rule: rule.to_string(),
+            count,
+            budget,
+        };
+        if count > budget {
+            outcome.regressions.push(delta);
+        } else if count < budget {
+            outcome.improvements.push(delta);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Violation;
+
+    fn report_with(rules: &[&str]) -> LintReport {
+        LintReport {
+            violations: rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Violation {
+                    rule: r.to_string(),
+                    file: "crates/sim/src/x.rs".into(),
+                    line: i as u32 + 1,
+                    message: "m".into(),
+                })
+                .collect(),
+            files_scanned: 1,
+            allows_used: 0,
+        }
+    }
+
+    #[test]
+    fn zero_baseline_fails_on_any_violation() {
+        let outcome = ratchet(&report_with(&["EF-L001"]), &Baseline::default());
+        assert!(!outcome.passes());
+        assert_eq!(outcome.regressions[0].rule, "EF-L001");
+        assert_eq!(outcome.regressions[0].budget, 0);
+    }
+
+    #[test]
+    fn counts_within_budget_pass_and_under_budget_hints() {
+        let baseline =
+            parse_baseline(r#"{"schema_version": 1, "budgets": {"EF-L001": 2, "EF-L003": 1}}"#)
+                .unwrap();
+        let outcome = ratchet(&report_with(&["EF-L001", "EF-L001"]), &baseline);
+        assert!(outcome.passes());
+        assert_eq!(outcome.improvements.len(), 1);
+        assert_eq!(outcome.improvements[0].rule, "EF-L003");
+    }
+
+    #[test]
+    fn count_above_budget_is_a_regression() {
+        let baseline =
+            parse_baseline(r#"{"schema_version": 1, "budgets": {"EF-L001": 1}}"#).unwrap();
+        let outcome = ratchet(&report_with(&["EF-L001", "EF-L001"]), &baseline);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].count, 2);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let rendered = render_baseline(&report_with(&["EF-L002"]));
+        let parsed = parse_baseline(&rendered).expect("round trip");
+        assert_eq!(parsed.budget("EF-L002"), 1);
+        assert_eq!(parsed.budget("EF-L001"), 0);
+        // Every registered rule is listed explicitly.
+        for r in RULES {
+            assert!(parsed.budgets.contains_key(r.id), "missing {}", r.id);
+        }
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline(r#"{"budgets": {"EF-L001": -1}}"#).is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

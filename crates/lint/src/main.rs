@@ -1,21 +1,53 @@
-//! CLI entry point: `cargo run -p elasticflow-lint [-- --json] [--rules]`.
+//! CLI entry point for the guarantee-soundness lint.
 //!
-//! Exit status 0 when the workspace is clean, 1 when violations exist,
-//! 2 on usage or I/O errors.
+//! Exit status contract (also printed by `--help`):
+//!   0 — workspace clean, or every rule's violation count is within its
+//!       `lint-baseline.json` budget;
+//!   1 — at least one rule exceeds its budget (with no baseline file,
+//!       every budget is zero, so any violation fails);
+//!   2 — usage or I/O error (bad flag, unreadable root, zero files
+//!       scanned, malformed baseline).
 
 use std::process::ExitCode;
 
-use elasticflow_lint::{lint_workspace, render_violation, to_json, workspace_root, RULES};
+use elasticflow_lint::baseline::{self, Baseline};
+use elasticflow_lint::{
+    lint_workspace, ratchet, render_baseline, render_violation, to_json, to_sarif, workspace_root,
+    RULES,
+};
+
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut show_rules = false;
+    let mut write_baseline = false;
+    let mut no_ratchet = false;
     let mut root = workspace_root();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json, // kept as an alias
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some("human") => format = Format::Human,
+                Some(other) => {
+                    eprintln!("error: unknown format `{other}` (json|sarif|human)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --format requires a value (json|sarif|human)");
+                    return ExitCode::from(2);
+                }
+            },
             "--rules" => show_rules = true,
+            "--write-baseline" => write_baseline = true,
+            "--no-ratchet" => no_ratchet = true,
             "--root" => match args.next() {
                 Some(dir) => root = dir.into(),
                 None => {
@@ -53,20 +85,80 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if json {
-        print!("{}", to_json(&report));
-    } else {
-        for v in &report.violations {
-            println!("{}", render_violation(v));
+
+    let baseline_path = root.join(baseline::BASELINE_PATH);
+    if write_baseline {
+        let rendered = render_baseline(&report);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
         }
-        println!(
-            "elasticflow-lint: {} file(s) scanned, {} violation(s), {} justified allow(s)",
-            report.files_scanned,
-            report.violations.len(),
-            report.allows_used
+        eprintln!(
+            "elasticflow-lint: wrote {} ({} violation(s) budgeted)",
+            baseline_path.display(),
+            report.violations.len()
         );
+        return ExitCode::SUCCESS;
     }
-    if report.is_clean() {
+
+    // Missing baseline file = all-zero budgets (strictest possible).
+    let budgets = match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => match elasticflow_lint::parse_baseline(&src) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: malformed {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+    let outcome = if no_ratchet {
+        Default::default()
+    } else {
+        ratchet(&report, &budgets)
+    };
+
+    match format {
+        Format::Json => print!("{}", to_json(&report)),
+        Format::Sarif => print!("{}", to_sarif(&report)),
+        Format::Human => {
+            for v in &report.violations {
+                println!("{}", render_violation(v));
+            }
+            println!(
+                "elasticflow-lint: {} file(s) scanned, {} violation(s), {} justified allow(s)",
+                report.files_scanned,
+                report.violations.len(),
+                report.allows_used
+            );
+            for d in &outcome.regressions {
+                eprintln!(
+                    "ratchet: {} has {} violation(s), budget is {} — fix them or \
+                     (for deliberate debt) raise the budget in {}",
+                    d.rule,
+                    d.count,
+                    d.budget,
+                    baseline::BASELINE_PATH
+                );
+            }
+            for d in &outcome.improvements {
+                eprintln!(
+                    "ratchet: {} is under budget ({} < {}) — tighten with \
+                     `cargo run -p elasticflow-lint -- --write-baseline`",
+                    d.rule, d.count, d.budget
+                );
+            }
+        }
+    }
+
+    if no_ratchet {
+        // Legacy strict mode: any violation fails.
+        if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else if outcome.passes() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -76,10 +168,17 @@ fn main() -> ExitCode {
 fn print_help() {
     println!(
         "elasticflow-lint: guarantee-soundness static analysis\n\n\
-         USAGE: elasticflow-lint [--json] [--rules] [--root DIR]\n\n\
-         --json   emit the machine-readable report on stdout\n\
-         --rules  print the rule registry and exit\n\
-         --root   workspace root to scan (default: this checkout)"
+         USAGE: elasticflow-lint [--format json|sarif|human] [--rules]\n\
+         \x20                       [--root DIR] [--write-baseline] [--no-ratchet]\n\n\
+         --format F         output format (default human; --json = --format json)\n\
+         --rules            print the rule registry and exit\n\
+         --root DIR         workspace root to scan (default: this checkout)\n\
+         --write-baseline   regenerate lint-baseline.json from the live counts\n\
+         --no-ratchet       ignore the baseline; any violation fails\n\n\
+         EXIT STATUS:\n\
+         \x200  clean, or all rule counts within the lint-baseline.json budgets\n\
+         \x201  at least one rule over budget (no baseline file = all budgets 0)\n\
+         \x202  usage or I/O error (bad flag, unreadable root, no files, bad baseline)"
     );
 }
 

@@ -1,5 +1,9 @@
-//! Machine-readable JSON rendering of a lint run (hand-rolled: the lint
-//! stays std-only so it can gate the workspace without depending on it).
+//! Machine-readable renderings of a lint run (hand-rolled: the lint stays
+//! std-only so it can gate the workspace without depending on it).
+//!
+//! Two formats: the native JSON report (schema_version 1) and SARIF 2.1.0
+//! for CI annotation uploads. Both emit fields in a fixed order so golden
+//! fixture tests (`tests/formats.rs`) can byte-compare output.
 
 use std::collections::BTreeMap;
 
@@ -44,6 +48,52 @@ pub fn to_json(report: &LintReport) -> String {
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as a SARIF 2.1.0 document (the minimal subset CI
+/// code-scanning uploads need: driver metadata, the rule registry, and one
+/// `result` per violation with a physical location).
+pub fn to_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"elasticflow-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"help\": {{\"text\": \"{}\"}}}}{}\n",
+            escape(r.id),
+            escape(r.title),
+            escape(r.remedy),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            escape(&v.rule),
+            escape(&v.message),
+            escape(&v.file),
+            v.line,
+            if i + 1 < report.violations.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
     out
 }
 
@@ -98,5 +148,40 @@ mod tests {
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\"line\": 7"));
         assert!(json.contains("\"EF-L001\": 1"));
+    }
+
+    #[test]
+    fn sarif_renders_rules_and_results() {
+        let r = LintReport {
+            violations: vec![Violation {
+                rule: "EF-L007".into(),
+                file: "crates/sim/src/engine.rs".into(),
+                line: 12,
+                message: "catch-all arm".into(),
+            }],
+            files_scanned: 1,
+            allows_used: 0,
+        };
+        let sarif = to_sarif(&r);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"elasticflow-lint\""));
+        assert!(sarif.contains("\"ruleId\": \"EF-L007\""));
+        assert!(sarif.contains("\"startLine\": 12"));
+        // Every registered rule is described in the driver metadata.
+        for rule in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.id)));
+        }
+        // The document is well-formed by our own reader.
+        assert!(crate::json::parse(&sarif).is_ok());
+    }
+
+    #[test]
+    fn native_json_is_well_formed() {
+        let r = LintReport {
+            violations: vec![],
+            files_scanned: 2,
+            allows_used: 0,
+        };
+        assert!(crate::json::parse(&to_json(&r)).is_ok());
     }
 }

@@ -7,6 +7,10 @@
 //! test code. Suppression is per-line via
 //! `// elasticflow-lint: allow(EF-L00N): <justification>`.
 
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::items::FileItems;
 use crate::lexer::{Token, TokenKind};
 
 /// A reported rule violation before file attribution.
@@ -108,6 +112,48 @@ pub const RULES: &[RuleInfo] = &[
                  site may spell the literal (with a suppression).",
         crates: &["core"],
     },
+    RuleInfo {
+        id: "EF-L006",
+        title: "snapshot coverage: persisted engine state must round-trip",
+        rationale: "A field added to the executor, the event-core cursors, or \
+                    the engine's run state without being wired through \
+                    `SimSnapshot` capture *and* restore resumes as a default \
+                    value, silently diverging a resumed run from the original \
+                    — the exact failure the bit-identical checkpoint \
+                    guarantee exists to prevent.",
+        remedy: "Add the field to the snapshot struct, populate it in the \
+                 capture path, read it back on restore, and list it in \
+                 crates/lint/snapshot-manifest.json — or declare it under \
+                 `reconstructed` there if resume deterministically rebuilds it.",
+        crates: &["sim"],
+    },
+    RuleInfo {
+        id: "EF-L007",
+        title: "no catch-all arms in matches over replayed enums",
+        rationale: "A `_ =>` (or bare-binding) arm in a `match` over `Event` \
+                    or `ReplanOutcome` silently swallows variants added \
+                    later; replay, WAL application, and telemetry would then \
+                    disagree about what happened with no compile error \
+                    anywhere.",
+        remedy: "List every variant explicitly (grouping with `|` is fine) so \
+                 a new variant forces a decision at each consuming site.",
+        crates: &["sim", "persist", "telemetry"],
+    },
+    RuleInfo {
+        id: "EF-L008",
+        title: "no side effects or nondeterminism in parallel closures",
+        rationale: "Closures run under the shims/rayon APIs (`install`, \
+                    `parallel_map_indexed`, par-iter `map`/`for_each`) \
+                    execute on worker threads in nondeterministic order: \
+                    stdout/stderr writes interleave, `RefCell`/`static mut` \
+                    access races, and EF-L003-class sources (host clocks, OS \
+                    RNGs, hash-order iteration) break the byte-identical \
+                    parallel-sweep guarantee.",
+        remedy: "Return values from the closure and aggregate after the \
+                 join; hoist I/O, shared mutation, and entropy outside the \
+                 parallel region.",
+        crates: &[], // parallel entry points may appear in any crate
+    },
 ];
 
 /// Looks up a rule by id.
@@ -139,7 +185,186 @@ pub fn check_tokens(tokens: &[Token], crate_name: &str) -> Vec<RawViolation> {
     if applies("EF-L005") {
         check_l005(tokens, &mut out);
     }
+    if applies("EF-L008") {
+        check_l008(tokens, &mut out);
+    }
     out
+}
+
+/// Runs the structure-aware per-file rules (currently EF-L007) over the
+/// extracted items of one file. `tokens` must be the same stream the items
+/// were extracted from (arm patterns are index ranges into it).
+pub fn check_items(tokens: &[Token], items: &FileItems, crate_name: &str) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    let applies = |id: &str| rule_info(id).is_some_and(|r| rule_applies(r, crate_name));
+    if applies("EF-L007") {
+        check_l007(tokens, items, &mut out);
+    }
+    out
+}
+
+/// Enums whose `match`es must stay exhaustive: both are replayed from
+/// persisted streams (the WAL records `Event`s; schedulers re-derive
+/// `ReplanOutcome`s), so a swallowed variant diverges replay silently.
+const REPLAYED_ENUMS: &[&str] = &["Event", "ReplanOutcome"];
+
+/// EF-L007: a `match` whose arms destructure a replayed enum must not
+/// contain a catch-all (`_` or bare-binding, unguarded) arm.
+fn check_l007(tokens: &[Token], items: &FileItems, out: &mut Vec<RawViolation>) {
+    for m in &items.matches {
+        let enum_name = m.arms.iter().find_map(|arm| {
+            tokens[arm.pattern.clone()].windows(3).find_map(|w| {
+                let is_path = w[0].kind == TokenKind::Ident
+                    && REPLAYED_ENUMS.contains(&w[0].text.as_str())
+                    && w[1].is_punct(':')
+                    && w[2].is_punct(':');
+                is_path.then(|| w[0].text.clone())
+            })
+        });
+        let Some(enum_name) = enum_name else {
+            continue;
+        };
+        for arm in &m.arms {
+            if arm.catch_all {
+                out.push(RawViolation {
+                    rule: "EF-L007",
+                    line: arm.line,
+                    message: format!(
+                        "catch-all arm in a `match` over `{enum_name}` swallows \
+                         future variants"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, if any.
+fn close_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// EF-L008: forbidden tokens inside the argument region of a shims/rayon
+/// parallel entry point.
+fn check_l008(tokens: &[Token], out: &mut Vec<RawViolation>) {
+    let mut regions: Vec<(Range<usize>, &'static str)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("parallel_map_indexed") && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = close_paren(tokens, i + 1) {
+                regions.push((i + 2..close, "parallel_map_indexed"));
+            }
+        }
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("install"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = close_paren(tokens, i + 2) {
+                regions.push((i + 3..close, "install"));
+            }
+        }
+        // `.par_iter().map(…)` / `.into_par_iter().for_each(…)` chains.
+        let par_entry = t.is_ident("par_iter") || t.is_ident("into_par_iter");
+        if par_entry
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(')'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('.'))
+            && tokens
+                .get(i + 4)
+                .is_some_and(|n| n.is_ident("map") || n.is_ident("for_each"))
+            && tokens.get(i + 5).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = close_paren(tokens, i + 5) {
+                regions.push((i + 6..close, "par-iter map"));
+            }
+        }
+    }
+    // Nested regions (an install around a par-iter) would double-report
+    // the same token; key hits by token index so each offending token is
+    // reported once, attributed to the outermost enclosing entry point.
+    let mut hits: BTreeMap<usize, (u32, String)> = BTreeMap::new();
+    for (range, api) in regions {
+        scan_parallel_region(tokens, range, api, &mut hits);
+    }
+    for (_, (line, message)) in hits {
+        out.push(RawViolation {
+            rule: "EF-L008",
+            line,
+            message,
+        });
+    }
+}
+
+fn scan_parallel_region(
+    tokens: &[Token],
+    range: Range<usize>,
+    api: &str,
+    hits: &mut BTreeMap<usize, (u32, String)>,
+) {
+    let start = range.start;
+    let slice = &tokens[range];
+    for (k, t) in slice.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = |off: usize| tokens.get(start + k + off);
+        let msg = match t.text.as_str() {
+            "println" | "print" | "eprintln" | "eprint"
+                if next(1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                Some(format!(
+                    "`{}!` in a `{api}` closure interleaves output across \
+                     worker threads",
+                    t.text
+                ))
+            }
+            "stdout" | "stderr" => {
+                Some(format!("`{}` handle used inside a `{api}` closure", t.text))
+            }
+            "RefCell" | "UnsafeCell" => Some(format!(
+                "shared `{}` inside a `{api}` closure is not thread-safe",
+                t.text
+            )),
+            "static" if next(1).is_some_and(|n| n.is_ident("mut")) => Some(format!(
+                "`static mut` accessed inside a `{api}` closure races"
+            )),
+            "SystemTime" | "Instant"
+                if next(1).is_some_and(|n| n.is_punct(':'))
+                    && next(2).is_some_and(|n| n.is_punct(':'))
+                    && next(3).is_some_and(|n| n.is_ident("now")) =>
+            {
+                Some(format!(
+                    "`{}::now()` inside a `{api}` closure makes sweep results \
+                     timing-dependent",
+                    t.text
+                ))
+            }
+            "thread_rng" | "from_entropy" => Some(format!(
+                "`{}` inside a `{api}` closure seeds from the OS, breaking \
+                 byte-identical sweeps",
+                t.text
+            )),
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` inside a `{api}` closure iterates in host-random order",
+                t.text
+            )),
+            _ => None,
+        };
+        if let Some(message) = msg {
+            hits.entry(start + k).or_insert((t.line, message));
+        }
+    }
 }
 
 /// EF-L001: `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!`.
@@ -492,6 +717,97 @@ mod tests {
         assert!(run("fn f() { let e = 1e-12; let f = 1e-6; }", "core").is_empty());
         assert!(run("fn f() { let e = 1e-9; }", "sim").is_empty());
         assert!(run("fn f() { let e = WORK_EPSILON; }", "core").is_empty());
+    }
+
+    fn run_structural(src: &str, crate_name: &str) -> Vec<RawViolation> {
+        let lexed = lex(src);
+        let tokens = strip_test_regions(&lexed.tokens);
+        let items = crate::items::extract(&tokens);
+        check_items(&tokens, &items, crate_name)
+    }
+
+    #[test]
+    fn l007_fires_on_wildcard_over_event() {
+        let src = "fn f(e: Event) {\n  match e {\n    Event::Arrival { job } => go(job),\n    _ => {}\n  }\n}";
+        let v = run_structural(src, "sim");
+        assert_eq!(rules_of(&v), vec!["EF-L007"]);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn l007_fires_on_bare_binding_over_replan_outcome() {
+        let src = "fn f(o: X) { match o { ReplanOutcome::Done => {} other => drop(other) } }";
+        assert_eq!(rules_of(&run_structural(src, "persist")), vec!["EF-L007"]);
+    }
+
+    #[test]
+    fn l007_clean_on_exhaustive_and_unrelated_matches() {
+        // Exhaustive Event match, a guarded underscore, and a match over an
+        // unrelated enum with a wildcard: none should fire.
+        let src = "fn f(e: Event) {\n\
+                   match e { Event::Arrival { job } => a(job), Event::SlotBoundary | Event::PauseEnd { .. } => {} }\n\
+                   match e { Event::SlotBoundary => {} _ if noisy() => {} Event::Arrival { .. } => {} }\n\
+                   match color { Color::Red => {} _ => {} }\n}";
+        assert!(run_structural(src, "telemetry").is_empty());
+    }
+
+    #[test]
+    fn l007_out_of_scope_crate_is_clean() {
+        let src = "fn f(e: Event) { match e { Event::SlotBoundary => {} _ => {} } }";
+        assert!(run_structural(src, "core").is_empty());
+    }
+
+    #[test]
+    fn l008_fires_inside_parallel_entry_points() {
+        for (src, needle) in [
+            (
+                "fn f() { pool.install(|| { eprintln!(\"tick\"); work() }); }",
+                "eprintln",
+            ),
+            (
+                "fn f() { parallel_map_indexed(n, |i| { CELL.with(|c: &RefCell<u32>| {}); i }); }",
+                "RefCell",
+            ),
+            (
+                "fn f() { v.par_iter().map(|x| reg.lock().insert_into::<HashMap<u32, u32>>(x)).collect() }",
+                "HashMap",
+            ),
+            (
+                "fn f() { pool.install(|| unsafe { static mut N: u32 = 0; N += 1 }); }",
+                "static mut",
+            ),
+            (
+                "fn f() { v.into_par_iter().for_each(|x| log(Instant::now(), x)); }",
+                "Instant::now",
+            ),
+        ] {
+            let v = run(src, "bench");
+            assert_eq!(rules_of(&v), vec!["EF-L008"], "missed: {src}");
+            assert!(v[0].message.contains(needle), "{src}: {}", v[0].message);
+        }
+    }
+
+    #[test]
+    fn l008_clean_outside_parallel_regions_and_on_pure_closures() {
+        for src in [
+            // I/O outside any parallel entry point.
+            "fn f() { eprintln!(\"sequential\"); pool.install(|| run()); }",
+            // Pure closure: returns values, no shared state.
+            "fn f() { v.par_iter().map(|x| x * 2).collect() }",
+            // Function reference, nothing to scan.
+            "fn f() { reqs.into_par_iter().map(run_request).collect() }",
+            // install with a clean closure body.
+            "fn f() { pool.install(|| fig6::run_large(SWEEP_SEED)); }",
+        ] {
+            assert!(run(src, "bench").is_empty(), "false positive: {src}");
+        }
+    }
+
+    #[test]
+    fn l008_nested_regions_report_once() {
+        let src = "fn f() { pool.install(|| v.par_iter().map(|x| println!(\"{x}\")).collect()); }";
+        let v = run(src, "bench");
+        assert_eq!(rules_of(&v), vec!["EF-L008"], "{v:?}");
     }
 
     #[test]

@@ -1,11 +1,24 @@
-//! Workspace file discovery and per-file lint orchestration.
+//! Workspace file discovery and lint orchestration.
+//!
+//! Linting is a two-pass pipeline:
+//!
+//! 1. **Analyze** every in-scope file once: lex, strip test regions,
+//!    extract structural items ([`FileAnalysis`]).
+//! 2. **Check**: per-file token and structural rules, then the cross-file
+//!    snapshot-coverage analysis ([`crate::analysis`]), then suppression
+//!    resolution over the combined violation list — which is also where
+//!    *unused* `allow(...)` directives are detected and reported under
+//!    EF-L000 (a suppression that silences nothing is stale documentation
+//!    at best and a hidden hole at worst).
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{lex, strip_test_regions, AllowDirective};
-use crate::rules::{check_tokens, rule_info, META_RULE};
+use crate::analysis;
+use crate::items::{extract, FileItems};
+use crate::lexer::{lex, strip_test_regions, AllowDirective, LexedFile, Token};
+use crate::rules::{check_items, check_tokens, rule_info, META_RULE};
 
 /// One attributed violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,13 +51,47 @@ impl LintReport {
     }
 }
 
+/// Everything pass 1 computes for one source file.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// The crate the file belongs to (directory name under `crates/`).
+    pub crate_name: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// Raw lexer output (tokens incl. test regions, allow directives).
+    pub lexed: LexedFile,
+    /// Token stream with test-only regions removed; rules run on this.
+    pub stripped: Vec<Token>,
+    /// Structural items extracted from `stripped`.
+    pub items: FileItems,
+}
+
+impl FileAnalysis {
+    /// Runs pass 1 on one source string.
+    pub fn new(crate_name: &str, file: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let stripped = strip_test_regions(&lexed.tokens);
+        let items = extract(&stripped);
+        FileAnalysis {
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            lexed,
+            stripped,
+            items,
+        }
+    }
+}
+
 /// Lints every in-scope source file under `root` (a workspace checkout).
 ///
 /// Scanned: `crates/*/src/**/*.rs` and the facade's `src/**/*.rs`. The
 /// vendored dependency shims (`shims/`), tests, benches, and examples are
 /// out of scope — rules gate the guarantee-critical product code only.
+///
+/// The snapshot manifest (`crates/lint/snapshot-manifest.json`) is loaded
+/// from `root`; a missing or unparseable manifest is itself an EF-L006
+/// finding — the coverage rule must fail loudly, never silently disable.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
-    let mut report = LintReport::default();
     let mut files: Vec<(String, PathBuf)> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -62,6 +109,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         }
     }
     collect_rs_files(&root.join("src"), &mut files, "elasticflow");
+    let mut analyses = Vec::with_capacity(files.len());
     for (crate_name, path) in files {
         let src = fs::read_to_string(&path)?;
         let rel = path
@@ -69,75 +117,142 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        lint_file(&src, &crate_name, &rel, &mut report);
-        report.files_scanned += 1;
+        analyses.push(FileAnalysis::new(&crate_name, &rel, &src));
     }
-    report
-        .violations
-        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    let manifest = fs::read_to_string(root.join(analysis::MANIFEST_PATH)).ok();
+    let mut report = lint_analyses(&analyses, manifest.as_deref());
+    if manifest.is_none() && !analyses.is_empty() {
+        report.violations.push(Violation {
+            rule: analysis::SNAPSHOT_RULE.to_string(),
+            file: analysis::MANIFEST_PATH.to_string(),
+            line: 1,
+            message: "snapshot manifest is missing — the coverage rule cannot \
+                      run; restore the manifest or regenerate it per DESIGN.md §7"
+                .to_string(),
+        });
+        sort_violations(&mut report.violations);
+    }
     Ok(report)
 }
 
-/// Lints a single source string as though it lived in `crate_name`.
-/// Exposed for the rule/property tests.
-pub fn lint_source(src: &str, crate_name: &str, file: &str) -> Vec<Violation> {
-    let mut report = LintReport::default();
-    lint_file(src, crate_name, file, &mut report);
-    report.violations
+/// Lints a set of in-memory sources `(crate_name, rel_path, src)` with an
+/// optional snapshot manifest. This is the full pipeline — used by the
+/// workspace scan above and by tests that need cross-file analysis over
+/// doctored fixtures.
+pub fn lint_files(files: &[(&str, &str, &str)], manifest: Option<&str>) -> LintReport {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(c, f, s)| FileAnalysis::new(c, f, s))
+        .collect();
+    lint_analyses(&analyses, manifest)
 }
 
-fn lint_file(src: &str, crate_name: &str, file: &str, report: &mut LintReport) {
-    let lexed = lex(src);
-    let tokens = strip_test_regions(&lexed.tokens);
-    let mut raw = check_tokens(&tokens, crate_name);
+/// Lints a single source string as though it lived in `crate_name`.
+/// Exposed for the rule/property tests. Cross-file analysis (EF-L006) does
+/// not run — there is no manifest.
+pub fn lint_source(src: &str, crate_name: &str, file: &str) -> Vec<Violation> {
+    lint_files(&[(crate_name, file, src)], None).violations
+}
 
-    // Malformed directives are themselves violations (meta-rule), on every
-    // scanned file regardless of crate scope.
-    for &line in &lexed.malformed_allows {
-        raw.push(crate::rules::RawViolation {
-            rule: META_RULE,
-            line,
-            message: "malformed suppression: expected \
-                      `elasticflow-lint: allow(EF-L00N): <justification>`"
-                .to_string(),
-        });
-    }
+fn sort_violations(violations: &mut [Violation]) {
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+}
 
-    // Resolve each well-formed allow to the line it suppresses: its own
-    // line when trailing, otherwise the next token-bearing line.
-    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
-    let resolved: Vec<(String, u32)> = lexed
-        .allows
-        .iter()
-        .map(|a| (a.rule.clone(), allow_target(a, &token_lines)))
-        .collect();
+/// Pass 2: rules, cross-file analysis, suppression resolution.
+fn lint_analyses(analyses: &[FileAnalysis], manifest: Option<&str>) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: analyses.len(),
+        ..LintReport::default()
+    };
+    let mut all: Vec<Violation> = Vec::new();
 
-    // Allows naming unknown rules are malformed too (typo protection).
-    for a in &lexed.allows {
-        if rule_info(&a.rule).is_none() {
+    for fa in analyses {
+        let mut raw = check_tokens(&fa.stripped, &fa.crate_name);
+        raw.extend(check_items(&fa.stripped, &fa.items, &fa.crate_name));
+
+        // Malformed directives are themselves violations (meta-rule), on
+        // every scanned file regardless of crate scope.
+        for &line in &fa.lexed.malformed_allows {
             raw.push(crate::rules::RawViolation {
                 rule: META_RULE,
-                line: a.line,
-                message: format!("suppression names unknown rule `{}`", a.rule),
+                line,
+                message: "malformed suppression: expected \
+                          `elasticflow-lint: allow(EF-L00N): <justification>`"
+                    .to_string(),
             });
+        }
+        // Allows naming unknown rules are malformed too (typo protection).
+        for a in &fa.lexed.allows {
+            if rule_info(&a.rule).is_none() {
+                raw.push(crate::rules::RawViolation {
+                    rule: META_RULE,
+                    line: a.line,
+                    message: format!("suppression names unknown rule `{}`", a.rule),
+                });
+            }
+        }
+        all.extend(raw.into_iter().map(|v| Violation {
+            rule: v.rule.to_string(),
+            file: fa.file.clone(),
+            line: v.line,
+            message: v.message,
+        }));
+    }
+
+    // Cross-file snapshot coverage (EF-L006), manifest-driven.
+    if let Some(src) = manifest {
+        match analysis::parse_manifest(src) {
+            Ok(m) => all.extend(analysis::check_snapshot_coverage(&m, analyses)),
+            Err(e) => all.push(Violation {
+                rule: analysis::SNAPSHOT_RULE.to_string(),
+                file: analysis::MANIFEST_PATH.to_string(),
+                line: 1,
+                message: format!("snapshot manifest unreadable: {e}"),
+            }),
         }
     }
 
-    for v in raw {
-        let suppressed = resolved
-            .iter()
-            .any(|(rule, line)| rule == v.rule && *line == v.line);
-        if suppressed {
-            report.allows_used += 1;
-            continue;
+    // Suppression resolution over the combined list. Each well-formed
+    // allow suppresses matching violations on its target line; an allow
+    // of a *known* rule that suppresses nothing is reported (EF-L000) so
+    // stale suppressions cannot rot in place. (Unknown-rule allows were
+    // already reported above.)
+    for fa in analyses {
+        let token_lines: BTreeSet<u32> = fa.lexed.tokens.iter().map(|t| t.line).collect();
+        for a in &fa.lexed.allows {
+            if rule_info(&a.rule).is_none() {
+                continue;
+            }
+            let target = allow_target(a, &token_lines);
+            let before = all.len();
+            all.retain(|v| !(v.file == fa.file && v.rule == a.rule && v.line == target));
+            let silenced = before - all.len();
+            if silenced > 0 {
+                report.allows_used += silenced;
+            } else {
+                all.push(Violation {
+                    rule: META_RULE.to_string(),
+                    file: fa.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "suppression `allow({})` matches no finding on line {} \
+                         — remove it or fix the directive placement",
+                        a.rule, target
+                    ),
+                });
+            }
         }
-        report.violations.push(Violation {
-            rule: v.rule.to_string(),
-            file: file.to_string(),
-            line: v.line,
-            message: v.message,
-        });
     }
+
+    sort_violations(&mut all);
+    report.violations = all;
+    report
 }
 
 /// The line a directive suppresses.
@@ -185,12 +300,34 @@ mod tests {
     }
 
     #[test]
-    fn allow_for_wrong_rule_does_not_suppress() {
+    fn allow_for_wrong_rule_does_not_suppress_and_is_itself_unused() {
         let src =
             "fn f() {\n    // elasticflow-lint: allow(EF-L002): wrong rule\n    a.unwrap();\n}";
         let v = lint_source(src, "core", "x.rs");
+        assert_eq!(v.len(), 2);
+        // The original diagnostic survives…
+        assert!(v.iter().any(|v| v.rule == "EF-L001" && v.line == 3));
+        // …and the ineffective allow is flagged as unused.
+        assert!(v.iter().any(|v| v.rule == "EF-L000"
+            && v.line == 2
+            && v.message.contains("matches no finding")));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "fn f() {\n    // elasticflow-lint: allow(EF-L001): stale, code was fixed\n    a.checked_op();\n}";
+        let v = lint_source(src, "core", "x.rs");
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "EF-L001");
+        assert_eq!(v[0].rule, "EF-L000");
+        assert!(v[0].message.contains("allow(EF-L001)"));
+    }
+
+    #[test]
+    fn used_allow_is_not_reported_as_unused() {
+        let src = "fn f() {\n    // elasticflow-lint: allow(EF-L001): invariant holds\n    a.unwrap();\n}";
+        let report = lint_files(&[("core", "x.rs", src)], None);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.allows_used, 1);
     }
 
     #[test]
@@ -227,5 +364,36 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].file, "crates/sim/src/engine.rs");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn bad_manifest_is_an_ef_l006_finding() {
+        let report = lint_files(
+            &[("sim", "crates/sim/src/x.rs", "fn f() {}")],
+            Some("not json"),
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "EF-L006");
+        assert_eq!(report.violations[0].file, analysis::MANIFEST_PATH);
+    }
+
+    #[test]
+    fn allow_suppresses_cross_file_finding() {
+        // A struct field missing from capture, with a justified allow on
+        // the field's line: EF-L006 is silenced, and the allow counts as
+        // used (not unused).
+        let manifest = r#"{
+          "schema_version": 1,
+          "states": [{
+            "owner": "S", "file": "crates/sim/src/s.rs",
+            "snapshot": "SSnap", "snapshot_file": "crates/sim/src/s.rs",
+            "capture_fn": "capture", "restore_fn": "restore",
+            "reconstructed": []
+          }]
+        }"#;
+        let src = "pub struct S {\n    a: u32,\n    // elasticflow-lint: allow(EF-L006): transient scratch, never persisted\n    b: u32,\n}\npub struct SSnap { a: u32 }\nimpl S {\n    fn capture(&self) -> SSnap { SSnap { a: self.a } }\n    fn restore(&mut self, snap: &SSnap) { self.a = snap.a; }\n}\n";
+        let report = lint_files(&[("sim", "crates/sim/src/s.rs", src)], Some(manifest));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.allows_used, 1);
     }
 }

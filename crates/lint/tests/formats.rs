@@ -1,0 +1,98 @@
+//! Golden tests for the machine-readable report formats.
+//!
+//! CI publishes both documents as artifacts; downstream tooling parses
+//! them, so field *order* is part of the contract, not just field content.
+//! These tests byte-compare renderings of a fixed report against committed
+//! fixtures. After an intentional format change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p elasticflow-lint --test formats
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use elasticflow_lint::scan::{LintReport, Violation};
+use elasticflow_lint::{to_json, to_sarif};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A fixed report exercising both populated and empty fields, plus
+/// characters that need escaping.
+fn sample_report() -> LintReport {
+    LintReport {
+        violations: vec![
+            Violation {
+                rule: "EF-L001".into(),
+                file: "crates/core/src/alloc.rs".into(),
+                line: 42,
+                message: "`panic!(…)` can abort the scheduling loop".into(),
+            },
+            Violation {
+                rule: "EF-L006".into(),
+                file: "crates/sim/src/executor.rs".into(),
+                line: 7,
+                message: "field `Executor.x` is neither captured in \
+                          `ExecutorSnapshot` nor listed as reconstructed"
+                    .into(),
+            },
+            Violation {
+                rule: "EF-L007".into(),
+                file: "crates/persist/src/wal.rs".into(),
+                line: 19,
+                message: "catch-all arm in a `match` over `Event` swallows \
+                          future variants \"quoted\""
+                    .into(),
+            },
+        ],
+        files_scanned: 111,
+        allows_used: 9,
+    }
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixtures dir");
+        fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDENS=1", name));
+    assert_eq!(
+        rendered, want,
+        "{name} drifted from its golden fixture; if the change is \
+         intentional, regenerate with UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn json_report_matches_golden() {
+    check_golden("report.json", &to_json(&sample_report()));
+}
+
+#[test]
+fn sarif_report_matches_golden() {
+    check_golden("report.sarif", &to_sarif(&sample_report()));
+}
+
+#[test]
+fn empty_report_renders_stable_skeletons() {
+    let empty = LintReport {
+        violations: vec![],
+        files_scanned: 3,
+        allows_used: 0,
+    };
+    let json = to_json(&empty);
+    assert!(json.contains("\"clean\": true"));
+    assert!(json.contains("\"violations\": [\n  ]"));
+    let sarif = to_sarif(&empty);
+    assert!(sarif.contains("\"results\": [\n      ]"));
+    // Both parse with the crate's own JSON reader.
+    elasticflow_lint::json::parse(&json).expect("json well-formed");
+    elasticflow_lint::json::parse(&sarif).expect("sarif well-formed");
+}

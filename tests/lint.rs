@@ -1,12 +1,18 @@
 //! Workspace gate: `cargo test` fails if any guarantee-soundness lint rule
-//! is violated anywhere in the workspace.
+//! is violated anywhere in the workspace, or if per-rule finding counts
+//! exceed the committed ratchet budgets in `lint-baseline.json`.
 //!
 //! The same checks are available interactively as
-//! `cargo run -p elasticflow-lint` (add `--json` for the machine-readable
-//! report). Rules and the suppression syntax are documented in the
-//! `elasticflow_lint` crate docs and in DESIGN.md.
+//! `cargo run -p elasticflow-lint` (add `--format json|sarif` for the
+//! machine-readable reports). Rules and the suppression syntax are
+//! documented in the `elasticflow_lint` crate docs and in DESIGN.md.
 
-use elasticflow_lint::{lint_workspace, render_violation, workspace_root};
+use std::fs;
+
+use elasticflow_lint::{
+    lint_files, lint_workspace, parse_baseline, parse_manifest, ratchet, render_violation,
+    workspace_root, BASELINE_PATH, MANIFEST_PATH,
+};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -29,4 +35,103 @@ fn workspace_is_lint_clean() {
         );
         panic!("{msg}");
     }
+}
+
+/// The committed baseline must parse and the workspace must stay within
+/// its per-rule budgets. This is the same gate `make lint` and CI apply;
+/// duplicating it here means a plain `cargo test` catches regressions too.
+#[test]
+fn workspace_stays_within_ratchet_budgets() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).expect("workspace sources readable");
+    let src = fs::read_to_string(root.join(BASELINE_PATH))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = parse_baseline(&src).expect("lint-baseline.json parses");
+    let outcome = ratchet(&report, &baseline);
+    assert!(
+        outcome.passes(),
+        "lint ratchet regressions (count > budget): {:?}\n\
+         Fix the new findings, or — only with a justified allow — regenerate \
+         the baseline via `cargo run -p elasticflow-lint -- --write-baseline`.",
+        outcome.regressions
+    );
+}
+
+/// Self-check for EF-L006: deliberately drop one field from the *real*
+/// Executor capture path and assert the snapshot-coverage rule notices.
+/// This proves the rule guards the actual persistence surface, not just
+/// synthetic fixtures — if someone adds engine state without extending
+/// `SimSnapshot`, `cargo test` names the missing field.
+#[test]
+fn snapshot_coverage_catches_omitted_field() {
+    let root = workspace_root();
+    let manifest_src =
+        fs::read_to_string(root.join(MANIFEST_PATH)).expect("snapshot manifest readable");
+    // Parse once here so a manifest/schema typo fails this test with a
+    // clear message instead of surfacing as an opaque EF-L006 finding.
+    parse_manifest(&manifest_src).expect("snapshot manifest parses");
+
+    let read = |rel: &str| fs::read_to_string(root.join(rel)).expect(rel);
+    let executor = read("crates/sim/src/executor.rs");
+    let event = read("crates/sim/src/event.rs");
+    let snapshot = read("crates/sim/src/snapshot.rs");
+    let engine = read("crates/sim/src/engine.rs");
+
+    // Sever the `submitted` field from Executor::capture. The marker must
+    // exist — if the capture body is refactored, update this test rather
+    // than silently testing nothing.
+    let marker = "submitted: self.submitted,";
+    assert!(
+        executor.contains(marker),
+        "expected `{marker}` in crates/sim/src/executor.rs capture body; \
+         capture was refactored — update this self-check"
+    );
+    let doctored = executor.replace(marker, "");
+
+    let files = [
+        ("sim", "crates/sim/src/executor.rs", doctored.as_str()),
+        ("sim", "crates/sim/src/event.rs", event.as_str()),
+        ("sim", "crates/sim/src/snapshot.rs", snapshot.as_str()),
+        ("sim", "crates/sim/src/engine.rs", engine.as_str()),
+    ];
+    let report = lint_files(&files, Some(&manifest_src));
+    let hit = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "EF-L006" && v.message.contains("submitted"));
+    assert!(
+        hit.is_some(),
+        "EF-L006 failed to flag the omitted `submitted` field; got: {:?}",
+        report.violations
+    );
+}
+
+/// Negative control for the self-check above: the undoctored sim sources
+/// are EF-L006-clean under the committed manifest.
+#[test]
+fn snapshot_coverage_accepts_real_sources() {
+    let root = workspace_root();
+    let manifest_src =
+        fs::read_to_string(root.join(MANIFEST_PATH)).expect("snapshot manifest readable");
+    let read = |rel: &str| fs::read_to_string(root.join(rel)).expect(rel);
+    let executor = read("crates/sim/src/executor.rs");
+    let event = read("crates/sim/src/event.rs");
+    let snapshot = read("crates/sim/src/snapshot.rs");
+    let engine = read("crates/sim/src/engine.rs");
+    let files = [
+        ("sim", "crates/sim/src/executor.rs", executor.as_str()),
+        ("sim", "crates/sim/src/event.rs", event.as_str()),
+        ("sim", "crates/sim/src/snapshot.rs", snapshot.as_str()),
+        ("sim", "crates/sim/src/engine.rs", engine.as_str()),
+    ];
+    let report = lint_files(&files, Some(&manifest_src));
+    let l006: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "EF-L006")
+        .collect();
+    assert!(
+        l006.is_empty(),
+        "real sim sources should satisfy the snapshot manifest; got: {l006:?}"
+    );
 }
