@@ -1,31 +1,38 @@
 //! `bench-trajectory` — machine-readable performance snapshot.
 //!
 //! ```text
-//! bench-trajectory [--out PATH] [--samples N] [--jobs N]
+//! bench-trajectory [--out PATH] [--samples N] [--jobs N] [--mega MODE]
 //! ```
 //!
 //! Times the admission hot path (from-scratch Algorithm 1 vs the
 //! incremental `AdmissionSet::whatif_admit` entry point, plus the full
-//! replan pass) at 50/200/1000 jobs, and the fig6b experiment sweep
-//! wall-clock at `--jobs 1` vs `--jobs N` (default: available cores),
-//! then writes everything as JSON (default `BENCH_RESULTS.json`):
+//! replan pass) at 50/200/1000 jobs, the fig6b experiment sweep
+//! wall-clock at `--jobs 1` vs `--jobs N` (default: available cores), and
+//! one mega-cluster run (`--mega full`: 1M arrivals / 16,384 GPUs, the
+//! default; `--mega smoke`: 100k / 1,024; `--mega off` skips it), then
+//! writes everything as JSON (default `BENCH_RESULTS.json`):
 //!
 //! ```json
 //! {
 //!   "benchmarks": { "<name>": <mean ns/iter>, ... },
 //!   "sweeps": { "fig6b_jobs_1_ms": ..., "fig6b_jobs_N_ms": ...,
 //!               "fig6b_parallel_jobs": N, "fig6b_speedup": ... },
+//!   "mega_cluster": { "arrivals": ..., "gpus": ..., "events": ...,
+//!                     "wall_ms": ..., "events_per_sec": ...,
+//!                     "digest": ... },
 //!   "samples": N
 //! }
 //! ```
 //!
 //! The tracked trajectory lives in `EXPERIMENTS.md`; regenerate this
-//! file on a quiet machine before recording new numbers there.
+//! file on a quiet machine (with a release build) before recording new
+//! numbers there.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use elasticflow_bench::experiments::fig6;
+use elasticflow_bench::mega::{run_mega, MegaConfig};
 use elasticflow_bench::workloads::{arriving_candidate, planning_jobs};
 use elasticflow_core::{AdmissionController, ResourceAllocator, SlotGrid};
 use serde_json::Value;
@@ -38,6 +45,7 @@ struct Options {
     out: String,
     samples: u32,
     jobs: usize,
+    mega: Option<MegaConfig>,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -47,6 +55,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         jobs: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
+        mega: Some(MegaConfig::paper_scale()),
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -62,6 +71,12 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => opts.jobs = v,
                 _ => return Err("--jobs needs a positive integer".to_owned()),
+            },
+            "--mega" => match it.next().as_deref() {
+                Some("full") => opts.mega = Some(MegaConfig::paper_scale()),
+                Some("smoke") => opts.mega = Some(MegaConfig::smoke()),
+                Some("off") => opts.mega = None,
+                _ => return Err("--mega needs full, smoke, or off".to_owned()),
             },
             other => return Err(format!("unexpected argument: {other}")),
         }
@@ -152,12 +167,38 @@ fn sweep_benchmarks(jobs: usize) -> Result<Vec<(String, Value)>, String> {
     ])
 }
 
+/// One timed mega-cluster run (trace generation included in the wall
+/// clock — at a million arrivals the generator is part of the story).
+fn mega_benchmarks(cfg: &MegaConfig) -> Vec<(String, Value)> {
+    let start = Instant::now();
+    let stats = run_mega(cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let events_per_sec = stats.events as f64 / (wall_ms / 1e3).max(1e-9);
+    eprintln!(
+        "mega_cluster: {} arrivals on {} GPUs, {} events in {wall_ms:.0} ms \
+         ({events_per_sec:.0} events/s), {} completed, digest {:#018x}",
+        stats.arrivals, stats.total_gpus, stats.events, stats.completed, stats.digest
+    );
+    vec![
+        ("arrivals".to_owned(), Value::UInt(stats.arrivals as u64)),
+        ("gpus".to_owned(), Value::UInt(u64::from(stats.total_gpus))),
+        ("events".to_owned(), Value::UInt(stats.events as u64)),
+        ("completed".to_owned(), Value::UInt(stats.completed as u64)),
+        ("wall_ms".to_owned(), Value::Float(wall_ms)),
+        ("events_per_sec".to_owned(), Value::Float(events_per_sec)),
+        ("digest".to_owned(), Value::UInt(stats.digest)),
+    ]
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1).collect()) {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: bench-trajectory [--out PATH] [--samples N] [--jobs N]");
+            eprintln!(
+                "usage: bench-trajectory [--out PATH] [--samples N] [--jobs N] \
+                 [--mega full|smoke|off]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -171,11 +212,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let doc = Value::Object(vec![
+    let mut doc = vec![
         ("benchmarks".to_owned(), Value::Object(benchmarks)),
         ("sweeps".to_owned(), Value::Object(sweeps)),
         ("samples".to_owned(), Value::UInt(u64::from(opts.samples))),
-    ]);
+    ];
+    if let Some(cfg) = &opts.mega {
+        doc.insert(
+            2,
+            (
+                "mega_cluster".to_owned(),
+                Value::Object(mega_benchmarks(cfg)),
+            ),
+        );
+    }
+    let doc = Value::Object(doc);
     let mut json = String::new();
     doc.write_json(&mut json);
     json.push('\n');

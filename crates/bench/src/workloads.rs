@@ -7,7 +7,17 @@ use elasticflow_trace::JobId;
 
 /// A deterministic mixed-model planning workload: `n` jobs cycling over
 /// four DNN models, with remaining work spanning 0.5–2.5 h of single-GPU
-/// time and deadlines spread over 60–240 slots.
+/// time and deadlines spread with `n` so the set stays collectively
+/// feasible at every size.
+///
+/// The spread term matters: with deadlines capped at a fixed horizon
+/// (the original 60–240 slots), any `n` large enough to exceed the
+/// cluster's GPU-time capacity inside that horizon makes the whole set
+/// infeasible, and admission checks exit early on the first unfillable
+/// job — a 1000-job "benchmark" that never builds a 1000-job ledger and
+/// so times *less* work than the 200-job one. Scaling the deadline with
+/// `i / total_gpus` keeps roughly 2x capacity headroom at every prefix,
+/// so the committed ledger really is `n` profiles deep.
 pub fn planning_jobs(n: usize, total_gpus: u32) -> Vec<PlanningJob> {
     let net = Interconnect::paper_testbed();
     let models = [
@@ -27,15 +37,15 @@ pub fn planning_jobs(n: usize, total_gpus: u32) -> Vec<PlanningJob> {
                 id: JobId::new(i as u64),
                 curve,
                 remaining_iterations: tput * 1_800.0 * ((i % 5) + 1) as f64,
-                deadline_slot: 60 + 30 * (i % 7),
+                deadline_slot: 60 + 30 * (i % 7) + (i * 180) / total_gpus as usize,
             }
         })
         .collect()
 }
 
-/// A candidate whose deadline (slot 300) lands past every
-/// [`planning_jobs`] deadline (those top out at 240 slots) — the common
-/// arrival shape, since deadlines grow with arrival time.
+/// A candidate whose deadline lands past every [`planning_jobs`] deadline
+/// of a same-`id`-sized workload — the common arrival shape, since
+/// deadlines grow with arrival time.
 pub fn arriving_candidate(id: u64, total_gpus: u32) -> PlanningJob {
     let net = Interconnect::paper_testbed();
     let curve = ScalingCurve::build_with_max(DnnModel::ResNet50, 256, &net, total_gpus);
@@ -46,7 +56,7 @@ pub fn arriving_candidate(id: u64, total_gpus: u32) -> PlanningJob {
         id: JobId::new(id),
         curve,
         remaining_iterations: tput * 3_600.0,
-        deadline_slot: 300,
+        deadline_slot: 300 + (id as usize * 180) / total_gpus as usize,
     }
 }
 

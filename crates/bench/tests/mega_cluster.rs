@@ -1,0 +1,48 @@
+//! Scaled-down mega-cluster smoke: 100k arrivals on 1,024 GPUs, gated on
+//! a golden outcome digest.
+//!
+//! This is the CI-sized cousin of the `--mega full` bench-trajectory run
+//! (1M arrivals / 16,384 GPUs): same generator, same load per GPU, same
+//! digest construction. The pinned digest makes it a determinism gate for
+//! the whole data-layout stack at scale — the calendar event queue, the
+//! dense job arenas, and the indexed allocation table must reproduce the
+//! exact event order and job arithmetic or the digest moves.
+//!
+//! The test is `#[ignore]`d because it needs a release build to finish
+//! quickly; CI runs it explicitly via
+//! `cargo test -q --release -p elasticflow-bench --test mega_cluster -- --ignored`.
+//! To re-capture after an *intentional* observable change:
+//! `MEGA_SMOKE_PRINT=1 cargo test -q --release -p elasticflow-bench --test mega_cluster -- --ignored --nocapture`.
+
+use elasticflow_bench::mega::{run_mega, MegaConfig};
+
+/// Golden digest of the smoke run's per-outcome JSON stream.
+const SMOKE_DIGEST: u64 = 0xc92b_4b22_3b5f_af20;
+
+#[test]
+#[ignore = "needs a release build; CI runs it with -- --ignored"]
+fn mega_cluster_smoke_matches_golden_digest() {
+    let cfg = MegaConfig::smoke();
+    let stats = run_mega(&cfg);
+    if std::env::var("MEGA_SMOKE_PRINT").is_ok() {
+        eprintln!(
+            "mega smoke: digest {:#018x}, {} events, {} completed",
+            stats.digest, stats.events, stats.completed
+        );
+    }
+    assert_eq!(stats.arrivals, 100_000);
+    assert_eq!(stats.total_gpus, 1_024);
+    assert_eq!(stats.dropped, 0, "EDF admits everything");
+    assert!(
+        stats.completed > stats.arrivals / 2,
+        "most jobs should finish at smoke load, got {}/{}",
+        stats.completed,
+        stats.arrivals
+    );
+    assert_eq!(
+        stats.digest, SMOKE_DIGEST,
+        "mega-cluster outcome digest changed: the data-layout stack no \
+         longer reproduces the golden event order (got {:#018x})",
+        stats.digest
+    );
+}

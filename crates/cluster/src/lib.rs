@@ -42,6 +42,7 @@ pub mod num;
 mod placement;
 mod spec;
 mod state;
+mod table;
 mod topology;
 
 pub use buddy::{Block, BuddyAllocator};

@@ -1,9 +1,10 @@
 //! Cluster-wide allocation bookkeeping with defragmentation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
+use crate::table::AllocationTable;
 use crate::{Block, BuddyAllocator, ClusterError, Placement, Topology};
 
 /// A job relocation emitted by defragmentation: move the owner's workers
@@ -43,7 +44,9 @@ pub struct Migration {
 pub struct ClusterState {
     topology: Topology,
     buddy: BuddyAllocator,
-    allocations: BTreeMap<u64, Block>,
+    /// Dense sorted owner → block table; iteration order (ascending owner)
+    /// and serialized shape are identical to the former `BTreeMap`.
+    allocations: AllocationTable,
     /// Owners whose blocks must never be relocated by defragmentation —
     /// used to fence off failed servers (the block *is* the hardware).
     #[serde(default)]
@@ -62,7 +65,7 @@ impl ClusterState {
         ClusterState {
             topology,
             buddy,
-            allocations: BTreeMap::new(),
+            allocations: AllocationTable::new(),
             pinned: BTreeSet::new(),
         }
     }
@@ -332,7 +335,7 @@ impl ClusterState {
         entries.sort_by(|a, b| b.1.size().cmp(&a.1.size()).then(a.0.cmp(&b.0)));
         let mut fresh = BuddyAllocator::new(self.capacity());
         let mut migrations = Vec::new();
-        let mut new_allocations = BTreeMap::new();
+        let mut new_allocations = AllocationTable::new();
         // Pinned blocks (failed servers) keep their exact positions.
         for (owner, block) in &entries {
             if self.pinned.contains(owner) {

@@ -1,6 +1,7 @@
 //! Elastic resource allocation (paper Algorithm 2).
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use elasticflow_trace::JobId;
 
@@ -66,6 +67,40 @@ struct Boost {
     extra: u32,
     profile: AllocationProfile,
     version: u64,
+}
+
+/// Heap entry wrapping a [`Boost`] with its fixed selection key, ordered
+/// so `BinaryHeap::pop` yields exactly the entry the reference linear scan
+/// ([`ResourceAllocator::boost_reference`]) selects: restorations toward
+/// incumbent sizes first, then highest marginal priority, smallest job id
+/// as the final tiebreak. The queue holds at most one entry per job id at
+/// any time, so the order is total and pops are deterministic.
+struct RankedBoost {
+    restoring: bool,
+    boost: Boost,
+}
+
+impl PartialEq for RankedBoost {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for RankedBoost {}
+
+impl PartialOrd for RankedBoost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedBoost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.restoring
+            .cmp(&other.restoring)
+            .then(self.boost.priority.total_cmp(&other.boost.priority))
+            .then(other.boost.id.cmp(&self.boost.id))
+    }
 }
 
 impl ResourceAllocator {
@@ -143,7 +178,101 @@ impl ResourceAllocator {
     /// Phase 2 of Algorithm 2: distributes up to `budget` leftover slot-0
     /// GPUs by greedy marginal return, mutating `profiles` and `ledger` in
     /// place. Returns the number of GPUs actually granted.
+    ///
+    /// Selection runs through a lazy binary heap: entries keep the key
+    /// they were pushed with, a popped entry whose version predates the
+    /// ledger is recomputed and re-pushed, and a popped entry that no
+    /// longer fits the shrinking budget is discarded. Pop order equals the
+    /// reference linear scan ([`ResourceAllocator::boost_reference`])
+    /// entry for entry, so both produce identical allocations.
     pub fn boost(
+        &self,
+        jobs: &[PlanningJob],
+        grid: &SlotGrid,
+        profiles: &mut BTreeMap<JobId, AllocationProfile>,
+        ledger: &mut ReservationLedger,
+        budget: u32,
+        incumbents: &BTreeMap<JobId, u32>,
+    ) -> u32 {
+        let jobs_by_id: BTreeMap<JobId, &PlanningJob> = jobs.iter().map(|j| (j.id, j)).collect();
+        let mut free0 = budget;
+        let mut version = 0u64;
+        let mut scratch = FillScratch::new();
+        let restoring =
+            |b: &Boost| b.profile.gpus(0) <= incumbents.get(&b.id).copied().unwrap_or(0);
+        let mut queue: BinaryHeap<RankedBoost> = BinaryHeap::new();
+        for (&id, profile) in profiles.iter() {
+            if let Some(b) = self.candidate(
+                jobs_by_id[&id],
+                profile,
+                ledger,
+                grid,
+                free0,
+                version,
+                &mut scratch,
+            ) {
+                queue.push(RankedBoost {
+                    restoring: restoring(&b),
+                    boost: b,
+                });
+            }
+        }
+        while free0 > 0 {
+            let Some(RankedBoost { boost, .. }) = queue.pop() else {
+                break;
+            };
+            let job = jobs_by_id[&boost.id];
+            if boost.version < version {
+                // Stale: recompute against the current ledger and re-queue.
+                let current = &profiles[&boost.id];
+                if let Some(fresh) =
+                    self.candidate(job, current, ledger, grid, free0, version, &mut scratch)
+                {
+                    queue.push(RankedBoost {
+                        restoring: restoring(&fresh),
+                        boost: fresh,
+                    });
+                }
+                continue;
+            }
+            if boost.extra > free0 {
+                continue; // cannot ever fit again: free0 only shrinks
+            }
+            // Apply the boost: swap profiles in the ledger.
+            let old = profiles
+                .insert(boost.id, boost.profile.clone())
+                // elasticflow-lint: allow(EF-L001): boosts are only ever built from entries of `profiles`, so a previous profile exists; proceeding without it would leave its reservation committed forever
+                .expect("boosted job has a profile");
+            ledger.uncommit(&old);
+            ledger.commit(&boost.profile);
+            free0 -= boost.extra;
+            version += 1;
+            // Queue this job's next step.
+            if let Some(next) = self.candidate(
+                job,
+                &profiles[&boost.id],
+                ledger,
+                grid,
+                free0,
+                version,
+                &mut scratch,
+            ) {
+                queue.push(RankedBoost {
+                    restoring: restoring(&next),
+                    boost: next,
+                });
+            }
+        }
+        budget - free0
+    }
+
+    /// The retained linear-scan implementation of
+    /// [`ResourceAllocator::boost`], kept as the differential-testing
+    /// oracle: every pop of the heap-driven version must match the
+    /// maximum this scan selects.
+    /// Property tests assert the two produce identical profiles, grants,
+    /// and ledgers across random job sets; production code calls `boost`.
+    pub fn boost_reference(
         &self,
         jobs: &[PlanningJob],
         grid: &SlotGrid,

@@ -232,22 +232,59 @@ fn try_target(
             trim_final_slot(job, grid, memo, gpus, fixed_slot0);
             return Some(AllocationProfile::new(gpus.clone()));
         }
-        let x = match (t, fixed_slot0) {
-            (0, Some(x0)) => x0,
-            _ => {
-                let free = ledger.free(t, total_gpus);
-                clamp_pow2(j.min(free), free)
+        if t == 0 {
+            let x = match fixed_slot0 {
+                Some(x0) => x0,
+                None => {
+                    let free = ledger.free(0, total_gpus);
+                    clamp_pow2(j.min(free), free)
+                }
+            };
+            // Never allocate past the knee (constraint (7)).
+            let x = if x == 0 { 0 } else { memo.clamp_useful(x) };
+            gpus.push(x);
+            done += memo.iters_per_sec(x) * grid.duration(0);
+            if done + WORK_EPSILON >= job.remaining_iterations {
+                trim_final_slot(job, grid, memo, gpus, fixed_slot0);
+                return Some(AllocationProfile::new(gpus.clone()));
             }
-        };
+            t = 1;
+            continue;
+        }
+        // The committed value — and with it the grant `x` and the per-slot
+        // rate — is constant across `[t, run_end)`, and slot durations are
+        // uniform past slot 0, so the whole run is processed with the
+        // grant computed once.
+        let run_end = ledger.run_end(t).min(horizon).min(committed_horizon.max(1));
+        let free = ledger.free(t, total_gpus);
+        let x = clamp_pow2(j.min(free), free);
         // Never allocate past the knee (constraint (7)).
         let x = if x == 0 { 0 } else { memo.clamp_useful(x) };
-        gpus.push(x);
-        done += memo.iters_per_sec(x) * grid.duration(t);
-        if done + WORK_EPSILON >= job.remaining_iterations {
-            trim_final_slot(job, grid, memo, gpus, fixed_slot0);
-            return Some(AllocationProfile::new(gpus.clone()));
+        let per = memo.iters_per_sec(x) * grid.duration(t);
+        if per <= 0.0 {
+            // A zero-rate run cannot change `done` (adding +0.0 to the
+            // non-negative partial sum is the identity) and the completion
+            // check was already false when control reached this slot, so
+            // the run is emitted wholesale.
+            gpus.resize(run_end, x);
+            t = run_end;
+            continue;
         }
-        t += 1;
+        // Non-zero rate: keep the slot-by-slot accumulation order (f64
+        // addition is not associative; the golden digests depend on it),
+        // but with `x` and `per` hoisted out of the loop.
+        loop {
+            gpus.push(x);
+            done += per;
+            t += 1;
+            if done + WORK_EPSILON >= job.remaining_iterations {
+                trim_final_slot(job, grid, memo, gpus, fixed_slot0);
+                return Some(AllocationProfile::new(gpus.clone()));
+            }
+            if t >= run_end {
+                break;
+            }
+        }
     }
     None
 }

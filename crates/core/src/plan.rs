@@ -195,6 +195,10 @@ struct LedgerCache {
     prefix: Vec<u64>,
     peak: u32,
     horizon: usize,
+    /// `run_end[t]` is the exclusive end of the maximal run of slots with
+    /// `committed` equal to `committed[t]` that contains `t`. Lets slot
+    /// walks process whole constant-commitment regions at once.
+    run_end: Vec<usize>,
 }
 
 /// Committed GPUs per slot across all already-planned jobs: the
@@ -330,10 +334,19 @@ impl ReservationLedger {
                 .rposition(|&c| c > 0)
                 .map(|i| i + 1)
                 .unwrap_or(0);
+            let mut run_end = vec![0usize; self.committed.len()];
+            for t in (0..self.committed.len()).rev() {
+                run_end[t] = if self.committed.get(t + 1) == Some(&self.committed[t]) {
+                    run_end[t + 1]
+                } else {
+                    t + 1
+                };
+            }
             LedgerCache {
                 prefix,
                 peak,
                 horizon,
+                run_end,
             }
         });
         f(cache)
@@ -356,6 +369,15 @@ impl ReservationLedger {
     /// path instead of walking empty slots one by one.
     pub fn horizon(&self) -> usize {
         self.with_cache(|c| c.horizon)
+    }
+
+    /// Exclusive end of the maximal run of slots whose committed value
+    /// equals `committed(t)`, starting at or before `t`. Past the ledger's
+    /// end every slot is committed 0 forever, so the run is unbounded
+    /// (`usize::MAX`). O(1) amortized; slot walks use it to handle whole
+    /// constant-commitment regions at once.
+    pub fn run_end(&self, t: usize) -> usize {
+        self.with_cache(|c| c.run_end.get(t).copied().unwrap_or(usize::MAX))
     }
 }
 
@@ -446,6 +468,27 @@ mod tests {
         assert_eq!(ledger.committed_before(100), 4);
         assert_eq!(ledger.peak(), 2);
         assert_eq!(ledger.horizon(), 2);
+    }
+
+    #[test]
+    fn run_end_spans_constant_regions() {
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(&AllocationProfile::new(vec![2, 2, 2, 5, 5, 0, 0, 1]));
+        assert_eq!(ledger.run_end(0), 3);
+        assert_eq!(ledger.run_end(1), 3);
+        assert_eq!(ledger.run_end(2), 3);
+        assert_eq!(ledger.run_end(3), 5);
+        assert_eq!(ledger.run_end(5), 7);
+        assert_eq!(ledger.run_end(7), 8);
+        // Beyond the committed vector every slot is free forever.
+        assert_eq!(ledger.run_end(8), usize::MAX);
+        assert_eq!(ledger.run_end(1000), usize::MAX);
+        // The index tracks mutations like the other cached views.
+        ledger.commit(&AllocationProfile::new(vec![0, 0, 0, 0, 0, 2]));
+        assert_eq!(ledger.committed(5), 2);
+        assert_eq!(ledger.run_end(3), 5);
+        assert_eq!(ledger.run_end(5), 6);
+        assert_eq!(ledger.run_end(6), 7);
     }
 
     #[test]

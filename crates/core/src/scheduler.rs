@@ -10,6 +10,40 @@ use serde::{Deserialize, Serialize};
 
 use crate::{AdmissionController, PlanningJob, ResourceAllocator, SlotGrid, WORK_EPSILON};
 
+/// One pending best-effort ladder step in `fill_leftovers`' marginal-fill
+/// heap: grow job `idx` to `next` workers for `extra` more GPUs. Ordered
+/// by priority, then *lowest* index (the tie the linear scan broke by
+/// scanning order); at most one entry per job exists at a time, so the
+/// order is total.
+struct BestEffortStep {
+    prio: f64,
+    idx: usize,
+    next: u32,
+    extra: u32,
+}
+
+impl PartialEq for BestEffortStep {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for BestEffortStep {}
+
+impl PartialOrd for BestEffortStep {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BestEffortStep {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio
+            .total_cmp(&other.prio)
+            .then(other.idx.cmp(&self.idx))
+    }
+}
+
 /// ElasticFlow (paper §4): guarantees the deadline of every admitted SLO
 /// job via minimum-satisfactory-share admission control, spends leftover
 /// GPUs by marginal return, and schedules best-effort jobs with whatever
@@ -144,39 +178,56 @@ impl ElasticFlowScheduler {
                 *free -= give;
             }
         }
-        // Greedy marginal fill across best-effort jobs.
+        // Greedy marginal fill across best-effort jobs, driven by a lazy
+        // heap. A candidate's priority depends only on its own job's
+        // current grant, so entries never go stale; the budget only
+        // shrinks, so a popped entry that exceeds it is discarded for
+        // good. Pop order — highest priority, lowest index on ties —
+        // matches the linear scan this replaces exactly.
         let mut alloc: Vec<(JobId, u32)> = best_effort.iter().map(|j| (j.id(), 0)).collect();
-        loop {
-            let mut best: Option<(f64, usize, u32, u32)> = None; // (prio, idx, next, extra)
-            for (idx, &(_, cur)) in alloc.iter().enumerate() {
-                // `alloc` mirrors `best_effort` index-for-index.
-                let Some(job) = best_effort.get(idx) else {
-                    continue;
-                };
-                let next = if cur == 0 { 1 } else { cur * 2 };
-                if next > job.knee() {
-                    continue;
-                }
-                let extra = next - cur;
-                if extra > *free {
-                    continue;
-                }
-                let gain = job.iters_per_sec(next) - job.iters_per_sec(cur);
-                if gain <= 0.0 {
-                    continue;
-                }
-                // Favor short jobs: gain per GPU per unit of remaining work.
-                let prio = gain / extra as f64 / job.remaining_iterations.max(WORK_EPSILON);
-                if best.map(|(p, ..)| prio > p).unwrap_or(true) {
-                    best = Some((prio, idx, next, extra));
-                }
+        // `alloc` mirrors `best_effort` index-for-index.
+        let candidate = |idx: usize, cur: u32| -> Option<(f64, u32, u32)> {
+            let job = best_effort.get(idx)?;
+            let next = if cur == 0 { 1 } else { cur * 2 };
+            if next > job.knee() {
+                return None;
             }
-            match best {
-                Some((_, idx, next, extra)) => {
-                    alloc[idx].1 = next;
-                    *free -= extra;
-                }
-                None => break,
+            let extra = next - cur;
+            let gain = job.iters_per_sec(next) - job.iters_per_sec(cur);
+            if gain <= 0.0 {
+                return None;
+            }
+            // Favor short jobs: gain per GPU per unit of remaining work.
+            let prio = gain / extra as f64 / job.remaining_iterations.max(WORK_EPSILON);
+            Some((prio, next, extra))
+        };
+        // Max-heap key: (priority, Reverse(index)) via the tuple encoding
+        // (prio bits are totally ordered through total_cmp's wrapper).
+        let mut heap: std::collections::BinaryHeap<BestEffortStep> =
+            std::collections::BinaryHeap::new();
+        for idx in 0..alloc.len() {
+            if let Some((prio, next, extra)) = candidate(idx, 0) {
+                heap.push(BestEffortStep {
+                    prio,
+                    idx,
+                    next,
+                    extra,
+                });
+            }
+        }
+        while let Some(step) = heap.pop() {
+            if step.extra > *free {
+                continue; // can never fit again: the budget only shrinks
+            }
+            alloc[step.idx].1 = step.next;
+            *free -= step.extra;
+            if let Some((prio, next, extra)) = candidate(step.idx, step.next) {
+                heap.push(BestEffortStep {
+                    prio,
+                    idx: step.idx,
+                    next,
+                    extra,
+                });
             }
         }
         for (id, gpus) in alloc {

@@ -1,0 +1,118 @@
+//! Differential property test for the Algorithm 2 boost loop.
+//!
+//! The heap-driven [`ResourceAllocator::boost`] replaced a linear
+//! marginal-return rescan; the old implementation is retained verbatim as
+//! [`ResourceAllocator::boost_reference`] precisely so this test can hold
+//! the two against each other on random instances. They must agree on
+//! *everything* — the GPUs spent, every resulting profile, and the
+//! committed ledger — because the replan path's output feeds the golden
+//! replay digests, where any divergence is an observable behavior change.
+
+use std::collections::BTreeMap;
+
+use elasticflow_core::{
+    progressive_filling, PlanningJob, ReservationLedger, ResourceAllocator, SlotGrid,
+};
+use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
+use elasticflow_trace::JobId;
+use proptest::prelude::*;
+
+/// A random concave power-of-two curve up to 8 GPUs.
+fn concave_curve() -> impl Strategy<Value = ScalingCurve> {
+    (0.5f64..2.0, 0.3f64..0.95, 0.3f64..0.95, 0.2f64..0.9).prop_map(|(t1, d1, d2, d3)| {
+        let g2 = t1 + t1 * d1;
+        let g4 = g2 + 2.0 * t1 * d1 * d2;
+        let g8 = g4 + 4.0 * t1 * d1 * d2 * d3;
+        ScalingCurve::from_points(
+            DnnModel::ResNet50,
+            64,
+            vec![
+                CurvePoint {
+                    gpus: 1,
+                    iters_per_sec: t1,
+                },
+                CurvePoint {
+                    gpus: 2,
+                    iters_per_sec: g2,
+                },
+                CurvePoint {
+                    gpus: 4,
+                    iters_per_sec: g4,
+                },
+                CurvePoint {
+                    gpus: 8,
+                    iters_per_sec: g8,
+                },
+            ],
+        )
+    })
+}
+
+/// Random jobs plus a per-job incumbent GPU count (0 = no incumbent),
+/// the incumbents being what steers the heap's restoring-first ordering.
+#[allow(clippy::type_complexity)]
+fn instance() -> impl Strategy<Value = Vec<(ScalingCurve, f64, usize, u32)>> {
+    prop::collection::vec((concave_curve(), 0.2f64..6.0, 1usize..6, 0u32..5), 1..7)
+}
+
+proptest! {
+    /// On random job/curve/grid/incumbent/budget sets, the heap-driven
+    /// boost and the linear reference walk the same trajectory.
+    #[test]
+    fn heap_boost_matches_linear_reference(
+        specs in instance(),
+        budget_pick in 0u32..9,
+    ) {
+        let grid = SlotGrid::uniform(1.0);
+        let total = 8u32;
+        let alloc = ResourceAllocator::new(total);
+
+        let mut jobs = Vec::new();
+        let mut incumbents = BTreeMap::new();
+        for (i, (curve, work_scale, deadline_slot, incumbent)) in specs.into_iter().enumerate() {
+            let id = JobId::new(i as u64);
+            let work = work_scale
+                * curve
+                    .iters_per_sec(1)
+                    .expect("1 GPU is always on the curve");
+            if incumbent > 0 {
+                incumbents.insert(id, incumbent);
+            }
+            jobs.push(PlanningJob {
+                id,
+                curve,
+                remaining_iterations: work,
+                deadline_slot,
+            });
+        }
+
+        // Rebuild Algorithm 2's phase 1 (minimum satisfactory shares) so
+        // the boost loops start from a realistic mid-pipeline state.
+        let mut profiles = BTreeMap::new();
+        let mut ledger = ReservationLedger::new();
+        for job in &jobs {
+            if let Some(p) = progressive_filling(job, &ledger, &grid, total, None) {
+                ledger.commit(&p);
+                profiles.insert(job.id, p);
+            }
+        }
+        let used: u32 = profiles.values().map(|p| p.gpus(0)).sum();
+        let free0 = total.saturating_sub(used);
+        // Budgets from 0 up to the full leftover, including starved ones.
+        let budget = if free0 == 0 { 0 } else { budget_pick % (free0 + 1) };
+
+        let mut p_heap = profiles.clone();
+        let mut l_heap = ledger.clone();
+        let spent_heap = alloc.boost(&jobs, &grid, &mut p_heap, &mut l_heap, budget, &incumbents);
+
+        let mut p_ref = profiles;
+        let mut l_ref = ledger;
+        let spent_ref =
+            alloc.boost_reference(&jobs, &grid, &mut p_ref, &mut l_ref, budget, &incumbents);
+
+        prop_assert_eq!(spent_heap, spent_ref, "GPUs spent diverge");
+        prop_assert_eq!(&p_heap, &p_ref, "resulting profiles diverge");
+        prop_assert_eq!(&l_heap, &l_ref, "committed ledgers diverge");
+        prop_assert!(spent_heap <= budget, "boost overspent its budget");
+    }
+}

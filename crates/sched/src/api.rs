@@ -163,9 +163,30 @@ impl JobRuntime {
 ///
 /// Schedulers receive a shared reference on every callback; the simulator
 /// owns and mutates it.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// # Data layout
+///
+/// Internally the table is a dense arena: slot `i` of a plain `Vec` holds
+/// the job with raw id `i` (trace ids are dense, so the arena needs no
+/// generation counters). Lookups are a direct index instead of a tree walk,
+/// and iteration is a linear scan in ascending-id order — exactly the order
+/// the previous `BTreeMap` produced, so replay arithmetic is unchanged.
+///
+/// A sorted `live` index lists jobs that may still be active, letting
+/// [`JobTable::active`] skip the (unboundedly growing) set of finished and
+/// dropped jobs. The index is a *superset*: entries are only removed via
+/// [`JobTable::retire`], which the simulator calls when a job leaves the
+/// system for good; stale entries merely cost a skipped probe, never a
+/// wrong answer, because every consumer still filters on
+/// [`JobRuntime::is_active`].
+#[derive(Debug, Clone, Default)]
 pub struct JobTable {
-    jobs: BTreeMap<JobId, JobRuntime>,
+    /// Arena slot per raw job id; `None` for ids never inserted.
+    slots: Vec<Option<JobRuntime>>,
+    /// Number of jobs present.
+    len: usize,
+    /// Ascending ids of jobs not yet retired (superset of the active set).
+    live: Vec<JobId>,
 }
 
 impl JobTable {
@@ -181,43 +202,125 @@ impl JobTable {
     /// Panics if the id is already present.
     pub fn insert(&mut self, job: JobRuntime) {
         let id = job.id();
-        let prev = self.jobs.insert(id, job);
-        assert!(prev.is_none(), "duplicate job id {id}");
+        let idx = id.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        assert!(self.slots[idx].is_none(), "duplicate job id {id}");
+        self.slots[idx] = Some(job);
+        self.len += 1;
+        let pos = self.live.partition_point(|&x| x < id);
+        self.live.insert(pos, id);
     }
 
     /// Looks up a job.
     pub fn get(&self, id: JobId) -> Option<&JobRuntime> {
-        self.jobs.get(&id)
+        self.slots.get(id.raw() as usize)?.as_ref()
     }
 
     /// Mutable lookup (simulator only).
     pub fn get_mut(&mut self, id: JobId) -> Option<&mut JobRuntime> {
-        self.jobs.get_mut(&id)
+        self.slots.get_mut(id.raw() as usize)?.as_mut()
     }
 
     /// All jobs, ascending by id.
     pub fn iter(&self) -> impl Iterator<Item = &JobRuntime> {
-        self.jobs.values()
+        self.slots.iter().flatten()
     }
 
     /// Mutable iteration (simulator only).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut JobRuntime> {
-        self.jobs.values_mut()
+        self.slots.iter_mut().flatten()
     }
 
-    /// Jobs currently eligible for GPUs.
+    /// Jobs currently eligible for GPUs, ascending by id. Runs over the
+    /// `live` index, so the cost scales with the number of jobs still in
+    /// the system rather than every job the run has ever seen.
     pub fn active(&self) -> impl Iterator<Item = &JobRuntime> {
-        self.jobs.values().filter(|j| j.is_active())
+        self.live
+            .iter()
+            .filter_map(|id| self.get(*id))
+            .filter(|j| j.is_active())
+    }
+
+    /// Runs `f` over every active job, mutably, in ascending-id order —
+    /// the simulator's per-event advance path.
+    pub fn for_each_active_mut(&mut self, mut f: impl FnMut(&mut JobRuntime)) {
+        let slots = &mut self.slots;
+        for id in &self.live {
+            if let Some(job) = slots
+                .get_mut(id.raw() as usize)
+                .and_then(|slot| slot.as_mut())
+            {
+                if job.is_active() {
+                    f(job);
+                }
+            }
+        }
+    }
+
+    /// Drops `id` from the `live` index. The simulator calls this when a
+    /// job leaves the system permanently (finished or dropped at
+    /// admission); forgetting to call it never changes results, only the
+    /// cost of [`JobTable::active`].
+    pub fn retire(&mut self, id: JobId) {
+        if let Ok(i) = self.live.binary_search(&id) {
+            self.live.remove(i);
+        }
     }
 
     /// Number of jobs in the table.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.len
     }
 
     /// `true` when no jobs have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.len == 0
+    }
+}
+
+impl PartialEq for JobTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The `live` index is derived bookkeeping (and deliberately allowed
+        // to hold stale entries), so equality compares job content only.
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+/// Serde mirror preserving the historical wire shape: a `jobs` object keyed
+/// by stringified id, ascending — so snapshot fingerprints are unaffected
+/// by the arena layout.
+#[derive(Serialize, Deserialize)]
+struct JobTableRepr {
+    jobs: BTreeMap<JobId, JobRuntime>,
+}
+
+impl Serialize for JobTable {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        JobTableRepr {
+            jobs: self.iter().map(|j| (j.id(), j.clone())).collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for JobTable {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = JobTableRepr::deserialize(deserializer)?;
+        let mut table = JobTable::new();
+        for (_, job) in repr.jobs {
+            table.insert(job);
+        }
+        // Rebuild the live index precisely: jobs that already left the
+        // system for good need no probes on future `active` scans.
+        let slots = &table.slots;
+        table.live.retain(|&id| {
+            slots[id.raw() as usize]
+                .as_ref()
+                .is_some_and(|j| !j.dropped && j.finish_time.is_none())
+        });
+        Ok(table)
     }
 }
 

@@ -1,0 +1,299 @@
+//! A time-bucketed (calendar) priority queue with a deterministic total
+//! order.
+//!
+//! The event core's failure/repair timeline used to be a pre-sorted `Vec`
+//! behind a cursor — fine for thousands of transitions, but sorting the
+//! whole stream up front is O(n log n) and every structural change
+//! (pushes after construction) would force a re-sort. The calendar queue
+//! spreads entries across uniform time buckets sized so each holds O(1)
+//! entries at construction; buckets are sorted lazily the first time the
+//! pop cursor reaches them, so the total sorting work stays O(n) expected
+//! and each pop is O(1) amortized even with millions of pending events.
+//!
+//! Determinism contract: entries pop in ascending time (`f64::total_cmp`),
+//! ties broken by insertion sequence — exactly the order of a stable sort
+//! by time over the insertion stream. The golden replay digests rely on
+//! this matching the historical `sort_by(total_cmp)` + cursor behaviour
+//! bit for bit.
+//!
+//! Late pushes (an entry earlier than something already popped) cannot be
+//! popped in the past; they surface as early as possible instead. The
+//! simulator never does this — simulated time only moves forward — but
+//! the structure stays safe if a future caller does.
+
+/// One queued entry: time, insertion sequence, payload. The payload lives
+/// in an `Option` so pops can move it out without `T: Default`.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    item: Option<T>,
+}
+
+/// One calendar bucket: entries are appended unsorted, then sorted by
+/// `(time, seq)` once when the pop cursor first reaches the bucket.
+#[derive(Debug, Clone)]
+struct Bucket<T> {
+    items: Vec<Entry<T>>,
+    sorted: bool,
+    next: usize,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            items: Vec::new(),
+            sorted: false,
+            next: 0,
+        }
+    }
+}
+
+/// Deterministic calendar queue over `(time, payload)` entries.
+#[derive(Debug, Clone)]
+pub(crate) struct CalendarQueue<T> {
+    /// Left edge of bucket 0 on the time axis.
+    origin: f64,
+    /// Uniform bucket width, seconds; strictly positive.
+    width: f64,
+    buckets: Vec<Bucket<T>>,
+    /// Index of the first bucket that may still hold unpopped entries.
+    current: usize,
+    /// Entries not yet popped.
+    remaining: usize,
+    /// Entries popped so far (the snapshot cursor).
+    popped: usize,
+    /// Next insertion sequence number.
+    seq: u64,
+}
+
+impl<T> CalendarQueue<T> {
+    /// Builds a queue from an event stream, sizing buckets so the average
+    /// bucket holds one entry. Entry order within equal times follows the
+    /// iteration order of `events`.
+    pub(crate) fn build(events: impl IntoIterator<Item = (f64, T)>) -> Self {
+        let events: Vec<(f64, T)> = events.into_iter().collect();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (t, _) in &events {
+            lo = lo.min(*t);
+            hi = hi.max(*t);
+        }
+        let n = events.len();
+        let (origin, width) = if n == 0 || !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            (if lo.is_finite() { lo } else { 0.0 }, 1.0)
+        } else {
+            ((lo), (hi - lo) / n as f64)
+        };
+        let mut queue = CalendarQueue {
+            origin,
+            width: width.max(f64::MIN_POSITIVE),
+            buckets: (0..n.max(1)).map(|_| Bucket::default()).collect(),
+            current: 0,
+            remaining: 0,
+            popped: 0,
+            seq: 0,
+        };
+        for (t, item) in events {
+            queue.push(t, item);
+        }
+        queue
+    }
+
+    /// Bucket index for `time`, clamped into range (out-of-span times land
+    /// in the edge buckets; order within a bucket still follows time).
+    fn bucket_index(&self, time: f64) -> usize {
+        let raw = (time - self.origin) / self.width;
+        if !raw.is_finite() || raw <= 0.0 {
+            return 0;
+        }
+        (raw as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Inserts an entry. O(1) amortized; pushing into the bucket currently
+    /// being drained costs a binary-searched insert instead.
+    pub(crate) fn push(&mut self, time: f64, item: T) {
+        let idx = self.bucket_index(time);
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            item: Some(item),
+        };
+        self.seq += 1;
+        let bucket = &mut self.buckets[idx];
+        if bucket.sorted {
+            // The bucket is already draining: keep `items[next..]` ordered.
+            let pos = bucket.next
+                + bucket.items[bucket.next..].partition_point(|e| e.time.total_cmp(&time).is_le());
+            bucket.items.insert(pos, entry);
+        } else {
+            bucket.items.push(entry);
+        }
+        self.remaining += 1;
+        if idx < self.current {
+            self.current = idx;
+        }
+    }
+
+    /// Entries not yet popped.
+    pub(crate) fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` when every entry has been popped.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Entries popped so far — the queue's snapshot cursor: rebuilding the
+    /// same queue and popping this many times restores the exact state.
+    pub(crate) fn popped(&self) -> usize {
+        self.popped
+    }
+
+    /// Advances `current` to the next bucket holding unpopped entries and
+    /// lazily sorts it. After this, the head entry (if any) sits at
+    /// `buckets[current].items[buckets[current].next]`.
+    fn settle(&mut self) {
+        while self.current < self.buckets.len() {
+            let bucket = &mut self.buckets[self.current];
+            if !bucket.sorted {
+                bucket
+                    .items
+                    .sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+                bucket.sorted = true;
+            }
+            if bucket.next < bucket.items.len() {
+                return;
+            }
+            self.current += 1;
+        }
+    }
+
+    /// Time of the earliest pending entry, if any.
+    pub(crate) fn peek_time(&mut self) -> Option<f64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.settle();
+        let bucket = self.buckets.get(self.current)?;
+        bucket.items.get(bucket.next).map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest pending entry.
+    pub(crate) fn pop(&mut self) -> Option<(f64, T)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.settle();
+        let bucket = self.buckets.get_mut(self.current)?;
+        let entry = bucket.items.get_mut(bucket.next)?;
+        bucket.next += 1;
+        self.remaining -= 1;
+        self.popped += 1;
+        let time = entry.time;
+        entry.item.take().map(|item| (time, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_trace::Rng;
+
+    fn drain(mut q: CalendarQueue<usize>) -> Vec<(f64, usize)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let q = CalendarQueue::build(vec![(3.0, 0), (1.0, 1), (1.0, 2), (2.0, 3), (1.0, 4)]);
+        assert_eq!(q.remaining(), 5);
+        assert_eq!(
+            drain(q),
+            vec![(1.0, 1), (1.0, 2), (1.0, 4), (2.0, 3), (3.0, 0)]
+        );
+    }
+
+    #[test]
+    fn empty_and_single_entry_queues() {
+        let mut empty: CalendarQueue<usize> = CalendarQueue::build(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.peek_time(), None);
+        assert_eq!(empty.pop(), None);
+        let mut one = CalendarQueue::build(vec![(7.5, 9usize)]);
+        assert_eq!(one.peek_time(), Some(7.5));
+        assert_eq!(one.pop(), Some((7.5, 9)));
+        assert!(one.is_empty());
+        assert_eq!(one.popped(), 1);
+    }
+
+    #[test]
+    fn identical_times_collapse_to_one_bucket() {
+        // Zero span: every entry lands in one bucket, insertion order wins.
+        let q = CalendarQueue::build((0..100).map(|i| (42.0, i)));
+        let order: Vec<usize> = drain(q).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_into_draining_bucket_keeps_order() {
+        let mut q = CalendarQueue::build(vec![(1.0, 0usize), (1.5, 1), (9.0, 2)]);
+        assert_eq!(q.pop(), Some((1.0, 0)));
+        // The first bucket is mid-drain; a new entry within it must slot
+        // between the pending ones.
+        q.push(1.25, 3);
+        assert_eq!(q.pop(), Some((1.25, 3)));
+        assert_eq!(q.pop(), Some((1.5, 1)));
+        assert_eq!(q.pop(), Some((9.0, 2)));
+    }
+
+    #[test]
+    fn popped_counter_replays_to_the_same_state() {
+        let events: Vec<(f64, usize)> = (0..50).map(|i| ((i * 7 % 13) as f64, i)).collect();
+        let mut q = CalendarQueue::build(events.clone());
+        for _ in 0..23 {
+            q.pop();
+        }
+        let cursor = q.popped();
+        let mut rebuilt = CalendarQueue::build(events);
+        for _ in 0..cursor {
+            rebuilt.pop();
+        }
+        assert_eq!(rebuilt.popped(), q.popped());
+        assert_eq!(rebuilt.remaining(), q.remaining());
+        while let Some(a) = q.pop() {
+            assert_eq!(rebuilt.pop(), Some(a));
+        }
+        assert!(rebuilt.is_empty());
+    }
+
+    /// The determinism contract at property-test scale: on random event
+    /// soups, pop order must equal a stable sort by time over the
+    /// insertion stream — which is exactly how the event core ordered its
+    /// transition timeline before the calendar queue replaced it.
+    #[test]
+    fn random_soups_pop_in_stable_sort_order() {
+        let mut rng = Rng::new(0x5eed_ca1e);
+        for case in 0..200 {
+            let n = rng.uniform_usize(300);
+            let mut reference: Vec<(f64, usize)> = (0..n)
+                .map(|i| {
+                    // Mix of spread-out, clustered, and exactly-tied times.
+                    let t = match rng.uniform_usize(3) {
+                        0 => rng.uniform_range(0.0, 1.0e6),
+                        1 => rng.uniform_range(0.0, 10.0),
+                        _ => (rng.uniform_usize(5) as f64) * 2.5,
+                    };
+                    (t, i)
+                })
+                .collect();
+            let queue = CalendarQueue::build(reference.clone());
+            reference.sort_by(|a, b| a.0.total_cmp(&b.0));
+            assert_eq!(drain(queue), reference, "case {case} (n = {n})");
+        }
+    }
+}

@@ -2,14 +2,15 @@
 //! `EPS_TIME` batching.
 //!
 //! This layer owns *when* things happen and *what kind* of thing happens;
-//! it never touches cluster or job state. Two event streams are static and
-//! kept as cursors over pre-sorted vectors (a stable-ordered queue —
-//! arrivals in trace order, failure/repair transitions in time order with
-//! insertion order breaking ties); the other candidates (completions, slot
-//! boundaries) are *derived* from job state at selection time, because any
-//! replan invalidates them — deriving is cheaper and simpler than queue
-//! invalidation, and it is exactly the "fast-forwarding" the paper's
-//! simulator does (§6.2).
+//! it never touches cluster or job state. Two event streams are static:
+//! arrivals stay a cursor over the pre-sorted trace, while failure/repair
+//! transitions live in a [`CalendarQueue`] (time-bucketed, ascending time
+//! with insertion order breaking ties — the same total order the former
+//! stable sort + cursor produced, at O(1) amortized per pop). The other
+//! candidates (completions, slot boundaries) are *derived* from job state
+//! at selection time, because any replan invalidates them — deriving is
+//! cheaper and simpler than queue invalidation, and it is exactly the
+//! "fast-forwarding" the paper's simulator does (§6.2).
 //!
 //! All events within [`EPS_TIME`] of the chosen step time fire as one
 //! batch, preserving the engine's original simultaneous-event semantics.
@@ -18,6 +19,7 @@ use elasticflow_sched::JobTable;
 use elasticflow_trace::{JobId, JobSpec, Trace};
 use serde::{Deserialize, Serialize};
 
+use crate::calendar::CalendarQueue;
 use crate::failures::FailureSchedule;
 use crate::snapshot::{EventCoreSnapshot, ResumeError};
 
@@ -80,9 +82,12 @@ pub(crate) struct Step {
 pub(crate) struct EventCore<'t> {
     arrivals: &'t [JobSpec],
     next_arrival: usize,
-    /// Failure/repair timeline: `(time, server, is_repair)`, stably sorted
-    /// by time.
-    transitions: Vec<(f64, u32, bool)>,
+    /// Failure/repair timeline: `(server, is_repair)` payloads in a
+    /// calendar queue, popping in ascending time with schedule order
+    /// breaking ties.
+    transitions: CalendarQueue<(u32, bool)>,
+    /// Transitions popped so far — mirrors `transitions.popped()`; the
+    /// snapshot cursor.
     next_transition: usize,
     slot_seconds: f64,
     last_arrival: f64,
@@ -102,18 +107,20 @@ impl<'t> EventCore<'t> {
     ) -> Self {
         let arrivals = trace.jobs();
         let last_arrival = arrivals.last().map(|j| j.submit_time).unwrap_or(0.0);
-        let mut transitions: Vec<(f64, u32, bool)> = Vec::new();
+        // No pre-sort: the calendar queue pops in (time, insertion) order,
+        // which over this push sequence is exactly the stable
+        // sort-by-time order the former vector held.
+        let mut timeline: Vec<(f64, (u32, bool))> = Vec::new();
         for f in failures.events() {
             if f.server < num_servers {
-                transitions.push((f.at, f.server, false));
-                transitions.push((f.at + f.repair_seconds, f.server, true));
+                timeline.push((f.at, (f.server, false)));
+                timeline.push((f.at + f.repair_seconds, (f.server, true)));
             }
         }
-        transitions.sort_by(|a, b| a.0.total_cmp(&b.0));
         EventCore {
             arrivals,
             next_arrival: 0,
-            transitions,
+            transitions: CalendarQueue::build(timeline),
             next_transition: 0,
             slot_seconds,
             last_arrival,
@@ -126,23 +133,23 @@ impl<'t> EventCore<'t> {
     /// while work exists), and the next failure/repair transition (only
     /// while work remains). Returns `None` when the simulation is drained
     /// or the starvation horizon is exceeded.
-    pub(crate) fn next_step(&self, now: f64, jobs: &JobTable) -> Option<Step> {
+    pub(crate) fn next_step(&mut self, now: f64, jobs: &JobTable) -> Option<Step> {
         let t_arrival = self.arrivals.get(self.next_arrival).map(|j| j.submit_time);
         let t_completion = jobs
-            .iter()
-            .filter(|j| j.is_active() && j.current_gpus > 0)
+            .active()
+            .filter(|j| j.current_gpus > 0)
             .map(|j| {
                 let tput = j.current_iters_per_sec();
                 j.paused_until.max(now) + j.remaining_iterations / tput
             })
             .fold(f64::INFINITY, f64::min);
-        let any_running = jobs.iter().any(|j| j.is_active() && j.current_gpus > 0);
+        let any_running = jobs.active().any(|j| j.current_gpus > 0);
         let t_slot = if any_running || t_arrival.is_some() {
             Some(((now / self.slot_seconds).floor() + 1.0) * self.slot_seconds)
         } else {
             None
         };
-        let t_transition = self.transitions.get(self.next_transition).map(|&(t, ..)| t);
+        let t_transition = self.transitions.peek_time();
 
         let mut t_next = f64::INFINITY;
         if let Some(t) = t_arrival {
@@ -154,7 +161,7 @@ impl<'t> EventCore<'t> {
         }
         if let Some(t) = t_transition {
             // Failure/repair events only matter while work remains.
-            if jobs.iter().any(|j| j.is_active()) || t_arrival.is_some() {
+            if jobs.active().next().is_some() || t_arrival.is_some() {
                 t_next = t_next.min(t);
             }
         }
@@ -175,12 +182,14 @@ impl<'t> EventCore<'t> {
     /// `EPS_TIME`), in stable time order.
     pub(crate) fn due_transitions(&mut self, now: f64) -> Vec<(u32, bool)> {
         let mut due = Vec::new();
-        while let Some(&(tt, server, is_repair)) = self.transitions.get(self.next_transition) {
+        while let Some(tt) = self.transitions.peek_time() {
             if tt > now + EPS_TIME {
                 break;
             }
-            self.next_transition += 1;
-            due.push((server, is_repair));
+            if let Some((_, payload)) = self.transitions.pop() {
+                self.next_transition += 1;
+                due.push(payload);
+            }
         }
         due
     }
@@ -209,8 +218,8 @@ impl<'t> EventCore<'t> {
         jobs: &JobTable,
         out: &mut Vec<Event>,
     ) {
-        for job in jobs.iter() {
-            if job.is_active() && job.paused_until > prev_now && job.paused_until <= t {
+        for job in jobs.active() {
+            if job.paused_until > prev_now && job.paused_until <= t {
                 out.push(Event::PauseEnd { job: job.id() });
             }
         }
@@ -219,7 +228,7 @@ impl<'t> EventCore<'t> {
     /// `true` when both static event streams are exhausted (no pending
     /// arrivals or failure/repair transitions).
     pub(crate) fn exhausted(&self) -> bool {
-        self.next_arrival >= self.arrivals.len() && self.next_transition >= self.transitions.len()
+        self.next_arrival >= self.arrivals.len() && self.transitions.is_empty()
     }
 
     /// Captures the cursor positions; the streams themselves are rebuilt
@@ -232,7 +241,10 @@ impl<'t> EventCore<'t> {
     }
 
     /// Restores captured cursor positions, validating them against the
-    /// freshly rebuilt streams.
+    /// freshly rebuilt streams. The transition queue is replayed to the
+    /// captured cursor by popping — the queue cannot rewind, so the cursor
+    /// must not precede the queue's current position (it never does: the
+    /// engine restores into a freshly built core).
     pub(crate) fn restore(&mut self, snap: &EventCoreSnapshot) -> Result<(), ResumeError> {
         if snap.next_arrival > self.arrivals.len() {
             return Err(ResumeError::CursorOutOfRange {
@@ -241,14 +253,20 @@ impl<'t> EventCore<'t> {
                 len: self.arrivals.len(),
             });
         }
-        if snap.next_transition > self.transitions.len() {
+        let total_transitions = self.transitions.popped() + self.transitions.remaining();
+        if snap.next_transition > total_transitions
+            || snap.next_transition < self.transitions.popped()
+        {
             return Err(ResumeError::CursorOutOfRange {
                 cursor: "transition",
                 value: snap.next_transition,
-                len: self.transitions.len(),
+                len: total_transitions,
             });
         }
         self.next_arrival = snap.next_arrival;
+        while self.transitions.popped() < snap.next_transition {
+            let _ = self.transitions.pop();
+        }
         self.next_transition = snap.next_transition;
         Ok(())
     }

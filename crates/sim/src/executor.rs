@@ -45,13 +45,48 @@ struct JobStats {
     scale_events: u32,
 }
 
+/// Dense per-job stats arena: slot `i` holds the stats of the job with raw
+/// id `i` (zeroed until the job arrives). Replaces the former
+/// `BTreeMap<JobId, JobStats>` on the per-event accounting path; snapshots
+/// still serialize through the historical map shape (see
+/// [`Executor::capture`]).
+#[derive(Debug, Default)]
+struct JobStatsArena {
+    slots: Vec<JobStats>,
+}
+
+impl JobStatsArena {
+    /// Mutable stats slot for `id`, growing the arena with zeroed slots on
+    /// first touch (the `entry(..).or_default()` equivalent).
+    fn slot_mut(&mut self, id: JobId) -> &mut JobStats {
+        let idx = id.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, JobStats::default);
+        }
+        &mut self.slots[idx]
+    }
+
+    /// Stats for `id` (zero when the job never accrued any).
+    fn get(&self, id: JobId) -> JobStats {
+        self.slots
+            .get(id.raw() as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Drops all slots.
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
 /// Owns and mutates all simulation state: the cluster, the job table, and
 /// the accounting totals that become the final report.
 #[derive(Debug)]
 pub(crate) struct Executor {
     cluster: ClusterState,
     jobs: JobTable,
-    stats: BTreeMap<JobId, JobStats>,
+    stats: JobStatsArena,
     // BTreeMap, not HashMap: the memo is lookup-only today, but hash
     // iteration order leaking into a future refactor would silently
     // break replay determinism (EF-L003).
@@ -75,7 +110,7 @@ impl Executor {
         Executor {
             cluster,
             jobs: JobTable::new(),
-            stats: BTreeMap::new(),
+            stats: JobStatsArena::default(),
             curves: BTreeMap::new(),
             net,
             overheads,
@@ -115,23 +150,23 @@ impl Executor {
     /// Advances every running job from `now` to `t`, decrementing remaining
     /// iterations (pauses charge no progress) and accruing GPU-seconds.
     pub(crate) fn advance_to(&mut self, now: f64, t: f64) {
-        for job in self.jobs.iter_mut() {
-            if job.is_active() && job.current_gpus > 0 {
+        self.jobs.for_each_active_mut(|job| {
+            if job.current_gpus > 0 {
                 let run_from = job.paused_until.max(now);
                 let dt = (t - run_from).max(0.0);
                 let tput = job.current_iters_per_sec();
                 job.remaining_iterations = (job.remaining_iterations - dt * tput).max(0.0);
                 job.gpu_seconds += job.current_gpus as f64 * (t - now);
             }
-        }
+        });
     }
 
     /// Jobs that ran their remaining iterations down to the completion
     /// tolerance, ascending by id.
     pub(crate) fn finished_jobs(&self) -> Vec<JobId> {
         self.jobs
-            .iter()
-            .filter(|j| j.is_active() && j.current_gpus > 0 && j.remaining_iterations <= EPS_ITERS)
+            .active()
+            .filter(|j| j.current_gpus > 0 && j.remaining_iterations <= EPS_ITERS)
             .map(|j| j.id())
             .collect()
     }
@@ -144,6 +179,7 @@ impl Executor {
             .unwrap_or_else(|| sim_bug("completing job missing from the job table"));
         job.finish_time = Some(now);
         job.current_gpus = 0;
+        self.jobs.retire(id);
         self.cluster
             .release(id.raw())
             .unwrap_or_else(|_| sim_bug("completing job held no GPUs"));
@@ -189,7 +225,7 @@ impl Executor {
                 job.current_gpus = 0;
                 job.paused_until = job.paused_until.max(now) + pause;
                 self.total_pause += pause;
-                let st = self.stats.entry(id).or_default();
+                let st = self.stats.slot_mut(id);
                 st.paused_seconds += pause;
                 st.scale_events += 1;
             }
@@ -234,7 +270,7 @@ impl Executor {
         let runtime = JobRuntime::new(spec, curve);
         let id = runtime.id();
         self.jobs.insert(runtime);
-        self.stats.insert(id, JobStats::default());
+        let _ = self.stats.slot_mut(id); // materialize the zeroed slot
         let decision = {
             let job_ref = self
                 .jobs
@@ -251,7 +287,10 @@ impl Executor {
                 job.admitted = true;
                 self.admitted += 1;
             }
-            AdmissionDecision::Drop => job.dropped = true,
+            AdmissionDecision::Drop => {
+                job.dropped = true;
+                self.jobs.retire(id);
+            }
         }
         id
     }
@@ -262,10 +301,7 @@ impl Executor {
     /// to relocated bystanders. Returns the observer-visible summary.
     pub(crate) fn apply_plan(&mut self, plan: SchedulePlan, now: f64) -> ReplanOutcome {
         let mut changes: Vec<(JobId, u32, u32)> = Vec::new(); // (id, from, to)
-        for job in self.jobs.iter() {
-            if !job.is_active() {
-                continue;
-            }
+        for job in self.jobs.active() {
             let desired = plan.gpus(job.id()).min(job.curve.max_gpus());
             if desired != job.current_gpus {
                 changes.push((job.id(), job.current_gpus, desired));
@@ -312,7 +348,7 @@ impl Executor {
                 job.paused_until = job.paused_until.max(now) + pause;
                 self.total_pause += pause;
                 round_pause += pause;
-                let st = self.stats.entry(id).or_default();
+                let st = self.stats.slot_mut(id);
                 st.paused_seconds += pause;
                 st.scale_events += 1;
             }
@@ -332,8 +368,7 @@ impl Executor {
                     job.paused_until = job.paused_until.max(now) + pause;
                     self.total_pause += pause;
                     round_pause += pause;
-                    let st = self.stats.entry(mid).or_default();
-                    st.paused_seconds += pause;
+                    self.stats.slot_mut(mid).paused_seconds += pause;
                 }
             }
         }
@@ -359,12 +394,16 @@ impl Executor {
         ExecutorSnapshot {
             cluster: self.cluster.clone(),
             jobs: self.jobs.clone(),
+            // The arena has one materialized slot per arrived job, so
+            // walking the job table (ascending by id) reproduces the
+            // historical map's key set and order exactly.
             stats: self
-                .stats
+                .jobs
                 .iter()
-                .map(|(&id, st)| {
+                .map(|j| {
+                    let st = self.stats.get(j.id());
                     (
-                        id,
+                        j.id(),
                         JobStatsSnapshot {
                             paused_seconds: st.paused_seconds,
                             scale_events: st.scale_events,
@@ -387,19 +426,13 @@ impl Executor {
     pub(crate) fn restore(&mut self, snap: ExecutorSnapshot) {
         self.cluster = snap.cluster;
         self.jobs = snap.jobs;
-        self.stats = snap
-            .stats
-            .into_iter()
-            .map(|(id, st)| {
-                (
-                    id,
-                    JobStats {
-                        paused_seconds: st.paused_seconds,
-                        scale_events: st.scale_events,
-                    },
-                )
-            })
-            .collect();
+        self.stats.clear();
+        for (id, st) in snap.stats {
+            *self.stats.slot_mut(id) = JobStats {
+                paused_seconds: st.paused_seconds,
+                scale_events: st.scale_events,
+            };
+        }
         self.down_servers = snap.down_servers;
         self.migrations_total = snap.migrations_total;
         self.total_pause = snap.total_pause;
@@ -410,10 +443,7 @@ impl Executor {
 
     /// `true` while no admitted job holds GPUs (stall detection).
     pub(crate) fn none_running(&self) -> bool {
-        !self
-            .jobs
-            .iter()
-            .any(|j| j.is_active() && j.current_gpus > 0)
+        !self.jobs.active().any(|j| j.current_gpus > 0)
     }
 
     /// Consumes the executor into final per-job outcomes plus the run-wide
@@ -423,7 +453,7 @@ impl Executor {
             .jobs
             .iter()
             .map(|j| {
-                let st = self.stats.get(&j.id()).copied().unwrap_or_default();
+                let st = self.stats.get(j.id());
                 JobOutcome {
                     id: j.id(),
                     kind: j.spec.kind,

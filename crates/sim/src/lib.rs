@@ -47,6 +47,7 @@
 
 #[cfg(feature = "audit")]
 pub mod audit;
+mod calendar;
 mod config;
 mod driver;
 mod engine;

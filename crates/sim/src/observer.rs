@@ -218,8 +218,8 @@ impl SimObserver for TimelineCollector {
             0.0
         } else {
             ctx.jobs
-                .iter()
-                .filter(|j| j.is_active() && j.current_gpus > 0)
+                .active()
+                .filter(|j| j.current_gpus > 0)
                 .map(|j| j.curve.speedup(j.current_gpus).unwrap_or(0.0))
                 .sum::<f64>()
                 / ctx.total_gpus as f64
