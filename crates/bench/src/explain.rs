@@ -1,0 +1,195 @@
+//! `experiments explain` — render a decision journal as a readable trail.
+//!
+//! The provenance stream answers "why was my job declined?" and "when
+//! did my job shrink?". This module replays a
+//! [`DecisionJournal`] — either recorded live from the golden workload
+//! or loaded from a `.decisions.jsonl` file written by
+//! `--telemetry-out` — and prints one line per decision, naming the
+//! binding admission window and the GPU-slot shortfall for declines.
+//!
+//! Every number is formatted with fixed precision and every line is
+//! derived purely from the journal, so the output is deterministic and
+//! golden-testable (`tests/explain_golden.rs`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use elasticflow_cluster::ClusterSpec;
+use elasticflow_core::ElasticFlowScheduler;
+use elasticflow_perfmodel::Interconnect;
+use elasticflow_sched::{CapacityShortfall, DecisionRecord, DeclineReason};
+use elasticflow_sim::{SimConfig, Simulation};
+use elasticflow_telemetry::{DecisionJournal, JournalEntry};
+use elasticflow_trace::TraceConfig;
+
+/// Records the golden workload's decision journal: the paper's small
+/// testbed under the ElasticFlow policy with a seeded 25-job trace.
+pub fn golden_journal(seed: u64) -> DecisionJournal {
+    let spec = ClusterSpec::small_testbed();
+    let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+    let mut journal = DecisionJournal::new();
+    let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+        &trace,
+        &mut ElasticFlowScheduler::new(),
+        &mut [&mut journal],
+    );
+    journal
+}
+
+/// Loads a journal file written by `--telemetry-out` (or
+/// [`elasticflow_telemetry::TelemetrySession::write_to_dir`]).
+pub fn load_journal(path: &Path) -> Result<DecisionJournal, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    DecisionJournal::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `"2-slot"` / `"unbounded"` rendering of the binding window width.
+fn window_text(s: &CapacityShortfall) -> String {
+    if s.window_slots == u64::MAX {
+        "unbounded".to_owned()
+    } else {
+        format!("{}-slot", s.window_slots)
+    }
+}
+
+fn shortfall_text(s: &CapacityShortfall) -> String {
+    format!(
+        "binding window: {} to deadline; demand {:.2} GPU-slots, free {:.2}, shortfall {:.2}",
+        window_text(s),
+        s.demand_gpu_slots,
+        s.free_gpu_slots,
+        s.shortfall_gpu_slots()
+    )
+}
+
+/// One human-readable line for a journal entry.
+fn describe(entry: &JournalEntry) -> String {
+    let head = format!("t={:>9.1}s  job {:<3}", entry.t, entry.decision.job().raw());
+    match &entry.decision {
+        DecisionRecord::Admit { .. } => format!("{head} admitted"),
+        DecisionRecord::Decline { reason, .. } => match reason {
+            DeclineReason::CandidateInfeasible { shortfall } => format!(
+                "{head} declined — its own minimum demand exceeds remaining capacity ({})",
+                shortfall_text(shortfall)
+            ),
+            DeclineReason::WouldDisplace {
+                blocking_job,
+                shortfall,
+            } => format!(
+                "{head} declined — admitting it would break job {}'s guarantee ({})",
+                blocking_job.raw(),
+                shortfall_text(shortfall)
+            ),
+            DeclineReason::Unexplained => {
+                format!("{head} declined — no structured reason recorded")
+            }
+        },
+        DecisionRecord::Resize { from, to, .. } => {
+            format!("{head} resized {from} -> {to} GPUs")
+        }
+        DecisionRecord::Preempt { gpus, .. } => {
+            format!("{head} preempted — released {gpus} GPUs")
+        }
+        DecisionRecord::Migrate { gpus, .. } => {
+            format!("{head} migrated — moved {gpus} GPUs to defragment")
+        }
+        DecisionRecord::Pause { seconds, cause, .. } => {
+            format!("{head} paused {seconds:.1}s ({})", cause.label())
+        }
+    }
+}
+
+/// Renders the decision trail for one job (`job = Some(id)`) or the
+/// whole run, ending with a per-kind summary.
+pub fn render_trail(journal: &DecisionJournal, job: Option<u64>) -> String {
+    let entries: Vec<&JournalEntry> = journal
+        .entries()
+        .iter()
+        .filter(|e| job.is_none_or(|j| e.decision.job().raw() == j))
+        .collect();
+    let mut out = String::new();
+    match job {
+        Some(j) => {
+            let _ = writeln!(
+                out,
+                "decision trail for job {j}: {} of {} recorded decisions",
+                entries.len(),
+                journal.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "decision trail: {} recorded decisions", journal.len());
+        }
+    }
+    if entries.is_empty() {
+        let _ = writeln!(out, "(no recorded decisions match)");
+        return out;
+    }
+    for entry in &entries {
+        let _ = writeln!(out, "{}", describe(entry));
+    }
+    let count = |k: &str| {
+        entries
+            .iter()
+            .filter(|e| e.decision.kind_label() == k)
+            .count()
+    };
+    let _ = writeln!(
+        out,
+        "summary: {} admitted, {} declined, {} resizes, {} preemptions, {} migrations, {} pauses",
+        count("admit"),
+        count("decline"),
+        count("resize"),
+        count("preempt"),
+        count("migrate"),
+        count("pause")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trail_is_deterministic() {
+        assert_eq!(
+            render_trail(&golden_journal(42), None),
+            render_trail(&golden_journal(42), None)
+        );
+    }
+
+    #[test]
+    fn declined_job_trail_names_window_and_shortfall() {
+        let journal = golden_journal(42);
+        let declined = journal
+            .entries()
+            .iter()
+            .find(|e| matches!(e.decision, DecisionRecord::Decline { .. }))
+            .expect("seed 42 declines at least one job")
+            .decision
+            .job();
+        let trail = render_trail(&journal, Some(declined.raw()));
+        assert!(trail.contains("binding window"), "trail: {trail}");
+        assert!(trail.contains("shortfall"), "trail: {trail}");
+    }
+
+    #[test]
+    fn filtering_an_unknown_job_reports_no_matches() {
+        let trail = render_trail(&golden_journal(42), Some(9_999));
+        assert!(trail.contains("no recorded decisions match"));
+    }
+
+    #[test]
+    fn journal_files_round_trip_through_load() {
+        let journal = golden_journal(7);
+        let dir = std::env::temp_dir().join(format!("ef-explain-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.decisions.jsonl");
+        std::fs::write(&path, journal.to_jsonl()).expect("write journal");
+        let loaded = load_journal(&path).expect("load journal");
+        assert_eq!(loaded, journal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

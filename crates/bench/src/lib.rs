@@ -11,6 +11,7 @@
 
 pub mod drill;
 pub mod experiments;
+pub mod explain;
 pub mod mega;
 pub mod parallel;
 pub mod persist;

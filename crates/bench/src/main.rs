@@ -6,6 +6,7 @@
 //!                  [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]
 //! experiments all  [...same options...]
 //! experiments crash-drill [--seed N] [--state-dir <dir>] [--checkpoint-every <secs>]
+//! experiments explain [--seed N] [--journal <file>] [--job <id>]
 //! experiments list
 //! ```
 //!
@@ -16,8 +17,9 @@
 //! byte-identical regardless of N; only wall-clock changes.
 //!
 //! With `--telemetry-out`, every simulation also drops Prometheus
-//! (`.prom`) and Perfetto-loadable Chrome-trace (`.trace.json`) exports
-//! into the given directory.
+//! (`.prom`), Perfetto-loadable Chrome-trace (`.trace.json`), and
+//! decision-journal (`.decisions.jsonl`) exports into the given
+//! directory.
 //!
 //! With `--state-dir`, every simulation checkpoints its full resumable
 //! state every `--checkpoint-every` simulated seconds (default 600) and
@@ -29,6 +31,12 @@
 //! `crash-drill` runs the self-checking crash-restart drill: baseline,
 //! mid-run kill, recovery — and exits nonzero if the resumed report or
 //! the recovered write-ahead log diverges.
+//!
+//! `explain` prints the human-readable decision trail — admissions,
+//! declines (with the binding window and GPU-slot shortfall), resizes,
+//! migrations, preemptions, pauses — for the seeded golden workload, or
+//! for a `.decisions.jsonl` journal written by `--telemetry-out` when
+//! `--journal` is given. `--job <id>` narrows the trail to one job.
 
 use std::process::ExitCode;
 
@@ -42,6 +50,8 @@ struct Options {
     state_dir: Option<String>,
     checkpoint_every: f64,
     resume: bool,
+    journal: Option<String>,
+    job: Option<u64>,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -53,6 +63,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         state_dir: None,
         checkpoint_every: 600.0,
         resume: false,
+        journal: None,
+        job: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -83,6 +95,14 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 _ => return Err("--checkpoint-every needs a positive number of seconds".to_owned()),
             },
             "--resume" => opts.resume = true,
+            "--journal" => match it.next() {
+                Some(path) => opts.journal = Some(path),
+                None => return Err("--journal needs a file path".to_owned()),
+            },
+            "--job" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.job = Some(v),
+                None => return Err("--job needs an integer job id".to_owned()),
+            },
             other if opts.command.is_none() => opts.command = Some(other.to_owned()),
             other => return Err(format!("unexpected argument: {other}")),
         }
@@ -129,6 +149,26 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    if command == "explain" {
+        let journal = match &opts.journal {
+            Some(path) => {
+                match elasticflow_bench::explain::load_journal(std::path::Path::new(path)) {
+                    Ok(journal) => journal,
+                    Err(e) => {
+                        eprintln!("explain: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => elasticflow_bench::explain::golden_journal(opts.seed),
+        };
+        print!(
+            "{}",
+            elasticflow_bench::explain::render_trail(&journal, opts.job)
+        );
+        return ExitCode::SUCCESS;
     }
 
     if let Some(n) = opts.jobs {
@@ -204,20 +244,28 @@ fn emit(tables: Vec<elasticflow_bench::Table>, json: bool) {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <id|all|list|crash-drill> [--seed N] [--jobs N] [--json] \
-         [--telemetry-out <dir>] [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]"
+        "usage: experiments <id|all|list|crash-drill|explain> [--seed N] [--jobs N] [--json] \
+         [--telemetry-out <dir>] [--state-dir <dir>] [--checkpoint-every <secs>] [--resume] \
+         [--journal <file>] [--job <id>]"
     );
     eprintln!("run `experiments list` to see every table/figure id");
     eprintln!(
         "--jobs N: fan independent simulation runs across N worker threads \
          (default: available cores; output is identical for any N)"
     );
-    eprintln!("--telemetry-out <dir>: also write .prom / .trace.json exports per simulation");
+    eprintln!(
+        "--telemetry-out <dir>: also write .prom / .trace.json / .decisions.jsonl exports \
+         per simulation"
+    );
     eprintln!(
         "--state-dir <dir>: checkpoint + write-ahead-log every simulation; \
          --resume recovers after an interruption"
     );
     eprintln!(
         "crash-drill: self-checking kill-and-recover determinism drill (nonzero on divergence)"
+    );
+    eprintln!(
+        "explain: print the decision trail (admits, declines with shortfalls, resizes, \
+         migrations) for the golden workload or a --journal file; --job narrows to one job"
     );
 }

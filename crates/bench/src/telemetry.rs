@@ -4,10 +4,12 @@
 //! startup; from then on every simulation routed through
 //! [`crate::runners::run_one`] runs with a deterministic
 //! [`TelemetrySession`] attached and drops
-//! `<dir>/<scheduler>-<trace>.prom` (Prometheus text exposition) and
+//! `<dir>/<scheduler>-<trace>.prom` (Prometheus text exposition),
 //! `<dir>/<scheduler>-<trace>.trace.json` (Perfetto-loadable Chrome
-//! trace) next to the tables. Telemetry observers are read-only, so
-//! experiment results are unchanged by the flag.
+//! trace), and `<dir>/<scheduler>-<trace>.decisions.jsonl` (decision
+//! journal, replayable with `experiments explain`) next to the tables.
+//! Telemetry observers are read-only, so experiment results are
+//! unchanged by the flag.
 
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;

@@ -1,0 +1,41 @@
+//! Golden fixture test for the `experiments explain` decision trail.
+//!
+//! The seed-42 golden workload (paper small testbed, 25 jobs,
+//! ElasticFlow policy) must render to a byte-identical trail across
+//! runs and builds. Regenerate on intentional format changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p elasticflow-bench --test explain_golden
+//! ```
+
+use elasticflow_bench::explain::{golden_journal, render_trail};
+
+const TRAIL_FIXTURE: &str = include_str!("fixtures/explain-testbed-small-42.txt");
+
+fn check_golden(name: &str, fixture: &str, actual: &str) {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name);
+        std::fs::write(&path, actual).expect("rewrite fixture");
+        return;
+    }
+    assert_eq!(
+        actual, fixture,
+        "{name} drifted from its fixture; if the format change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn explain_trail_matches_fixture() {
+    let trail = render_trail(&golden_journal(42), None);
+    check_golden("explain-testbed-small-42.txt", TRAIL_FIXTURE, &trail);
+}
+
+#[test]
+fn fixture_names_a_binding_window_and_shortfall_for_a_decline() {
+    assert!(TRAIL_FIXTURE.contains("declined"));
+    assert!(TRAIL_FIXTURE.contains("binding window"));
+    assert!(TRAIL_FIXTURE.contains("shortfall"));
+}

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use elasticflow_sched::CapacityShortfall;
 use elasticflow_trace::JobId;
 
 use crate::filling::{progressive_filling_with, FillScratch};
@@ -11,6 +12,120 @@ use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
 /// the fill order — and with it every downstream plan — is total).
 fn fill_key(job: &PlanningJob) -> (usize, JobId) {
     (job.deadline_slot, job.id)
+}
+
+/// A failed admission: the first unsatisfiable job plus the capacity
+/// arithmetic at the point of failure.
+///
+/// Because Algorithm 1 fills in deadline order against the ledger of
+/// strictly earlier jobs only, the ledger state when a fill fails is
+/// identical between a from-scratch [`AdmissionController::check`] and
+/// the incremental [`AdmissionSet`] paths (the incremental admission
+/// invariant) — so the shortfall here is bit-identical however the
+/// question was asked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionDenial {
+    /// The first job (in fill order) that cannot be satisfied.
+    pub blocking_job: JobId,
+    /// The blocking job's minimum demand vs. the free capacity left in
+    /// its deadline window.
+    pub shortfall: CapacityShortfall,
+}
+
+/// Capacity arithmetic at a fill failure: `job`'s minimum-satisfactory
+/// GPU-slot demand vs. the GPU-slots `ledger` leaves usable in its
+/// window.
+///
+/// Demand prices the cheapest deadline-meeting schedule: the smallest
+/// ladder allocation that finishes in time, held through the window.
+/// When even the job's largest usable allocation is too slow, demand
+/// scales past the concurrency cap by the time actually needed at that
+/// size — so a candidate that is infeasible anywhere always shows a
+/// positive shortfall. The free side is clamped per slot to the same
+/// largest usable allocation: capacity the job could never occupy does
+/// not count. A zero shortfall can still occur when the decline came
+/// from scaling-curve nonlinearity or slot fragmentation (enough usable
+/// capacity exists, but no feasible shape reaches it).
+fn window_shortfall(
+    job: &PlanningJob,
+    ledger: &ReservationLedger,
+    grid: &SlotGrid,
+    total_gpus: u32,
+) -> CapacityShortfall {
+    let rest = grid.rest_seconds();
+    let window_end = job.deadline_slot;
+    // Largest pow2 ladder size the job can actually occupy here: bounded
+    // by its scaling curve and the cluster size.
+    let mut g_max = 0u32;
+    let mut g_max_rate = 0.0_f64;
+    let mut g = 1u32;
+    while g <= job.curve.max_gpus() && g <= total_gpus {
+        if let Some(rate) = job.curve.iters_per_sec(g).filter(|r| *r > 0.0) {
+            g_max = g;
+            g_max_rate = rate;
+        }
+        match g.checked_mul(2) {
+            Some(next) => g = next,
+            None => break,
+        }
+    }
+    // Seconds from now to the deadline boundary (slot 0 may be short).
+    let window_seconds = if window_end == 0 {
+        0.0
+    } else {
+        grid.duration(0) + (window_end - 1) as f64 * rest
+    };
+    let mut demand_gpu_slots = 0.0;
+    if g_max > 0 {
+        let mut mss = None;
+        let mut g = 1u32;
+        while g <= g_max {
+            if job
+                .curve
+                .iters_per_sec(g)
+                .is_some_and(|r| r * window_seconds >= job.remaining_iterations)
+            {
+                mss = Some(g);
+                break;
+            }
+            g *= 2;
+        }
+        demand_gpu_slots = match mss {
+            Some(g) => f64::from(g) * window_seconds / rest,
+            None => {
+                // Even g_max can't finish by the deadline: charge the
+                // seconds it would actually take at full tilt
+                // (g_max_rate > 0 whenever g_max > 0).
+                f64::from(g_max) * (job.remaining_iterations / g_max_rate) / rest
+            }
+        };
+    }
+    // Usable free GPU-slots in the window, walking constant-commitment
+    // runs (O(runs), not O(slots)); everything past the committed
+    // horizon is fully free, still clamped to g_max.
+    let cap = f64::from(g_max);
+    let scan_end = window_end.min(ledger.horizon());
+    let mut free_gpu_slots = 0.0_f64;
+    let mut t = 0usize;
+    while t < scan_end {
+        let run_end = ledger.run_end(t).min(scan_end);
+        free_gpu_slots += f64::from(ledger.free(t, total_gpus)).min(cap) * (run_end - t) as f64;
+        t = run_end;
+    }
+    if window_end > scan_end {
+        free_gpu_slots += f64::from(total_gpus).min(cap) * (window_end - scan_end) as f64;
+    }
+    if window_end > 0 {
+        // Slot 0 can be shorter than the rest; weight its free GPUs by
+        // its actual duration so both sides use the same slot unit.
+        free_gpu_slots +=
+            f64::from(ledger.free(0, total_gpus)).min(cap) * (grid.duration(0) / rest - 1.0);
+    }
+    CapacityShortfall {
+        window_slots: window_end as u64,
+        demand_gpu_slots,
+        free_gpu_slots,
+    }
 }
 
 /// Result of an admission check over a set of jobs.
@@ -27,6 +142,9 @@ pub enum AdmissionOutcome {
     Rejected {
         /// The unsatisfiable job.
         blocking_job: JobId,
+        /// The blocking job's minimum demand vs. the capacity left in
+        /// its window when the fill failed.
+        shortfall: CapacityShortfall,
     },
 }
 
@@ -106,6 +224,7 @@ impl AdmissionController {
                 None => {
                     return AdmissionOutcome::Rejected {
                         blocking_job: job.id,
+                        shortfall: window_shortfall(job, &ledger, grid, self.total_gpus),
                     }
                 }
             }
@@ -251,9 +370,12 @@ impl AdmissionController {
 /// let grid = SlotGrid::uniform(1.0);
 /// let (mut set, lapsed) = ac.fill(&[job(0, 2.0, 2)], &grid);
 /// assert!(lapsed.is_empty());
-/// // One more 1-GPU job fits; a third does not.
+/// // One more 1-GPU job fits; a third does not — and the denial says
+/// // who blocked and by how much.
 /// assert!(set.admit(job(1, 2.0, 2), &grid).is_ok());
-/// assert_eq!(set.whatif_admit(&job(2, 2.0, 2), &grid), Err(JobId::new(2)));
+/// let denial = set.whatif_admit(&job(2, 2.0, 2), &grid).unwrap_err();
+/// assert_eq!(denial.blocking_job, JobId::new(2));
+/// assert!(denial.shortfall.shortfall_gpu_slots() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct AdmissionSet {
@@ -312,8 +434,9 @@ impl AdmissionSet {
     /// Refills the suffix at or after `candidate`'s fill position with
     /// the candidate included. On success returns the insertion index,
     /// the candidate's profile, the refilled suffix profiles, and the
-    /// updated ledger; on failure the first job (in fill order) that
-    /// cannot be satisfied. The set itself is untouched.
+    /// updated ledger; on failure an [`AdmissionDenial`] naming the
+    /// first job (in fill order) that cannot be satisfied, with its
+    /// shortfall. The set itself is untouched.
     #[allow(clippy::type_complexity)]
     fn refill_suffix(
         &self,
@@ -326,7 +449,7 @@ impl AdmissionSet {
             Vec<AllocationProfile>,
             ReservationLedger,
         ),
-        JobId,
+        AdmissionDenial,
     > {
         let k = self.insertion_point(candidate);
         let mut ledger = self.ledger.clone();
@@ -346,7 +469,12 @@ impl AdmissionSet {
                 ledger.commit(&profile);
                 profile
             }
-            None => return Err(candidate.id),
+            None => {
+                return Err(AdmissionDenial {
+                    blocking_job: candidate.id,
+                    shortfall: window_shortfall(candidate, &ledger, grid, self.total_gpus),
+                })
+            }
         };
         let mut suffix = Vec::with_capacity(self.profiles.len() - k);
         for job in &self.jobs[k..] {
@@ -356,7 +484,12 @@ impl AdmissionSet {
                     ledger.commit(&profile);
                     suffix.push(profile);
                 }
-                None => return Err(job.id),
+                None => {
+                    return Err(AdmissionDenial {
+                        blocking_job: job.id,
+                        shortfall: window_shortfall(job, &ledger, grid, self.total_gpus),
+                    })
+                }
             }
         }
         Ok((k, cand_profile, suffix, ledger))
@@ -366,9 +499,13 @@ impl AdmissionSet {
     /// job (existing and new) satisfiable? Refills only the
     /// deadline-ordered suffix from the candidate's position; the prefix
     /// is reused unchanged. `Err` names the first unsatisfiable job —
-    /// the same blocking job a from-scratch check would report. The set
-    /// is not modified.
-    pub fn whatif_admit(&self, candidate: &PlanningJob, grid: &SlotGrid) -> Result<(), JobId> {
+    /// the same blocking job (and the same shortfall) a from-scratch
+    /// check would report. The set is not modified.
+    pub fn whatif_admit(
+        &self,
+        candidate: &PlanningJob,
+        grid: &SlotGrid,
+    ) -> Result<(), AdmissionDenial> {
         self.refill_suffix(candidate, grid).map(|_| ())
     }
 
@@ -388,13 +525,21 @@ impl AdmissionSet {
                 }
                 AdmissionOutcome::Admitted { plan }
             }
-            Err(blocking_job) => AdmissionOutcome::Rejected { blocking_job },
+            Err(denial) => AdmissionOutcome::Rejected {
+                blocking_job: denial.blocking_job,
+                shortfall: denial.shortfall,
+            },
         }
     }
 
     /// Commits `candidate` into the set (incremental fill). On failure
-    /// the set is unchanged and the blocking job is returned.
-    pub fn admit(&mut self, candidate: PlanningJob, grid: &SlotGrid) -> Result<(), JobId> {
+    /// the set is unchanged and the denial (blocking job + shortfall)
+    /// is returned.
+    pub fn admit(
+        &mut self,
+        candidate: PlanningJob,
+        grid: &SlotGrid,
+    ) -> Result<(), AdmissionDenial> {
         let (k, cand_profile, suffix, ledger) = self.refill_suffix(&candidate, grid)?;
         self.jobs.insert(k, candidate);
         self.profiles.truncate(k);
@@ -509,12 +654,62 @@ mod tests {
         let ac = AdmissionController::new(1);
         let grid = SlotGrid::uniform(1.0);
         let out = ac.check(&[job(0, 1.0, 1), job(1, 1.0, 1)], &grid);
-        assert_eq!(
-            out,
+        match out {
             AdmissionOutcome::Rejected {
-                blocking_job: JobId::new(1)
+                blocking_job,
+                shortfall,
+            } => {
+                assert_eq!(blocking_job, JobId::new(1));
+                // Job 0 booked the lone GPU for the whole 1-slot window:
+                // job 1 needs 1 GPU-slot (1 unit of work at 1 it/s on 1
+                // GPU) and finds 0 free.
+                assert_eq!(shortfall.window_slots, 1);
+                assert!((shortfall.demand_gpu_slots - 1.0).abs() < 1e-12);
+                assert_eq!(shortfall.free_gpu_slots, 0.0);
+                assert!((shortfall.shortfall_gpu_slots() - 1.0).abs() < 1e-12);
             }
-        );
+            AdmissionOutcome::Admitted { .. } => panic!("one GPU cannot carry both jobs"),
+        }
+    }
+
+    #[test]
+    fn shortfall_accounts_for_free_capacity_in_the_window() {
+        // 4 GPUs, 2 slots; job 0 books the full cluster in slot 0 only.
+        // A newcomer with 50 units of work and a 2-slot window can't
+        // finish even at its largest size (g=4 does 2 it/s => 4 units in
+        // 2 slots), so demand is charged at full tilt: 50 units / 2 it/s
+        // = 25 slots of time × 4 GPUs = 100 GPU-slots. Usable free is
+        // slot 1's 4 GPUs (slot 0 is fully booked).
+        let ac = AdmissionController::new(4);
+        let grid = SlotGrid::uniform(1.0);
+        let out = ac.check(&[job(0, 2.0, 1), job(1, 50.0, 2)], &grid);
+        match out {
+            AdmissionOutcome::Rejected {
+                blocking_job,
+                shortfall,
+            } => {
+                assert_eq!(blocking_job, JobId::new(1));
+                assert_eq!(shortfall.window_slots, 2);
+                assert!((shortfall.demand_gpu_slots - 100.0).abs() < 1e-9);
+                assert!((shortfall.free_gpu_slots - 4.0).abs() < 1e-9);
+                assert!((shortfall.shortfall_gpu_slots() - 96.0).abs() < 1e-9);
+            }
+            AdmissionOutcome::Admitted { .. } => panic!("50 units cannot fit in 8 GPU-slots"),
+        }
+    }
+
+    #[test]
+    fn feasible_size_prices_demand_at_the_minimum_satisfactory_share() {
+        // Alone on a big cluster with an achievable deadline, the
+        // demand side reads MSS × window: 2 units in 2 slots needs g=1
+        // (1 it/s × 2 s = 2 units), so demand is 2 GPU-slots.
+        let grid = SlotGrid::uniform(1.0);
+        let shortfall = window_shortfall(&job(0, 2.0, 2), &ReservationLedger::new(), &grid, 4);
+        assert_eq!(shortfall.window_slots, 2);
+        assert!((shortfall.demand_gpu_slots - 2.0).abs() < 1e-9);
+        // Both slots are empty: 4 usable GPUs × 2 slots.
+        assert!((shortfall.free_gpu_slots - 8.0).abs() < 1e-9);
+        assert_eq!(shortfall.shortfall_gpu_slots(), 0.0);
     }
 
     #[test]
@@ -660,7 +855,8 @@ mod tests {
         let grid = SlotGrid::uniform(1.0);
         let (mut set, _) = ac.fill(&[job(0, 2.0, 2), job(1, 2.0, 2)], &grid);
         let plan = set.plan();
-        assert_eq!(set.admit(job(2, 2.0, 2), &grid), Err(JobId::new(2)));
+        let denial = set.admit(job(2, 2.0, 2), &grid).unwrap_err();
+        assert_eq!(denial.blocking_job, JobId::new(2));
         assert_eq!(set.plan(), plan);
         // A tight candidate with the earliest deadline blocks a *later*
         // job, not itself; the error names that job, like check does.

@@ -50,7 +50,7 @@ pub(crate) mod scheduler;
 pub mod theory;
 mod variants;
 
-pub use admission::{AdmissionController, AdmissionOutcome, AdmissionSet};
+pub use admission::{AdmissionController, AdmissionDenial, AdmissionOutcome, AdmissionSet};
 pub use alloc::ResourceAllocator;
 pub use filling::{progressive_filling, progressive_filling_with, FillScratch};
 pub use plan::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid, WORK_EPSILON};

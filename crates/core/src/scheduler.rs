@@ -2,8 +2,8 @@
 //! best-effort extension, packaged behind the simulator-facing trait.
 
 use elasticflow_sched::{
-    clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, RestoreError, SchedulePlan,
-    Scheduler, Snapshottable,
+    clamp_pow2, AdmissionDecision, ClusterView, DeclineReason, JobRuntime, JobTable, RestoreError,
+    SchedulePlan, Scheduler, Snapshottable,
 };
 use elasticflow_trace::JobId;
 use serde::{Deserialize, Serialize};
@@ -266,10 +266,25 @@ pub(crate) fn admission_decision(
         .max(1);
     let contention = ac.booked_fraction(set.ledger(), horizon);
     let candidate = ElasticFlowScheduler::planning_job_with_reserve(job, now, grid, contention);
-    if set.whatif_admit(&candidate, grid).is_ok() {
-        AdmissionDecision::Admit
-    } else {
-        AdmissionDecision::Drop
+    match set.whatif_admit(&candidate, grid) {
+        Ok(()) => AdmissionDecision::Admit,
+        Err(denial) => {
+            // Attribute the decline: the fill either failed at the
+            // candidate itself (its reserve-shrunk window cannot carry
+            // its demand) or at an already-guaranteed job downstream
+            // that the candidate would displace.
+            let reason = if denial.blocking_job == candidate.id {
+                DeclineReason::CandidateInfeasible {
+                    shortfall: denial.shortfall,
+                }
+            } else {
+                DeclineReason::WouldDisplace {
+                    blocking_job: denial.blocking_job,
+                    shortfall: denial.shortfall,
+                }
+            };
+            AdmissionDecision::Drop { reason }
+        }
     }
 }
 
@@ -449,7 +464,16 @@ mod tests {
         // More work than the knee can do before the deadline.
         let job = runtime(1, Some(1_300.0), work_for(40_000.0, 8));
         let d = ef.on_job_arrival(&job, 0.0, &ClusterView::new(16), &jobs);
-        assert_eq!(d, AdmissionDecision::Drop);
+        // On an empty cluster the fill fails at the candidate itself,
+        // and the decline says so with a positive shortfall.
+        match d {
+            AdmissionDecision::Drop {
+                reason: DeclineReason::CandidateInfeasible { shortfall },
+            } => {
+                assert!(shortfall.shortfall_gpu_slots() > 0.0, "{shortfall:?}");
+            }
+            other => panic!("expected CandidateInfeasible drop, got {other:?}"),
+        }
     }
 
     #[test]
@@ -529,6 +553,6 @@ mod tests {
         // A newcomer with the same tightness cannot fit on 16 GPUs.
         let newcomer = runtime(99, Some(3_700.0), work_for(3_500.0, 4));
         let d = ef.on_job_arrival(&newcomer, 0.0, &ClusterView::new(16), &jobs);
-        assert_eq!(d, AdmissionDecision::Drop);
+        assert!(matches!(d, AdmissionDecision::Drop { .. }), "{d:?}");
     }
 }

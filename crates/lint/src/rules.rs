@@ -130,10 +130,11 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "EF-L007",
         title: "no catch-all arms in matches over replayed enums",
-        rationale: "A `_ =>` (or bare-binding) arm in a `match` over `Event` \
-                    or `ReplanOutcome` silently swallows variants added \
-                    later; replay, WAL application, and telemetry would then \
-                    disagree about what happened with no compile error \
+        rationale: "A `_ =>` (or bare-binding) arm in a `match` over `Event`, \
+                    `ReplanOutcome`, `DecisionRecord`, or `DeclineReason` \
+                    silently swallows variants added later; replay, WAL \
+                    application, the decision journal, and telemetry would \
+                    then disagree about what happened with no compile error \
                     anywhere.",
         remedy: "List every variant explicitly (grouping with `|` is fine) so \
                  a new variant forces a decision at each consuming site.",
@@ -203,10 +204,12 @@ pub fn check_items(tokens: &[Token], items: &FileItems, crate_name: &str) -> Vec
     out
 }
 
-/// Enums whose `match`es must stay exhaustive: both are replayed from
+/// Enums whose `match`es must stay exhaustive: all are replayed from
 /// persisted streams (the WAL records `Event`s; schedulers re-derive
-/// `ReplanOutcome`s), so a swallowed variant diverges replay silently.
-const REPLAYED_ENUMS: &[&str] = &["Event", "ReplanOutcome"];
+/// `ReplanOutcome`s; the decision journal replays `DecisionRecord`s and
+/// their `DeclineReason`s), so a swallowed variant diverges replay
+/// silently.
+const REPLAYED_ENUMS: &[&str] = &["Event", "ReplanOutcome", "DecisionRecord", "DeclineReason"];
 
 /// EF-L007: a `match` whose arms destructure a replayed enum must not
 /// contain a catch-all (`_` or bare-binding, unguarded) arm.
@@ -738,6 +741,14 @@ mod tests {
     fn l007_fires_on_bare_binding_over_replan_outcome() {
         let src = "fn f(o: X) { match o { ReplanOutcome::Done => {} other => drop(other) } }";
         assert_eq!(rules_of(&run_structural(src, "persist")), vec!["EF-L007"]);
+    }
+
+    #[test]
+    fn l007_fires_on_wildcards_over_decision_enums() {
+        let src = "fn f(d: D) { match d { DecisionRecord::Admit { job } => a(job), _ => {} } }";
+        assert_eq!(rules_of(&run_structural(src, "telemetry")), vec!["EF-L007"]);
+        let src = "fn f(r: R) { match r { DeclineReason::Unexplained => {} _ => {} } }";
+        assert_eq!(rules_of(&run_structural(src, "telemetry")), vec!["EF-L007"]);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use elasticflow_perfmodel::ScalingCurve;
 use elasticflow_trace::{JobId, JobKind, JobSpec};
 use serde::{Deserialize, Serialize};
 
+use crate::decision::DeclineReason;
+
 /// What the scheduler can see of the cluster. Placement is deliberately
 /// *not* part of the scheduling interface: buddy allocation guarantees that
 /// any power-of-two GPU count gets the tightest possible subtree, which is
@@ -26,13 +28,33 @@ impl ClusterView {
 }
 
 /// Decision returned by [`Scheduler::on_job_arrival`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AdmissionDecision {
     /// The job enters the system (its deadline may or may not be met).
     Admit,
     /// The job is rejected outright — only deadline-aware schedulers with
-    /// admission control do this (paper §4.1).
-    Drop,
+    /// admission control do this (paper §4.1). The payload attributes the
+    /// decline; policies without structured provenance use
+    /// [`DeclineReason::Unexplained`].
+    Drop {
+        /// Why admission control turned the job away.
+        reason: DeclineReason,
+    },
+}
+
+impl AdmissionDecision {
+    /// `true` for [`AdmissionDecision::Admit`].
+    pub fn is_admit(&self) -> bool {
+        matches!(self, AdmissionDecision::Admit)
+    }
+
+    /// A decline without structured provenance — the decision policies
+    /// predating the provenance layer return.
+    pub fn drop_unexplained() -> Self {
+        AdmissionDecision::Drop {
+            reason: DeclineReason::Unexplained,
+        }
+    }
 }
 
 /// Dynamic state of one job, maintained by the simulator and read by

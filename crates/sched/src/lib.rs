@@ -27,6 +27,7 @@
 
 mod api;
 mod chronus;
+mod decision;
 mod edf;
 mod gandiva;
 mod pollux;
@@ -37,6 +38,7 @@ pub use api::{
     clamp_pow2, AdmissionDecision, ClusterView, JobRuntime, JobTable, ReplanOutcome, RestoreError,
     SchedulePlan, Scheduler, Snapshottable,
 };
+pub use decision::{CapacityShortfall, DecisionRecord, DeclineReason, PauseCause};
 
 #[allow(clippy::items_after_test_module)]
 #[cfg(test)]

@@ -185,10 +185,10 @@ fn chronus_admission_depends_on_load_but_plans_stay_edf() {
     table.insert(first);
     // A second equally tight full-size job cannot be guaranteed.
     let second = job(2, 0.0, Some(3_700.0), 8);
-    assert_eq!(
+    assert!(matches!(
         c.on_job_arrival(&second, 0.0, &view, &table),
-        elasticflow_sched::AdmissionDecision::Drop
-    );
+        elasticflow_sched::AdmissionDecision::Drop { .. }
+    ));
 }
 
 #[test]

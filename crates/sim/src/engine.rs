@@ -42,6 +42,21 @@ fn emit_phase(
     }
 }
 
+/// Fans a batch of decision records out to the whole observer chain, in
+/// record order.
+fn emit_decisions(
+    chain: &mut [&mut dyn SimObserver],
+    now: f64,
+    decisions: &[elasticflow_sched::DecisionRecord],
+    ctx: &SimContext<'_>,
+) {
+    for decision in decisions {
+        for obs in chain.iter_mut() {
+            obs.on_decision(now, decision, ctx);
+        }
+    }
+}
+
 /// What the engine should do after the round a [`SimController`] was just
 /// consulted about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -333,13 +348,18 @@ impl Simulation {
             }
 
             // ---- server failures and repairs at t ----
+            let mut eviction_decisions = Vec::new();
             for (server, is_repair) in core.due_transitions(now) {
-                exec.apply_transition(server, is_repair, now);
+                exec.apply_transition(server, is_repair, now, &mut eviction_decisions);
                 events.push(if is_repair {
                     Event::ServerRepair { server }
                 } else {
                     Event::ServerFailure { server }
                 });
+            }
+            if !eviction_decisions.is_empty() {
+                let ctx = exec.context();
+                emit_decisions(&mut chain, now, &eviction_decisions, &ctx);
             }
             let view = exec.scheduler_view();
 
@@ -357,7 +377,11 @@ impl Simulation {
                 );
             }
             for spec in due {
-                let id = exec.admit_arrival(spec, &mut driver, now, &view);
+                let (id, record) = exec.admit_arrival(spec, &mut driver, now, &view);
+                {
+                    let ctx = exec.context();
+                    emit_decisions(&mut chain, now, &[record], &ctx);
+                }
                 events.push(Event::Arrival { job: id });
             }
             if had_arrivals {
@@ -406,10 +430,11 @@ impl Simulation {
                     &ctx,
                 );
             }
-            let outcome = exec.apply_plan(plan, now);
+            let (outcome, plan_decisions) = exec.apply_plan(plan, now);
             {
                 let ctx = exec.context();
                 emit_phase(&mut chain, now, SchedPhase::Placement, PhaseEdge::End, &ctx);
+                emit_decisions(&mut chain, now, &plan_decisions, &ctx);
                 for obs in chain.iter_mut() {
                     obs.on_replan(now, &outcome, &ctx);
                 }

@@ -14,7 +14,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use elasticflow_cluster::ClusterState;
 use elasticflow_perfmodel::{DnnModel, Interconnect, OverheadModel, ScalingCurve, ScalingEvent};
 use elasticflow_sched::{
-    AdmissionDecision, ClusterView, JobRuntime, JobTable, ReplanOutcome, SchedulePlan,
+    AdmissionDecision, ClusterView, DecisionRecord, JobRuntime, JobTable, PauseCause,
+    ReplanOutcome, SchedulePlan,
 };
 use elasticflow_trace::{JobId, JobSpec};
 
@@ -189,7 +190,15 @@ impl Executor {
     /// every overlapping job (charging a checkpoint-recovery pause) and
     /// fences the dead server off with a pinned phantom block; on repair:
     /// releases the phantom block. Duplicate transitions are no-ops.
-    pub(crate) fn apply_transition(&mut self, server: u32, is_repair: bool, now: f64) {
+    /// Eviction decisions (preempt + recovery pause per victim) are
+    /// appended to `decisions` for the provenance stream.
+    pub(crate) fn apply_transition(
+        &mut self,
+        server: u32,
+        is_repair: bool,
+        now: f64,
+        decisions: &mut Vec<DecisionRecord>,
+    ) {
         let phantom = PHANTOM_BASE + server as u64;
         if is_repair {
             if self.down_servers.remove(&server) {
@@ -222,6 +231,17 @@ impl Executor {
                     &job.spec.model.profile(),
                     ScalingEvent::migrate(job.current_gpus),
                 );
+                decisions.push(DecisionRecord::Preempt {
+                    job: id,
+                    gpus: job.current_gpus,
+                });
+                if pause > 0.0 {
+                    decisions.push(DecisionRecord::Pause {
+                        job: id,
+                        seconds: pause,
+                        cause: PauseCause::Recovery,
+                    });
+                }
                 job.current_gpus = 0;
                 job.paused_until = job.paused_until.max(now) + pause;
                 self.total_pause += pause;
@@ -246,14 +266,15 @@ impl Executor {
 
     /// Registers an arriving job (memoizing its scaling curve per
     /// model/batch pair) and routes the admission decision through the
-    /// scheduler driver. Returns the job's id.
+    /// scheduler driver. Returns the job's id plus the provenance record
+    /// of the admit/decline decision.
     pub(crate) fn admit_arrival(
         &mut self,
         spec: JobSpec,
         driver: &mut SchedulerDriver<'_>,
         now: f64,
         view: &ClusterView,
-    ) -> JobId {
+    ) -> (JobId, DecisionRecord) {
         self.submitted += 1;
         let curve = self
             .curves
@@ -282,24 +303,33 @@ impl Executor {
             .jobs
             .get_mut(id)
             .unwrap_or_else(|| sim_bug("arriving job missing right after insert"));
-        match decision {
+        let record = match decision {
             AdmissionDecision::Admit => {
                 job.admitted = true;
                 self.admitted += 1;
+                DecisionRecord::Admit { job: id }
             }
-            AdmissionDecision::Drop => {
+            AdmissionDecision::Drop { reason } => {
                 job.dropped = true;
                 self.jobs.retire(id);
+                DecisionRecord::Decline { job: id, reason }
             }
-        }
-        id
+        };
+        (id, record)
     }
 
     /// Applies `plan` to the cluster at `now`: shrinks and suspends first
     /// (freeing capacity), then grows largest-first (less defragmentation
     /// churn), charging scaling pauses to resized jobs and migration pauses
-    /// to relocated bystanders. Returns the observer-visible summary.
-    pub(crate) fn apply_plan(&mut self, plan: SchedulePlan, now: f64) -> ReplanOutcome {
+    /// to relocated bystanders. Returns the observer-visible summary plus
+    /// the provenance records (resize/preempt/migrate/pause) of every job
+    /// the plan touched, in application order.
+    pub(crate) fn apply_plan(
+        &mut self,
+        plan: SchedulePlan,
+        now: f64,
+    ) -> (ReplanOutcome, Vec<DecisionRecord>) {
+        let mut decisions: Vec<DecisionRecord> = Vec::new();
         let mut changes: Vec<(JobId, u32, u32)> = Vec::new(); // (id, from, to)
         for job in self.jobs.active() {
             let desired = plan.gpus(job.id()).min(job.curve.max_gpus());
@@ -351,6 +381,21 @@ impl Executor {
                 let st = self.stats.slot_mut(id);
                 st.paused_seconds += pause;
                 st.scale_events += 1;
+                if to == 0 {
+                    decisions.push(DecisionRecord::Preempt {
+                        job: id,
+                        gpus: from,
+                    });
+                } else {
+                    decisions.push(DecisionRecord::Resize { job: id, from, to });
+                }
+                if pause > 0.0 {
+                    decisions.push(DecisionRecord::Pause {
+                        job: id,
+                        seconds: pause,
+                        cause: PauseCause::Scale,
+                    });
+                }
             }
             // Charge migration pauses to relocated bystanders.
             self.migrations_total += migrated.len() as u32;
@@ -365,6 +410,17 @@ impl Executor {
                         &job.spec.model.profile(),
                         ScalingEvent::migrate(job.current_gpus),
                     );
+                    decisions.push(DecisionRecord::Migrate {
+                        job: mid,
+                        gpus: job.current_gpus,
+                    });
+                    if pause > 0.0 {
+                        decisions.push(DecisionRecord::Pause {
+                            job: mid,
+                            seconds: pause,
+                            cause: PauseCause::Migrate,
+                        });
+                    }
                     job.paused_until = job.paused_until.max(now) + pause;
                     self.total_pause += pause;
                     round_pause += pause;
@@ -378,12 +434,15 @@ impl Executor {
             self.cluster.used_gpus(),
             plan.total_gpus() + self.down_servers.len() as u32 * self.gpus_per_server
         );
-        ReplanOutcome {
-            plan,
-            resized_jobs,
-            migrations: round_migrations,
-            pause_seconds: round_pause,
-        }
+        (
+            ReplanOutcome {
+                plan,
+                resized_jobs,
+                migrations: round_migrations,
+                pause_seconds: round_pause,
+            },
+            decisions,
+        )
     }
 
     /// Captures the executor's full mutable state for a checkpoint. The

@@ -10,25 +10,33 @@
 //!
 //! # Hook order within one scheduling event
 //!
-//! 1. [`SimObserver::on_phase`] with [`SchedPhase::Admission`]
+//! 1. [`SimObserver::on_decision`] — zero or more failure-eviction
+//!    records ([`DecisionRecord::Preempt`] / [`DecisionRecord::Pause`])
+//!    when a server failure in this round's batch evicted running jobs;
+//! 2. [`SimObserver::on_phase`] with [`SchedPhase::Admission`]
 //!    `Begin`/`End` — bracketing the admission-control consultations, only
 //!    in rounds with arrivals (admission happens before the event batch is
-//!    shown to observers);
-//! 2. [`SimObserver::on_event`] — once per batched [`Event`] (pause ends,
+//!    shown to observers); inside the bracket,
+//!    [`SimObserver::on_decision`] fires exactly once per arrival with the
+//!    [`DecisionRecord::Admit`] or [`DecisionRecord::Decline`] record;
+//! 3. [`SimObserver::on_event`] — once per batched [`Event`] (pause ends,
 //!    completions, failures/repairs, arrivals, slot boundary), after the
 //!    batch is applied to the state but before the replan;
-//! 3. [`SimObserver::on_job_finish`] — once per completed job;
-//! 4. [`SimObserver::on_phase`] with [`SchedPhase::Planning`]
+//! 4. [`SimObserver::on_job_finish`] — once per completed job;
+//! 5. [`SimObserver::on_phase`] with [`SchedPhase::Planning`]
 //!    `Begin`/`End` — bracketing the policy's `plan` call, every round;
-//! 5. [`SimObserver::on_phase`] with [`SchedPhase::Placement`]
+//! 6. [`SimObserver::on_phase`] with [`SchedPhase::Placement`]
 //!    `Begin`/`End` — bracketing plan application (buddy allocation,
 //!    defragmentation, pause charging), every round;
-//! 6. [`SimObserver::on_replan`] — after the new plan is applied, with the
+//! 7. [`SimObserver::on_decision`] — zero or more plan-application
+//!    records ([`DecisionRecord::Resize`] / `Preempt` / `Migrate` /
+//!    `Pause`), in the order the plan was applied;
+//! 8. [`SimObserver::on_replan`] — after the new plan is applied, with the
 //!    round's [`ReplanOutcome`];
-//! 7. [`SimObserver::on_tick`] — once per event loop iteration, last.
+//! 9. [`SimObserver::on_tick`] — once per event loop iteration, last.
 
 use elasticflow_cluster::ClusterState;
-use elasticflow_sched::{JobTable, ReplanOutcome};
+use elasticflow_sched::{DecisionRecord, JobTable, ReplanOutcome};
 use elasticflow_trace::JobId;
 use serde::{Deserialize, Serialize};
 
@@ -167,6 +175,15 @@ pub trait SimObserver {
     /// observers profiling real durations bring their own clock.
     fn on_phase(&mut self, _now: f64, _phase: SchedPhase, _edge: PhaseEdge, _ctx: &SimContext<'_>) {
     }
+
+    /// One scheduling decision (admit/decline/resize/preempt/migrate/
+    /// pause) was made. Admission records fire inside the `Admission`
+    /// phase bracket, one per arrival; plan-application records fire
+    /// between the `Placement` end edge and [`SimObserver::on_replan`];
+    /// failure-eviction records fire at the start of the round. Records
+    /// are derived from already-deterministic state — never from clocks —
+    /// so the stream is byte-identical across replays.
+    fn on_decision(&mut self, _now: f64, _decision: &DecisionRecord, _ctx: &SimContext<'_>) {}
 
     /// A replan round finished and its plan was applied to the cluster.
     fn on_replan(&mut self, _now: f64, _outcome: &ReplanOutcome, _ctx: &SimContext<'_>) {}

@@ -4,7 +4,7 @@
 
 use elasticflow_cluster::ClusterSpec;
 use elasticflow_perfmodel::Interconnect;
-use elasticflow_sched::{EdfScheduler, ReplanOutcome};
+use elasticflow_sched::{DecisionRecord, EdfScheduler, ReplanOutcome};
 use elasticflow_sim::{
     Event, EventTraceLogger, FailureSchedule, NodeFailure, PhaseEdge, SchedPhase, SimConfig,
     SimContext, SimObserver, Simulation,
@@ -24,6 +24,7 @@ struct CountingObserver {
     replans: usize,
     finishes: usize,
     ticks: usize,
+    decisions: usize,
 }
 
 impl SimObserver for CountingObserver {
@@ -49,6 +50,10 @@ impl SimObserver for CountingObserver {
 
     fn on_tick(&mut self, _now: f64, _ctx: &SimContext<'_>) {
         self.ticks += 1;
+    }
+
+    fn on_decision(&mut self, _now: f64, _decision: &DecisionRecord, _ctx: &SimContext<'_>) {
+        self.decisions += 1;
     }
 }
 
@@ -92,6 +97,10 @@ fn hook_call_counts_match_event_counts() {
         "on_event fired for an unclassified event kind"
     );
     assert_eq!(counter.failures + counter.repairs, 0);
+
+    // Every arrival produces exactly one admit/decline decision record;
+    // plan application can only add more on top of those.
+    assert!(counter.decisions >= counter.arrivals);
 }
 
 #[test]
@@ -117,17 +126,26 @@ enum Token {
     Finish,
     Replan,
     Tick,
+    Decision,
 }
 
 /// Records the hook interleaving verbatim.
 #[derive(Debug, Default)]
 struct RecordingObserver {
     tokens: Vec<Token>,
+    arrivals: usize,
 }
 
 impl SimObserver for RecordingObserver {
-    fn on_event(&mut self, _now: f64, _event: &Event, _ctx: &SimContext<'_>) {
+    fn on_event(&mut self, _now: f64, event: &Event, _ctx: &SimContext<'_>) {
         self.tokens.push(Token::Event);
+        if matches!(event, Event::Arrival { .. }) {
+            self.arrivals += 1;
+        }
+    }
+
+    fn on_decision(&mut self, _now: f64, _decision: &DecisionRecord, _ctx: &SimContext<'_>) {
+        self.tokens.push(Token::Decision);
     }
 
     fn on_phase(&mut self, _now: f64, phase: SchedPhase, edge: PhaseEdge, _ctx: &SimContext<'_>) {
@@ -150,18 +168,35 @@ impl SimObserver for RecordingObserver {
 /// The documented per-round hook grammar (observer.rs module docs):
 ///
 /// ```text
-/// (AdmissionBegin AdmissionEnd)? Event* Finish*
-/// PlanningBegin PlanningEnd PlacementBegin PlacementEnd Replan Tick
+/// Decision*                                 (failure evictions)
+/// (AdmissionBegin Decision* AdmissionEnd)?  (one decision per arrival)
+/// Event* Finish*
+/// PlanningBegin PlanningEnd PlacementBegin PlacementEnd
+/// Decision*                                 (plan application)
+/// Replan Tick
 /// ```
 ///
-/// Consumes one round from `tokens[i..]`, returning the next index.
-fn consume_round(tokens: &[Token], mut i: usize) -> Result<usize, String> {
+/// Consumes one round from `tokens[i..]`, returning the next index and
+/// adding the number of in-admission-bracket decisions to
+/// `bracket_decisions`.
+fn consume_round(
+    tokens: &[Token],
+    mut i: usize,
+    bracket_decisions: &mut usize,
+) -> Result<usize, String> {
     use PhaseEdge::{Begin, End};
     use SchedPhase::{Admission, Placement, Planning};
 
     let at = |i: usize| -> String { format!("at token {i}: {:?}", tokens.get(i)) };
+    while tokens.get(i) == Some(&Token::Decision) {
+        i += 1;
+    }
     if tokens.get(i) == Some(&Token::Phase(Admission, Begin)) {
         i += 1;
+        while tokens.get(i) == Some(&Token::Decision) {
+            *bracket_decisions += 1;
+            i += 1;
+        }
         if tokens.get(i) != Some(&Token::Phase(Admission, End)) {
             return Err(format!("AdmissionBegin not closed {}", at(i)));
         }
@@ -178,9 +213,16 @@ fn consume_round(tokens: &[Token], mut i: usize) -> Result<usize, String> {
         Token::Phase(Planning, End),
         Token::Phase(Placement, Begin),
         Token::Phase(Placement, End),
-        Token::Replan,
-        Token::Tick,
     ] {
+        if tokens.get(i) != Some(&expected) {
+            return Err(format!("expected {expected:?} {}", at(i)));
+        }
+        i += 1;
+    }
+    while tokens.get(i) == Some(&Token::Decision) {
+        i += 1;
+    }
+    for expected in [Token::Replan, Token::Tick] {
         if tokens.get(i) != Some(&expected) {
             return Err(format!("expected {expected:?} {}", at(i)));
         }
@@ -204,13 +246,21 @@ fn hook_ordering_follows_the_documented_contract() {
     assert!(!tokens.is_empty(), "no hooks fired");
     let mut i = 0;
     let mut rounds = 0usize;
+    let mut bracket_decisions = 0usize;
     while i < tokens.len() {
-        i = consume_round(tokens, i)
+        i = consume_round(tokens, i, &mut bracket_decisions)
             .unwrap_or_else(|e| panic!("round {rounds} violates the hook contract: {e}"));
         rounds += 1;
     }
     let ticks = tokens.iter().filter(|t| **t == Token::Tick).count();
     assert_eq!(rounds, ticks, "every round ends in exactly one tick");
+
+    // Exactly one admit/decline decision lands inside the admission
+    // bracket per arrival.
+    assert_eq!(
+        bracket_decisions, recorder.arrivals,
+        "admission-bracket decisions must pair 1:1 with arrivals"
+    );
 
     // Admission phases appear only in rounds with arrivals, and at least
     // one round of this trace has them.

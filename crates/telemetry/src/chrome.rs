@@ -66,6 +66,14 @@ fn render_event(ev: &TraceEvent) -> String {
         // Instant scope: thread-scoped keeps the marker on its own track.
         out.push_str(",\"s\":\"t\"");
     }
+    if let Some(id) = ev.flow_id {
+        out.push_str(&format!(",\"id\":{id}"));
+        if ev.ph == 'f' {
+            // Bind the finish to the enclosing slice so Perfetto draws
+            // the arrow even when the pair shares one timestamp.
+            out.push_str(",\"bp\":\"e\"");
+        }
+    }
     if !ev.args.is_empty() {
         out.push_str(&format!(",\"args\":{}", render_args(&ev.args)));
     }
@@ -141,6 +149,29 @@ mod tests {
     #[test]
     fn rerenders_byte_identically() {
         assert_eq!(render_run(42), render_run(42));
+    }
+
+    #[test]
+    fn flow_pairs_render_shared_ids_and_bind_points() {
+        let text = render_run(42);
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = value["traceEvents"].as_array().expect("traceEvents array");
+        let starts: Vec<u64> = events
+            .iter()
+            .filter(|e| e["ph"] == "s")
+            .map(|e| e["id"].as_u64().expect("flow id"))
+            .collect();
+        let finishes: Vec<u64> = events
+            .iter()
+            .filter(|e| e["ph"] == "f")
+            .map(|e| e["id"].as_u64().expect("flow id"))
+            .collect();
+        assert!(!starts.is_empty(), "decision flows present");
+        assert_eq!(starts, finishes, "every flow start has a matching finish");
+        assert!(events
+            .iter()
+            .filter(|e| e["ph"] == "f")
+            .all(|e| e["bp"] == "e"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use elasticflow_sched::ReplanOutcome;
+use elasticflow_sched::{DecisionRecord, ReplanOutcome};
 use elasticflow_sim::{Event, PhaseEdge, SchedPhase, SimContext, SimObserver};
 use elasticflow_trace::{JobId, JobKind};
 
@@ -94,6 +94,14 @@ impl MetricsCollector {
         registry.describe_counter(
             "ef_slot_boundaries_total",
             "Periodic replan slot boundaries",
+        );
+        registry.describe_counter(
+            "ef_decisions_total",
+            "Scheduling decisions recorded by the provenance stream, by kind",
+        );
+        registry.describe_counter(
+            "ef_declines_total",
+            "Admission declines by structured reason",
         );
         registry.describe_gauge("ef_used_gpus", "GPUs allocated to jobs right now");
         registry.describe_gauge(
@@ -186,6 +194,27 @@ impl SimObserver for MetricsCollector {
                     );
                 }
             }
+        }
+    }
+
+    fn on_decision(&mut self, _now: f64, decision: &DecisionRecord, _ctx: &SimContext<'_>) {
+        self.registry.inc(
+            "ef_decisions_total",
+            &[("kind", decision.kind_label())],
+            1.0,
+        );
+        // Exhaustive on purpose: a new decision kind must be considered
+        // here, not silently absorbed (EF-L007).
+        match decision {
+            DecisionRecord::Decline { reason, .. } => {
+                self.registry
+                    .inc("ef_declines_total", &[("reason", reason.label())], 1.0);
+            }
+            DecisionRecord::Admit { .. }
+            | DecisionRecord::Resize { .. }
+            | DecisionRecord::Preempt { .. }
+            | DecisionRecord::Migrate { .. }
+            | DecisionRecord::Pause { .. } => {}
         }
     }
 
@@ -294,5 +323,39 @@ mod tests {
         // Every observation landed in a finite bucket (nothing above 1.0).
         let cum = h.cumulative_counts();
         assert_eq!(cum[cum.len() - 1], cum[cum.len() - 2]);
+    }
+
+    #[test]
+    fn decision_counters_split_by_kind_and_reason() {
+        // ElasticFlow's admission control produces structured declines on
+        // the loaded testbed trace.
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(42).generate(&Interconnect::from_spec(&spec));
+        let mut collector = MetricsCollector::default();
+        let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+            &trace,
+            &mut elasticflow_core::ElasticFlowScheduler::new(),
+            &mut [&mut collector],
+        );
+        let reg = collector.into_registry();
+        // One admit/decline decision per submitted job.
+        let admits = reg.counter_value("ef_decisions_total", &[("kind", "admit")]);
+        let declines = reg.counter_value("ef_decisions_total", &[("kind", "decline")]);
+        assert_eq!(admits, reg.counter_value("ef_jobs_admitted_total", &[]));
+        assert_eq!(declines, reg.counter_value("ef_jobs_declined_total", &[]));
+        assert!(declines > 0.0, "seed 42 must produce declines");
+        // Every decline carries a structured reason label.
+        let by_reason: f64 = ["candidate_infeasible", "would_displace", "unexplained"]
+            .iter()
+            .map(|r| reg.counter_value("ef_declines_total", &[("reason", r)]))
+            .sum();
+        assert_eq!(by_reason, declines);
+        // ElasticFlow attributes every decline (never Unexplained).
+        assert_eq!(
+            reg.counter_value("ef_declines_total", &[("reason", "unexplained")]),
+            0.0
+        );
+        // Plan application produces resize decisions on this trace.
+        assert!(reg.counter_value("ef_decisions_total", &[("kind", "resize")]) > 0.0);
     }
 }

@@ -1,0 +1,259 @@
+//! Versioned JSONL decision journal.
+//!
+//! [`DecisionJournal`] is a [`SimObserver`] that records every
+//! [`DecisionRecord`] the engine emits, together with the simulation
+//! time it was taken at. The journal serializes to a line-oriented JSON
+//! document: a header line naming the format and version, then one
+//! record per line in emission order.
+//!
+//! Determinism: decisions are derived purely from simulation state (the
+//! engine never consults a wall clock to produce them), entries are
+//! appended in hook order, and floats render via serde_json's
+//! shortest-round-trip formatter — so the same seed always produces the
+//! same bytes, and `from_jsonl` → `to_jsonl` is byte-identical. That
+//! last property is what lets the `explain` CLI replay a journal file
+//! without loss.
+
+use std::fmt;
+
+use elasticflow_sched::DecisionRecord;
+use elasticflow_sim::{SimContext, SimObserver};
+use serde::{Deserialize, Serialize};
+
+/// Format marker in the journal header line.
+pub const JOURNAL_MAGIC: &str = "elasticflow-decisions";
+/// Journal format version this build reads and writes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The header line, serialized as the first JSONL record.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    journal: String,
+    version: u32,
+}
+
+/// One journal line: a decision and the sim time it was taken at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Simulation time in seconds.
+    pub t: f64,
+    /// The decision taken at `t`.
+    pub decision: DecisionRecord,
+}
+
+/// Parse failures for a journal document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Empty document, or the first line is not a parseable header.
+    MissingHeader,
+    /// The header names a different journal kind.
+    WrongKind(String),
+    /// The header names a version this build doesn't understand.
+    UnsupportedVersion(u32),
+    /// A record line failed to parse (`line` is 1-based in the file).
+    BadRecord {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The underlying parse error, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::MissingHeader => {
+                write!(f, "missing or malformed journal header line")
+            }
+            JournalError::WrongKind(kind) => {
+                write!(f, "not a decision journal (header names {kind:?})")
+            }
+            JournalError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported journal version {v} (this build reads {JOURNAL_VERSION})"
+                )
+            }
+            JournalError::BadRecord { line, message } => {
+                write!(f, "bad journal record on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// A [`SimObserver`] accumulating the run's decision provenance stream.
+///
+/// # Example
+///
+/// ```
+/// use elasticflow_telemetry::DecisionJournal;
+///
+/// let journal = DecisionJournal::new();
+/// let text = journal.to_jsonl();
+/// let back = DecisionJournal::from_jsonl(&text).unwrap();
+/// assert_eq!(back.to_jsonl(), text); // byte-identical round trip
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct DecisionJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl DecisionJournal {
+    /// An empty journal, ready to attach as an observer.
+    pub fn new() -> Self {
+        DecisionJournal::default()
+    }
+
+    /// The recorded entries, in emission order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the journal as a JSONL document (header first, one
+    /// entry per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let header = Header {
+            journal: JOURNAL_MAGIC.to_owned(),
+            version: JOURNAL_VERSION,
+        };
+        let mut out = serde_json::to_string(&header).expect("header serializes");
+        out.push('\n');
+        for entry in &self.entries {
+            out.push_str(&serde_json::to_string(entry).expect("entry serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL document produced by [`DecisionJournal::to_jsonl`].
+    /// Blank lines between records are tolerated (and not reproduced on
+    /// re-write).
+    pub fn from_jsonl(text: &str) -> Result<Self, JournalError> {
+        let mut lines = text.lines().enumerate();
+        let header_line = lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or(JournalError::MissingHeader)?
+            .1;
+        let header: Header =
+            serde_json::from_str(header_line).map_err(|_| JournalError::MissingHeader)?;
+        if header.journal != JOURNAL_MAGIC {
+            return Err(JournalError::WrongKind(header.journal));
+        }
+        if header.version != JOURNAL_VERSION {
+            return Err(JournalError::UnsupportedVersion(header.version));
+        }
+        let mut entries = Vec::new();
+        for (idx, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry: JournalEntry =
+                serde_json::from_str(line).map_err(|e| JournalError::BadRecord {
+                    line: idx + 1,
+                    message: e.to_string(),
+                })?;
+            entries.push(entry);
+        }
+        Ok(DecisionJournal { entries })
+    }
+}
+
+impl SimObserver for DecisionJournal {
+    fn on_decision(&mut self, now: f64, decision: &DecisionRecord, _ctx: &SimContext<'_>) {
+        self.entries.push(JournalEntry {
+            t: now,
+            decision: *decision,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_cluster::ClusterSpec;
+    use elasticflow_core::ElasticFlowScheduler;
+    use elasticflow_perfmodel::Interconnect;
+    use elasticflow_sim::{SimConfig, Simulation};
+    use elasticflow_trace::TraceConfig;
+
+    fn recorded_journal(seed: u64) -> DecisionJournal {
+        let spec = ClusterSpec::small_testbed();
+        let trace = TraceConfig::testbed_small(seed).generate(&Interconnect::from_spec(&spec));
+        let mut journal = DecisionJournal::new();
+        let _ = Simulation::new(spec, SimConfig::default()).run_observed(
+            &trace,
+            &mut ElasticFlowScheduler::new(),
+            &mut [&mut journal],
+        );
+        journal
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let journal = recorded_journal(42);
+        assert!(!journal.is_empty());
+        let text = journal.to_jsonl();
+        let back = DecisionJournal::from_jsonl(&text).expect("parses");
+        assert_eq!(back, journal);
+        assert_eq!(back.to_jsonl(), text, "write → read → re-write is stable");
+    }
+
+    #[test]
+    fn journal_is_deterministic_across_reruns() {
+        assert_eq!(
+            recorded_journal(42).to_jsonl(),
+            recorded_journal(42).to_jsonl()
+        );
+    }
+
+    #[test]
+    fn records_admits_and_declines() {
+        let journal = recorded_journal(42);
+        let admits = journal
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.decision, DecisionRecord::Admit { .. }))
+            .count();
+        let declines = journal
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.decision, DecisionRecord::Decline { .. }))
+            .count();
+        assert!(admits > 0, "seed 42 admits jobs");
+        assert!(declines > 0, "seed 42 declines at least one job");
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        assert_eq!(
+            DecisionJournal::from_jsonl(""),
+            Err(JournalError::MissingHeader)
+        );
+        assert_eq!(
+            DecisionJournal::from_jsonl("{\"journal\":\"other\",\"version\":1}\n"),
+            Err(JournalError::WrongKind("other".to_owned()))
+        );
+        assert_eq!(
+            DecisionJournal::from_jsonl("{\"journal\":\"elasticflow-decisions\",\"version\":99}\n"),
+            Err(JournalError::UnsupportedVersion(99))
+        );
+        let doc = "{\"journal\":\"elasticflow-decisions\",\"version\":1}\nnot-json\n";
+        assert!(matches!(
+            DecisionJournal::from_jsonl(doc),
+            Err(JournalError::BadRecord { line: 2, .. })
+        ));
+    }
+}

@@ -51,6 +51,7 @@
 pub mod chrome;
 pub mod clock;
 pub mod collector;
+pub mod journal;
 pub mod prometheus;
 pub mod registry;
 pub mod session;
@@ -58,6 +59,7 @@ pub mod spans;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, TickClock};
 pub use collector::{MetricsCollector, PHASE_SECONDS, REPLAN_UTILIZATION};
+pub use journal::{DecisionJournal, JournalEntry, JournalError, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use registry::{
     Histogram, MetricDesc, MetricKind, MetricsRegistry, SeriesKey, DEFAULT_BUCKETS,
 };

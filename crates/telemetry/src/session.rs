@@ -9,17 +9,21 @@ use elasticflow_sim::SimObserver;
 use crate::chrome;
 use crate::clock::{MonotonicClock, TickClock};
 use crate::collector::MetricsCollector;
+use crate::journal::DecisionJournal;
 use crate::prometheus;
 use crate::spans::SpanTracer;
 
-/// A paired [`MetricsCollector`] and [`SpanTracer`] sharing a clock
-/// policy, with Prometheus / Chrome-trace export helpers.
+/// A paired [`MetricsCollector`], [`SpanTracer`], and
+/// [`DecisionJournal`] sharing a clock policy, with Prometheus /
+/// Chrome-trace / decision-journal export helpers.
 #[derive(Debug, Default)]
 pub struct TelemetrySession {
     /// The metrics side of the session.
     pub metrics: MetricsCollector,
     /// The span-tracing side of the session.
     pub spans: SpanTracer,
+    /// The decision-provenance side of the session.
+    pub journal: DecisionJournal,
 }
 
 impl TelemetrySession {
@@ -29,23 +33,27 @@ impl TelemetrySession {
         TelemetrySession {
             metrics: MetricsCollector::new(Box::<TickClock>::default()),
             spans: SpanTracer::new(Box::<TickClock>::default()),
+            journal: DecisionJournal::new(),
         }
     }
 
     /// A session timing scheduler phases with the host's monotonic
-    /// clock — real profiling numbers, non-deterministic output.
+    /// clock — real profiling numbers, non-deterministic output. (The
+    /// decision journal never reads a clock, so it stays deterministic
+    /// even here.)
     pub fn wall() -> Self {
         TelemetrySession {
             metrics: MetricsCollector::new(Box::new(MonotonicClock::new())),
             spans: SpanTracer::new(Box::new(MonotonicClock::new())),
+            journal: DecisionJournal::new(),
         }
     }
 
-    /// Both observers, ready to splice into
+    /// All three observers, ready to splice into
     /// [`run_observed`](elasticflow_sim::Simulation::run_observed)'s
     /// observer slice.
     pub fn observers(&mut self) -> Vec<&mut dyn SimObserver> {
-        vec![&mut self.metrics, &mut self.spans]
+        vec![&mut self.metrics, &mut self.spans, &mut self.journal]
     }
 
     /// The metrics registry rendered in Prometheus text format.
@@ -59,19 +67,27 @@ impl TelemetrySession {
         chrome::render(&mut self.spans)
     }
 
-    /// Writes `<stem>.prom` and `<stem>.trace.json` under `dir`
-    /// (creating it), returning both paths.
+    /// The decision journal rendered as a JSONL document.
+    pub fn decision_journal(&self) -> String {
+        self.journal.to_jsonl()
+    }
+
+    /// Writes `<stem>.prom`, `<stem>.trace.json`, and
+    /// `<stem>.decisions.jsonl` under `dir` (creating it), returning
+    /// the three paths.
     pub fn write_to_dir<P: AsRef<Path>>(
         &mut self,
         dir: P,
         stem: &str,
-    ) -> io::Result<(PathBuf, PathBuf)> {
+    ) -> io::Result<(PathBuf, PathBuf, PathBuf)> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let prom_path = dir.join(format!("{stem}.prom"));
         let trace_path = dir.join(format!("{stem}.trace.json"));
+        let journal_path = dir.join(format!("{stem}.decisions.jsonl"));
         std::fs::write(&prom_path, self.prometheus())?;
         std::fs::write(&trace_path, self.chrome_trace())?;
-        Ok((prom_path, trace_path))
+        std::fs::write(&journal_path, self.decision_journal())?;
+        Ok((prom_path, trace_path, journal_path))
     }
 }

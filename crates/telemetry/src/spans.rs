@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use elasticflow_sched::ReplanOutcome;
+use elasticflow_sched::{DecisionRecord, DeclineReason, ReplanOutcome};
 use elasticflow_sim::{Event, PhaseEdge, SchedPhase, SimContext, SimObserver};
 use elasticflow_trace::JobId;
 
@@ -44,7 +44,8 @@ pub struct TraceEvent {
     pub name: String,
     /// Comma-free category tag.
     pub cat: String,
-    /// Phase letter: `X` complete, `i` instant, `C` counter, `M` metadata.
+    /// Phase letter: `X` complete, `i` instant, `C` counter, `M` metadata,
+    /// `s`/`f` flow start/finish.
     pub ph: char,
     /// Timestamp in trace microseconds.
     pub ts_us: f64,
@@ -56,6 +57,8 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Ordered `args` payload.
     pub args: Vec<(String, ArgValue)>,
+    /// Flow-binding id shared by an `s`/`f` pair (flow events only).
+    pub flow_id: Option<u64>,
 }
 
 impl TraceEvent {
@@ -69,6 +72,7 @@ impl TraceEvent {
             pid,
             tid,
             args: Vec::new(),
+            flow_id: None,
         }
     }
 
@@ -82,6 +86,22 @@ impl TraceEvent {
             pid,
             tid,
             args: Vec::new(),
+            flow_id: None,
+        }
+    }
+
+    /// A flow start (`ph = 's'`) or finish (`ph = 'f'`) bound by `id`.
+    fn flow(name: &str, ph: char, ts_us: f64, tid: u64, id: u64) -> Self {
+        TraceEvent {
+            name: name.to_owned(),
+            cat: "decision".to_owned(),
+            ph,
+            ts_us,
+            dur_us: None,
+            pid: PID_SIM,
+            tid,
+            args: Vec::new(),
+            flow_id: Some(id),
         }
     }
 
@@ -118,6 +138,7 @@ pub struct SpanTracer {
     phase_starts: BTreeMap<SchedPhase, u64>,
     last_ts: f64,
     finalized: bool,
+    flow_seq: u64,
 }
 
 impl Default for SpanTracer {
@@ -147,7 +168,14 @@ impl SpanTracer {
             phase_starts: BTreeMap::new(),
             last_ts: 0.0,
             finalized: false,
+            flow_seq: 0,
         }
+    }
+
+    /// Next deterministic flow-binding id (1-based emission order).
+    fn next_flow_id(&mut self) -> u64 {
+        self.flow_seq += 1;
+        self.flow_seq
     }
 
     fn ts(now: f64) -> f64 {
@@ -325,6 +353,69 @@ impl SimObserver for SpanTracer {
         }
     }
 
+    fn on_decision(&mut self, now: f64, decision: &DecisionRecord, _ctx: &SimContext<'_>) {
+        self.last_ts = self.last_ts.max(now);
+        let ts = Self::ts(now);
+        let tid = job_tid(decision.job());
+        match decision {
+            // The job lifecycle span already shows admits; no extra instant.
+            DecisionRecord::Admit { .. } => {}
+            DecisionRecord::Decline { job, reason } => {
+                let mut ev = TraceEvent::instant("decline", "decision", ts, PID_SIM, tid)
+                    .arg_num("job", job.raw() as f64)
+                    .arg_str("reason", reason.label());
+                if let DeclineReason::WouldDisplace { blocking_job, .. } = reason {
+                    ev = ev.arg_num("blocking_job", blocking_job.raw() as f64);
+                }
+                if let Some(s) = reason.shortfall() {
+                    ev = ev
+                        .arg_num("window_slots", s.window_slots as f64)
+                        .arg_num("demand_gpu_slots", s.demand_gpu_slots)
+                        .arg_num("free_gpu_slots", s.free_gpu_slots)
+                        .arg_num("shortfall_gpu_slots", s.shortfall_gpu_slots());
+                }
+                self.events.push(ev);
+            }
+            DecisionRecord::Resize { from, to, .. } => {
+                let ev = TraceEvent::instant("resize", "decision", ts, PID_SIM, tid)
+                    .arg_num("from_gpus", f64::from(*from))
+                    .arg_num("to_gpus", f64::from(*to));
+                self.events.push(ev);
+                let id = self.next_flow_id();
+                self.events
+                    .push(TraceEvent::flow("resize", 's', ts, TID_CLUSTER, id));
+                self.events
+                    .push(TraceEvent::flow("resize", 'f', ts, tid, id));
+            }
+            DecisionRecord::Preempt { gpus, .. } => {
+                let ev = TraceEvent::instant("preempt", "decision", ts, PID_SIM, tid)
+                    .arg_num("gpus", f64::from(*gpus));
+                self.events.push(ev);
+                let id = self.next_flow_id();
+                self.events
+                    .push(TraceEvent::flow("preempt", 's', ts, TID_CLUSTER, id));
+                self.events
+                    .push(TraceEvent::flow("preempt", 'f', ts, tid, id));
+            }
+            DecisionRecord::Migrate { gpus, .. } => {
+                let ev = TraceEvent::instant("migrate", "decision", ts, PID_SIM, tid)
+                    .arg_num("gpus", f64::from(*gpus));
+                self.events.push(ev);
+                let id = self.next_flow_id();
+                self.events
+                    .push(TraceEvent::flow("migrate", 's', ts, TID_CLUSTER, id));
+                self.events
+                    .push(TraceEvent::flow("migrate", 'f', ts, tid, id));
+            }
+            DecisionRecord::Pause { seconds, cause, .. } => {
+                let ev = TraceEvent::instant("pause", "decision", ts, PID_SIM, tid)
+                    .arg_num("seconds", *seconds)
+                    .arg_str("cause", cause.label());
+                self.events.push(ev);
+            }
+        }
+    }
+
     fn on_job_finish(&mut self, now: f64, job: JobId, ctx: &SimContext<'_>) {
         self.last_ts = self.last_ts.max(now);
         let tid = job_tid(job);
@@ -367,6 +458,7 @@ impl SimObserver for SpanTracer {
                     ArgValue::Num(f64::from(ctx.fenced_gpus)),
                 ),
             ],
+            flow_id: None,
         };
         self.events.push(used);
     }
@@ -424,6 +516,34 @@ mod tests {
                 phase.label()
             );
         }
+    }
+
+    #[test]
+    fn decline_instants_land_on_job_tracks_with_shortfall_args() {
+        let events = trace_events(42);
+        let declines: Vec<_> = events
+            .iter()
+            .filter(|e| e.ph == 'i' && e.name == "decline")
+            .collect();
+        assert!(!declines.is_empty(), "seed 42 declines at least one job");
+        for ev in &declines {
+            assert_ne!(ev.tid, TID_CLUSTER, "decline instants are per-job");
+            assert!(ev.args.iter().any(|(k, _)| k == "reason"));
+            assert!(ev.args.iter().any(|(k, _)| k == "shortfall_gpu_slots"));
+        }
+        // Every flow start pairs with a finish sharing the same id.
+        let starts: Vec<u64> = events
+            .iter()
+            .filter(|e| e.ph == 's')
+            .map(|e| e.flow_id.unwrap())
+            .collect();
+        let finishes: Vec<u64> = events
+            .iter()
+            .filter(|e| e.ph == 'f')
+            .map(|e| e.flow_id.unwrap())
+            .collect();
+        assert!(!starts.is_empty(), "resizes produce flow pairs");
+        assert_eq!(starts, finishes);
     }
 
     #[test]

@@ -56,12 +56,13 @@ fn main() {
         );
     }
 
-    // Write both exports next to the build artifacts.
+    // Write all three exports next to the build artifacts.
     let dir = std::path::Path::new("target/telemetry");
-    let (prom, perfetto) = session
+    let (prom, perfetto, journal) = session
         .write_to_dir(dir, "tour")
         .expect("write telemetry exports");
     println!("\nwrote {}", prom.display());
     println!("wrote {}", perfetto.display());
+    println!("wrote {}", journal.display());
     println!("open the trace at https://ui.perfetto.dev");
 }
