@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench-trajectory [--out PATH] [--samples N] [--jobs N] [--mega MODE]
+//!                  [--serve MODE]
 //! ```
 //!
 //! Times the admission hot path (from-scratch Algorithm 1 vs the
@@ -9,8 +10,11 @@
 //! replan pass) at 50/200/1000 jobs, the fig6b experiment sweep
 //! wall-clock at `--jobs 1` vs `--jobs N` (default: available cores), and
 //! one mega-cluster run (`--mega full`: 1M arrivals / 16,384 GPUs, the
-//! default; `--mega smoke`: 100k / 1,024; `--mega off` skips it), then
-//! writes everything as JSON (default `BENCH_RESULTS.json`):
+//! default; `--mega smoke`: 100k / 1,024; `--mega off` skips it), and
+//! one serve-gateway replay (`--serve full`: 100k arrivals through the
+//! full daemon stack, the default; `--serve smoke`: 10k; `--serve off`
+//! skips it), then writes everything as JSON (default
+//! `BENCH_RESULTS.json`):
 //!
 //! ```json
 //! {
@@ -20,6 +24,8 @@
 //!   "mega_cluster": { "arrivals": ..., "gpus": ..., "events": ...,
 //!                     "wall_ms": ..., "events_per_sec": ...,
 //!                     "digest": ... },
+//!   "serve": { "arrivals": ..., "decisions_per_sec": ...,
+//!              "p50_decision_ns": ..., "p99_decision_ns": ..., ... },
 //!   "samples": N
 //! }
 //! ```
@@ -33,6 +39,7 @@ use std::time::Instant;
 
 use elasticflow_bench::experiments::fig6;
 use elasticflow_bench::mega::{run_mega, MegaConfig};
+use elasticflow_bench::serve::{run_serve_bench, ServeBenchConfig};
 use elasticflow_bench::workloads::{arriving_candidate, planning_jobs};
 use elasticflow_core::{AdmissionController, ResourceAllocator, SlotGrid};
 use serde_json::Value;
@@ -46,6 +53,7 @@ struct Options {
     samples: u32,
     jobs: usize,
     mega: Option<MegaConfig>,
+    serve: Option<ServeBenchConfig>,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -56,6 +64,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         mega: Some(MegaConfig::paper_scale()),
+        serve: Some(ServeBenchConfig::full()),
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -77,6 +86,12 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 Some("smoke") => opts.mega = Some(MegaConfig::smoke()),
                 Some("off") => opts.mega = None,
                 _ => return Err("--mega needs full, smoke, or off".to_owned()),
+            },
+            "--serve" => match it.next().as_deref() {
+                Some("full") => opts.serve = Some(ServeBenchConfig::full()),
+                Some("smoke") => opts.serve = Some(ServeBenchConfig::smoke()),
+                Some("off") => opts.serve = None,
+                _ => return Err("--serve needs full, smoke, or off".to_owned()),
             },
             other => return Err(format!("unexpected argument: {other}")),
         }
@@ -190,6 +205,43 @@ fn mega_benchmarks(cfg: &MegaConfig) -> Vec<(String, Value)> {
     ]
 }
 
+/// One timed serve-gateway replay: the full daemon stack (WAL, online
+/// decision, journal, metrics) under a deterministic open-loop stream.
+fn serve_benchmarks(cfg: &ServeBenchConfig) -> Result<Vec<(String, Value)>, String> {
+    let stats = run_serve_bench(cfg)?;
+    eprintln!(
+        "serve: {} arrivals in {:.0} ms ({:.0} decisions/s), {} admitted / {} declined / \
+         {} best-effort, decision latency p50 {} ns, p99 {} ns",
+        stats.arrivals,
+        stats.wall_ms,
+        stats.decisions_per_sec,
+        stats.admitted,
+        stats.declined,
+        stats.best_effort,
+        stats.p50_decision_ns,
+        stats.p99_decision_ns
+    );
+    Ok(vec![
+        ("arrivals".to_owned(), Value::UInt(stats.arrivals as u64)),
+        ("admitted".to_owned(), Value::UInt(stats.admitted)),
+        ("declined".to_owned(), Value::UInt(stats.declined)),
+        ("best_effort".to_owned(), Value::UInt(stats.best_effort)),
+        ("wall_ms".to_owned(), Value::Float(stats.wall_ms)),
+        (
+            "decisions_per_sec".to_owned(),
+            Value::Float(stats.decisions_per_sec),
+        ),
+        (
+            "p50_decision_ns".to_owned(),
+            Value::UInt(stats.p50_decision_ns),
+        ),
+        (
+            "p99_decision_ns".to_owned(),
+            Value::UInt(stats.p99_decision_ns),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1).collect()) {
         Ok(opts) => opts,
@@ -197,7 +249,7 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             eprintln!(
                 "usage: bench-trajectory [--out PATH] [--samples N] [--jobs N] \
-                 [--mega full|smoke|off]"
+                 [--mega full|smoke|off] [--serve full|smoke|off]"
             );
             return ExitCode::FAILURE;
         }
@@ -225,6 +277,17 @@ fn main() -> ExitCode {
                 Value::Object(mega_benchmarks(cfg)),
             ),
         );
+    }
+    if let Some(cfg) = &opts.serve {
+        let serve = match serve_benchmarks(cfg) {
+            Ok(series) => series,
+            Err(e) => {
+                eprintln!("serve benchmark failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let at = doc.len() - 1; // keep "samples" last
+        doc.insert(at, ("serve".to_owned(), Value::Object(serve)));
     }
     let doc = Value::Object(doc);
     let mut json = String::new();

@@ -148,6 +148,80 @@ pub fn render_trail(journal: &DecisionJournal, job: Option<u64>) -> String {
     out
 }
 
+/// The machine-readable trail document behind `--format json`: the
+/// same filtering and summary as [`render_trail`], with each entry
+/// carrying both the raw [`DecisionRecord`] and the human-readable
+/// line.
+#[derive(Debug, serde::Serialize)]
+struct TrailDocument {
+    /// Total decisions in the journal.
+    decisions: usize,
+    /// Job filter, when one was given.
+    job: Option<u64>,
+    /// Entries matching the filter, in emission order.
+    entries: Vec<TrailEntry>,
+    /// Per-kind counts over the matching entries.
+    summary: TrailSummary,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct TrailEntry {
+    t: f64,
+    kind: &'static str,
+    decision: DecisionRecord,
+    text: String,
+}
+
+#[derive(Debug, Default, serde::Serialize)]
+struct TrailSummary {
+    admit: usize,
+    decline: usize,
+    resize: usize,
+    preempt: usize,
+    migrate: usize,
+    pause: usize,
+}
+
+/// Renders the decision trail as one JSON document (single line,
+/// trailing newline) — the `--format json` twin of [`render_trail`],
+/// equally deterministic and golden-tested.
+pub fn render_trail_json(journal: &DecisionJournal, job: Option<u64>) -> String {
+    let mut summary = TrailSummary::default();
+    let entries: Vec<TrailEntry> = journal
+        .entries()
+        .iter()
+        .filter(|e| job.is_none_or(|j| e.decision.job().raw() == j))
+        .map(|entry| {
+            let kind = entry.decision.kind_label();
+            match kind {
+                "admit" => summary.admit += 1,
+                "decline" => summary.decline += 1,
+                "resize" => summary.resize += 1,
+                "preempt" => summary.preempt += 1,
+                "migrate" => summary.migrate += 1,
+                "pause" => summary.pause += 1,
+                _ => {}
+            }
+            TrailEntry {
+                t: entry.t,
+                kind,
+                decision: entry.decision,
+                text: describe(entry),
+            }
+        })
+        .collect();
+    let doc = TrailDocument {
+        decisions: journal.len(),
+        job,
+        entries,
+        summary,
+    };
+    let mut out = serde_json::to_string(&doc)
+        .unwrap_or_else(|e| format!("{{\"error\":\"trail serialization failed: {e}\"}}"));
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,7 @@ pub mod parallel;
 pub mod persist;
 pub mod report;
 pub mod runners;
+pub mod serve;
 pub mod telemetry;
 pub mod workloads;
 

@@ -6,7 +6,7 @@
 //!                  [--state-dir <dir>] [--checkpoint-every <secs>] [--resume]
 //! experiments all  [...same options...]
 //! experiments crash-drill [--seed N] [--state-dir <dir>] [--checkpoint-every <secs>]
-//! experiments explain [--seed N] [--journal <file>] [--job <id>]
+//! experiments explain [--seed N] [--journal <file>] [--job <id>] [--format text|json]
 //! experiments list
 //! ```
 //!
@@ -36,7 +36,9 @@
 //! declines (with the binding window and GPU-slot shortfall), resizes,
 //! migrations, preemptions, pauses — for the seeded golden workload, or
 //! for a `.decisions.jsonl` journal written by `--telemetry-out` when
-//! `--journal` is given. `--job <id>` narrows the trail to one job.
+//! `--journal` is given. `--job <id>` narrows the trail to one job;
+//! `--format json` emits the same trail as one machine-readable JSON
+//! document (raw `DecisionRecord`s plus the rendered text per entry).
 
 use std::process::ExitCode;
 
@@ -52,6 +54,13 @@ struct Options {
     resume: bool,
     journal: Option<String>,
     job: Option<u64>,
+    format: TrailFormat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TrailFormat {
+    Text,
+    Json,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -65,6 +74,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         resume: false,
         journal: None,
         job: None,
+        format: TrailFormat::Text,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -102,6 +112,11 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--job" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => opts.job = Some(v),
                 None => return Err("--job needs an integer job id".to_owned()),
+            },
+            "--format" => match it.next().as_deref() {
+                Some("text") => opts.format = TrailFormat::Text,
+                Some("json") => opts.format = TrailFormat::Json,
+                _ => return Err("--format needs text or json".to_owned()),
             },
             other if opts.command.is_none() => opts.command = Some(other.to_owned()),
             other => return Err(format!("unexpected argument: {other}")),
@@ -164,10 +179,11 @@ fn main() -> ExitCode {
             }
             None => elasticflow_bench::explain::golden_journal(opts.seed),
         };
-        print!(
-            "{}",
-            elasticflow_bench::explain::render_trail(&journal, opts.job)
-        );
+        let trail = match opts.format {
+            TrailFormat::Text => elasticflow_bench::explain::render_trail(&journal, opts.job),
+            TrailFormat::Json => elasticflow_bench::explain::render_trail_json(&journal, opts.job),
+        };
+        print!("{trail}");
         return ExitCode::SUCCESS;
     }
 
@@ -246,7 +262,7 @@ fn print_usage() {
     eprintln!(
         "usage: experiments <id|all|list|crash-drill|explain> [--seed N] [--jobs N] [--json] \
          [--telemetry-out <dir>] [--state-dir <dir>] [--checkpoint-every <secs>] [--resume] \
-         [--journal <file>] [--job <id>]"
+         [--journal <file>] [--job <id>] [--format text|json]"
     );
     eprintln!("run `experiments list` to see every table/figure id");
     eprintln!(
@@ -266,6 +282,7 @@ fn print_usage() {
     );
     eprintln!(
         "explain: print the decision trail (admits, declines with shortfalls, resizes, \
-         migrations) for the golden workload or a --journal file; --job narrows to one job"
+         migrations) for the golden workload or a --journal file; --job narrows to one job, \
+         --format json emits a machine-readable document"
     );
 }

@@ -1,0 +1,169 @@
+//! Serve-gateway bench workload: sustained open-loop replay through the
+//! full daemon stack.
+//!
+//! Unlike the admission microbenchmarks (which time the pure decision
+//! core), this series drives [`elasticflow_serve::Daemon`] end to end —
+//! request parse, WAL append, online decision, journal append, metric
+//! counts — with a deterministic [`elasticflow_serve::loadgen_stream`] at the paper
+//! testbed's scale, and reports sustained decisions/sec plus the
+//! latency distribution of individual decisions. The numbers land in
+//! `BENCH_RESULTS.json` as the `serve` series.
+
+use std::time::Instant;
+
+use elasticflow_serve::{gateway_registry, Daemon, DaemonConfig, GatewayConfig, LoadgenConfig};
+use elasticflow_telemetry::MonotonicClock;
+
+/// Parameters of one serve bench run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeBenchConfig {
+    /// Submissions to replay.
+    pub arrivals: usize,
+    /// Snapshot cadence (submissions per snapshot).
+    pub snapshot_every: u64,
+}
+
+impl ServeBenchConfig {
+    /// The trajectory configuration: 100k arrivals against the paper's
+    /// 128-GPU testbed, snapshotting every 10k submissions.
+    pub fn full() -> Self {
+        ServeBenchConfig {
+            arrivals: 100_000,
+            snapshot_every: 10_000,
+        }
+    }
+
+    /// The CI smoke configuration: 10k arrivals.
+    pub fn smoke() -> Self {
+        ServeBenchConfig {
+            arrivals: 10_000,
+            snapshot_every: 2_500,
+        }
+    }
+}
+
+/// What one serve bench run produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeBenchStats {
+    /// Submissions replayed.
+    pub arrivals: usize,
+    /// Deadline jobs admitted with a guarantee.
+    pub admitted: u64,
+    /// Deadline jobs declined.
+    pub declined: u64,
+    /// Best-effort acceptances.
+    pub best_effort: u64,
+    /// End-to-end wall clock of the replay, milliseconds.
+    pub wall_ms: f64,
+    /// Sustained decision throughput (submissions / wall seconds).
+    pub decisions_per_sec: f64,
+    /// Median per-decision latency (parse + WAL + decide + journal).
+    pub p50_decision_ns: u64,
+    /// 99th-percentile per-decision latency.
+    pub p99_decision_ns: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Replays `cfg.arrivals` generated submissions through a fresh daemon
+/// in a scratch state directory (removed afterwards).
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> Result<ServeBenchStats, String> {
+    let load = LoadgenConfig {
+        arrivals: cfg.arrivals,
+        ..LoadgenConfig::default()
+    };
+    let requests = elasticflow_serve::loadgen_stream(&load);
+
+    let root = std::env::temp_dir().join(format!("ef-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let daemon_config = DaemonConfig {
+        gateway: GatewayConfig {
+            servers: load.servers,
+            gpus_per_server: load.gpus_per_server,
+            slot_seconds: 60.0,
+        },
+        snapshot_every: cfg.snapshot_every,
+    };
+    let (mut daemon, _resumption) = Daemon::open(
+        &root,
+        daemon_config,
+        Box::new(MonotonicClock::new()),
+        gateway_registry(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut latencies_ns = Vec::with_capacity(requests.len());
+    let start = Instant::now();
+    for request in &requests {
+        let before = Instant::now();
+        let response = daemon.handle_request(request);
+        latencies_ns.push(u64::try_from(before.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let elasticflow_serve::Response::Error { message } = response {
+            let _ = std::fs::remove_dir_all(&root);
+            return Err(format!("bench replay hit an error response: {message}"));
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let stats = daemon.stats();
+    if stats.submissions != cfg.arrivals as u64 {
+        let _ = std::fs::remove_dir_all(&root);
+        return Err(format!(
+            "bench replay lost submissions: {} of {}",
+            stats.submissions, cfg.arrivals
+        ));
+    }
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&root);
+
+    latencies_ns.sort_unstable();
+    Ok(ServeBenchStats {
+        arrivals: cfg.arrivals,
+        admitted: stats.admitted,
+        declined: stats.declined,
+        best_effort: stats.best_effort,
+        wall_ms,
+        decisions_per_sec: cfg.arrivals as f64 / (wall_ms / 1e3).max(1e-9),
+        p50_decision_ns: percentile(&latencies_ns, 0.50),
+        p99_decision_ns: percentile(&latencies_ns, 0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_replay_reports_sane_numbers() {
+        let cfg = ServeBenchConfig {
+            arrivals: 1_000,
+            snapshot_every: 400,
+        };
+        let stats = run_serve_bench(&cfg).expect("bench runs");
+        assert_eq!(stats.arrivals, 1_000);
+        assert_eq!(
+            stats.admitted + stats.declined + stats.best_effort,
+            1_000,
+            "every submission resolves to exactly one outcome"
+        );
+        assert!(stats.declined > 0, "the default load must contend");
+        assert!(stats.decisions_per_sec > 0.0);
+        assert!(stats.p50_decision_ns <= stats.p99_decision_ns);
+    }
+
+    #[test]
+    fn percentiles_index_the_sorted_tail() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.50), 51);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.99), 0);
+    }
+}

@@ -8,9 +8,10 @@
 //! UPDATE_GOLDEN=1 cargo test -p elasticflow-bench --test explain_golden
 //! ```
 
-use elasticflow_bench::explain::{golden_journal, render_trail};
+use elasticflow_bench::explain::{golden_journal, render_trail, render_trail_json};
 
 const TRAIL_FIXTURE: &str = include_str!("fixtures/explain-testbed-small-42.txt");
+const TRAIL_JSON_FIXTURE: &str = include_str!("fixtures/explain-testbed-small-42.json");
 
 fn check_golden(name: &str, fixture: &str, actual: &str) {
     if std::env::var("UPDATE_GOLDEN").is_ok() {
@@ -31,6 +32,30 @@ fn check_golden(name: &str, fixture: &str, actual: &str) {
 fn explain_trail_matches_fixture() {
     let trail = render_trail(&golden_journal(42), None);
     check_golden("explain-testbed-small-42.txt", TRAIL_FIXTURE, &trail);
+}
+
+#[test]
+fn explain_json_trail_matches_fixture() {
+    let trail = render_trail_json(&golden_journal(42), None);
+    check_golden("explain-testbed-small-42.json", TRAIL_JSON_FIXTURE, &trail);
+}
+
+#[test]
+fn json_fixture_is_valid_and_carries_raw_decisions() {
+    let value: serde_json::Value =
+        serde_json::from_str(TRAIL_JSON_FIXTURE.trim_end()).expect("fixture is valid JSON");
+    let entries = value
+        .get("entries")
+        .and_then(|v| v.as_array())
+        .expect("fixture has an entries array");
+    assert!(!entries.is_empty());
+    // Every entry carries both the raw record and the rendered text.
+    for entry in entries {
+        for key in ["t", "kind", "decision", "text"] {
+            assert!(entry.get(key).is_some(), "entry missing {key}");
+        }
+    }
+    assert!(value.get("summary").is_some());
 }
 
 #[test]

@@ -45,6 +45,7 @@ mod alloc;
 mod audit;
 mod filling;
 pub mod mss;
+pub mod online;
 mod plan;
 pub(crate) mod scheduler;
 pub mod theory;
@@ -53,6 +54,7 @@ mod variants;
 pub use admission::{AdmissionController, AdmissionDenial, AdmissionOutcome, AdmissionSet};
 pub use alloc::ResourceAllocator;
 pub use filling::{progressive_filling, progressive_filling_with, FillScratch};
+pub use online::{AdvanceReport, OnlineAdmission};
 pub use plan::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid, WORK_EPSILON};
 pub use scheduler::ElasticFlowScheduler;
 pub use variants::{EdfWithAdmission, EdfWithElastic};

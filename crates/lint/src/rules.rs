@@ -138,18 +138,19 @@ pub const RULES: &[RuleInfo] = &[
                     anywhere.",
         remedy: "List every variant explicitly (grouping with `|` is fine) so \
                  a new variant forces a decision at each consuming site.",
-        crates: &["sim", "persist", "telemetry"],
+        crates: &["sim", "persist", "telemetry", "serve"],
     },
     RuleInfo {
         id: "EF-L008",
         title: "no side effects or nondeterminism in parallel closures",
         rationale: "Closures run under the shims/rayon APIs (`install`, \
-                    `parallel_map_indexed`, par-iter `map`/`for_each`) \
-                    execute on worker threads in nondeterministic order: \
-                    stdout/stderr writes interleave, `RefCell`/`static mut` \
-                    access races, and EF-L003-class sources (host clocks, OS \
-                    RNGs, hash-order iteration) break the byte-identical \
-                    parallel-sweep guarantee.",
+                    `parallel_map_indexed`, par-iter `map`/`for_each`) and \
+                    raw `thread::spawn`/`.spawn(` threads (the serve \
+                    gateway's exporter) execute on worker threads in \
+                    nondeterministic order: stdout/stderr writes interleave, \
+                    `RefCell`/`static mut` access races, and EF-L003-class \
+                    sources (host clocks, OS RNGs, hash-order iteration) \
+                    break the byte-identical parallel-sweep guarantee.",
         remedy: "Return values from the closure and aggregate after the \
                  join; hoist I/O, shared mutation, and entropy outside the \
                  parallel region.",
@@ -275,6 +276,28 @@ fn check_l008(tokens: &[Token], out: &mut Vec<RawViolation>) {
         {
             if let Some(close) = close_paren(tokens, i + 2) {
                 regions.push((i + 3..close, "install"));
+            }
+        }
+        // `thread::spawn(…)` and builder-style `.spawn(…)` threads: the
+        // serve gateway's exporter and any future long-running workers run
+        // their closures concurrently with the deterministic request loop,
+        // so the same side-effect/nondeterminism rules apply.
+        if t.is_ident("thread")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("spawn"))
+            && tokens.get(i + 4).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = close_paren(tokens, i + 4) {
+                regions.push((i + 5..close, "thread::spawn"));
+            }
+        }
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("spawn"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = close_paren(tokens, i + 2) {
+                regions.push((i + 3..close, "spawn"));
             }
         }
         // `.par_iter().map(…)` / `.into_par_iter().for_each(…)` chains.
@@ -769,6 +792,17 @@ mod tests {
     }
 
     #[test]
+    fn l007_covers_the_serve_gateway() {
+        // The gateway replays `DecisionRecord`s out of its journal, so its
+        // matches are held to the same exhaustiveness bar as telemetry.
+        let src = "fn f(d: D) { match d { DecisionRecord::Admit { job } => a(job), _ => {} } }";
+        assert_eq!(rules_of(&run_structural(src, "serve")), vec!["EF-L007"]);
+        let src =
+            "fn f(r: R) { match r { DeclineReason::Unexplained => {} other => note(other) } }";
+        assert_eq!(rules_of(&run_structural(src, "serve")), vec!["EF-L007"]);
+    }
+
+    #[test]
     fn l008_fires_inside_parallel_entry_points() {
         for (src, needle) in [
             (
@@ -795,6 +829,41 @@ mod tests {
             let v = run(src, "bench");
             assert_eq!(rules_of(&v), vec!["EF-L008"], "missed: {src}");
             assert!(v[0].message.contains(needle), "{src}: {}", v[0].message);
+        }
+    }
+
+    #[test]
+    fn l008_fires_inside_spawned_threads() {
+        for (src, needle) in [
+            (
+                "fn f() { std::thread::spawn(move || loop { println!(\"scrape\") }); }",
+                "println",
+            ),
+            (
+                "fn f() { thread::spawn(|| { let m: HashMap<u32, u32> = HashMap::new(); }); }",
+                "HashMap",
+            ),
+            (
+                "fn f() { Builder::new().spawn(|| stamp(SystemTime::now())).unwrap(); }",
+                "SystemTime::now",
+            ),
+        ] {
+            let v = run(src, "serve");
+            assert!(rules_of(&v).contains(&"EF-L008"), "missed: {src} -> {v:?}");
+            let hit = v.iter().find(|x| x.rule == "EF-L008").expect("l008 hit");
+            assert!(hit.message.contains(needle), "{src}: {}", hit.message);
+        }
+    }
+
+    #[test]
+    fn l008_clean_on_pure_spawned_threads() {
+        for src in [
+            // The exporter shape: lock, render, write to the connection.
+            "fn f() { std::thread::spawn(move || { let b = render(&reg.lock()); s.write_all(b.as_bytes()); }); }",
+            // Command::spawn has an empty argument region.
+            "fn f() { Command::new(\"bin\").spawn()?.wait() }",
+        ] {
+            assert!(run(src, "serve").is_empty(), "false positive: {src}");
         }
     }
 

@@ -57,6 +57,7 @@
 pub mod checkpoint;
 mod error;
 pub mod frame;
+pub mod records;
 mod session;
 pub mod store;
 pub mod wal;
@@ -64,6 +65,7 @@ pub mod wal;
 pub use checkpoint::{CheckpointStats, Checkpointer, WalObserver};
 pub use error::PersistError;
 pub use frame::PERSIST_VERSION;
+pub use records::{LogContents, LogKind, RecordLog};
 pub use session::PersistSession;
 pub use store::{Recovered, StateDir, StoredSnapshot};
 pub use wal::{WalContents, WalWriter};

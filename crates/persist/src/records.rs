@@ -1,0 +1,263 @@
+//! Generic framed record logs: the storage layer under every
+//! append-only journal in the workspace.
+//!
+//! [`crate::wal`] (the simulator's typed event log) and the
+//! `elasticflow-serve` gateway's submission log share the same on-disk
+//! shape — an 8-byte magic+version header followed by length-prefixed,
+//! FNV-1a-64-checksummed frames — and the same crash semantics: a torn
+//! final frame is recoverable by truncation, a checksum mismatch is bit
+//! rot and surfaces as a typed error. This module owns that shape once,
+//! parameterized by a [`LogKind`] naming the magic bytes and the words
+//! used in error messages; the typed logs are thin wrappers that add
+//! payload (de)serialization.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::PersistError;
+use crate::frame::{
+    check_header, decode_frame, encode_frame, encode_header, FrameRead, FRAME_HEADER_LEN,
+    HEADER_LEN,
+};
+
+/// Identity of one record-log file format: its magic bytes plus the
+/// names used in error messages.
+#[derive(Debug, Clone, Copy)]
+pub struct LogKind {
+    /// The 4 ASCII magic bytes opening the file.
+    pub magic: &'static [u8; 4],
+    /// The magic rendered as ASCII, for [`PersistError::BadMagic`].
+    pub magic_name: &'static str,
+    /// Short name used in per-record messages (e.g. `"WAL"`).
+    pub record_name: &'static str,
+    /// Long name used in whole-file messages (e.g. `"write-ahead log"`).
+    pub long_name: &'static str,
+}
+
+/// An open record log positioned for appending.
+#[derive(Debug)]
+pub struct RecordLog {
+    kind: LogKind,
+    file: File,
+    records: u64,
+}
+
+impl RecordLog {
+    /// Creates (or truncates) the log at `path` and writes a fresh header.
+    pub fn create<P: AsRef<Path>>(kind: LogKind, path: P) -> Result<Self, PersistError> {
+        let mut file = File::create(path)?;
+        file.write_all(&encode_header(kind.magic, crate::frame::PERSIST_VERSION))?;
+        file.flush()?;
+        Ok(RecordLog {
+            kind,
+            file,
+            records: 0,
+        })
+    }
+
+    /// Opens an existing log, truncates it to its first `keep` records,
+    /// and positions for appending record `keep`.
+    ///
+    /// The log is fully validated up to the kept prefix; fewer than `keep`
+    /// intact records on disk is [`PersistError::Corrupt`] (the snapshot
+    /// being resumed from promises they exist).
+    pub fn open_truncated<P: AsRef<Path>>(
+        kind: LogKind,
+        path: P,
+        keep: u64,
+    ) -> Result<Self, PersistError> {
+        let contents = read_log(kind, &path)?;
+        if (contents.payloads.len() as u64) < keep {
+            return Err(PersistError::Corrupt(format!(
+                "{} holds {} records but the snapshot requires {keep}",
+                kind.long_name,
+                contents.payloads.len()
+            )));
+        }
+        let keep_bytes = contents.record_offsets[keep as usize];
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(keep_bytes)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(RecordLog {
+            kind,
+            file,
+            records: keep,
+        })
+    }
+
+    /// Appends one payload as a framed record and flushes it to the OS.
+    pub fn append_payload(&mut self, payload: &[u8]) -> Result<(), PersistError> {
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER_LEN);
+        encode_frame(&mut frame, payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended so far (including any kept prefix).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log kind this writer frames records as.
+    pub fn kind(&self) -> &LogKind {
+        &self.kind
+    }
+}
+
+/// The decoded contents of a record log: UTF-8 payloads in append order.
+#[derive(Debug)]
+pub struct LogContents {
+    /// Every intact record payload, in append order.
+    pub payloads: Vec<String>,
+    /// Byte offset where record `i` begins; the final entry is the offset
+    /// just past the last intact record (`record_offsets.len() ==
+    /// payloads.len() + 1`). Truncating the file to any of these offsets
+    /// yields a clean log prefix.
+    pub record_offsets: Vec<u64>,
+    /// `true` when the log ended in an incomplete frame (crash mid-append).
+    pub torn: bool,
+}
+
+impl LogContents {
+    /// Byte length of the clean prefix (header + intact records).
+    pub fn clean_len(&self) -> u64 {
+        *self.record_offsets.last().unwrap_or(&(HEADER_LEN as u64))
+    }
+}
+
+/// Reads and validates a record log.
+///
+/// A torn final frame stops the scan and sets [`LogContents::torn`]; a
+/// complete frame with a bad checksum or a non-UTF-8 payload is a typed
+/// error.
+pub fn read_log<P: AsRef<Path>>(kind: LogKind, path: P) -> Result<LogContents, PersistError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    check_header(&bytes, kind.magic, kind.magic_name)?;
+    let mut payloads = Vec::new();
+    let mut record_offsets = vec![HEADER_LEN as u64];
+    let mut offset = HEADER_LEN;
+    let mut torn = false;
+    loop {
+        if offset == bytes.len() {
+            break;
+        }
+        match decode_frame(&bytes, offset)? {
+            FrameRead::Complete { payload, next } => {
+                let text = std::str::from_utf8(payload).map_err(|_| {
+                    PersistError::Corrupt(format!(
+                        "{} record at offset {offset} is not valid UTF-8",
+                        kind.record_name
+                    ))
+                })?;
+                payloads.push(text.to_owned());
+                record_offsets.push(next as u64);
+                offset = next;
+            }
+            FrameRead::Torn => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    Ok(LogContents {
+        payloads,
+        record_offsets,
+        torn,
+    })
+}
+
+/// Reads the log and, if it ends in a torn frame, truncates the file back
+/// to its clean prefix. Returns the (now guaranteed clean) contents.
+pub fn recover_log<P: AsRef<Path>>(kind: LogKind, path: P) -> Result<LogContents, PersistError> {
+    let mut contents = read_log(kind, &path)?;
+    if contents.torn {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(contents.clean_len())?;
+        contents.torn = false;
+    }
+    Ok(contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_KIND: LogKind = LogKind {
+        magic: b"EFWL",
+        magic_name: "EFWL",
+        record_name: "WAL",
+        long_name: "write-ahead log",
+    };
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ef-records-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_then_read_round_trips_payloads() {
+        let path = tmp("roundtrip.log");
+        let mut log = RecordLog::create(TEST_KIND, &path).expect("create");
+        log.append_payload(b"one").expect("append");
+        log.append_payload(b"two").expect("append");
+        assert_eq!(log.records(), 2);
+        let contents = read_log(TEST_KIND, &path).expect("read");
+        assert_eq!(contents.payloads, vec!["one".to_owned(), "two".to_owned()]);
+        assert!(!contents.torn);
+    }
+
+    #[test]
+    fn open_truncated_keeps_exactly_the_prefix() {
+        let path = tmp("truncate.log");
+        let mut log = RecordLog::create(TEST_KIND, &path).expect("create");
+        for i in 0..5 {
+            log.append_payload(format!("r{i}").as_bytes())
+                .expect("append");
+        }
+        drop(log);
+        let mut log = RecordLog::open_truncated(TEST_KIND, &path, 3).expect("open");
+        assert_eq!(log.records(), 3);
+        log.append_payload(b"r3'").expect("append");
+        let contents = read_log(TEST_KIND, &path).expect("read");
+        assert_eq!(contents.payloads, vec!["r0", "r1", "r2", "r3'"]);
+    }
+
+    #[test]
+    fn keeping_more_than_exists_is_corrupt() {
+        let path = tmp("overkeep.log");
+        let mut log = RecordLog::create(TEST_KIND, &path).expect("create");
+        log.append_payload(b"only").expect("append");
+        drop(log);
+        match RecordLog::open_truncated(TEST_KIND, &path, 2) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(
+                    msg.contains("holds 1 records but the snapshot requires 2"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recover_truncates_a_torn_tail() {
+        let path = tmp("torn.log");
+        let mut log = RecordLog::create(TEST_KIND, &path).expect("create");
+        log.append_payload(b"whole").expect("append");
+        drop(log);
+        let clean = std::fs::read(&path).expect("read bytes");
+        let mut torn_bytes = clean.clone();
+        torn_bytes.extend_from_slice(&[7, 0, 0, 0, 1, 2]); // half a frame header
+        std::fs::write(&path, &torn_bytes).expect("write torn");
+        assert!(read_log(TEST_KIND, &path).expect("read").torn);
+        let contents = recover_log(TEST_KIND, &path).expect("recover");
+        assert!(!contents.torn);
+        assert_eq!(std::fs::read(&path).expect("reread"), clean);
+    }
+}

@@ -16,32 +16,39 @@
 //! the snapshot being resumed from; the resumed run then re-appends the
 //! same records the lost run would have, so an interrupted-and-resumed
 //! session converges to the byte-identical log of an uninterrupted one.
+//!
+//! Framing and file handling live in [`crate::records`]; this module
+//! binds that generic log to the `EFWL` magic and the [`TraceRecord`]
+//! payload type.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use elasticflow_sim::TraceRecord;
 
 use crate::error::PersistError;
-use crate::frame::{
-    check_header, decode_frame, encode_frame, encode_header, FrameRead, HEADER_LEN, WAL_MAGIC,
+use crate::frame::WAL_MAGIC;
+use crate::records::{self, LogKind, RecordLog};
+
+/// The [`LogKind`] of the simulator WAL.
+pub const WAL_KIND: LogKind = LogKind {
+    magic: WAL_MAGIC,
+    magic_name: "EFWL",
+    record_name: "WAL",
+    long_name: "write-ahead log",
 };
 
 /// An open write-ahead log positioned for appending.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
-    records: u64,
+    log: RecordLog,
 }
 
 impl WalWriter {
     /// Creates (or truncates) the log at `path` and writes a fresh header.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
-        let mut file = File::create(path)?;
-        file.write_all(&encode_header(WAL_MAGIC, crate::frame::PERSIST_VERSION))?;
-        file.flush()?;
-        Ok(WalWriter { file, records: 0 })
+        Ok(WalWriter {
+            log: RecordLog::create(WAL_KIND, path)?,
+        })
     }
 
     /// Opens an existing log, truncates it to its first `keep` records,
@@ -51,38 +58,20 @@ impl WalWriter {
     /// intact records on disk is [`PersistError::Corrupt`] (the snapshot
     /// being resumed from promises they exist).
     pub fn open_truncated<P: AsRef<Path>>(path: P, keep: u64) -> Result<Self, PersistError> {
-        let contents = read_wal(&path)?;
-        if (contents.records.len() as u64) < keep {
-            return Err(PersistError::Corrupt(format!(
-                "write-ahead log holds {} records but the snapshot requires {keep}",
-                contents.records.len()
-            )));
-        }
-        let keep_bytes = contents.record_offsets[keep as usize];
-        let file = OpenOptions::new().read(true).write(true).open(&path)?;
-        file.set_len(keep_bytes)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
         Ok(WalWriter {
-            file,
-            records: keep,
+            log: RecordLog::open_truncated(WAL_KIND, path, keep)?,
         })
     }
 
     /// Appends one record and flushes it to the OS.
     pub fn append(&mut self, record: &TraceRecord) -> Result<(), PersistError> {
         let payload = serde_json::to_string(record)?;
-        let mut frame = Vec::with_capacity(payload.len() + crate::frame::FRAME_HEADER_LEN);
-        encode_frame(&mut frame, payload.as_bytes());
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
-        self.records += 1;
-        Ok(())
+        self.log.append_payload(payload.as_bytes())
     }
 
     /// Records appended so far (including any kept prefix).
     pub fn records(&self) -> u64 {
-        self.records
+        self.log.records()
     }
 }
 
@@ -103,8 +92,23 @@ pub struct WalContents {
 impl WalContents {
     /// Byte length of the clean prefix (header + intact records).
     pub fn clean_len(&self) -> u64 {
-        *self.record_offsets.last().unwrap_or(&(HEADER_LEN as u64))
+        *self
+            .record_offsets
+            .last()
+            .unwrap_or(&(crate::frame::HEADER_LEN as u64))
     }
+}
+
+fn decode_contents(contents: records::LogContents) -> Result<WalContents, PersistError> {
+    let mut records = Vec::with_capacity(contents.payloads.len());
+    for payload in &contents.payloads {
+        records.push(serde_json::from_str::<TraceRecord>(payload)?);
+    }
+    Ok(WalContents {
+        records,
+        record_offsets: contents.record_offsets,
+        torn: contents.torn,
+    })
 }
 
 /// Reads and validates a write-ahead log.
@@ -113,49 +117,11 @@ impl WalContents {
 /// complete frame with a bad checksum or undecodable payload is a typed
 /// error.
 pub fn read_wal<P: AsRef<Path>>(path: P) -> Result<WalContents, PersistError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    check_header(&bytes, WAL_MAGIC, "EFWL")?;
-    let mut records = Vec::new();
-    let mut record_offsets = vec![HEADER_LEN as u64];
-    let mut offset = HEADER_LEN;
-    let mut torn = false;
-    loop {
-        if offset == bytes.len() {
-            break;
-        }
-        match decode_frame(&bytes, offset)? {
-            FrameRead::Complete { payload, next } => {
-                let text = std::str::from_utf8(payload).map_err(|_| {
-                    PersistError::Corrupt(format!(
-                        "WAL record at offset {offset} is not valid UTF-8"
-                    ))
-                })?;
-                records.push(serde_json::from_str::<TraceRecord>(text)?);
-                record_offsets.push(next as u64);
-                offset = next;
-            }
-            FrameRead::Torn => {
-                torn = true;
-                break;
-            }
-        }
-    }
-    Ok(WalContents {
-        records,
-        record_offsets,
-        torn,
-    })
+    decode_contents(records::read_log(WAL_KIND, path)?)
 }
 
 /// Reads the log and, if it ends in a torn frame, truncates the file back
 /// to its clean prefix. Returns the (now guaranteed clean) contents.
 pub fn recover_wal<P: AsRef<Path>>(path: P) -> Result<WalContents, PersistError> {
-    let mut contents = read_wal(&path)?;
-    if contents.torn {
-        let file = OpenOptions::new().write(true).open(&path)?;
-        file.set_len(contents.clean_len())?;
-        contents.torn = false;
-    }
-    Ok(contents)
+    decode_contents(records::recover_log(WAL_KIND, path)?)
 }

@@ -1,0 +1,128 @@
+//! `elasticflow-loadgen` — deterministic request streams for the
+//! gateway.
+//!
+//! ```text
+//! elasticflow-loadgen [--arrivals N] [--servers N] [--gpus-per-server N]
+//!                     [--mean-interarrival S] [--best-effort-fraction F]
+//!                     [--seed N] [--out PATH] [--shutdown]
+//! ```
+//!
+//! Writes one JSONL [`Request`] per line to stdout (or `--out`), ready
+//! to pipe straight into `elasticflow-serve`:
+//!
+//! ```text
+//! elasticflow-loadgen --arrivals 100000 | elasticflow-serve --state-dir state
+//! ```
+//!
+//! The stream is a pure function of its flags — replaying the same
+//! invocation against a fresh and a crash-recovered daemon must produce
+//! byte-identical decision journals, and the CI smoke checks exactly
+//! that. `--shutdown` appends a final `{"Shutdown":{}}` line for
+//! socket sessions that need an explicit goodbye.
+//!
+//! [`Request`]: elasticflow_serve::Request
+
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+use elasticflow_serve::{loadgen_stream, LoadgenConfig, Request};
+
+#[derive(Debug, Default)]
+struct Options {
+    config: LoadgenConfig,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--arrivals" => {
+                opts.config.arrivals = parse_num(&value("--arrivals")?, "--arrivals")?;
+            }
+            "--servers" => opts.config.servers = parse_num(&value("--servers")?, "--servers")?,
+            "--gpus-per-server" => {
+                opts.config.gpus_per_server =
+                    parse_num(&value("--gpus-per-server")?, "--gpus-per-server")?;
+            }
+            "--mean-interarrival" => {
+                let v: f64 = parse_num(&value("--mean-interarrival")?, "--mean-interarrival")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err("--mean-interarrival needs a positive number".to_owned());
+                }
+                opts.config.mean_interarrival = v;
+            }
+            "--best-effort-fraction" => {
+                let v: f64 =
+                    parse_num(&value("--best-effort-fraction")?, "--best-effort-fraction")?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err("--best-effort-fraction needs a value in [0, 1]".to_owned());
+                }
+                opts.config.best_effort_fraction = v;
+            }
+            "--seed" => opts.config.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--out" => opts.out = Some(value("--out")?),
+            "--shutdown" => opts.shutdown = true,
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: cannot parse {text:?}"))
+}
+
+fn emit<W: Write>(opts: &Options, out: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(out);
+    for request in loadgen_stream(&opts.config) {
+        serialize_line(&request, &mut out)?;
+    }
+    if opts.shutdown {
+        serialize_line(&Request::Shutdown {}, &mut out)?;
+    }
+    out.flush()
+}
+
+fn serialize_line<W: Write>(request: &Request, out: &mut W) -> std::io::Result<()> {
+    let line = serde_json::to_string(request)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: elasticflow-loadgen [--arrivals N] [--servers N] \
+                 [--gpus-per-server N] [--mean-interarrival S] \
+                 [--best-effort-fraction F] [--seed N] [--out PATH] [--shutdown]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &opts.out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => emit(&opts, file),
+            Err(e) => {
+                eprintln!("elasticflow-loadgen: creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => emit(&opts, std::io::stdout().lock()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("elasticflow-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! The durable daemon around the pure [`Gateway`].
+//!
+//! Every accepted request is appended to the gateway WAL *before* the
+//! decision runs; every decision is appended to the JSONL journal
+//! *after*. Because the gateway is deterministic, that pair of logs
+//! makes crash recovery exact: resume loads the newest valid snapshot,
+//! rewinds the journal to the entry count the snapshot covers, and
+//! replays the WAL suffix through a rebuilt gateway — regenerating,
+//! byte for byte, the journal lines the crash cut off. A recovered
+//! daemon's `decisions.jsonl` is therefore identical to the file an
+//! uninterrupted run would have produced, which the recovery tests (and
+//! the CI smoke) check with a literal byte comparison.
+//!
+//! Idempotence falls out of the same discipline: duplicate submission
+//! ids are rejected *before* the WAL append, so the log never contains
+//! a duplicate and replay never has to suppress one.
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::Write;
+
+use elasticflow_persist::{PersistError, RecordLog, PERSIST_VERSION};
+use elasticflow_sched::DecisionRecord;
+use elasticflow_telemetry::{Clock, JournalEntry, DECISION_LATENCY};
+
+use crate::gateway::{Gateway, GatewayConfig, GatewayStats};
+use crate::metrics::{
+    self, SharedRegistry, ACTIVE_GUARANTEED, BOOKED_FRACTION, BOOKED_HORIZON_SLOTS,
+    DECISIONS_TOTAL, DECLINES_TOTAL,
+};
+use crate::proto::{JobSubmission, Request, Response};
+use crate::store::{GatewayDir, GatewaySnapshot};
+
+/// Daemon-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaemonConfig {
+    /// The decision core's cluster and grid parameters.
+    pub gateway: GatewayConfig,
+    /// Write a snapshot every this many submissions (0 disables
+    /// periodic snapshots; recovery then replays the whole WAL).
+    pub snapshot_every: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            gateway: GatewayConfig::default(),
+            snapshot_every: 1_000,
+        }
+    }
+}
+
+/// What [`Daemon::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resumption {
+    /// No prior state: a fresh WAL and journal were created.
+    Fresh,
+    /// Prior state was recovered.
+    Resumed {
+        /// Snapshot sequence number loaded (`None` = genesis replay).
+        snapshot: Option<u64>,
+        /// WAL records replayed on top of the snapshot.
+        replayed: u64,
+    },
+}
+
+/// Failures opening or resuming a daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The persistence layer failed.
+    Persist(PersistError),
+    /// The on-disk state was produced under a different gateway
+    /// configuration; resuming under the requested one would change
+    /// history.
+    ConfigMismatch {
+        /// Configuration recorded in the snapshot.
+        stored: GatewayConfig,
+        /// Configuration the daemon was asked to run with.
+        requested: GatewayConfig,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Persist(e) => write!(f, "gateway persistence error: {e}"),
+            ServeError::ConfigMismatch { stored, requested } => write!(
+                f,
+                "state dir was written under {stored:?} but the daemon was configured with \
+                 {requested:?}; refusing to resume under a different cluster"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Persist(e) => Some(e),
+            ServeError::ConfigMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Persist(PersistError::Io(e))
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Persist(PersistError::Decode(e))
+    }
+}
+
+/// The long-running gateway daemon: decision core + durable logs +
+/// metrics.
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    dir: GatewayDir,
+    gateway: Gateway,
+    wal: RecordLog,
+    journal: File,
+    journal_entries: u64,
+    seen: BTreeSet<u64>,
+    clock: Box<dyn Clock>,
+    registry: SharedRegistry,
+}
+
+impl Daemon {
+    /// Opens (or resumes) a daemon over the state directory at `root`.
+    ///
+    /// With prior state present, recovery runs unconditionally: newest
+    /// valid snapshot → journal rewind → WAL-suffix replay. `clock`
+    /// feeds only the latency histogram — it never influences a
+    /// decision.
+    pub fn open(
+        root: &std::path::Path,
+        config: DaemonConfig,
+        clock: Box<dyn Clock>,
+        registry: SharedRegistry,
+    ) -> Result<(Self, Resumption), ServeError> {
+        let dir = GatewayDir::open(root)?;
+        if !dir.has_state() {
+            let (wal, journal) = dir.create_genesis()?;
+            let daemon = Daemon {
+                config,
+                dir,
+                gateway: Gateway::new(config.gateway),
+                wal,
+                journal,
+                journal_entries: 0,
+                seen: BTreeSet::new(),
+                clock,
+                registry,
+            };
+            return Ok((daemon, Resumption::Fresh));
+        }
+
+        let payloads = dir.recover_wal()?;
+        let (snapshot_seq, gateway, covered_records, journal_entries) =
+            match dir.latest_valid_snapshot()? {
+                Some((seq, snap, _skipped)) => {
+                    if snap.config != config.gateway {
+                        return Err(ServeError::ConfigMismatch {
+                            stored: snap.config,
+                            requested: config.gateway,
+                        });
+                    }
+                    if snap.wal_records > payloads.len() as u64 {
+                        return Err(ServeError::Persist(PersistError::Corrupt(format!(
+                            "snapshot {seq} covers {} WAL records but only {} survive on disk",
+                            snap.wal_records,
+                            payloads.len()
+                        ))));
+                    }
+                    let gateway = Gateway::from_snapshot(
+                        config.gateway,
+                        snap.origin_slot,
+                        &snap.jobs,
+                        snap.stats,
+                    );
+                    (Some(seq), gateway, snap.wal_records, snap.journal_entries)
+                }
+                None => (None, Gateway::new(config.gateway), 0, 0),
+            };
+
+        let journal = dir.rewind_journal(journal_entries)?;
+        let wal = dir.reopen_wal(payloads.len() as u64)?;
+        let mut daemon = Daemon {
+            config,
+            dir,
+            gateway,
+            wal,
+            journal,
+            journal_entries,
+            seen: BTreeSet::new(),
+            clock,
+            registry,
+        };
+
+        // The duplicate-id guard must cover the entire submission
+        // history. Records folded into the snapshot are scanned here;
+        // the replay below re-inserts the suffix through the live path.
+        let covered = usize::try_from(covered_records).unwrap_or(usize::MAX);
+        for line in &payloads[..covered] {
+            if let Ok(Request::Submit { job }) = serde_json::from_str::<Request>(line) {
+                daemon.seen.insert(job.id);
+            }
+        }
+
+        let replay = &payloads[covered..];
+        for line in replay {
+            let request: Request = serde_json::from_str(line).map_err(|e| {
+                ServeError::Persist(PersistError::Corrupt(format!(
+                    "gateway WAL record failed to parse on replay: {e}"
+                )))
+            })?;
+            daemon.apply(&request, false)?;
+        }
+        daemon.publish_gauges();
+        Ok((
+            daemon,
+            Resumption::Resumed {
+                snapshot: snapshot_seq,
+                replayed: replay.len() as u64,
+            },
+        ))
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> DaemonConfig {
+        self.config
+    }
+
+    /// Cumulative gateway counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.gateway.stats()
+    }
+
+    /// Journal entries written so far (excluding the header line).
+    pub fn journal_entries(&self) -> u64 {
+        self.journal_entries
+    }
+
+    /// WAL records accepted so far.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// The shared metrics registry (hand to
+    /// [`crate::metrics::spawn_exporter`]).
+    pub fn registry(&self) -> SharedRegistry {
+        std::sync::Arc::clone(&self.registry)
+    }
+
+    /// Handles one raw input line; `None` for blank lines.
+    pub fn handle_line(&mut self, line: &str) -> Option<Response> {
+        match crate::proto::parse_request(line) {
+            Ok(None) => None,
+            Ok(Some(request)) => Some(self.handle_request(&request)),
+            Err(message) => Some(Response::Error { message }),
+        }
+    }
+
+    /// Handles one parsed request: logs it, decides, journals, counts.
+    pub fn handle_request(&mut self, request: &Request) -> Response {
+        match self.apply(request, true) {
+            Ok(response) => response,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// The one request-application path, shared by live serving
+    /// (`live = true`: append to the WAL, maybe snapshot) and WAL
+    /// replay (`live = false`: the record is already durable). Journal
+    /// appends happen on both paths — that is what regenerates the
+    /// entries a crash cut off.
+    fn apply(&mut self, request: &Request, live: bool) -> Result<Response, ServeError> {
+        match request {
+            Request::Submit { job } => self.apply_submit(job, live),
+            Request::Withdraw { job, at_seconds } => {
+                if live {
+                    self.wal
+                        .append_payload(serde_json::to_string(request)?.as_bytes())?;
+                }
+                let lapsed = self.gateway.withdraw(*job, *at_seconds);
+                self.publish_gauges();
+                Ok(Response::Withdrawn { job: *job, lapsed })
+            }
+            Request::Stats {} => Ok(Response::Stats {
+                stats: self.gateway.stats(),
+                active_guaranteed: self.gateway.active_guaranteed(),
+            }),
+            Request::Shutdown {} => Ok(Response::Bye {}),
+        }
+    }
+
+    fn apply_submit(&mut self, job: &JobSubmission, live: bool) -> Result<Response, ServeError> {
+        if self.seen.contains(&job.id) {
+            return Ok(Response::Error {
+                message: format!("job id {} was already submitted", job.id),
+            });
+        }
+        if live {
+            let record = serde_json::to_string(&Request::Submit { job: job.clone() })?;
+            self.wal.append_payload(record.as_bytes())?;
+        }
+        self.seen.insert(job.id);
+
+        let t0 = self.clock.now_nanos();
+        let decision = self.gateway.submit(job);
+        let elapsed = self.clock.now_nanos().saturating_sub(t0);
+
+        let entry = JournalEntry {
+            t: job.arrival_seconds,
+            decision,
+        };
+        self.journal
+            .write_all(serde_json::to_string(&entry)?.as_bytes())?;
+        self.journal.write_all(b"\n")?;
+        self.journal_entries += 1;
+
+        self.record_decision(&decision, elapsed, live);
+        if live
+            && self.config.snapshot_every > 0
+            && self
+                .gateway
+                .stats()
+                .submissions
+                .is_multiple_of(self.config.snapshot_every)
+        {
+            self.snapshot_now()?;
+        }
+        Ok(Response::Decision {
+            job: job.id,
+            seq: self.wal.records(),
+            admitted: matches!(decision, DecisionRecord::Admit { .. }),
+            decision,
+        })
+    }
+
+    fn record_decision(&mut self, decision: &DecisionRecord, elapsed_nanos: u64, live: bool) {
+        let mut registry = metrics::lock(&self.registry);
+        registry.inc(DECISIONS_TOTAL, &[("kind", decision.kind_label())], 1.0);
+        if let DecisionRecord::Decline { reason, .. } = decision {
+            registry.inc(DECLINES_TOTAL, &[("reason", reason.label())], 1.0);
+        }
+        // Replayed decisions carry replay timing, not serving latency;
+        // only live answers feed the histogram.
+        if live {
+            registry.observe(DECISION_LATENCY, &[], elapsed_nanos as f64 / 1e9);
+        }
+        drop(registry);
+        self.publish_gauges();
+    }
+
+    fn publish_gauges(&mut self) {
+        let active = self.gateway.active_guaranteed() as f64;
+        let booked = self.gateway.booked_fraction(BOOKED_HORIZON_SLOTS);
+        let mut registry = metrics::lock(&self.registry);
+        registry.set_gauge(ACTIVE_GUARANTEED, &[], active);
+        registry.set_gauge(BOOKED_FRACTION, &[], booked);
+    }
+
+    /// Writes a snapshot of the current state as the next file in
+    /// sequence; returns its sequence number.
+    pub fn snapshot_now(&mut self) -> Result<u64, PersistError> {
+        self.journal.flush()?;
+        let (origin_slot, jobs) = self.gateway.snapshot_jobs();
+        let snap = GatewaySnapshot {
+            version: PERSIST_VERSION,
+            wal_records: self.wal.records(),
+            journal_entries: self.journal_entries,
+            config: self.config.gateway,
+            origin_slot,
+            stats: self.gateway.stats(),
+            jobs,
+        };
+        self.dir.write_next_snapshot(&snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::gateway_registry;
+    use elasticflow_perfmodel::DnnModel;
+    use elasticflow_telemetry::TickClock;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ef-daemon-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> DaemonConfig {
+        DaemonConfig {
+            gateway: GatewayConfig {
+                servers: 1,
+                gpus_per_server: 8,
+                slot_seconds: 60.0,
+            },
+            snapshot_every: 5,
+        }
+    }
+
+    fn open(root: &std::path::Path) -> (Daemon, Resumption) {
+        Daemon::open(
+            root,
+            config(),
+            Box::new(TickClock::new(250)),
+            gateway_registry(),
+        )
+        .expect("daemon opens")
+    }
+
+    fn submit_line(id: u64, arrival: f64, deadline: Option<f64>) -> String {
+        use elasticflow_cluster::ClusterSpec;
+        use elasticflow_perfmodel::{Interconnect, ScalingCurve};
+        let net = Interconnect::from_spec(&ClusterSpec::with_servers(1, 8));
+        let curve = ScalingCurve::build_with_max(DnnModel::ResNet50, 128, &net, 8);
+        let tput = curve.iters_per_sec(1).expect("1 GPU is on the curve");
+        let req = Request::Submit {
+            job: JobSubmission {
+                id,
+                model: DnnModel::ResNet50,
+                global_batch: 128,
+                // 30 minutes of single-GPU work: a handful of these
+                // saturate the 8-GPU test cluster inside one window.
+                iterations: tput * 1_800.0,
+                arrival_seconds: arrival,
+                deadline_seconds: deadline,
+            },
+        };
+        serde_json::to_string(&req).unwrap()
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_without_touching_the_logs() {
+        let root = tmp("dup");
+        let (mut daemon, _) = open(&root);
+        let first = daemon
+            .handle_line(&submit_line(1, 0.0, Some(1_800.0)))
+            .unwrap();
+        assert!(matches!(first, Response::Decision { .. }));
+        let dup = daemon.handle_line(&submit_line(1, 5.0, None)).unwrap();
+        assert!(matches!(dup, Response::Error { .. }));
+        assert_eq!(daemon.wal_records(), 1);
+        assert_eq!(daemon.journal_entries(), 1);
+    }
+
+    #[test]
+    fn decisions_feed_the_metrics_surface() {
+        let root = tmp("metrics");
+        let (mut daemon, _) = open(&root);
+        for i in 0..30 {
+            daemon.handle_line(&submit_line(i, 0.0, Some(1_800.0)));
+        }
+        let registry = daemon.registry();
+        let guard = metrics::lock(&registry);
+        let admits = guard.counter_value(DECISIONS_TOTAL, &[("kind", "admit")]);
+        let declines = guard.counter_value(DECISIONS_TOTAL, &[("kind", "decline")]);
+        assert_eq!(admits + declines, 30.0);
+        assert!(declines > 0.0, "8 GPUs cannot host 30 concurrent jobs");
+        let histogram = guard
+            .histogram(DECISION_LATENCY, &[])
+            .expect("latency histogram populated");
+        assert_eq!(histogram.count(), 30);
+        assert_eq!(
+            guard.gauge_value(ACTIVE_GUARANTEED, &[]),
+            Some(f64::from(daemon.stats().admitted as u32))
+        );
+    }
+
+    #[test]
+    fn resume_without_snapshot_replays_the_whole_wal() {
+        let root = tmp("genesis-replay");
+        let journal_after = {
+            let (mut daemon, resumption) = open(&root);
+            assert_eq!(resumption, Resumption::Fresh);
+            for i in 0..4 {
+                daemon.handle_line(&submit_line(i, i as f64 * 10.0, Some(3_600.0)));
+            }
+            std::fs::read(daemon.dir.journal_path()).unwrap()
+        };
+        let (daemon, resumption) = open(&root);
+        assert_eq!(
+            resumption,
+            Resumption::Resumed {
+                snapshot: None,
+                replayed: 4
+            }
+        );
+        assert_eq!(daemon.stats().submissions, 4);
+        assert_eq!(
+            std::fs::read(daemon.dir.journal_path()).unwrap(),
+            journal_after
+        );
+    }
+
+    #[test]
+    fn resume_from_snapshot_replays_only_the_suffix() {
+        let root = tmp("snapshot-replay");
+        {
+            let (mut daemon, _) = open(&root);
+            // snapshot_every = 5 → a snapshot lands at submission 5.
+            for i in 0..8 {
+                daemon.handle_line(&submit_line(i, i as f64 * 20.0, Some(7_200.0)));
+            }
+        }
+        let (mut daemon, resumption) = open(&root);
+        assert_eq!(
+            resumption,
+            Resumption::Resumed {
+                snapshot: Some(1),
+                replayed: 3
+            }
+        );
+        assert_eq!(daemon.stats().submissions, 8);
+        // History replayed through the dedup guard: old ids still refuse.
+        let dup = daemon.handle_line(&submit_line(2, 500.0, None)).unwrap();
+        assert!(matches!(dup, Response::Error { .. }));
+    }
+
+    #[test]
+    fn resume_under_a_different_cluster_is_refused() {
+        let root = tmp("config-mismatch");
+        {
+            let (mut daemon, _) = open(&root);
+            for i in 0..6 {
+                daemon.handle_line(&submit_line(i, 0.0, Some(3_600.0)));
+            }
+        }
+        let mut other = config();
+        other.gateway.servers = 2;
+        let err = Daemon::open(
+            &root,
+            other,
+            Box::new(TickClock::new(250)),
+            gateway_registry(),
+        )
+        .map(|(d, r)| (d.config(), r))
+        .expect_err("mismatched config refused");
+        assert!(matches!(err, ServeError::ConfigMismatch { .. }));
+    }
+}

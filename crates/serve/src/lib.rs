@@ -1,0 +1,133 @@
+//! elasticflow-serve — the scheduler as a long-running service.
+//!
+//! Everything below `crates/serve` turns the incremental admission core
+//! into a daemon: a process that accepts a *stream* of job submissions
+//! over newline-delimited JSON (stdin pipe, TCP socket, or Unix
+//! socket), answers each with an online admit/decline decision from
+//! [`elasticflow_core::OnlineAdmission`], and makes every byte of that
+//! history durable enough to survive `kill -9`.
+//!
+//! The layering, bottom to top:
+//!
+//! - [`proto`] — the JSONL wire protocol ([`Request`]/[`Response`]);
+//!   the request line doubles as the WAL record.
+//! - [`gateway`] — the pure decision core: deterministic, clock-free,
+//!   I/O-free. Same requests in, same [`DecisionRecord`]s out.
+//! - [`store`] — the state directory: `EFGW`-framed submission WAL,
+//!   explain-compatible `decisions.jsonl`, `EFGS` snapshots.
+//! - [`daemon`] — ties them together with write-ahead discipline and
+//!   exact crash recovery (snapshot + journal rewind + WAL replay).
+//! - [`metrics`] — the shared Prometheus registry and scrape endpoint.
+//! - [`loadgen`] — deterministic open-loop arrival streams for the
+//!   companion `elasticflow-loadgen` binary and the serve benchmarks.
+//!
+//! The determinism argument, in one paragraph: the gateway consults no
+//! wall clock (submission time arrives *in* the request), no RNG, and
+//! no ambient state, so its decisions are a pure function of the
+//! request prefix. The WAL captures that prefix before each decision
+//! runs. A crash therefore loses at most work that can be recomputed:
+//! recovery rebuilds the gateway from the newest snapshot, truncates
+//! the decision journal to the snapshot's entry count, and replays the
+//! WAL suffix — regenerating the journal's lost tail byte-for-byte.
+//!
+//! [`DecisionRecord`]: elasticflow_sched::DecisionRecord
+//! [`Request`]: proto::Request
+//! [`Response`]: proto::Response
+
+pub mod daemon;
+pub mod gateway;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod store;
+
+pub use daemon::{Daemon, DaemonConfig, Resumption, ServeError};
+pub use gateway::{Gateway, GatewayConfig, GatewayStats, SnapshotJob};
+pub use loadgen::{loadgen_stream, LoadgenConfig};
+pub use metrics::{gateway_registry, spawn_exporter, SharedRegistry};
+pub use proto::{parse_request, render_response, JobSubmission, Request, Response};
+pub use store::{GatewayDir, GatewaySnapshot};
+
+use std::io::{BufRead, Write};
+
+/// Drives a daemon over one line-oriented connection: reads requests
+/// from `input`, writes one response line per request to `output`.
+///
+/// Returns `Ok(true)` when the client asked for shutdown, `Ok(false)`
+/// at end-of-input. `die_after` aborts the process with exit code 17
+/// after that many *accepted* submissions — the deterministic crash
+/// switch the recovery tests and the CI smoke flip.
+pub fn serve_connection<R: BufRead, W: Write>(
+    daemon: &mut Daemon,
+    input: R,
+    mut output: W,
+    die_after: Option<u64>,
+) -> std::io::Result<bool> {
+    for line in input.lines() {
+        let line = line?;
+        let Some(response) = daemon.handle_line(&line) else {
+            continue;
+        };
+        output.write_all(render_response(&response).as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if let Some(limit) = die_after {
+            if daemon.wal_records() >= limit {
+                // A real crash: no snapshot, no log finalization, no
+                // unwinding — recovery has to cope with exactly this.
+                std::process::exit(17);
+            }
+        }
+        if matches!(response, Response::Bye {}) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_perfmodel::DnnModel;
+    use elasticflow_telemetry::TickClock;
+
+    #[test]
+    fn serve_connection_answers_each_line_in_order() {
+        let root = std::env::temp_dir().join(format!("ef-serve-lib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let (mut daemon, _) = Daemon::open(
+            &root,
+            DaemonConfig::default(),
+            Box::new(TickClock::new(100)),
+            gateway_registry(),
+        )
+        .expect("daemon opens");
+        let mut input = String::new();
+        for i in 0..3 {
+            let req = Request::Submit {
+                job: JobSubmission {
+                    id: i,
+                    model: DnnModel::ResNet50,
+                    global_batch: 128,
+                    iterations: 1_000.0,
+                    arrival_seconds: i as f64,
+                    deadline_seconds: Some(3_600.0),
+                },
+            };
+            input.push_str(&serde_json::to_string(&req).unwrap());
+            input.push('\n');
+        }
+        input.push_str("{\"Stats\":{}}\n\n{\"Shutdown\":{}}\n");
+        let mut out = Vec::new();
+        let shutdown =
+            serve_connection(&mut daemon, input.as_bytes(), &mut out, None).expect("serves");
+        assert!(shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 5, "3 decisions + stats + bye");
+        for line in &lines[..3] {
+            assert!(line.starts_with("{\"Decision\":"), "got {line}");
+        }
+        assert!(lines[3].starts_with("{\"Stats\":"));
+        assert_eq!(lines[4], "{\"Bye\":{}}");
+    }
+}

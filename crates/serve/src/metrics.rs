@@ -1,0 +1,135 @@
+//! Shared metrics state and the Prometheus scrape endpoint.
+//!
+//! The daemon's request loop and the exporter thread share one
+//! [`MetricsRegistry`] behind a mutex. The exporter is a deliberately
+//! minimal HTTP/1.1 responder: every connection gets one
+//! `text/plain; version=0.0.4` body rendered by
+//! [`elasticflow_telemetry::prometheus::render`], whatever the request
+//! line says — exactly enough for `curl` and a Prometheus scraper, with
+//! no routing, keep-alive, or TLS to maintain.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use elasticflow_telemetry::{describe_decision_latency, prometheus, MetricsRegistry};
+
+/// Counter: decisions taken, labelled by `kind`
+/// (`admit`/`decline`/`resize`/…).
+pub const DECISIONS_TOTAL: &str = "ef_gateway_decisions_total";
+
+/// Counter: declines, labelled by structured `reason`.
+pub const DECLINES_TOTAL: &str = "ef_gateway_declines_total";
+
+/// Gauge: jobs currently holding a deadline guarantee.
+pub const ACTIVE_GUARANTEED: &str = "ef_gateway_active_guaranteed";
+
+/// Gauge: mean booked fraction of the cluster over the next
+/// [`BOOKED_HORIZON_SLOTS`] slots.
+pub const BOOKED_FRACTION: &str = "ef_gateway_booked_fraction";
+
+/// Horizon (slots) of the [`BOOKED_FRACTION`] gauge.
+pub const BOOKED_HORIZON_SLOTS: usize = 60;
+
+/// The registry handle shared between the daemon and the exporter.
+pub type SharedRegistry = Arc<Mutex<MetricsRegistry>>;
+
+/// A fresh shared registry with every gateway metric described (so the
+/// scrape surface is complete from the first render, before any
+/// samples).
+pub fn gateway_registry() -> SharedRegistry {
+    let mut registry = MetricsRegistry::new();
+    describe_decision_latency(&mut registry);
+    registry.describe_counter(DECISIONS_TOTAL, "Gateway decisions taken, by kind");
+    registry.describe_counter(DECLINES_TOTAL, "Gateway declines, by structured reason");
+    registry.describe_gauge(
+        ACTIVE_GUARANTEED,
+        "Jobs currently holding a deadline guarantee",
+    );
+    registry.describe_gauge(
+        BOOKED_FRACTION,
+        "Mean booked fraction of the cluster over the gauge horizon",
+    );
+    Arc::new(Mutex::new(registry))
+}
+
+/// Locks the registry, recovering from a poisoned mutex (a panicked
+/// exporter connection must not take the daemon down with it).
+pub fn lock(registry: &SharedRegistry) -> MutexGuard<'_, MetricsRegistry> {
+    registry.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders the current scrape body.
+pub fn render(registry: &SharedRegistry) -> String {
+    prometheus::render(&lock(registry))
+}
+
+/// Binds `addr` and serves scrapes on a background thread until the
+/// process exits. Returns the bound address (useful with port 0) and the
+/// thread handle.
+pub fn spawn_exporter(
+    registry: SharedRegistry,
+    addr: &str,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain whatever request arrived; the response is the same
+            // for every path.
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = prometheus::render(&registry.lock().unwrap_or_else(PoisonError::into_inner));
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            let _ = stream.write_all(head.as_bytes());
+            let _ = stream.write_all(body.as_bytes());
+        }
+    });
+    Ok((bound, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_telemetry::DECISION_LATENCY;
+
+    #[test]
+    fn gateway_registry_describes_the_full_surface_up_front() {
+        let registry = gateway_registry();
+        let body = render(&registry);
+        for name in [
+            DECISION_LATENCY,
+            DECISIONS_TOTAL,
+            DECLINES_TOTAL,
+            ACTIVE_GUARANTEED,
+            BOOKED_FRACTION,
+        ] {
+            assert!(body.contains(&format!("# HELP {name} ")), "missing {name}");
+        }
+        assert!(prometheus::parse(&body).is_ok());
+    }
+
+    #[test]
+    fn exporter_answers_a_raw_tcp_scrape() {
+        let registry = gateway_registry();
+        lock(&registry).inc(DECISIONS_TOTAL, &[("kind", "admit")], 3.0);
+        let (addr, _handle) = spawn_exporter(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        let body = response
+            .split("\r\n\r\n")
+            .nth(1)
+            .expect("response has a body");
+        assert!(body.contains("ef_gateway_decisions_total{kind=\"admit\"} 3"));
+        assert!(prometheus::parse(body).is_ok());
+    }
+}

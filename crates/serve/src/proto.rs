@@ -1,0 +1,181 @@
+//! The JSONL wire protocol of the gateway.
+//!
+//! Clients speak newline-delimited JSON: one [`Request`] per line in,
+//! one [`Response`] per line out, in order. The same format flows over
+//! every front-end (stdin pipe, TCP socket, Unix socket) and is also
+//! what the gateway WAL stores — a request line *is* the durable record
+//! of the submission, so replaying the log replays the session.
+//!
+//! Requests use serde's externally-tagged enum encoding:
+//!
+//! ```json
+//! {"Submit":{"job":{"id":7,"model":"Bert","global_batch":128,
+//!   "iterations":50000.0,"arrival_seconds":12.5,"deadline_seconds":7200.0}}}
+//! {"Withdraw":{"job":7,"at_seconds":90.0}}
+//! {"Stats":{}}
+//! ```
+
+use elasticflow_perfmodel::DnnModel;
+use elasticflow_sched::DecisionRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::gateway::GatewayStats;
+
+/// Wire protocol version; bumped on incompatible changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One job submission: the serverless interface of the paper's §3.1 —
+/// model, hyper-parameters, termination condition, and deadline. No GPU
+/// count: the platform decides shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSubmission {
+    /// Client-chosen unique job id. Resubmitting an id is rejected
+    /// (which is what makes log replay idempotent).
+    pub id: u64,
+    /// The DNN model to train.
+    pub model: DnnModel,
+    /// Global batch size.
+    pub global_batch: u32,
+    /// Termination condition: iterations to run.
+    pub iterations: f64,
+    /// Arrival time in seconds on the submission clock (monotone
+    /// non-decreasing across a session).
+    pub arrival_seconds: f64,
+    /// Absolute deadline in seconds on the same clock; `None` submits
+    /// the job best-effort.
+    #[serde(default)]
+    pub deadline_seconds: Option<f64>,
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job for an online admit/decline decision.
+    Submit {
+        /// The job being submitted.
+        job: JobSubmission,
+    },
+    /// Withdraw a previously admitted job, releasing its reservation.
+    Withdraw {
+        /// Raw id of the job to withdraw.
+        job: u64,
+        /// Time of the withdrawal on the submission clock.
+        at_seconds: f64,
+    },
+    /// Report gateway statistics.
+    Stats {},
+    /// Stop serving after responding (daemon front-ends exit their
+    /// read loop; state is already durable, no snapshot required).
+    Shutdown {},
+}
+
+/// One gateway response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The admit/decline answer to a [`Request::Submit`].
+    Decision {
+        /// Raw id of the submitted job.
+        job: u64,
+        /// 1-based sequence number of the submission in this gateway's
+        /// history (equals the WAL record count after the append).
+        seq: u64,
+        /// Convenience flag: `true` for an admit.
+        admitted: bool,
+        /// The full decision record, as journaled.
+        decision: DecisionRecord,
+    },
+    /// Acknowledgement of a [`Request::Withdraw`].
+    Withdrawn {
+        /// Raw id of the withdrawn job.
+        job: u64,
+        /// Raw ids of jobs the post-withdrawal refill could no longer
+        /// satisfy (empty in the idealized model).
+        lapsed: Vec<u64>,
+    },
+    /// Statistics snapshot.
+    Stats {
+        /// Cumulative gateway counters.
+        stats: GatewayStats,
+        /// Jobs currently holding a deadline guarantee.
+        active_guaranteed: u64,
+    },
+    /// The request could not be served; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Acknowledgement of a [`Request::Shutdown`].
+    Bye {},
+}
+
+/// Parses one request line. Blank lines yield `Ok(None)`.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    serde_json::from_str::<Request>(trimmed)
+        .map(Some)
+        .map_err(|e| format!("bad request line: {e}"))
+}
+
+/// Serializes a response as one JSONL line (no trailing newline).
+pub fn render_response(response: &Response) -> String {
+    serde_json::to_string(response).unwrap_or_else(|e| {
+        format!("{{\"Error\":{{\"message\":\"response serialization failed: {e}\"}}}}")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let req = Request::Submit {
+            job: JobSubmission {
+                id: 7,
+                model: DnnModel::Bert,
+                global_batch: 128,
+                iterations: 50_000.0,
+                arrival_seconds: 12.5,
+                deadline_seconds: Some(7_200.0),
+            },
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let back = parse_request(&line).unwrap().unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn best_effort_submission_omits_the_deadline() {
+        let line = r#"{"Submit":{"job":{"id":1,"model":"ResNet50","global_batch":64,
+            "iterations":100.0,"arrival_seconds":0.0}}}"#
+            .replace('\n', "");
+        let Request::Submit { job } = parse_request(&line).unwrap().unwrap() else {
+            panic!("expected a submit");
+        };
+        assert_eq!(job.deadline_seconds, None);
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for req in [
+            Request::Stats {},
+            Request::Shutdown {},
+            Request::Withdraw {
+                job: 3,
+                at_seconds: 9.0,
+            },
+        ] {
+            let line = serde_json::to_string(&req).unwrap();
+            assert_eq!(parse_request(&line).unwrap().unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn blank_lines_and_garbage_are_distinguished() {
+        assert_eq!(parse_request("   ").unwrap(), None);
+        assert!(parse_request("{nope}").is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! The gateway's on-disk state: submission log, decision journal,
+//! snapshots.
+//!
+//! Layout under one [`GatewayDir`] root:
+//!
+//! ```text
+//! state/
+//!   gateway.wal               append-only request log (`EFGW` framing)
+//!   decisions.jsonl           decision journal (explain-compatible JSONL)
+//!   snapshot-000001.efgs      sequenced gateway snapshots (`EFGS` framing)
+//! ```
+//!
+//! The WAL is the *input* history — every accepted request line, framed
+//! and checksummed via [`elasticflow_persist::records`]. Unlike the
+//! simulator WAL it is never truncated on resume: the suffix past the
+//! snapshot is replayed through the (deterministic) gateway to
+//! regenerate the exact decisions the crashed instance produced. The
+//! decision journal *is* truncated back to the snapshot's entry count
+//! first, so the regenerated entries land where the lost ones were and
+//! the recovered file converges byte-identically to an uninterrupted
+//! run's.
+//!
+//! Snapshots use the same atomic temp-file + rename and newest-valid-wins
+//! recovery as [`elasticflow_persist::StateDir`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use elasticflow_persist::frame::{
+    check_header, decode_frame, encode_frame, encode_header, FrameRead, HEADER_LEN, PERSIST_VERSION,
+};
+use elasticflow_persist::records::{self, LogKind, RecordLog};
+use elasticflow_persist::PersistError;
+use elasticflow_telemetry::{JOURNAL_MAGIC, JOURNAL_VERSION};
+use serde::{Deserialize, Serialize};
+
+use crate::gateway::{GatewayConfig, GatewayStats, SnapshotJob};
+
+/// Magic bytes of a gateway snapshot file.
+pub const GATEWAY_SNAPSHOT_MAGIC: &[u8; 4] = b"EFGS";
+
+/// The [`LogKind`] of the gateway submission log.
+pub const GATEWAY_WAL_KIND: LogKind = LogKind {
+    magic: b"EFGW",
+    magic_name: "EFGW",
+    record_name: "gateway",
+    long_name: "gateway submission log",
+};
+
+/// One gateway snapshot's payload: enough to rebuild the decision core
+/// and to know how much of the WAL and journal it already covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewaySnapshot {
+    /// On-disk format version ([`PERSIST_VERSION`] at write time).
+    pub version: u32,
+    /// WAL records already folded into this snapshot; recovery replays
+    /// only the records after them.
+    pub wal_records: u64,
+    /// Journal entries (excluding the header line) this snapshot is
+    /// consistent with; recovery truncates the journal back to them.
+    pub journal_entries: u64,
+    /// The gateway configuration the state was produced under (a resume
+    /// under a different configuration is refused).
+    pub config: GatewayConfig,
+    /// Absolute origin slot of the committed plan.
+    pub origin_slot: u64,
+    /// Cumulative counters.
+    pub stats: GatewayStats,
+    /// Every committed job, with origin-relative windows.
+    pub jobs: Vec<SnapshotJob>,
+}
+
+/// Serializes a gateway snapshot (header + one checksummed frame).
+pub fn encode_snapshot(snap: &GatewaySnapshot) -> Result<Vec<u8>, PersistError> {
+    let payload = serde_json::to_string(snap)?;
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + 16);
+    bytes.extend_from_slice(&encode_header(GATEWAY_SNAPSHOT_MAGIC, PERSIST_VERSION));
+    encode_frame(&mut bytes, payload.as_bytes());
+    Ok(bytes)
+}
+
+/// Parses and validates gateway snapshot bytes.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<GatewaySnapshot, PersistError> {
+    check_header(bytes, GATEWAY_SNAPSHOT_MAGIC, "EFGS")?;
+    let frame = decode_frame(bytes, HEADER_LEN)?;
+    let FrameRead::Complete { payload, next } = frame else {
+        return Err(PersistError::Corrupt(
+            "gateway snapshot file is truncated mid-frame".to_owned(),
+        ));
+    };
+    if next != bytes.len() {
+        return Err(PersistError::Corrupt(format!(
+            "gateway snapshot file has {} trailing bytes after its frame",
+            bytes.len() - next
+        )));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| {
+        PersistError::Corrupt("gateway snapshot payload is not valid UTF-8".to_owned())
+    })?;
+    let snap: GatewaySnapshot = serde_json::from_str(text)?;
+    if snap.version == 0 || snap.version > PERSIST_VERSION {
+        return Err(PersistError::UnknownVersion {
+            found: snap.version,
+            supported: PERSIST_VERSION,
+        });
+    }
+    Ok(snap)
+}
+
+/// The journal's header line, byte-identical to the one
+/// [`elasticflow_telemetry::DecisionJournal::to_jsonl`] writes — the
+/// file stays loadable by `experiments -- explain --journal`.
+pub fn journal_header() -> String {
+    format!("{{\"journal\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION}}}")
+}
+
+/// A gateway persistence root directory.
+#[derive(Debug, Clone)]
+pub struct GatewayDir {
+    root: PathBuf,
+}
+
+impl GatewayDir {
+    /// Opens (creating if needed) the state directory at `root`.
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Self, PersistError> {
+        std::fs::create_dir_all(&root)?;
+        Ok(GatewayDir {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the submission log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.root.join("gateway.wal")
+    }
+
+    /// Path of the decision journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join("decisions.jsonl")
+    }
+
+    /// Path of snapshot number `seq`.
+    pub fn snapshot_path(&self, seq: u64) -> PathBuf {
+        self.root.join(format!("snapshot-{seq:06}.efgs"))
+    }
+
+    /// `true` when the directory holds prior gateway state.
+    pub fn has_state(&self) -> bool {
+        self.wal_path().exists()
+    }
+
+    /// Creates a fresh WAL and a journal holding only its header line.
+    /// Any existing state is truncated away.
+    pub fn create_genesis(&self) -> Result<(RecordLog, File), PersistError> {
+        let wal = RecordLog::create(GATEWAY_WAL_KIND, self.wal_path())?;
+        let mut journal = File::create(self.journal_path())?;
+        journal.write_all(journal_header().as_bytes())?;
+        journal.write_all(b"\n")?;
+        journal.flush()?;
+        Ok((wal, journal))
+    }
+
+    /// Reads the submission log, truncating a torn final frame (the only
+    /// crash artifact framing allows). Returns the clean payload lines.
+    pub fn recover_wal(&self) -> Result<Vec<String>, PersistError> {
+        Ok(records::recover_log(GATEWAY_WAL_KIND, self.wal_path())?.payloads)
+    }
+
+    /// Re-opens the WAL for appending after all `records` already on
+    /// disk (the full recovered history — gateway WALs keep every
+    /// record; only the journal is rewound on resume).
+    pub fn reopen_wal(&self, records: u64) -> Result<RecordLog, PersistError> {
+        RecordLog::open_truncated(GATEWAY_WAL_KIND, self.wal_path(), records)
+    }
+
+    /// Truncates the decision journal back to its header plus the first
+    /// `entries` entry lines, and re-opens it for appending. A partial
+    /// final line (crash mid-append) past the kept prefix is discarded
+    /// with it.
+    pub fn rewind_journal(&self, entries: u64) -> Result<File, PersistError> {
+        let path = self.journal_path();
+        let mut text = String::new();
+        File::open(&path)?.read_to_string(&mut text)?;
+        let mut keep_bytes: u64 = 0;
+        let mut complete_lines: u64 = 0; // header + entries seen so far
+        let mut start = 0usize;
+        while let Some(nl) = text[start..].find('\n') {
+            start += nl + 1;
+            complete_lines += 1;
+            keep_bytes = start as u64;
+            if complete_lines == entries + 1 {
+                break;
+            }
+        }
+        if complete_lines < entries + 1 {
+            return Err(PersistError::Corrupt(format!(
+                "decision journal holds {} complete lines but the snapshot requires {}",
+                complete_lines,
+                entries + 1
+            )));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(keep_bytes)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(file)
+    }
+
+    /// Every snapshot sequence number present on disk, ascending.
+    pub fn snapshot_seqs(&self) -> Result<Vec<u64>, PersistError> {
+        let mut seqs = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".efgs"))
+            else {
+                continue;
+            };
+            if let Ok(seq) = stem.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// Writes `snap` as the next snapshot in sequence (atomically, via a
+    /// temporary file renamed into place).
+    pub fn write_next_snapshot(&self, snap: &GatewaySnapshot) -> Result<u64, PersistError> {
+        let seq = self.snapshot_seqs()?.last().copied().unwrap_or(0) + 1;
+        let bytes = encode_snapshot(snap)?;
+        let tmp_path = self.root.join(format!("snapshot-{seq:06}.tmp"));
+        std::fs::write(&tmp_path, &bytes)?;
+        std::fs::rename(&tmp_path, self.snapshot_path(seq))?;
+        Ok(seq)
+    }
+
+    /// Loads the newest snapshot that passes full validation, skipping
+    /// corrupt ones; `Ok(None)` when no snapshot exists.
+    #[allow(clippy::type_complexity)]
+    pub fn latest_valid_snapshot(
+        &self,
+    ) -> Result<Option<(u64, GatewaySnapshot, Vec<(u64, String)>)>, PersistError> {
+        let mut skipped = Vec::new();
+        for seq in self.snapshot_seqs()?.into_iter().rev() {
+            let read = std::fs::read(self.snapshot_path(seq))
+                .map_err(PersistError::from)
+                .and_then(|bytes| decode_snapshot(&bytes));
+            match read {
+                Ok(snap) => return Ok(Some((seq, snap, skipped))),
+                Err(e) => skipped.push((seq, e.to_string())),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elasticflow_telemetry::DecisionJournal;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ef-serve-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snapshot(jobs: Vec<SnapshotJob>) -> GatewaySnapshot {
+        GatewaySnapshot {
+            version: PERSIST_VERSION,
+            wal_records: 3,
+            journal_entries: 2,
+            config: GatewayConfig::default(),
+            origin_slot: 7,
+            stats: GatewayStats {
+                submissions: 3,
+                admitted: 2,
+                declined: 1,
+                ..GatewayStats::default()
+            },
+            jobs,
+        }
+    }
+
+    #[test]
+    fn header_line_matches_the_telemetry_journal_format() {
+        let reference = DecisionJournal::new().to_jsonl();
+        assert_eq!(format!("{}\n", journal_header()), reference);
+    }
+
+    #[test]
+    fn snapshot_encode_decode_round_trips() {
+        let snap = snapshot(vec![SnapshotJob {
+            id: 4,
+            model: elasticflow_perfmodel::DnnModel::Bert,
+            global_batch: 128,
+            remaining_iterations: 512.5,
+            deadline_slot: 40,
+        }]);
+        let bytes = encode_snapshot(&snap).unwrap();
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_the_previous_one() {
+        let dir = GatewayDir::open(tmp("fallback")).unwrap();
+        let first = snapshot(vec![]);
+        let mut second = snapshot(vec![]);
+        second.origin_slot = 9;
+        dir.write_next_snapshot(&first).unwrap();
+        let seq2 = dir.write_next_snapshot(&second).unwrap();
+        // Corrupt the newest file.
+        let path = dir.snapshot_path(seq2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (seq, snap, skipped) = dir.latest_valid_snapshot().unwrap().expect("snapshot");
+        assert_eq!(seq, 1);
+        assert_eq!(snap, first);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].0, seq2);
+    }
+
+    #[test]
+    fn rewind_journal_keeps_exactly_the_prefix_and_drops_torn_tails() {
+        let dir = GatewayDir::open(tmp("rewind")).unwrap();
+        let (_wal, mut journal) = dir.create_genesis().unwrap();
+        for i in 0..4 {
+            journal
+                .write_all(format!("{{\"t\":{i}.0,\"entry\":{i}}}\n").as_bytes())
+                .unwrap();
+        }
+        // Torn tail: a crash mid-append leaves a partial line.
+        journal.write_all(b"{\"t\":4.0,\"ent").unwrap();
+        drop(journal);
+        let mut reopened = dir.rewind_journal(2).unwrap();
+        reopened.write_all(b"{\"t\":2.0,\"entry\":2}\n").unwrap();
+        drop(reopened);
+        let text = std::fs::read_to_string(dir.journal_path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 entries
+        assert_eq!(lines[0], journal_header());
+        assert_eq!(lines[3], "{\"t\":2.0,\"entry\":2}");
+        // Asking for more entries than exist is corruption, not silence.
+        assert!(matches!(
+            dir.rewind_journal(10),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wal_survives_a_torn_tail() {
+        let dir = GatewayDir::open(tmp("torn-wal")).unwrap();
+        let (mut wal, _journal) = dir.create_genesis().unwrap();
+        wal.append_payload(b"{\"req\":1}").unwrap();
+        wal.append_payload(b"{\"req\":2}").unwrap();
+        drop(wal);
+        // Simulate a crash mid-append.
+        let mut bytes = std::fs::read(dir.wal_path()).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1]);
+        std::fs::write(dir.wal_path(), &bytes).unwrap();
+        let payloads = dir.recover_wal().unwrap();
+        assert_eq!(payloads, vec!["{\"req\":1}", "{\"req\":2}"]);
+        let mut wal = dir.reopen_wal(2).unwrap();
+        wal.append_payload(b"{\"req\":3}").unwrap();
+        assert_eq!(dir.recover_wal().unwrap().len(), 3);
+    }
+}

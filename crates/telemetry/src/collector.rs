@@ -14,11 +14,30 @@ use crate::registry::MetricsRegistry;
 pub const PHASE_SECONDS: &str = "ef_scheduler_phase_seconds";
 /// Histogram name for per-replan GPU utilization.
 pub const REPLAN_UTILIZATION: &str = "ef_replan_gpu_utilization";
+/// Histogram name for per-submission decision latency (serving path).
+pub const DECISION_LATENCY: &str = "ef_decision_latency_seconds";
 
 /// Upper bounds for the phase-duration histogram, seconds.
 const PHASE_BUCKETS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
 /// Upper bounds for the utilization histogram, fractions of the cluster.
 const UTILIZATION_BUCKETS: [f64; 7] = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+/// Upper bounds for the decision-latency histogram, seconds. Incremental
+/// admission answers in microseconds; the tail buckets catch the batch
+/// refills at slot boundaries and pathological stalls.
+pub const DECISION_LATENCY_BUCKETS: [f64; 10] =
+    [1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Describes [`DECISION_LATENCY`] on `registry` with its fixed buckets.
+///
+/// Shared by [`MetricsCollector`] and the serve daemon's registry so the
+/// exposition is identical whichever side hosts the metric.
+pub fn describe_decision_latency(registry: &mut MetricsRegistry) {
+    registry.describe_histogram(
+        DECISION_LATENCY,
+        "Clocked wall time to answer one admission decision",
+        &DECISION_LATENCY_BUCKETS,
+    );
+}
 
 /// Stable lowercase label for a job kind.
 fn kind_label(kind: JobKind) -> &'static str {
@@ -124,6 +143,7 @@ impl MetricsCollector {
             "Clocked duration of each scheduling phase, by phase label",
             &PHASE_BUCKETS,
         );
+        describe_decision_latency(&mut registry);
         MetricsCollector {
             registry,
             clock,

@@ -58,7 +58,10 @@ pub mod session;
 pub mod spans;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, TickClock};
-pub use collector::{MetricsCollector, PHASE_SECONDS, REPLAN_UTILIZATION};
+pub use collector::{
+    describe_decision_latency, MetricsCollector, DECISION_LATENCY, DECISION_LATENCY_BUCKETS,
+    PHASE_SECONDS, REPLAN_UTILIZATION,
+};
 pub use journal::{DecisionJournal, JournalEntry, JournalError, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use registry::{
     Histogram, MetricDesc, MetricKind, MetricsRegistry, SeriesKey, DEFAULT_BUCKETS,
