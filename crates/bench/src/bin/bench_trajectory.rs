@@ -205,12 +205,30 @@ fn mega_benchmarks(cfg: &MegaConfig) -> Vec<(String, Value)> {
     ]
 }
 
-/// One timed serve-gateway replay: the full daemon stack (WAL, online
-/// decision, journal, metrics) under a deterministic open-loop stream.
+/// Two timed serve-gateway replays: the full daemon stack (WAL, online
+/// decision, journal, metrics) under a deterministic open-loop stream,
+/// first request-at-a-time, then through the group-commit batch
+/// pipeline (nested as `batched` in the series).
 fn serve_benchmarks(cfg: &ServeBenchConfig) -> Result<Vec<(String, Value)>, String> {
     let stats = run_serve_bench(cfg)?;
+    report_serve("serve", &stats);
+    let mut series = serve_series(&stats);
+
+    let batched_cfg = ServeBenchConfig { batch: 64, ..*cfg };
+    let batched = run_serve_bench(&batched_cfg)?;
+    report_serve("serve (batch 64)", &batched);
+    let mut sub = serve_series(&batched);
+    sub.insert(
+        0,
+        ("batch".to_owned(), Value::UInt(batched_cfg.batch as u64)),
+    );
+    series.push(("batched".to_owned(), Value::Object(sub)));
+    Ok(series)
+}
+
+fn report_serve(label: &str, stats: &elasticflow_bench::serve::ServeBenchStats) {
     eprintln!(
-        "serve: {} arrivals in {:.0} ms ({:.0} decisions/s), {} admitted / {} declined / \
+        "{label}: {} arrivals in {:.0} ms ({:.0} decisions/s), {} admitted / {} declined / \
          {} best-effort, decision latency p50 {} ns, p99 {} ns",
         stats.arrivals,
         stats.wall_ms,
@@ -221,7 +239,10 @@ fn serve_benchmarks(cfg: &ServeBenchConfig) -> Result<Vec<(String, Value)>, Stri
         stats.p50_decision_ns,
         stats.p99_decision_ns
     );
-    Ok(vec![
+}
+
+fn serve_series(stats: &elasticflow_bench::serve::ServeBenchStats) -> Vec<(String, Value)> {
+    vec![
         ("arrivals".to_owned(), Value::UInt(stats.arrivals as u64)),
         ("admitted".to_owned(), Value::UInt(stats.admitted)),
         ("declined".to_owned(), Value::UInt(stats.declined)),
@@ -239,7 +260,7 @@ fn serve_benchmarks(cfg: &ServeBenchConfig) -> Result<Vec<(String, Value)>, Stri
             "p99_decision_ns".to_owned(),
             Value::UInt(stats.p99_decision_ns),
         ),
-    ])
+    ]
 }
 
 fn main() -> ExitCode {

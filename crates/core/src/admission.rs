@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use elasticflow_sched::CapacityShortfall;
 use elasticflow_trace::JobId;
 
-use crate::filling::{progressive_filling_with, FillScratch};
+use crate::filling::{progressive_filling_from, progressive_filling_with, FillScratch};
 use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
 
 /// Sort key of Algorithm 1's deadline order (ties broken by job id so
@@ -241,29 +241,43 @@ impl AdmissionController {
     /// earlier ones; they commit nothing, exactly as in
     /// [`AdmissionController::feasible_subset`]).
     pub fn fill(&self, jobs: &[PlanningJob], grid: &SlotGrid) -> (AdmissionSet, Vec<JobId>) {
-        let mut order: Vec<&PlanningJob> = jobs.iter().collect();
-        order.sort_by_key(|j| fill_key(j));
+        self.fill_owned(jobs.to_vec(), grid)
+    }
+
+    /// [`AdmissionController::fill`] taking the jobs by value, so callers
+    /// that already own them (the online advance path rebuilds the whole
+    /// set every boundary crossing) avoid one clone of every job's curve.
+    /// Identical results: the fill order is the same total `fill_key`
+    /// order.
+    pub fn fill_owned(
+        &self,
+        mut jobs: Vec<PlanningJob>,
+        grid: &SlotGrid,
+    ) -> (AdmissionSet, Vec<JobId>) {
+        jobs.sort_by_key(fill_key);
         let mut set = AdmissionSet {
             total_gpus: self.total_gpus,
-            jobs: Vec::new(),
-            profiles: Vec::new(),
+            jobs: Vec::with_capacity(jobs.len()),
+            profiles: Vec::with_capacity(jobs.len()),
+            targets: Vec::with_capacity(jobs.len()),
             ledger: ReservationLedger::new(),
         };
         let mut lapsed = Vec::new();
         let mut scratch = FillScratch::new();
-        for job in order {
-            match progressive_filling_with(
-                job,
+        for job in jobs {
+            match progressive_filling_from(
+                &job,
                 &set.ledger,
                 grid,
                 self.total_gpus,
-                None,
+                1,
                 &mut scratch,
             ) {
-                Some(profile) => {
+                Some((profile, target)) => {
                     set.ledger.commit(&profile);
-                    set.jobs.push(job.clone());
+                    set.jobs.push(job);
                     set.profiles.push(profile);
+                    set.targets.push(target);
                 }
                 None => lapsed.push(job.id),
             }
@@ -384,7 +398,25 @@ pub struct AdmissionSet {
     jobs: Vec<PlanningJob>,
     /// `profiles[i]` is the minimum-satisfactory profile of `jobs[i]`.
     profiles: Vec<AllocationProfile>,
+    /// `targets[i]` is the ladder target that produced `profiles[i]` — a
+    /// derived acceleration hint for suffix refills (see
+    /// [`progressive_filling_from`]), never part of the set's identity.
+    targets: Vec<u32>,
     /// Sum of all committed profiles.
+    ledger: ReservationLedger,
+}
+
+/// What a successful [`AdmissionSet::refill_suffix`] produced.
+struct SuffixRefill {
+    /// The candidate's fill position.
+    k: usize,
+    /// The candidate's minimum-satisfactory profile and ladder target.
+    cand_profile: AllocationProfile,
+    cand_target: u32,
+    /// Refilled profiles and targets of the jobs at positions `k..`.
+    suffix: Vec<AllocationProfile>,
+    suffix_targets: Vec<u32>,
+    /// The updated ledger (prefix + candidate + refilled suffix).
     ledger: ReservationLedger,
 }
 
@@ -432,67 +464,78 @@ impl AdmissionSet {
     }
 
     /// Refills the suffix at or after `candidate`'s fill position with
-    /// the candidate included. On success returns the insertion index,
-    /// the candidate's profile, the refilled suffix profiles, and the
-    /// updated ledger; on failure an [`AdmissionDenial`] naming the
-    /// first job (in fill order) that cannot be satisfied, with its
-    /// shortfall. The set itself is untouched.
-    #[allow(clippy::type_complexity)]
+    /// the candidate included. On success returns a [`SuffixRefill`]
+    /// (insertion index, candidate profile, refilled suffix, updated
+    /// ledger); on failure an [`AdmissionDenial`] naming the first job
+    /// (in fill order) that cannot be satisfied, with its shortfall. The
+    /// set itself is untouched; profiles of a failed refill are recycled
+    /// into `scratch`.
     fn refill_suffix(
         &self,
         candidate: &PlanningJob,
         grid: &SlotGrid,
-    ) -> Result<
-        (
-            usize,
-            AllocationProfile,
-            Vec<AllocationProfile>,
-            ReservationLedger,
-        ),
-        AdmissionDenial,
-    > {
+        scratch: &mut FillScratch,
+    ) -> Result<SuffixRefill, AdmissionDenial> {
         let k = self.insertion_point(candidate);
         let mut ledger = self.ledger.clone();
         for profile in &self.profiles[k..] {
             ledger.uncommit(profile);
         }
-        let mut scratch = FillScratch::new();
-        let cand_profile = match progressive_filling_with(
-            candidate,
-            &ledger,
-            grid,
-            self.total_gpus,
-            None,
-            &mut scratch,
-        ) {
-            Some(profile) => {
-                ledger.commit(&profile);
-                profile
-            }
-            None => {
-                return Err(AdmissionDenial {
-                    blocking_job: candidate.id,
-                    shortfall: window_shortfall(candidate, &ledger, grid, self.total_gpus),
-                })
-            }
-        };
-        let mut suffix = Vec::with_capacity(self.profiles.len() - k);
-        for job in &self.jobs[k..] {
-            match progressive_filling_with(job, &ledger, grid, self.total_gpus, None, &mut scratch)
-            {
-                Some(profile) => {
-                    ledger.commit(&profile);
-                    suffix.push(profile);
-                }
+        let (cand_profile, cand_target) =
+            match progressive_filling_from(candidate, &ledger, grid, self.total_gpus, 1, scratch) {
+                Some(filled) => filled,
                 None => {
                     return Err(AdmissionDenial {
+                        blocking_job: candidate.id,
+                        shortfall: window_shortfall(candidate, &ledger, grid, self.total_gpus),
+                    })
+                }
+            };
+        ledger.commit(&cand_profile);
+        let mut suffix = Vec::with_capacity(self.profiles.len() - k);
+        let mut suffix_targets = Vec::with_capacity(self.profiles.len() - k);
+        // Ladder-start soundness: as long as every refilled job has
+        // reproduced its stored profile bit for bit, the working ledger
+        // each subsequent job fills against equals the ledger its stored
+        // target was computed under *plus* the candidate's profile — a
+        // pointwise-dominating ledger, under which no rung below the
+        // stored target can newly succeed (for ladder-monotone curves;
+        // `progressive_filling_from` enforces the curve gate itself).
+        // The first job whose profile changes breaks the equality, so
+        // every job after it falls back to the full ladder.
+        let mut dominated = true;
+        for (i, job) in self.jobs[k..].iter().enumerate() {
+            let hint = if dominated { self.targets[k + i] } else { 1 };
+            match progressive_filling_from(job, &ledger, grid, self.total_gpus, hint, scratch) {
+                Some((profile, target)) => {
+                    ledger.commit(&profile);
+                    if dominated && profile != self.profiles[k + i] {
+                        dominated = false;
+                    }
+                    suffix.push(profile);
+                    suffix_targets.push(target);
+                }
+                None => {
+                    let denial = AdmissionDenial {
                         blocking_job: job.id,
                         shortfall: window_shortfall(job, &ledger, grid, self.total_gpus),
-                    })
+                    };
+                    scratch.recycle(cand_profile);
+                    for profile in suffix {
+                        scratch.recycle(profile);
+                    }
+                    return Err(denial);
                 }
             }
         }
-        Ok((k, cand_profile, suffix, ledger))
+        Ok(SuffixRefill {
+            k,
+            cand_profile,
+            cand_target,
+            suffix,
+            suffix_targets,
+            ledger,
+        })
     }
 
     /// Incremental Algorithm 1: would admitting `candidate` keep every
@@ -506,21 +549,22 @@ impl AdmissionSet {
         candidate: &PlanningJob,
         grid: &SlotGrid,
     ) -> Result<(), AdmissionDenial> {
-        self.refill_suffix(candidate, grid).map(|_| ())
+        self.refill_suffix(candidate, grid, &mut FillScratch::new())
+            .map(|_| ())
     }
 
     /// The full [`AdmissionOutcome`] (witness plan or blocking job) of
     /// admitting `candidate`, built incrementally. Equals
     /// `AdmissionController::check` over `jobs() + candidate`.
     pub fn admission_outcome(&self, candidate: &PlanningJob, grid: &SlotGrid) -> AdmissionOutcome {
-        match self.refill_suffix(candidate, grid) {
-            Ok((k, cand_profile, suffix, _ledger)) => {
+        match self.refill_suffix(candidate, grid, &mut FillScratch::new()) {
+            Ok(refill) => {
                 let mut plan = BTreeMap::new();
-                for (job, profile) in self.jobs[..k].iter().zip(&self.profiles[..k]) {
+                for (job, profile) in self.jobs[..refill.k].iter().zip(&self.profiles[..refill.k]) {
                     plan.insert(job.id, profile.clone());
                 }
-                plan.insert(candidate.id, cand_profile);
-                for (job, profile) in self.jobs[k..].iter().zip(&suffix) {
+                plan.insert(candidate.id, refill.cand_profile);
+                for (job, profile) in self.jobs[refill.k..].iter().zip(&refill.suffix) {
                     plan.insert(job.id, profile.clone());
                 }
                 AdmissionOutcome::Admitted { plan }
@@ -540,12 +584,30 @@ impl AdmissionSet {
         candidate: PlanningJob,
         grid: &SlotGrid,
     ) -> Result<(), AdmissionDenial> {
-        let (k, cand_profile, suffix, ledger) = self.refill_suffix(&candidate, grid)?;
-        self.jobs.insert(k, candidate);
-        self.profiles.truncate(k);
-        self.profiles.push(cand_profile);
-        self.profiles.extend(suffix);
-        self.ledger = ledger;
+        self.admit_with(candidate, grid, &mut FillScratch::new())
+    }
+
+    /// [`AdmissionSet::admit`] with a caller-provided fill scratch, so a
+    /// batch of submissions reuses one set of buffers (and one curve
+    /// memo) instead of allocating per decision. The scratch carries no
+    /// decision state between calls — reuse never changes an outcome.
+    pub fn admit_with(
+        &mut self,
+        candidate: PlanningJob,
+        grid: &SlotGrid,
+        scratch: &mut FillScratch,
+    ) -> Result<(), AdmissionDenial> {
+        let refill = self.refill_suffix(&candidate, grid, scratch)?;
+        self.jobs.insert(refill.k, candidate);
+        for superseded in self.profiles.drain(refill.k..) {
+            scratch.recycle(superseded);
+        }
+        self.profiles.push(refill.cand_profile);
+        self.profiles.extend(refill.suffix);
+        self.targets.truncate(refill.k);
+        self.targets.push(refill.cand_target);
+        self.targets.extend(refill.suffix_targets);
+        self.ledger = refill.ledger;
         Ok(())
     }
 
@@ -557,32 +619,42 @@ impl AdmissionSet {
     /// lapsed handling). A no-op returning an empty list if `id` is not
     /// in the set.
     pub fn withdraw(&mut self, id: JobId, grid: &SlotGrid) -> Vec<JobId> {
+        self.withdraw_with(id, grid, &mut FillScratch::new())
+    }
+
+    /// [`AdmissionSet::withdraw`] with a caller-provided fill scratch
+    /// (see [`AdmissionSet::admit_with`]).
+    pub fn withdraw_with(
+        &mut self,
+        id: JobId,
+        grid: &SlotGrid,
+        scratch: &mut FillScratch,
+    ) -> Vec<JobId> {
         let Some(k) = self.jobs.iter().position(|j| j.id == id) else {
             return Vec::new();
         };
         for profile in &self.profiles[k..] {
             self.ledger.uncommit(profile);
         }
-        self.profiles.truncate(k);
+        for superseded in self.profiles.drain(k..) {
+            scratch.recycle(superseded);
+        }
+        self.targets.truncate(k);
         let tail: Vec<PlanningJob> = self.jobs.drain(k..).collect();
         let mut lapsed = Vec::new();
-        let mut scratch = FillScratch::new();
         for job in tail {
             if job.id == id {
                 continue;
             }
-            match progressive_filling_with(
-                &job,
-                &self.ledger,
-                grid,
-                self.total_gpus,
-                None,
-                &mut scratch,
-            ) {
-                Some(profile) => {
+            // A withdrawal *frees* capacity, so a job's minimum target can
+            // shrink — stored targets are no shortcut here; walk the full
+            // ladder from rung 1.
+            match progressive_filling_from(&job, &self.ledger, grid, self.total_gpus, 1, scratch) {
+                Some((profile, target)) => {
                     self.ledger.commit(&profile);
                     self.jobs.push(job);
                     self.profiles.push(profile);
+                    self.targets.push(target);
                 }
                 None => lapsed.push(job.id),
             }

@@ -24,12 +24,30 @@ use crate::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid};
 pub struct FillScratch {
     gpus: Vec<u32>,
     memo: CurveMemo,
+    /// Recycled profile buffers: successful fills pop one instead of
+    /// allocating, and callers whose profiles die young (declined
+    /// refills, superseded plans) push them back via
+    /// [`FillScratch::recycle`]. Contents are dead — only capacity is
+    /// reused — so recycling can never change a fill's outcome.
+    pool: Vec<Vec<u32>>,
 }
+
+/// Recycled buffers beyond this are dropped; enough to cover the deepest
+/// suffix refill observed at mega-cluster scale with room to spare.
+const POOL_CAP: usize = 256;
 
 impl FillScratch {
     /// A scratch with empty buffers (they grow on first use).
     pub fn new() -> Self {
         FillScratch::default()
+    }
+
+    /// Returns a dead profile's buffer to the pool so the next fill can
+    /// reuse its allocation.
+    pub fn recycle(&mut self, profile: AllocationProfile) {
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(profile.into_gpus());
+        }
     }
 }
 
@@ -106,13 +124,59 @@ pub fn progressive_filling_with(
     fixed_slot0: Option<u32>,
     scratch: &mut FillScratch,
 ) -> Option<AllocationProfile> {
+    ladder_fill(job, ledger, grid, total_gpus, fixed_slot0, 1, scratch).map(|(profile, _)| profile)
+}
+
+/// [`progressive_filling_with`] that also reports the target `j` the
+/// ladder settled on, and accepts a starting rung.
+///
+/// `start_target` above 1 skips the ladder's lower rungs. The caller
+/// asserts that those rungs are known to fail — the contract under which
+/// the result (profile *and* target) is bit-identical to the full ladder.
+/// The incremental-admission refill supplies a job's previous target when
+/// the ledger it refills against dominates the one that produced it
+/// (pointwise at least as full): with a monotone curve, fuller slots can
+/// only shrink grants and per-slot progress, so a target that failed
+/// before still fails. The hint is ignored — full ladder from rung 1 —
+/// whenever the curve is not ladder-monotone, so dips in measured curves
+/// can never flip an outcome.
+pub fn progressive_filling_from(
+    job: &PlanningJob,
+    ledger: &ReservationLedger,
+    grid: &SlotGrid,
+    total_gpus: u32,
+    start_target: u32,
+    scratch: &mut FillScratch,
+) -> Option<(AllocationProfile, u32)> {
+    ladder_fill(job, ledger, grid, total_gpus, None, start_target, scratch)
+}
+
+fn ladder_fill(
+    job: &PlanningJob,
+    ledger: &ReservationLedger,
+    grid: &SlotGrid,
+    total_gpus: u32,
+    fixed_slot0: Option<u32>,
+    start_target: u32,
+    scratch: &mut FillScratch,
+) -> Option<(AllocationProfile, u32)> {
     let horizon = job.deadline_slot;
     if horizon == 0 {
         return None;
     }
     scratch.memo.rebuild(&job.curve);
     let max_target = scratch.memo.clamp_useful(total_gpus).max(1);
-    let mut j = 1u32;
+    // A hint only skips rungs when the monotonicity gate holds (see
+    // `progressive_filling_from`); malformed hints fall back to rung 1.
+    let mut j = if fixed_slot0.is_none()
+        && start_target > 1
+        && start_target.is_power_of_two()
+        && scratch.memo.ladder_monotone()
+    {
+        start_target.min(max_target)
+    } else {
+        1u32
+    };
     loop {
         if let Some(profile) = try_target(
             job,
@@ -123,8 +187,9 @@ pub fn progressive_filling_with(
             fixed_slot0,
             &scratch.memo,
             &mut scratch.gpus,
+            &mut scratch.pool,
         ) {
-            return Some(profile);
+            return Some((profile, j));
         }
         if j >= max_target {
             return None;
@@ -176,6 +241,15 @@ fn trim_final_slot(
     }
 }
 
+/// Copies the scratch slot vector into an [`AllocationProfile`], reusing
+/// a pooled buffer when one is available.
+fn emit_profile(gpus: &[u32], pool: &mut Vec<Vec<u32>>) -> AllocationProfile {
+    let mut buf = pool.pop().unwrap_or_default();
+    buf.clear();
+    buf.extend_from_slice(gpus);
+    AllocationProfile::new(buf)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn try_target(
     job: &PlanningJob,
@@ -186,6 +260,7 @@ fn try_target(
     fixed_slot0: Option<u32>,
     memo: &CurveMemo,
     gpus: &mut Vec<u32>,
+    pool: &mut Vec<Vec<u32>>,
 ) -> Option<AllocationProfile> {
     let horizon = job.deadline_slot;
     // Conservative infeasibility prune: even running every slot at the
@@ -230,7 +305,7 @@ fn try_target(
             }
             gpus.extend(std::iter::repeat_n(x, need));
             trim_final_slot(job, grid, memo, gpus, fixed_slot0);
-            return Some(AllocationProfile::new(gpus.clone()));
+            return Some(emit_profile(gpus, pool));
         }
         if t == 0 {
             let x = match fixed_slot0 {
@@ -246,7 +321,7 @@ fn try_target(
             done += memo.iters_per_sec(x) * grid.duration(0);
             if done + WORK_EPSILON >= job.remaining_iterations {
                 trim_final_slot(job, grid, memo, gpus, fixed_slot0);
-                return Some(AllocationProfile::new(gpus.clone()));
+                return Some(emit_profile(gpus, pool));
             }
             t = 1;
             continue;
@@ -279,7 +354,7 @@ fn try_target(
             t += 1;
             if done + WORK_EPSILON >= job.remaining_iterations {
                 trim_final_slot(job, grid, memo, gpus, fixed_slot0);
-                return Some(AllocationProfile::new(gpus.clone()));
+                return Some(emit_profile(gpus, pool));
             }
             if t >= run_end {
                 break;

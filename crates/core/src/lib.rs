@@ -53,8 +53,10 @@ mod variants;
 
 pub use admission::{AdmissionController, AdmissionDenial, AdmissionOutcome, AdmissionSet};
 pub use alloc::ResourceAllocator;
-pub use filling::{progressive_filling, progressive_filling_with, FillScratch};
-pub use online::{AdvanceReport, OnlineAdmission};
+pub use filling::{
+    progressive_filling, progressive_filling_from, progressive_filling_with, FillScratch,
+};
+pub use online::{AdvanceReport, OnlineAdmission, OnlineArrival};
 pub use plan::{AllocationProfile, PlanningJob, ReservationLedger, SlotGrid, WORK_EPSILON};
 pub use scheduler::ElasticFlowScheduler;
 pub use variants::{EdfWithAdmission, EdfWithElastic};

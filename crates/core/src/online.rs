@@ -27,8 +27,23 @@
 use elasticflow_trace::JobId;
 
 use crate::{
-    AdmissionController, AdmissionDenial, AdmissionSet, PlanningJob, SlotGrid, WORK_EPSILON,
+    AdmissionController, AdmissionDenial, AdmissionSet, FillScratch, PlanningJob, SlotGrid,
+    WORK_EPSILON,
 };
+
+/// One arrival in an [`OnlineAdmission::submit_batch`] call: the job
+/// plus its absolute arrival and deadline slots.
+#[derive(Debug, Clone)]
+pub struct OnlineArrival {
+    /// The job being submitted (its `deadline_slot` field is rebased by
+    /// the submit, exactly as in [`OnlineAdmission::submit`]).
+    pub job: PlanningJob,
+    /// The absolute slot containing the arrival time; the clock is
+    /// advanced here before the decision runs.
+    pub arrival_slot: u64,
+    /// The absolute deadline slot.
+    pub deadline_slot: u64,
+}
 
 /// What one [`OnlineAdmission::advance_to`] boundary crossing did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -201,11 +216,59 @@ impl OnlineAdmission {
         self.set.admit(job, &self.grid)
     }
 
+    /// [`OnlineAdmission::submit`] with a caller-provided fill scratch:
+    /// the hot-path variant batch submission threads one buffer set
+    /// through. Outcomes are identical — the scratch carries no state
+    /// between calls.
+    pub fn submit_with(
+        &mut self,
+        mut job: PlanningJob,
+        deadline_slot_abs: u64,
+        scratch: &mut FillScratch,
+    ) -> Result<(), AdmissionDenial> {
+        let relative = deadline_slot_abs.saturating_sub(self.origin_slot);
+        job.deadline_slot = usize::try_from(relative).unwrap_or(usize::MAX);
+        self.set.admit_with(job, &self.grid, scratch)
+    }
+
+    /// Submits a batch of arrivals in order, advancing the clock only at
+    /// slot crossings (an arrival in the same slot as its predecessor
+    /// pays no advance) and reusing one [`FillScratch`] — and through it
+    /// one memoized-curve cache — across every decision in the batch.
+    ///
+    /// Returns the per-job outcomes in submission order plus one
+    /// [`AdvanceReport`] accumulating every boundary crossing the batch
+    /// performed. The outcomes are bit-identical to calling
+    /// [`OnlineAdmission::advance_to`] + [`OnlineAdmission::submit`] per
+    /// arrival: batching is an amortization, never a semantic change.
+    pub fn submit_batch(
+        &mut self,
+        arrivals: impl IntoIterator<Item = OnlineArrival>,
+    ) -> (Vec<Result<(), AdmissionDenial>>, AdvanceReport) {
+        let mut scratch = FillScratch::new();
+        let mut outcomes = Vec::new();
+        let mut report = AdvanceReport::default();
+        for arrival in arrivals {
+            let crossing = self.advance_to(arrival.arrival_slot);
+            report.completed.extend(crossing.completed);
+            report.expired.extend(crossing.expired);
+            report.lapsed.extend(crossing.lapsed);
+            outcomes.push(self.submit_with(arrival.job, arrival.deadline_slot, &mut scratch));
+        }
+        (outcomes, report)
+    }
+
     /// Removes the job `id` (caller cancellation), refilling later jobs
     /// into the freed capacity. Returns any jobs the refill could no
     /// longer satisfy. No-op for unknown ids.
     pub fn withdraw(&mut self, id: JobId) -> Vec<JobId> {
         self.set.withdraw(id, &self.grid)
+    }
+
+    /// [`OnlineAdmission::withdraw`] with a caller-provided fill scratch
+    /// (see [`OnlineAdmission::submit_with`]).
+    pub fn withdraw_with(&mut self, id: JobId, scratch: &mut FillScratch) -> Vec<JobId> {
+        self.set.withdraw_with(id, &self.grid, scratch)
     }
 
     /// Advances the origin to absolute `slot` (no-op when `slot` is not
@@ -223,9 +286,13 @@ impl OnlineAdmission {
         if self.set.is_empty() {
             return report;
         }
-        let (jobs, profiles, _ledger) = self.set.clone().into_parts();
+        // Take the set by value: the credited survivors feed straight
+        // into the rebuild, so nothing here needs a clone of the jobs
+        // (each would copy its scaling curve) or profiles.
+        let empty = self.controller.fill_owned(Vec::new(), &self.grid).0;
+        let (jobs, profiles, _ledger) = std::mem::replace(&mut self.set, empty).into_parts();
         let mut survivors = Vec::with_capacity(jobs.len());
-        for (job, profile) in jobs.iter().zip(&profiles) {
+        for (mut job, profile) in jobs.into_iter().zip(&profiles) {
             // Work the guaranteed plan performs in the elapsed slots.
             let mut done = 0.0_f64;
             for t in 0..delta.min(profile.len()) {
@@ -243,13 +310,12 @@ impl OnlineAdmission {
             } else if job.deadline_slot <= delta {
                 report.expired.push(job.id);
             } else {
-                let mut survivor = job.clone();
-                survivor.remaining_iterations = remaining;
-                survivor.deadline_slot = job.deadline_slot - delta;
-                survivors.push(survivor);
+                job.remaining_iterations = remaining;
+                job.deadline_slot -= delta;
+                survivors.push(job);
             }
         }
-        let (set, lapsed) = self.controller.fill(&survivors, &self.grid);
+        let (set, lapsed) = self.controller.fill_owned(survivors, &self.grid);
         self.set = set;
         report.lapsed = lapsed;
         report
@@ -392,6 +458,60 @@ mod tests {
         let mut b = rebuilt;
         assert_eq!(a.submit(job(3, 2.5), 7), b.submit(job(3, 2.5), 7));
         assert_eq!(a.parts().1, b.parts().1);
+    }
+
+    #[test]
+    fn submit_batch_matches_one_at_a_time_submission() {
+        // Arrivals spanning several slot crossings, with same-slot runs
+        // in between: the batch path must advance at exactly the same
+        // boundaries and answer identically.
+        let arrivals: Vec<OnlineArrival> = (0..40u64)
+            .map(|i| OnlineArrival {
+                job: job(i, 1.0 + (i % 5) as f64 * 0.7),
+                arrival_slot: i / 4,
+                deadline_slot: i / 4 + 2 + i % 3,
+            })
+            .collect();
+        let mut batched = OnlineAdmission::new(2, 1.0);
+        let mut sequential = OnlineAdmission::new(2, 1.0);
+        let (outcomes, batch_report) = batched.submit_batch(arrivals.clone());
+        let mut seq_report = AdvanceReport::default();
+        for (arrival, batch_outcome) in arrivals.into_iter().zip(outcomes) {
+            let crossing = sequential.advance_to(arrival.arrival_slot);
+            seq_report.completed.extend(crossing.completed);
+            seq_report.expired.extend(crossing.expired);
+            seq_report.lapsed.extend(crossing.lapsed);
+            let seq_outcome = sequential.submit(arrival.job, arrival.deadline_slot);
+            assert_eq!(seq_outcome, batch_outcome);
+        }
+        assert_eq!(batch_report, seq_report);
+        assert_eq!(batched.origin_slot(), sequential.origin_slot());
+        assert_eq!(batched.parts().1, sequential.parts().1);
+    }
+
+    #[test]
+    fn submit_batch_boundaries_do_not_change_outcomes() {
+        // The same stream cut into different batch sizes produces the
+        // same committed set: batch boundaries are a runtime artifact.
+        let arrivals: Vec<OnlineArrival> = (0..30u64)
+            .map(|i| OnlineArrival {
+                job: job(i, 1.5),
+                arrival_slot: i / 3,
+                deadline_slot: i / 3 + 3,
+            })
+            .collect();
+        let mut whole = OnlineAdmission::new(2, 1.0);
+        let (whole_outcomes, _) = whole.submit_batch(arrivals.clone());
+        for chunk in [1usize, 4, 7, 30] {
+            let mut chunked = OnlineAdmission::new(2, 1.0);
+            let mut outcomes = Vec::new();
+            for window in arrivals.chunks(chunk) {
+                let (mut o, _) = chunked.submit_batch(window.to_vec());
+                outcomes.append(&mut o);
+            }
+            assert_eq!(outcomes, whole_outcomes, "chunk size {chunk}");
+            assert_eq!(chunked.parts().1, whole.parts().1, "chunk size {chunk}");
+        }
     }
 
     #[test]

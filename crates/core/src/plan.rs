@@ -183,6 +183,13 @@ impl AllocationProfile {
     pub fn as_slice(&self) -> &[u32] {
         &self.gpus
     }
+
+    /// Unwraps the per-slot vector, giving the buffer back to the caller
+    /// (planners recycle it through their fill scratch instead of
+    /// allocating a fresh vector per profile).
+    pub fn into_gpus(self) -> Vec<u32> {
+        self.gpus
+    }
 }
 
 /// Derived views of a ledger's committed vector, rebuilt lazily after
@@ -190,8 +197,18 @@ impl AllocationProfile {
 /// across slots `[0, t)`), the peak commitment, and the horizon. Turns
 /// the admission loop's repeated O(slots) scans into O(1) amortized
 /// lookups.
+///
+/// Mutations mark the cache stale instead of dropping it: the next read
+/// rebuilds *in place*, reusing the prefix and run-end buffers. The
+/// admission hot path alternates commit/uncommit with reads thousands of
+/// times per decision, so rebuild-without-realloc is what keeps the
+/// ledger off the allocator entirely in steady state.
 #[derive(Debug, Default)]
 struct LedgerCache {
+    /// `true` when the views below match the committed vector. The
+    /// default (`false`) forces a first rebuild, so empty buffers are
+    /// never served.
+    fresh: bool,
     prefix: Vec<u64>,
     peak: u32,
     horizon: usize,
@@ -199,6 +216,38 @@ struct LedgerCache {
     /// `committed` equal to `committed[t]` that contains `t`. Lets slot
     /// walks process whole constant-commitment regions at once.
     run_end: Vec<usize>,
+}
+
+impl LedgerCache {
+    /// Recomputes every view from `committed`, reusing the buffers.
+    fn rebuild(&mut self, committed: &[u32]) {
+        self.prefix.clear();
+        self.prefix.reserve(committed.len() + 1);
+        self.prefix.push(0u64);
+        let mut sum = 0u64;
+        let mut peak = 0u32;
+        for &c in committed {
+            sum += u64::from(c);
+            peak = peak.max(c);
+            self.prefix.push(sum);
+        }
+        self.peak = peak;
+        self.horizon = committed
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.run_end.clear();
+        self.run_end.resize(committed.len(), 0);
+        for t in (0..committed.len()).rev() {
+            self.run_end[t] = if committed.get(t + 1) == Some(&committed[t]) {
+                self.run_end[t + 1]
+            } else {
+                t + 1
+            };
+        }
+        self.fresh = true;
+    }
 }
 
 /// Committed GPUs per slot across all already-planned jobs: the
@@ -210,7 +259,7 @@ struct LedgerCache {
 #[derive(Default)]
 pub struct ReservationLedger {
     committed: Vec<u32>,
-    cache: RefCell<Option<LedgerCache>>,
+    cache: RefCell<LedgerCache>,
 }
 
 impl std::fmt::Debug for ReservationLedger {
@@ -225,7 +274,7 @@ impl Clone for ReservationLedger {
     fn clone(&self) -> Self {
         ReservationLedger {
             committed: self.committed.clone(),
-            cache: RefCell::new(None),
+            cache: RefCell::default(),
         }
     }
 }
@@ -260,7 +309,7 @@ impl<'de> Deserialize<'de> for ReservationLedger {
         let repr = LedgerRepr::deserialize(deserializer)?;
         Ok(ReservationLedger {
             committed: repr.committed,
-            cache: RefCell::new(None),
+            cache: RefCell::default(),
         })
     }
 }
@@ -289,7 +338,7 @@ impl ReservationLedger {
         for (t, &g) in profile.as_slice().iter().enumerate() {
             self.committed[t] += g;
         }
-        *self.cache.get_mut() = None;
+        self.cache.get_mut().fresh = false;
     }
 
     /// Removes a previously committed profile.
@@ -310,46 +359,18 @@ impl ReservationLedger {
         while self.committed.last() == Some(&0) {
             self.committed.pop();
         }
-        *self.cache.get_mut() = None;
+        self.cache.get_mut().fresh = false;
     }
 
     /// Runs `f` against the cached derived views, rebuilding them first
     /// if a mutation invalidated the cache. O(slots) on the first read
-    /// after a mutation, O(1) afterwards.
+    /// after a mutation (reusing the cache's buffers), O(1) afterwards.
     fn with_cache<R>(&self, f: impl FnOnce(&LedgerCache) -> R) -> R {
         let mut guard = self.cache.borrow_mut();
-        let cache = guard.get_or_insert_with(|| {
-            let mut prefix = Vec::with_capacity(self.committed.len() + 1);
-            prefix.push(0u64);
-            let mut sum = 0u64;
-            let mut peak = 0u32;
-            for &c in &self.committed {
-                sum += u64::from(c);
-                peak = peak.max(c);
-                prefix.push(sum);
-            }
-            let horizon = self
-                .committed
-                .iter()
-                .rposition(|&c| c > 0)
-                .map(|i| i + 1)
-                .unwrap_or(0);
-            let mut run_end = vec![0usize; self.committed.len()];
-            for t in (0..self.committed.len()).rev() {
-                run_end[t] = if self.committed.get(t + 1) == Some(&self.committed[t]) {
-                    run_end[t + 1]
-                } else {
-                    t + 1
-                };
-            }
-            LedgerCache {
-                prefix,
-                peak,
-                horizon,
-                run_end,
-            }
-        });
-        f(cache)
+        if !guard.fresh {
+            guard.rebuild(&self.committed);
+        }
+        f(&guard)
     }
 
     /// Total GPU-slots committed across slots `[0, t)` — an O(1)

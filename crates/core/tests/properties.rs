@@ -1,8 +1,9 @@
 //! Property-based tests for ElasticFlow's planning algorithms.
 
 use elasticflow_core::{
-    mss::minimum_satisfactory_share, progressive_filling, theory::brute_force_feasible,
-    AdmissionController, PlanningJob, ReservationLedger, ResourceAllocator, SlotGrid,
+    mss::minimum_satisfactory_share, progressive_filling, progressive_filling_from,
+    theory::brute_force_feasible, AdmissionController, AdmissionOutcome, AllocationProfile,
+    FillScratch, PlanningJob, ReservationLedger, ResourceAllocator, SlotGrid,
 };
 use elasticflow_perfmodel::{CurvePoint, DnnModel, ScalingCurve};
 use elasticflow_trace::JobId;
@@ -225,6 +226,160 @@ proptest! {
                     ac.check(&subset, &grid).is_admitted(),
                     "removing a job broke admission"
                 );
+            }
+        }
+    }
+}
+
+/// A random curve over the 1..=8 power-of-two ladder. Rates are drawn
+/// independently, so a sample may be monotone (ladder-start hints engage)
+/// or dip (the monotonicity gate must force the full ladder) — both paths
+/// of the hinted fill get exercised.
+fn ladder_curve() -> impl Strategy<Value = ScalingCurve> {
+    prop::collection::vec(0.1f64..4.0, 4..5).prop_map(|rates| {
+        ScalingCurve::from_points(
+            DnnModel::ResNet50,
+            64,
+            rates
+                .into_iter()
+                .enumerate()
+                .map(|(i, iters_per_sec)| CurvePoint {
+                    gpus: 1 << i,
+                    iters_per_sec,
+                })
+                .collect(),
+        )
+    })
+}
+
+/// A ledger built from a few random committed profiles.
+fn random_ledger(total: u32) -> impl Strategy<Value = ReservationLedger> {
+    prop::collection::vec(prop::collection::vec(0u32..total + 1, 0..6), 0..4).prop_map(|profiles| {
+        let mut ledger = ReservationLedger::new();
+        for gpus in profiles {
+            ledger.commit(&AllocationProfile::new(gpus));
+        }
+        ledger
+    })
+}
+
+proptest! {
+    /// The ladder-start shortcut is exact: a job's full-ladder target
+    /// under some ledger is a sound starting rung under *any* ledger that
+    /// dominates it (pointwise at least as full) — the hinted fill must
+    /// return the same profile and the same target as the full ladder,
+    /// for monotone and non-monotone curves alike.
+    #[test]
+    fn ladder_start_matches_full_ladder_under_dominating_ledgers(
+        curve in ladder_curve(),
+        base in random_ledger(8),
+        extra in prop::collection::vec(0u32..9, 0..8),
+        work_scale in 0.2f64..6.0,
+        deadline_slot in 1usize..10,
+    ) {
+        let grid = SlotGrid::uniform(1.0);
+        let total = 8u32;
+        let work = work_scale * curve.iters_per_sec(1).expect("rate at 1 GPU");
+        let job = PlanningJob {
+            id: JobId::new(1),
+            curve,
+            remaining_iterations: work,
+            deadline_slot,
+        };
+        let mut scratch = FillScratch::new();
+        if let Some((_, stored_target)) =
+            progressive_filling_from(&job, &base, &grid, total, 1, &mut scratch)
+        {
+            let mut fuller = base.clone();
+            fuller.commit(&AllocationProfile::new(extra));
+            let full = progressive_filling_from(&job, &fuller, &grid, total, 1, &mut scratch);
+            let hinted =
+                progressive_filling_from(&job, &fuller, &grid, total, stored_target, &mut scratch);
+            prop_assert_eq!(hinted, full);
+        }
+    }
+
+    /// The ledger's in-place cache rebuild serves exactly the views a
+    /// cold ledger (same committed profiles, fresh cache) computes, at
+    /// every point of an interleaved commit/uncommit/read sequence.
+    #[test]
+    fn ledger_cached_views_match_a_cold_rebuild(
+        ops in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(0u32..5, 0..6), 0usize..8),
+            1..24,
+        )
+    ) {
+        let mut live = ReservationLedger::new();
+        let mut held: Vec<AllocationProfile> = Vec::new();
+        for (is_commit, gpus, pick) in ops {
+            if is_commit || held.is_empty() {
+                let profile = AllocationProfile::new(gpus);
+                live.commit(&profile);
+                held.push(profile);
+            } else {
+                let profile = held.remove(pick % held.len());
+                live.uncommit(&profile);
+            }
+            let mut cold = ReservationLedger::new();
+            for profile in &held {
+                cold.commit(profile);
+            }
+            prop_assert_eq!(live.peak(), cold.peak());
+            prop_assert_eq!(live.horizon(), cold.horizon());
+            for t in 0..12 {
+                prop_assert_eq!(live.committed(t), cold.committed(t));
+                prop_assert_eq!(live.committed_before(t), cold.committed_before(t));
+                // Inside the horizon run boundaries are representation-
+                // independent; past it the two ledgers may disagree on
+                // where the all-zero tail "ends" (trailing zero slots are
+                // trimmed by uncommit but not by commit), and walkers only
+                // need the run to make progress there.
+                if t < live.horizon() {
+                    prop_assert_eq!(live.run_end(t), cold.run_end(t));
+                }
+                prop_assert!(live.run_end(t) > t);
+                prop_assert!(cold.run_end(t) > t);
+            }
+        }
+    }
+
+    /// A stream of incremental admissions (shared scratch, so ladder
+    /// hints and recycled profile buffers accumulate) answers every
+    /// question — witness plan, blocking job, shortfall — exactly as a
+    /// from-scratch Algorithm 1 over the union would.
+    #[test]
+    fn incremental_stream_matches_from_scratch_check(
+        specs in prop::collection::vec((ladder_curve(), 0.2f64..5.0, 1usize..8), 1..12)
+    ) {
+        let grid = SlotGrid::uniform(1.0);
+        let controller = AdmissionController::new(8);
+        let (mut set, _) = controller.fill(&[], &grid);
+        let mut accepted: Vec<PlanningJob> = Vec::new();
+        let mut scratch = FillScratch::new();
+        for (i, (curve, work_scale, deadline_slot)) in specs.into_iter().enumerate() {
+            let work = work_scale * curve.iters_per_sec(1).expect("rate at 1 GPU");
+            let job = PlanningJob {
+                id: JobId::new(i as u64),
+                curve,
+                remaining_iterations: work,
+                deadline_slot,
+            };
+            let mut union = accepted.clone();
+            union.push(job.clone());
+            let offline = controller.check(&union, &grid);
+            match (set.admit_with(job.clone(), &grid, &mut scratch), offline) {
+                (Ok(()), AdmissionOutcome::Admitted { plan }) => {
+                    accepted.push(job);
+                    prop_assert_eq!(set.plan(), plan);
+                }
+                (Err(denial), AdmissionOutcome::Rejected { blocking_job, shortfall }) => {
+                    prop_assert_eq!(denial.blocking_job, blocking_job);
+                    prop_assert_eq!(denial.shortfall, shortfall);
+                }
+                (incremental, offline) => prop_assert!(
+                    false,
+                    "incremental {incremental:?} disagrees with offline {offline:?}"
+                ),
             }
         }
     }

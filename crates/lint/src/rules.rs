@@ -883,6 +883,36 @@ mod tests {
         }
     }
 
+    /// Scope check for the group-commit drain loop: the daemon's batched
+    /// pipeline reuses buffers (`wal_buf`, `wal_offsets`, the batch
+    /// scratch) on one thread, and its sequential iterator chains must
+    /// not trip the parallel-region detector — while any attempt to
+    /// offload the flush to a worker thread that touches those reuse
+    /// cells lands squarely inside a detected region.
+    #[test]
+    fn l008_scope_covers_the_batched_drain_loop() {
+        for src in [
+            // The group-commit shape: frames rendered over a reused
+            // buffer, sliced by an offset table. `.windows(..).map(..)`
+            // is sequential — no region, no violation.
+            "fn f() { let frames = offsets.windows(2).map(|w| buf[w[0]..w[1]].as_bytes()); \
+             wal.append_batch(frames); }",
+            // Scratch take/restore around the decide loop is plain
+            // single-threaded ownership juggling.
+            "fn f() { let mut scratch = std::mem::take(&mut self.batch); \
+             scratch.decisions.clear(); self.batch = scratch; }",
+        ] {
+            assert!(run(src, "serve").is_empty(), "false positive: {src}");
+        }
+        // But moving the same reuse cells behind a spawned flush worker
+        // is exactly what the rule exists to catch.
+        let src = "fn f() { std::thread::spawn(move || { \
+                   wal_buf.with(|b: &RefCell<String>| flush(b)); }); }";
+        let v = run(src, "serve");
+        assert_eq!(rules_of(&v), vec!["EF-L008"], "{v:?}");
+        assert!(v[0].message.contains("RefCell"), "{}", v[0].message);
+    }
+
     #[test]
     fn l008_nested_regions_report_once() {
         let src = "fn f() { pool.install(|| v.par_iter().map(|x| println!(\"{x}\")).collect()); }";

@@ -269,6 +269,11 @@ pub struct CurveMemo {
     /// throughput reachable with any allocation of at most `2^i` workers,
     /// even for measured curves that dip before the knee.
     peak_rate: Vec<f64>,
+    /// `true` when the throughput is nondecreasing along the power-of-two
+    /// ladder over every allocation [`clamp_useful`](CurveMemo::clamp_useful)
+    /// can grant (the analytic curves always are; a measured curve that
+    /// dips before the knee is not).
+    ladder_monotone: bool,
 }
 
 impl CurveMemo {
@@ -284,6 +289,16 @@ impl CurveMemo {
             peak = peak.max(p.iters_per_sec);
             self.peak_rate.push(peak);
         }
+        // Monotonicity matters only across grantable sizes: every grant is
+        // a power of two at most the largest one not exceeding the knee.
+        let cap = self.clamp_useful(u32::MAX);
+        let grantable = if cap == 0 {
+            0
+        } else {
+            (cap.trailing_zeros() as usize + 1).min(self.rate.len())
+        };
+        self.ladder_monotone = self.rate.first().is_none_or(|r| *r >= 0.0)
+            && self.rate[..grantable].windows(2).all(|p| p[0] <= p[1]);
     }
 
     /// The memoized [`ScalingCurve::knee`].
@@ -318,6 +333,16 @@ impl CurveMemo {
             w *= 2;
         }
         w
+    }
+
+    /// `true` when throughput never decreases as grantable power-of-two
+    /// allocations grow (up to the knee clamp). Planners use this as the
+    /// soundness gate for ladder-start shortcuts: under a pointwise-fuller
+    /// ledger, grants only shrink, so a monotone curve guarantees per-slot
+    /// progress only shrinks — a target that fails on the emptier ledger
+    /// still fails on the fuller one.
+    pub fn ladder_monotone(&self) -> bool {
+        self.ladder_monotone
     }
 
     /// The highest throughput reachable with at most `cap` workers, where

@@ -65,7 +65,7 @@ pub mod wal;
 pub use checkpoint::{CheckpointStats, Checkpointer, WalObserver};
 pub use error::PersistError;
 pub use frame::PERSIST_VERSION;
-pub use records::{LogContents, LogKind, RecordLog};
+pub use records::{FsyncPolicy, LogContents, LogKind, RecordLog};
 pub use session::PersistSession;
 pub use store::{Recovered, StateDir, StoredSnapshot};
 pub use wal::{WalContents, WalWriter};

@@ -4,7 +4,7 @@
 //! ```text
 //! elasticflow-loadgen [--arrivals N] [--servers N] [--gpus-per-server N]
 //!                     [--mean-interarrival S] [--best-effort-fraction F]
-//!                     [--seed N] [--out PATH] [--shutdown]
+//!                     [--seed N] [--out PATH] [--shutdown] [--rate N]
 //! ```
 //!
 //! Writes one JSONL [`Request`] per line to stdout (or `--out`), ready
@@ -18,20 +18,27 @@
 //! invocation against a fresh and a crash-recovered daemon must produce
 //! byte-identical decision journals, and the CI smoke checks exactly
 //! that. `--shutdown` appends a final `{"Shutdown":{}}` line for
-//! socket sessions that need an explicit goodbye.
+//! socket sessions that need an explicit goodbye. `--rate N` caps
+//! emission at N lines per second (wall clock) — an open-loop driver
+//! for latency-under-load experiments; the default is as-fast-as-
+//! possible. Pacing changes only *when* bytes leave the process, never
+//! which bytes, so `--rate` cannot perturb the decision stream.
 //!
 //! [`Request`]: elasticflow_serve::Request
 
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use elasticflow_serve::{loadgen_stream, LoadgenConfig, Request};
+use elasticflow_serve::{loadgen_stream, render_request_into, LoadgenConfig, Request};
 
 #[derive(Debug, Default)]
 struct Options {
     config: LoadgenConfig,
     out: Option<String>,
     shutdown: bool,
+    /// Lines per second; `None` = unpaced.
+    rate: Option<u64>,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -66,6 +73,13 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--seed" => opts.config.seed = parse_num(&value("--seed")?, "--seed")?,
             "--out" => opts.out = Some(value("--out")?),
             "--shutdown" => opts.shutdown = true,
+            "--rate" => {
+                let n: u64 = parse_num(&value("--rate")?, "--rate")?;
+                if n == 0 {
+                    return Err("--rate needs a positive lines-per-second count".to_owned());
+                }
+                opts.rate = Some(n);
+            }
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
@@ -79,20 +93,62 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> 
 
 fn emit<W: Write>(opts: &Options, out: W) -> std::io::Result<()> {
     let mut out = BufWriter::new(out);
+    let mut pacer = opts.rate.map(Pacer::new);
+    // One serialization buffer for the whole stream: rendering is the
+    // hand renderer the daemon's WAL uses, so steady-state emission
+    // allocates nothing per line.
+    let mut line = String::new();
     for request in loadgen_stream(&opts.config) {
-        serialize_line(&request, &mut out)?;
+        if let Some(pacer) = &mut pacer {
+            pacer.wait();
+            // A paced stream should reach the daemon line by line, not
+            // parked in the writer's buffer.
+            out.flush()?;
+        }
+        serialize_line(&request, &mut line, &mut out)?;
     }
     if opts.shutdown {
-        serialize_line(&Request::Shutdown {}, &mut out)?;
+        serialize_line(&Request::Shutdown {}, &mut line, &mut out)?;
     }
     out.flush()
 }
 
-fn serialize_line<W: Write>(request: &Request, out: &mut W) -> std::io::Result<()> {
-    let line = serde_json::to_string(request)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    out.write_all(line.as_bytes())?;
-    out.write_all(b"\n")
+/// Open-loop pacing: line `k` is released at `k / rate` seconds after
+/// the stream started, independent of how long earlier writes took.
+struct Pacer {
+    start: Instant,
+    emitted: u64,
+    rate: u64,
+}
+
+impl Pacer {
+    fn new(rate: u64) -> Self {
+        Pacer {
+            start: Instant::now(),
+            emitted: 0,
+            rate,
+        }
+    }
+
+    fn wait(&mut self) {
+        let due = Duration::from_secs_f64(self.emitted as f64 / self.rate as f64);
+        let elapsed = self.start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        self.emitted += 1;
+    }
+}
+
+fn serialize_line<W: Write>(
+    request: &Request,
+    line: &mut String,
+    out: &mut W,
+) -> std::io::Result<()> {
+    line.clear();
+    render_request_into(request, line);
+    line.push('\n');
+    out.write_all(line.as_bytes())
 }
 
 fn main() -> ExitCode {
@@ -103,7 +159,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: elasticflow-loadgen [--arrivals N] [--servers N] \
                  [--gpus-per-server N] [--mean-interarrival S] \
-                 [--best-effort-fraction F] [--seed N] [--out PATH] [--shutdown]"
+                 [--best-effort-fraction F] [--seed N] [--out PATH] [--shutdown] \
+                 [--rate N]"
             );
             return ExitCode::FAILURE;
         }

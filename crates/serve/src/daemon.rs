@@ -19,17 +19,17 @@ use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::Write;
 
-use elasticflow_persist::{PersistError, RecordLog, PERSIST_VERSION};
-use elasticflow_sched::DecisionRecord;
-use elasticflow_telemetry::{Clock, JournalEntry, DECISION_LATENCY};
+use elasticflow_persist::{FsyncPolicy, PersistError, RecordLog, PERSIST_VERSION};
+use elasticflow_sched::{DecisionRecord, DeclineReason};
+use elasticflow_telemetry::{Clock, DECISION_LATENCY};
 
 use crate::gateway::{Gateway, GatewayConfig, GatewayStats};
 use crate::metrics::{
-    self, SharedRegistry, ACTIVE_GUARANTEED, BOOKED_FRACTION, BOOKED_HORIZON_SLOTS,
-    DECISIONS_TOTAL, DECLINES_TOTAL,
+    self, SharedRegistry, ACTIVE_GUARANTEED, BATCH_SIZE, BOOKED_FRACTION, BOOKED_HORIZON_SLOTS,
+    DECISIONS_TOTAL, DECLINES_TOTAL, QUEUE_DEPTH,
 };
-use crate::proto::{JobSubmission, Request, Response};
-use crate::store::{GatewayDir, GatewaySnapshot};
+use crate::proto::{render_request_into, render_submit_into, JobSubmission, Request, Response};
+use crate::store::{render_journal_entry_into, GatewayDir, GatewaySnapshot};
 
 /// Daemon-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,10 @@ pub struct DaemonConfig {
     /// Write a snapshot every this many submissions (0 disables
     /// periodic snapshots; recovery then replays the whole WAL).
     pub snapshot_every: u64,
+    /// When the WAL fsyncs (never / per record / per batch / every N
+    /// records). Affects durability of the tail on a host crash, never
+    /// the decision stream.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for DaemonConfig {
@@ -46,6 +50,7 @@ impl Default for DaemonConfig {
         DaemonConfig {
             gateway: GatewayConfig::default(),
             snapshot_every: 1_000,
+            fsync: FsyncPolicy::Never,
         }
     }
 }
@@ -120,6 +125,16 @@ impl From<serde_json::Error> for ServeError {
     }
 }
 
+/// Reused per-batch workspace: indices of the submissions that passed
+/// the duplicate guard, their decisions, and their latencies. Carries
+/// no state between runs — every run clears it first.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    accepted: Vec<usize>,
+    decisions: Vec<DecisionRecord>,
+    latencies: Vec<u64>,
+}
+
 /// The long-running gateway daemon: decision core + durable logs +
 /// metrics.
 #[derive(Debug)]
@@ -133,6 +148,15 @@ pub struct Daemon {
     seen: BTreeSet<u64>,
     clock: Box<dyn Clock>,
     registry: SharedRegistry,
+    /// Reused WAL render buffer: one pass per batch, sliced by
+    /// `wal_offsets` into per-record payloads for the group commit.
+    wal_buf: String,
+    wal_offsets: Vec<usize>,
+    /// Reused journal render buffer: the whole batch's entry lines,
+    /// written with one syscall.
+    journal_buf: String,
+    batch: BatchScratch,
+    resp_buf: Vec<Response>,
 }
 
 impl Daemon {
@@ -150,7 +174,8 @@ impl Daemon {
     ) -> Result<(Self, Resumption), ServeError> {
         let dir = GatewayDir::open(root)?;
         if !dir.has_state() {
-            let (wal, journal) = dir.create_genesis()?;
+            let (mut wal, journal) = dir.create_genesis()?;
+            wal.set_fsync_policy(config.fsync);
             let daemon = Daemon {
                 config,
                 dir,
@@ -161,6 +186,11 @@ impl Daemon {
                 seen: BTreeSet::new(),
                 clock,
                 registry,
+                wal_buf: String::new(),
+                wal_offsets: Vec::new(),
+                journal_buf: String::new(),
+                batch: BatchScratch::default(),
+                resp_buf: Vec::new(),
             };
             return Ok((daemon, Resumption::Fresh));
         }
@@ -194,7 +224,8 @@ impl Daemon {
             };
 
         let journal = dir.rewind_journal(journal_entries)?;
-        let wal = dir.reopen_wal(payloads.len() as u64)?;
+        let mut wal = dir.reopen_wal(payloads.len() as u64)?;
+        wal.set_fsync_policy(config.fsync);
         let mut daemon = Daemon {
             config,
             dir,
@@ -205,6 +236,11 @@ impl Daemon {
             seen: BTreeSet::new(),
             clock,
             registry,
+            wal_buf: String::new(),
+            wal_offsets: Vec::new(),
+            journal_buf: String::new(),
+            batch: BatchScratch::default(),
+            resp_buf: Vec::new(),
         };
 
         // The duplicate-id guard must cover the entire submission
@@ -212,18 +248,24 @@ impl Daemon {
         // the replay below re-inserts the suffix through the live path.
         let covered = usize::try_from(covered_records).unwrap_or(usize::MAX);
         for line in &payloads[..covered] {
-            if let Ok(Request::Submit { job }) = serde_json::from_str::<Request>(line) {
+            if let Ok(Some(Request::Submit { job })) = crate::proto::parse_request(line) {
                 daemon.seen.insert(job.id);
             }
         }
 
         let replay = &payloads[covered..];
         for line in replay {
-            let request: Request = serde_json::from_str(line).map_err(|e| {
-                ServeError::Persist(PersistError::Corrupt(format!(
-                    "gateway WAL record failed to parse on replay: {e}"
-                )))
-            })?;
+            let request = crate::proto::parse_request(line)
+                .map_err(|e| {
+                    ServeError::Persist(PersistError::Corrupt(format!(
+                        "gateway WAL record failed to parse on replay: {e}"
+                    )))
+                })?
+                .ok_or_else(|| {
+                    ServeError::Persist(PersistError::Corrupt(
+                        "gateway WAL holds an empty record".to_owned(),
+                    ))
+                })?;
             daemon.apply(&request, false)?;
         }
         daemon.publish_gauges();
@@ -281,6 +323,53 @@ impl Daemon {
         }
     }
 
+    /// Handles a batch of parsed requests, pushing one response per
+    /// request onto `out` in order. Runs of consecutive submissions go
+    /// through the group-commit pipeline (one WAL append, one journal
+    /// write, one metrics pass for the whole run); everything else is
+    /// applied one at a time in place. Decision- and journal-equivalent
+    /// to `handle_request` per request — batch boundaries are a runtime
+    /// artifact, never replayed and never visible in the logs.
+    pub fn handle_batch(&mut self, requests: &[Request], out: &mut Vec<Response>) {
+        if !requests.is_empty() {
+            let mut registry = metrics::lock(&self.registry);
+            registry.observe(BATCH_SIZE, &[], requests.len() as f64);
+        }
+        out.reserve(requests.len());
+        let mut i = 0;
+        while i < requests.len() {
+            if !matches!(requests[i], Request::Submit { .. }) {
+                out.push(self.handle_request(&requests[i]));
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < requests.len() && matches!(requests[j], Request::Submit { .. }) {
+                j += 1;
+            }
+            let run = &requests[i..j];
+            if let Err(e) = self.apply_submit_run(run, true, out) {
+                // An I/O failure fails the whole run: nothing was
+                // decided (WAL error) or the journal is behind (write
+                // error); either way every caller gets the same answer.
+                let message = e.to_string();
+                for _ in 0..run.len() {
+                    out.push(Response::Error {
+                        message: message.clone(),
+                    });
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Publishes the serve loop's backlog (complete lines buffered
+    /// behind the batch just cut).
+    pub fn note_queue_depth(&self, depth: u64) {
+        let mut registry = metrics::lock(&self.registry);
+        registry.set_gauge(QUEUE_DEPTH, &[], depth as f64);
+    }
+
     /// The one request-application path, shared by live serving
     /// (`live = true`: append to the WAL, maybe snapshot) and WAL
     /// replay (`live = false`: the record is already durable). Journal
@@ -288,11 +377,23 @@ impl Daemon {
     /// entries a crash cut off.
     fn apply(&mut self, request: &Request, live: bool) -> Result<Response, ServeError> {
         match request {
-            Request::Submit { job } => self.apply_submit(job, live),
+            Request::Submit { .. } => {
+                let mut out = std::mem::take(&mut self.resp_buf);
+                out.clear();
+                let result = self.apply_submit_run(std::slice::from_ref(request), live, &mut out);
+                let response = out.pop();
+                self.resp_buf = out;
+                result?;
+                Ok(response.expect("a run of one submission yields one response"))
+            }
             Request::Withdraw { job, at_seconds } => {
                 if live {
-                    self.wal
-                        .append_payload(serde_json::to_string(request)?.as_bytes())?;
+                    self.wal_buf.clear();
+                    render_request_into(request, &mut self.wal_buf);
+                    let record = std::mem::take(&mut self.wal_buf);
+                    let appended = self.wal.append_payload(record.as_bytes());
+                    self.wal_buf = record;
+                    appended?;
                 }
                 let lapsed = self.gateway.withdraw(*job, *at_seconds);
                 self.publish_gauges();
@@ -306,60 +407,191 @@ impl Daemon {
         }
     }
 
-    fn apply_submit(&mut self, job: &JobSubmission, live: bool) -> Result<Response, ServeError> {
-        if self.seen.contains(&job.id) {
-            return Ok(Response::Error {
-                message: format!("job id {} was already submitted", job.id),
-            });
+    /// Applies a run of consecutive submissions through the batched
+    /// pipeline: dedup → one group-committed WAL append → decide →
+    /// one journal write → one metrics pass. Pushes one response per
+    /// submission, in order. The WAL-before-decide discipline holds for
+    /// the run as a whole: every record is on disk before the first
+    /// outcome exists, so the journal can never lead the WAL.
+    fn apply_submit_run(
+        &mut self,
+        run: &[Request],
+        live: bool,
+        out: &mut Vec<Response>,
+    ) -> Result<(), ServeError> {
+        fn submission(request: &Request) -> &JobSubmission {
+            match request {
+                Request::Submit { job } => job,
+                _ => unreachable!("submit runs contain only submissions"),
+            }
         }
-        if live {
-            let record = serde_json::to_string(&Request::Submit { job: job.clone() })?;
-            self.wal.append_payload(record.as_bytes())?;
-        }
-        self.seen.insert(job.id);
 
+        // The batch-entry timestamp: each decision's latency is measured
+        // from here, so queueing behind earlier members of the batch is
+        // charged to the decisions it delays.
         let t0 = self.clock.now_nanos();
-        let decision = self.gateway.submit(job);
-        let elapsed = self.clock.now_nanos().saturating_sub(t0);
+        let mut scratch = std::mem::take(&mut self.batch);
+        scratch.accepted.clear();
+        scratch.decisions.clear();
+        scratch.latencies.clear();
 
-        let entry = JournalEntry {
-            t: job.arrival_seconds,
-            decision,
-        };
-        self.journal
-            .write_all(serde_json::to_string(&entry)?.as_bytes())?;
-        self.journal.write_all(b"\n")?;
-        self.journal_entries += 1;
-
-        self.record_decision(&decision, elapsed, live);
-        if live
-            && self.config.snapshot_every > 0
-            && self
-                .gateway
-                .stats()
-                .submissions
-                .is_multiple_of(self.config.snapshot_every)
-        {
-            self.snapshot_now()?;
+        // Duplicates (including duplicates *within* the run — the
+        // inserts are sequential) are rejected before the WAL ever sees
+        // the records, so the log never contains one and replay never
+        // has to suppress one.
+        for (i, request) in run.iter().enumerate() {
+            if self.seen.insert(submission(request).id) {
+                scratch.accepted.push(i);
+            }
         }
-        Ok(Response::Decision {
-            job: job.id,
-            seq: self.wal.records(),
-            admitted: matches!(decision, DecisionRecord::Admit { .. }),
-            decision,
-        })
+
+        // Group commit: one render pass over the run into the reused
+        // buffer, one write, one policy-dependent sync. On failure
+        // nothing has been decided yet — roll the dedup guard back so
+        // the submissions can be retried.
+        if live && !scratch.accepted.is_empty() {
+            self.wal_buf.clear();
+            self.wal_offsets.clear();
+            self.wal_offsets.push(0);
+            for &i in &scratch.accepted {
+                render_submit_into(submission(&run[i]), &mut self.wal_buf);
+                self.wal_offsets.push(self.wal_buf.len());
+            }
+            let Daemon {
+                wal,
+                wal_buf,
+                wal_offsets,
+                ..
+            } = self;
+            let payloads = wal_offsets
+                .windows(2)
+                .map(|w| &wal_buf.as_bytes()[w[0]..w[1]]);
+            if let Err(e) = wal.append_batch(payloads) {
+                for &i in &scratch.accepted {
+                    self.seen.remove(&submission(&run[i]).id);
+                }
+                self.batch = scratch;
+                return Err(e.into());
+            }
+        }
+        let base_seq = self.wal.records()
+            - if live {
+                scratch.accepted.len() as u64
+            } else {
+                0
+            };
+
+        for &i in &scratch.accepted {
+            let decision = self.gateway.submit(submission(&run[i]));
+            scratch
+                .latencies
+                .push(self.clock.now_nanos().saturating_sub(t0));
+            scratch.decisions.push(decision);
+        }
+
+        // One journal write for the whole run. Rendering is pinned
+        // byte-identical to serde's, so replay (which runs unbatched)
+        // regenerates exactly these bytes.
+        self.journal_buf.clear();
+        for (k, &i) in scratch.accepted.iter().enumerate() {
+            render_journal_entry_into(
+                submission(&run[i]).arrival_seconds,
+                &scratch.decisions[k],
+                &mut self.journal_buf,
+            );
+            self.journal_buf.push('\n');
+        }
+        if let Err(e) = self.journal.write_all(self.journal_buf.as_bytes()) {
+            self.batch = scratch;
+            return Err(e.into());
+        }
+        self.journal_entries += scratch.accepted.len() as u64;
+
+        self.record_run(&scratch, live);
+
+        // Snapshot when the run crossed a cadence boundary (at run
+        // length 1 this is exactly the old is-multiple-of check). The
+        // snapshot lands at the run's end rather than mid-run — timing
+        // is a runtime artifact, never replayed.
+        if live && self.config.snapshot_every > 0 {
+            let after = self.gateway.stats().submissions;
+            let before = after - scratch.accepted.len() as u64;
+            if before / self.config.snapshot_every != after / self.config.snapshot_every {
+                if let Err(e) = self.snapshot_now() {
+                    self.batch = scratch;
+                    return Err(e.into());
+                }
+            }
+        }
+
+        let mut k = 0;
+        for (i, request) in run.iter().enumerate() {
+            let job = submission(request);
+            if k < scratch.accepted.len() && scratch.accepted[k] == i {
+                let decision = scratch.decisions[k];
+                k += 1;
+                out.push(Response::Decision {
+                    job: job.id,
+                    seq: base_seq + k as u64,
+                    admitted: matches!(decision, DecisionRecord::Admit { .. }),
+                    decision,
+                });
+            } else {
+                out.push(Response::Error {
+                    message: format!("job id {} was already submitted", job.id),
+                });
+            }
+        }
+        self.batch = scratch;
+        Ok(())
     }
 
-    fn record_decision(&mut self, decision: &DecisionRecord, elapsed_nanos: u64, live: bool) {
-        let mut registry = metrics::lock(&self.registry);
-        registry.inc(DECISIONS_TOTAL, &[("kind", decision.kind_label())], 1.0);
-        if let DecisionRecord::Decline { reason, .. } = decision {
-            registry.inc(DECLINES_TOTAL, &[("reason", reason.label())], 1.0);
+    /// One metrics pass for a whole run: aggregated counter bumps, one
+    /// latency sample per decision (live only — replayed decisions
+    /// carry replay timing, not serving latency), one gauge publish.
+    fn record_run(&mut self, scratch: &BatchScratch, live: bool) {
+        if scratch.decisions.is_empty() {
+            return;
         }
-        // Replayed decisions carry replay timing, not serving latency;
-        // only live answers feed the histogram.
+        let mut admits = 0u64;
+        let mut declines = [0u64; 3]; // candidate_infeasible, would_displace, unexplained
+        for decision in &scratch.decisions {
+            match decision {
+                DecisionRecord::Admit { .. } => admits += 1,
+                DecisionRecord::Decline { reason, .. } => match reason {
+                    DeclineReason::CandidateInfeasible { .. } => declines[0] += 1,
+                    DeclineReason::WouldDisplace { .. } => declines[1] += 1,
+                    DeclineReason::Unexplained => declines[2] += 1,
+                },
+                other @ (DecisionRecord::Resize { .. }
+                | DecisionRecord::Preempt { .. }
+                | DecisionRecord::Migrate { .. }
+                | DecisionRecord::Pause { .. }) => {
+                    debug_assert!(false, "gateway submissions never yield {other:?}");
+                }
+            }
+        }
+        let mut registry = metrics::lock(&self.registry);
+        if admits > 0 {
+            registry.inc(DECISIONS_TOTAL, &[("kind", "admit")], admits as f64);
+        }
+        let declined: u64 = declines.iter().sum();
+        if declined > 0 {
+            registry.inc(DECISIONS_TOTAL, &[("kind", "decline")], declined as f64);
+        }
+        for (count, label) in
+            declines
+                .iter()
+                .zip(["candidate_infeasible", "would_displace", "unexplained"])
+        {
+            if *count > 0 {
+                registry.inc(DECLINES_TOTAL, &[("reason", label)], *count as f64);
+            }
+        }
         if live {
-            registry.observe(DECISION_LATENCY, &[], elapsed_nanos as f64 / 1e9);
+            for &nanos in &scratch.latencies {
+                registry.observe(DECISION_LATENCY, &[], nanos as f64 / 1e9);
+            }
         }
         drop(registry);
         self.publish_gauges();
@@ -413,6 +645,7 @@ mod tests {
                 slot_seconds: 60.0,
             },
             snapshot_every: 5,
+            fsync: FsyncPolicy::Never,
         }
     }
 
@@ -532,6 +765,74 @@ mod tests {
         // History replayed through the dedup guard: old ids still refuse.
         let dup = daemon.handle_line(&submit_line(2, 500.0, None)).unwrap();
         assert!(matches!(dup, Response::Error { .. }));
+    }
+
+    #[test]
+    fn batched_handling_leaves_byte_identical_logs_and_responses() {
+        let requests: Vec<Request> = (0..40)
+            .map(|i| {
+                let line = submit_line(
+                    i,
+                    i as f64 * 15.0,
+                    if i % 3 == 0 {
+                        None
+                    } else {
+                        Some(i as f64 * 15.0 + 1_800.0)
+                    },
+                );
+                crate::proto::parse_request(&line).unwrap().unwrap()
+            })
+            .collect();
+
+        let seq_root = tmp("batch-seq");
+        let (mut sequential, _) = open(&seq_root);
+        let expected: Vec<Response> = requests
+            .iter()
+            .map(|r| sequential.handle_request(r))
+            .collect();
+        let seq_wal = std::fs::read(sequential.dir.wal_path()).unwrap();
+        let seq_journal = std::fs::read(sequential.dir.journal_path()).unwrap();
+
+        for chunk_size in [2usize, 7, 40] {
+            let root = tmp(&format!("batch-{chunk_size}"));
+            let (mut daemon, _) = open(&root);
+            let mut got = Vec::new();
+            for chunk in requests.chunks(chunk_size) {
+                daemon.handle_batch(chunk, &mut got);
+            }
+            assert_eq!(got, expected, "responses at chunk size {chunk_size}");
+            assert_eq!(
+                std::fs::read(daemon.dir.wal_path()).unwrap(),
+                seq_wal,
+                "WAL bytes at chunk size {chunk_size}"
+            );
+            assert_eq!(
+                std::fs::read(daemon.dir.journal_path()).unwrap(),
+                seq_journal,
+                "journal bytes at chunk size {chunk_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_inside_one_batch_are_rejected_in_order() {
+        let root = tmp("batch-dup");
+        let (mut daemon, _) = open(&root);
+        let requests: Vec<Request> = [
+            submit_line(1, 0.0, Some(1_800.0)),
+            submit_line(1, 1.0, None),
+            submit_line(2, 2.0, Some(3_600.0)),
+        ]
+        .iter()
+        .map(|l| crate::proto::parse_request(l).unwrap().unwrap())
+        .collect();
+        let mut out = Vec::new();
+        daemon.handle_batch(&requests, &mut out);
+        assert!(matches!(out[0], Response::Decision { job: 1, .. }));
+        assert!(matches!(out[1], Response::Error { .. }));
+        assert!(matches!(out[2], Response::Decision { job: 2, .. }));
+        assert_eq!(daemon.wal_records(), 2);
+        assert_eq!(daemon.journal_entries(), 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use elasticflow_cluster::ClusterSpec;
-use elasticflow_core::{OnlineAdmission, PlanningJob};
+use elasticflow_core::{FillScratch, OnlineAdmission, PlanningJob};
 use elasticflow_perfmodel::{DnnModel, Interconnect, ScalingCurve};
 use elasticflow_sched::{DecisionRecord, DeclineReason};
 use elasticflow_trace::JobId;
@@ -97,6 +97,9 @@ pub struct Gateway {
     curves: BTreeMap<(DnnModel, u32), ScalingCurve>,
     online: OnlineAdmission,
     stats: GatewayStats,
+    /// Reused fill workspace. Carries no decision state between calls —
+    /// reuse never changes an outcome, it only skips reallocation.
+    scratch: FillScratch,
 }
 
 impl Gateway {
@@ -109,6 +112,7 @@ impl Gateway {
             curves: BTreeMap::new(),
             online: OnlineAdmission::new(config.total_gpus(), config.slot_seconds),
             stats: GatewayStats::default(),
+            scratch: FillScratch::new(),
         }
     }
 
@@ -225,7 +229,10 @@ impl Gateway {
         // Conservative window: only slots that end at or before the
         // deadline count (same rounding as `SlotGrid::slots_before`).
         let deadline_slot_abs = self.online.slot_of(deadline_seconds);
-        match self.online.submit(candidate, deadline_slot_abs) {
+        match self
+            .online
+            .submit_with(candidate, deadline_slot_abs, &mut self.scratch)
+        {
             Ok(()) => {
                 self.stats.admitted += 1;
                 DecisionRecord::Admit { job: job_id }
@@ -255,9 +262,21 @@ impl Gateway {
     pub fn withdraw(&mut self, id: u64, at_seconds: f64) -> Vec<u64> {
         self.advance_to_seconds(at_seconds);
         self.stats.withdrawn += 1;
-        let lapsed = self.online.withdraw(JobId::new(id));
+        let lapsed = self.online.withdraw_with(JobId::new(id), &mut self.scratch);
         self.stats.lapsed += lapsed.len() as u64;
         lapsed.iter().map(|j| j.raw()).collect()
+    }
+
+    /// Answers a run of submissions in order, pushing each decision onto
+    /// `out`. Decision-equivalent to calling [`Gateway::submit`] once per
+    /// entry — batching shares the fill scratch and the advance work
+    /// across the run but never changes an outcome, which is what keeps
+    /// the journal byte-identical across batch schedules.
+    pub fn submit_batch(&mut self, subs: &[JobSubmission], out: &mut Vec<DecisionRecord>) {
+        out.reserve(subs.len());
+        for sub in subs {
+            out.push(self.submit(sub));
+        }
     }
 }
 
@@ -399,6 +418,34 @@ mod tests {
             assert_eq!(live.submit(&s), rebuilt.submit(&s));
         }
         assert_eq!(live.stats(), rebuilt.stats());
+    }
+
+    #[test]
+    fn batched_submission_matches_one_at_a_time() {
+        let stream: Vec<JobSubmission> = (0..120)
+            .map(|i| {
+                sub(
+                    i,
+                    f64::from(i as u32) * 20.0,
+                    if i % 4 == 0 {
+                        None
+                    } else {
+                        Some(f64::from(i as u32) * 20.0 + 900.0 + f64::from((i % 5) as u32) * 300.0)
+                    },
+                )
+            })
+            .collect();
+        let mut sequential = Gateway::new(small());
+        let expected: Vec<DecisionRecord> = stream.iter().map(|s| sequential.submit(s)).collect();
+        for chunk_size in [1usize, 3, 17, 120] {
+            let mut batched = Gateway::new(small());
+            let mut got = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                batched.submit_batch(chunk, &mut got);
+            }
+            assert_eq!(got, expected, "chunk size {chunk_size}");
+            assert_eq!(batched.stats(), sequential.stats());
+        }
     }
 
     #[test]

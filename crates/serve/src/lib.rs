@@ -45,32 +45,107 @@ pub use daemon::{Daemon, DaemonConfig, Resumption, ServeError};
 pub use gateway::{Gateway, GatewayConfig, GatewayStats, SnapshotJob};
 pub use loadgen::{loadgen_stream, LoadgenConfig};
 pub use metrics::{gateway_registry, spawn_exporter, SharedRegistry};
-pub use proto::{parse_request, render_response, JobSubmission, Request, Response};
+pub use proto::{
+    parse_request, render_request_into, render_response, JobSubmission, LineReader, Request,
+    Response,
+};
 pub use store::{GatewayDir, GatewaySnapshot};
 
-use std::io::{BufRead, Write};
+pub use elasticflow_persist::FsyncPolicy;
+
+use std::io::{Read, Write};
+
+/// One input line's place in a batch: a parsed request (answered by the
+/// daemon) or a parse failure (answered in place, in order).
+enum LineSlot {
+    Parsed,
+    Failed(String),
+}
 
 /// Drives a daemon over one line-oriented connection: reads requests
 /// from `input`, writes one response line per request to `output`.
 ///
+/// Up to `batch` requests are drained per iteration — the first line
+/// may block, the rest are taken only if their bytes are already
+/// buffered, so an interactive client is answered after its first line
+/// while a pipe saturates the batch from one read. At `batch == 1`
+/// this is exactly the old line-at-a-time loop.
+///
 /// Returns `Ok(true)` when the client asked for shutdown, `Ok(false)`
 /// at end-of-input. `die_after` aborts the process with exit code 17
-/// after that many *accepted* submissions — the deterministic crash
-/// switch the recovery tests and the CI smoke flip.
-pub fn serve_connection<R: BufRead, W: Write>(
+/// once that many submissions are on disk — checked after each batch,
+/// the deterministic crash switch the recovery tests and the CI smoke
+/// flip.
+pub fn serve_connection<R: Read, W: Write>(
     daemon: &mut Daemon,
     input: R,
     mut output: W,
+    batch: usize,
     die_after: Option<u64>,
 ) -> std::io::Result<bool> {
-    for line in input.lines() {
-        let line = line?;
-        let Some(response) = daemon.handle_line(&line) else {
-            continue;
-        };
-        output.write_all(render_response(&response).as_bytes())?;
-        output.write_all(b"\n")?;
+    let batch = batch.max(1);
+    let mut reader = LineReader::new(input);
+    let mut slots: Vec<LineSlot> = Vec::with_capacity(batch);
+    let mut requests: Vec<Request> = Vec::with_capacity(batch);
+    let mut responses: Vec<Response> = Vec::with_capacity(batch);
+    let mut out_buf = String::new();
+    loop {
+        slots.clear();
+        requests.clear();
+        let mut saw_shutdown = false;
+        let mut eof = false;
+        while slots.len() < batch {
+            // Only the batch's first line may block; the rest must
+            // already be buffered.
+            if !slots.is_empty() && !reader.has_buffered_line() {
+                break;
+            }
+            match reader.next_line()? {
+                None => {
+                    eof = true;
+                    break;
+                }
+                Some(line) => match parse_request(line) {
+                    Ok(None) => continue, // blank line: no response
+                    Ok(Some(request)) => {
+                        saw_shutdown = matches!(request, Request::Shutdown {});
+                        requests.push(request);
+                        slots.push(LineSlot::Parsed);
+                        if saw_shutdown {
+                            break;
+                        }
+                    }
+                    Err(message) => slots.push(LineSlot::Failed(message)),
+                },
+            }
+        }
+        if slots.is_empty() {
+            return Ok(false);
+        }
+
+        daemon.note_queue_depth(reader.buffered_lines() as u64);
+        responses.clear();
+        daemon.handle_batch(&requests, &mut responses);
+
+        out_buf.clear();
+        let mut next = 0;
+        for slot in &slots {
+            match slot {
+                LineSlot::Parsed => {
+                    out_buf.push_str(&render_response(&responses[next]));
+                    next += 1;
+                }
+                LineSlot::Failed(message) => {
+                    out_buf.push_str(&render_response(&Response::Error {
+                        message: message.clone(),
+                    }));
+                }
+            }
+            out_buf.push('\n');
+        }
+        output.write_all(out_buf.as_bytes())?;
         output.flush()?;
+
         if let Some(limit) = die_after {
             if daemon.wal_records() >= limit {
                 // A real crash: no snapshot, no log finalization, no
@@ -78,11 +153,13 @@ pub fn serve_connection<R: BufRead, W: Write>(
                 std::process::exit(17);
             }
         }
-        if matches!(response, Response::Bye {}) {
+        if saw_shutdown {
             return Ok(true);
         }
+        if eof {
+            return Ok(false);
+        }
     }
-    Ok(false)
 }
 
 #[cfg(test)]
@@ -120,7 +197,7 @@ mod tests {
         input.push_str("{\"Stats\":{}}\n\n{\"Shutdown\":{}}\n");
         let mut out = Vec::new();
         let shutdown =
-            serve_connection(&mut daemon, input.as_bytes(), &mut out, None).expect("serves");
+            serve_connection(&mut daemon, input.as_bytes(), &mut out, 1, None).expect("serves");
         assert!(shutdown);
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
         assert_eq!(lines.len(), 5, "3 decisions + stats + bye");
@@ -129,5 +206,49 @@ mod tests {
         }
         assert!(lines[3].starts_with("{\"Stats\":"));
         assert_eq!(lines[4], "{\"Bye\":{}}");
+    }
+
+    #[test]
+    fn batched_serving_answers_every_line_in_order() {
+        let root = std::env::temp_dir().join(format!("ef-serve-lib-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let (mut daemon, _) = Daemon::open(
+            &root,
+            DaemonConfig::default(),
+            Box::new(TickClock::new(100)),
+            gateway_registry(),
+        )
+        .expect("daemon opens");
+        let mut input = String::new();
+        for i in 0..10 {
+            let req = Request::Submit {
+                job: JobSubmission {
+                    id: i,
+                    model: DnnModel::ResNet50,
+                    global_batch: 128,
+                    iterations: 1_000.0,
+                    arrival_seconds: i as f64,
+                    deadline_seconds: Some(3_600.0),
+                },
+            };
+            input.push_str(&serde_json::to_string(&req).unwrap());
+            input.push('\n');
+        }
+        // A malformed line must be answered in place, in order.
+        input.push_str("this is not json\n");
+        input.push_str("{\"Shutdown\":{}}\n");
+        let mut out = Vec::new();
+        let shutdown =
+            serve_connection(&mut daemon, input.as_bytes(), &mut out, 4, None).expect("serves");
+        assert!(shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 12, "10 decisions + 1 error + bye");
+        for (i, line) in lines[..10].iter().enumerate() {
+            assert!(line.starts_with("{\"Decision\":"), "line {i}: {line}");
+            assert!(line.contains(&format!("\"job\":{i},")), "line {i}: {line}");
+        }
+        assert!(lines[10].starts_with("{\"Error\":"), "got {}", lines[10]);
+        assert_eq!(lines[11], "{\"Bye\":{}}");
+        assert_eq!(daemon.wal_records(), 10);
     }
 }

@@ -5,6 +5,7 @@
 //!                   [--servers N] [--gpus-per-server N] [--slot-seconds S]
 //!                   [--snapshot-every N] [--metrics ADDR]
 //!                   [--listen ADDR | --unix PATH]
+//!                   [--batch N] [--fsync never|record|batch|interval:N]
 //!                   [--latency-clock monotonic|tick]
 //!                   [--die-after N]
 //! ```
@@ -26,9 +27,9 @@
 //! [`Request`]: elasticflow_serve::Request
 //! [`Response`]: elasticflow_serve::Response
 
-use std::io::BufReader;
 use std::process::ExitCode;
 
+use elasticflow_persist::FsyncPolicy;
 use elasticflow_serve::{
     gateway_registry, serve_connection, spawn_exporter, Daemon, DaemonConfig, GatewayConfig,
     Resumption,
@@ -43,6 +44,7 @@ struct Options {
     metrics: Option<String>,
     listen: Option<String>,
     unix: Option<String>,
+    batch: usize,
     tick_clock: bool,
     die_after: Option<u64>,
 }
@@ -56,6 +58,7 @@ impl Default for Options {
             metrics: None,
             listen: None,
             unix: None,
+            batch: 1,
             tick_clock: false,
             die_after: None,
         }
@@ -88,6 +91,14 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 opts.config.snapshot_every =
                     parse_num(&value("--snapshot-every")?, "--snapshot-every")?;
             }
+            "--batch" => {
+                let n: usize = parse_num(&value("--batch")?, "--batch")?;
+                if n == 0 {
+                    return Err("--batch needs a positive count".to_owned());
+                }
+                opts.batch = n;
+            }
+            "--fsync" => opts.config.fsync = parse_fsync(&value("--fsync")?)?,
             "--metrics" => opts.metrics = Some(value("--metrics")?),
             "--listen" => opts.listen = Some(value("--listen")?),
             "--unix" => opts.unix = Some(value("--unix")?),
@@ -111,6 +122,20 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
 fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
     text.parse()
         .map_err(|_| format!("{flag}: cannot parse {text:?}"))
+}
+
+fn parse_fsync(text: &str) -> Result<FsyncPolicy, String> {
+    match text {
+        "never" => Ok(FsyncPolicy::Never),
+        "record" => Ok(FsyncPolicy::PerRecord),
+        "batch" => Ok(FsyncPolicy::PerBatch),
+        other => match other.strip_prefix("interval:") {
+            Some(n) => Ok(FsyncPolicy::Interval(parse_num(n, "--fsync interval")?)),
+            None => Err(format!(
+                "--fsync: unknown policy {other:?} (expected never, record, batch, or interval:N)"
+            )),
+        },
+    }
 }
 
 fn describe_resumption(resumption: &Resumption, config: &GatewayConfig) {
@@ -163,7 +188,7 @@ fn run(opts: Options) -> Result<(), String> {
             let stream = stream.map_err(|e| e.to_string())?;
             let writer = stream.try_clone().map_err(|e| e.to_string())?;
             let shutdown =
-                serve_connection(&mut daemon, BufReader::new(stream), writer, opts.die_after)
+                serve_connection(&mut daemon, stream, writer, opts.batch, opts.die_after)
                     .map_err(|e| e.to_string())?;
             if shutdown {
                 break;
@@ -182,7 +207,7 @@ fn run(opts: Options) -> Result<(), String> {
             let stream = stream.map_err(|e| e.to_string())?;
             let writer = stream.try_clone().map_err(|e| e.to_string())?;
             let shutdown =
-                serve_connection(&mut daemon, BufReader::new(stream), writer, opts.die_after)
+                serve_connection(&mut daemon, stream, writer, opts.batch, opts.die_after)
                     .map_err(|e| e.to_string())?;
             if shutdown {
                 break;
@@ -197,8 +222,14 @@ fn run(opts: Options) -> Result<(), String> {
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    serve_connection(&mut daemon, stdin.lock(), stdout.lock(), opts.die_after)
-        .map_err(|e| e.to_string())?;
+    serve_connection(
+        &mut daemon,
+        stdin.lock(),
+        stdout.lock(),
+        opts.batch,
+        opts.die_after,
+    )
+    .map_err(|e| e.to_string())?;
     finish(&mut daemon)
 }
 
@@ -229,6 +260,7 @@ fn main() -> ExitCode {
                 "usage: elasticflow-serve --state-dir PATH [--resume] [--servers N] \
                  [--gpus-per-server N] [--slot-seconds S] [--snapshot-every N] \
                  [--metrics ADDR] [--listen ADDR | --unix PATH] \
+                 [--batch N] [--fsync never|record|batch|interval:N] \
                  [--latency-clock monotonic|tick] [--die-after N]"
             );
             return ExitCode::FAILURE;

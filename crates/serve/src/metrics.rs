@@ -32,6 +32,17 @@ pub const BOOKED_FRACTION: &str = "ef_gateway_booked_fraction";
 /// Horizon (slots) of the [`BOOKED_FRACTION`] gauge.
 pub const BOOKED_HORIZON_SLOTS: usize = 60;
 
+/// Histogram: requests drained per serve-loop batch.
+pub const BATCH_SIZE: &str = "ef_gateway_batch_size";
+
+/// Buckets of the [`BATCH_SIZE`] histogram (powers of two up to the
+/// largest batch a sane `--batch` setting produces).
+pub const BATCH_SIZE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Gauge: complete lines already buffered (queued behind the batch
+/// being served) when the serve loop last cut a batch.
+pub const QUEUE_DEPTH: &str = "ef_gateway_queue_depth";
+
 /// The registry handle shared between the daemon and the exporter.
 pub type SharedRegistry = Arc<Mutex<MetricsRegistry>>;
 
@@ -50,6 +61,15 @@ pub fn gateway_registry() -> SharedRegistry {
     registry.describe_gauge(
         BOOKED_FRACTION,
         "Mean booked fraction of the cluster over the gauge horizon",
+    );
+    registry.describe_histogram(
+        BATCH_SIZE,
+        "Requests drained per serve-loop batch",
+        BATCH_SIZE_BUCKETS,
+    );
+    registry.describe_gauge(
+        QUEUE_DEPTH,
+        "Complete lines buffered behind the batch being served",
     );
     Arc::new(Mutex::new(registry))
 }
@@ -108,6 +128,8 @@ mod tests {
             DECLINES_TOTAL,
             ACTIVE_GUARANTEED,
             BOOKED_FRACTION,
+            BATCH_SIZE,
+            QUEUE_DEPTH,
         ] {
             assert!(body.contains(&format!("# HELP {name} ")), "missing {name}");
         }

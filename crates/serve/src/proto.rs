@@ -109,20 +109,322 @@ pub enum Response {
 }
 
 /// Parses one request line. Blank lines yield `Ok(None)`.
+///
+/// Canonical submission lines — the exact bytes [`render_request_into`]
+/// (and therefore `elasticflow-loadgen` and the WAL) produce — take a
+/// zero-allocation fast path: the fields are parsed from borrowed
+/// slices of the line, no [`serde_json::Value`] tree is built. Anything
+/// else (reordered fields, whitespace, unknown keys) falls back to the
+/// general serde parser, so the accepted language is unchanged.
 pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return Ok(None);
+    }
+    if let Some(request) = parse_submit_fast(trimmed) {
+        return Ok(Some(request));
     }
     serde_json::from_str::<Request>(trimmed)
         .map(Some)
         .map_err(|e| format!("bad request line: {e}"))
 }
 
+/// Fast path for the canonical `{"Submit":{"job":{...}}}` shape with
+/// fields in declaration order and no interior whitespace. Returns
+/// `None` (→ serde fallback) on any deviation, so it can only ever
+/// accept lines the general parser accepts, with identical results:
+/// numbers are parsed with the same `str::parse` the serde shim uses.
+fn parse_submit_fast(line: &str) -> Option<Request> {
+    let mut cur = Cursor(line.as_bytes());
+    cur.expect(b"{\"Submit\":{\"job\":{\"id\":")?;
+    let id = cur.take_u64()?;
+    cur.expect(b",\"model\":\"")?;
+    let model = cur.take_model()?;
+    cur.expect(b"\",\"global_batch\":")?;
+    let global_batch = cur.take_u32()?;
+    cur.expect(b",\"iterations\":")?;
+    let iterations = cur.take_f64()?;
+    cur.expect(b",\"arrival_seconds\":")?;
+    let arrival_seconds = cur.take_f64()?;
+    cur.expect(b",\"deadline_seconds\":")?;
+    let deadline_seconds = if cur.expect(b"null").is_some() {
+        None
+    } else {
+        Some(cur.take_f64()?)
+    };
+    cur.expect(b"}}}")?;
+    cur.at_end().then_some(Request::Submit {
+        job: JobSubmission {
+            id,
+            model,
+            global_batch,
+            iterations,
+            arrival_seconds,
+            deadline_seconds,
+        },
+    })
+}
+
+/// A borrowing byte cursor for [`parse_submit_fast`]: every `take_*`
+/// either consumes a well-formed token or returns `None` without any
+/// allocation.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn expect(&mut self, literal: &[u8]) -> Option<()> {
+        let rest = self.0.strip_prefix(literal)?;
+        self.0 = rest;
+        Some(())
+    }
+
+    fn at_end(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn take_digits(&mut self) -> Option<&'a str> {
+        let end = self
+            .0
+            .iter()
+            .position(|b| !b.is_ascii_digit())
+            .unwrap_or(self.0.len());
+        if end == 0 {
+            return None;
+        }
+        let (digits, rest) = self.0.split_at(end);
+        self.0 = rest;
+        // Digits are ASCII by construction.
+        std::str::from_utf8(digits).ok()
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        self.take_digits()?.parse().ok()
+    }
+
+    fn take_u32(&mut self) -> Option<u32> {
+        self.take_digits()?.parse().ok()
+    }
+
+    /// Consumes one JSON number token (`-?digits[.digits][e[±]digits]`)
+    /// and parses it with `str::parse::<f64>` — the exact routine the
+    /// serde shim's parser uses, so the fast path rounds identically.
+    fn take_f64(&mut self) -> Option<f64> {
+        let bytes = self.0;
+        let mut i = 0;
+        if bytes.first() == Some(&b'-') {
+            i += 1;
+        }
+        let int_start = i;
+        while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == int_start {
+            return None;
+        }
+        if bytes.get(i) == Some(&b'.') {
+            i += 1;
+            let frac_start = i;
+            while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+            if i == frac_start {
+                return None;
+            }
+        }
+        if matches!(bytes.get(i), Some(b'e' | b'E')) {
+            i += 1;
+            if matches!(bytes.get(i), Some(b'+' | b'-')) {
+                i += 1;
+            }
+            let exp_start = i;
+            while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+            if i == exp_start {
+                return None;
+            }
+        }
+        let (token, rest) = bytes.split_at(i);
+        self.0 = rest;
+        std::str::from_utf8(token).ok()?.parse().ok()
+    }
+
+    fn take_model(&mut self) -> Option<DnnModel> {
+        DnnModel::ALL
+            .into_iter()
+            .find(|&model| self.expect(model_name(model).as_bytes()).is_some())
+    }
+}
+
+/// The serde variant name of a model — the string form used on the wire.
+fn model_name(model: DnnModel) -> &'static str {
+    match model {
+        DnnModel::ResNet50 => "ResNet50",
+        DnnModel::Vgg16 => "Vgg16",
+        DnnModel::InceptionV3 => "InceptionV3",
+        DnnModel::Bert => "Bert",
+        DnnModel::Gpt2 => "Gpt2",
+        DnnModel::DeepSpeech2 => "DeepSpeech2",
+    }
+}
+
+/// Appends a finite float exactly as the serde shim renders it (`{:?}`,
+/// the shortest round-trip form) — `null` for non-finite values, like
+/// real `serde_json`.
+pub(crate) fn push_f64(out: &mut String, x: f64) {
+    use std::fmt::Write;
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders one request into `out` (appending; no trailing newline),
+/// producing byte-for-byte the line `serde_json::to_string` would —
+/// without building a `Value` tree or allocating. This is what the WAL
+/// append and the load generator use on their hot paths; the equality
+/// is pinned by tests over every request shape.
+pub fn render_request_into(request: &Request, out: &mut String) {
+    use std::fmt::Write;
+    match request {
+        Request::Submit { job } => render_submit_into(job, out),
+        Request::Withdraw { job, at_seconds } => {
+            let _ = write!(out, "{{\"Withdraw\":{{\"job\":{job},\"at_seconds\":");
+            push_f64(out, *at_seconds);
+            out.push_str("}}");
+        }
+        Request::Stats {} => out.push_str("{\"Stats\":{}}"),
+        Request::Shutdown {} => out.push_str("{\"Shutdown\":{}}"),
+    }
+}
+
+/// Renders the canonical `Submit` line for `job` into `out` — the WAL
+/// record format, byte-identical to serde's.
+pub fn render_submit_into(job: &JobSubmission, out: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"Submit\":{{\"job\":{{\"id\":{},\"model\":\"{}\",\"global_batch\":{},\"iterations\":",
+        job.id,
+        model_name(job.model),
+        job.global_batch,
+    );
+    push_f64(out, job.iterations);
+    out.push_str(",\"arrival_seconds\":");
+    push_f64(out, job.arrival_seconds);
+    out.push_str(",\"deadline_seconds\":");
+    match job.deadline_seconds {
+        Some(d) => push_f64(out, d),
+        None => out.push_str("null"),
+    }
+    out.push_str("}}}");
+}
+
 /// Serializes a response as one JSONL line (no trailing newline).
 pub fn render_response(response: &Response) -> String {
     serde_json::to_string(response).unwrap_or_else(|e| {
         format!("{{\"Error\":{{\"message\":\"response serialization failed: {e}\"}}}}")
+    })
+}
+
+/// A line reader over one reused buffer: the ingestion half of the
+/// zero-allocation hot path. Lines are yielded as borrowed slices of
+/// the internal buffer — steady-state reading allocates nothing once
+/// the buffer has grown to the connection's line length.
+///
+/// Unlike `BufRead::lines`, the reader exposes what is *already
+/// buffered*: [`LineReader::has_buffered_line`] is how the serve loop
+/// drains a batch of queued submissions without ever blocking on a
+/// partial batch (an interactive client is answered after its first
+/// line; a pipe saturates the batch from one `read`).
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf[..len]`.
+    pos: usize,
+    /// Valid bytes in `buf`.
+    len: usize,
+}
+
+impl<R: std::io::Read> LineReader<R> {
+    /// Wraps `inner` with a fresh (empty) line buffer.
+    pub fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            pos: 0,
+            len: 0,
+        }
+    }
+
+    /// `true` when a complete line is already buffered — the next
+    /// [`LineReader::next_line`] will not touch the underlying reader.
+    pub fn has_buffered_line(&self) -> bool {
+        self.buf[self.pos..self.len].contains(&b'\n')
+    }
+
+    /// Number of complete lines currently buffered (the visible queue
+    /// depth beyond the line being processed).
+    pub fn buffered_lines(&self) -> usize {
+        self.buf[self.pos..self.len]
+            .iter()
+            .filter(|b| **b == b'\n')
+            .count()
+    }
+
+    /// Reads the next line (without its terminator; a trailing `\r` is
+    /// stripped, matching `BufRead::lines`). Blocks until a full line
+    /// or end-of-input arrives; `None` at end-of-input. The returned
+    /// slice borrows the internal buffer — no allocation.
+    pub fn next_line(&mut self) -> std::io::Result<Option<&str>> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..self.len]
+                .iter()
+                .position(|b| *b == b'\n')
+            {
+                let start = self.pos;
+                let mut end = self.pos + nl;
+                self.pos = end + 1;
+                if end > start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                return as_line(&self.buf[start..end]).map(Some);
+            }
+            // No complete line buffered: compact and read more.
+            if self.pos > 0 {
+                self.buf.copy_within(self.pos..self.len, 0);
+                self.len -= self.pos;
+                self.pos = 0;
+            }
+            if self.len == self.buf.len() {
+                self.buf.resize((self.buf.len() * 2).max(8 * 1024), 0);
+            }
+            let n = self.inner.read(&mut self.buf[self.len..])?;
+            if n == 0 {
+                if self.len == 0 {
+                    return Ok(None);
+                }
+                // Final unterminated line.
+                let mut end = self.len;
+                self.pos = 0;
+                self.len = 0;
+                if end > 0 && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                return as_line(&self.buf[..end]).map(Some);
+            }
+            self.len += n;
+        }
+    }
+}
+
+fn as_line(bytes: &[u8]) -> std::io::Result<&str> {
+    std::str::from_utf8(bytes).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "stream did not contain valid UTF-8",
+        )
     })
 }
 
@@ -177,5 +479,112 @@ mod tests {
     fn blank_lines_and_garbage_are_distinguished() {
         assert_eq!(parse_request("   ").unwrap(), None);
         assert!(parse_request("{nope}").is_err());
+    }
+
+    fn submissions() -> Vec<JobSubmission> {
+        let mut subs = Vec::new();
+        for (i, model) in DnnModel::ALL.into_iter().enumerate() {
+            subs.push(JobSubmission {
+                id: i as u64 * 1_000_003,
+                model,
+                global_batch: 32 << i,
+                iterations: 1.5e4 + i as f64 * 0.3,
+                arrival_seconds: i as f64 * 17.25,
+                deadline_seconds: if i % 2 == 0 {
+                    Some(i as f64 * 100.0 + 0.125)
+                } else {
+                    None
+                },
+            });
+        }
+        subs.push(JobSubmission {
+            id: u64::MAX,
+            model: DnnModel::Bert,
+            global_batch: u32::MAX,
+            iterations: 1e-300,
+            arrival_seconds: 123456789.12345679,
+            deadline_seconds: Some(9.87e12),
+        });
+        subs
+    }
+
+    #[test]
+    fn render_request_into_matches_serde_byte_for_byte() {
+        let mut requests: Vec<Request> = submissions()
+            .into_iter()
+            .map(|job| Request::Submit { job })
+            .collect();
+        requests.push(Request::Withdraw {
+            job: 42,
+            at_seconds: 90.5,
+        });
+        requests.push(Request::Stats {});
+        requests.push(Request::Shutdown {});
+        let mut out = String::new();
+        for req in &requests {
+            out.clear();
+            render_request_into(req, &mut out);
+            assert_eq!(out, serde_json::to_string(req).unwrap(), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn fast_path_parses_canonical_lines_identically_to_serde() {
+        let mut buf = String::new();
+        for job in submissions() {
+            let req = Request::Submit { job };
+            buf.clear();
+            render_request_into(&req, &mut buf);
+            let fast = parse_submit_fast(&buf).expect("canonical line takes the fast path");
+            let slow: Request = serde_json::from_str(&buf).unwrap();
+            assert_eq!(fast, slow);
+            assert_eq!(fast, req);
+        }
+    }
+
+    #[test]
+    fn fast_path_rejects_non_canonical_shapes() {
+        // Reordered fields, whitespace, unknown keys, and non-submit
+        // requests all fall back to serde (and still parse correctly
+        // when valid).
+        for line in [
+            r#"{"Submit":{"job":{"model":"Bert","id":1,"global_batch":8,"iterations":1.0,"arrival_seconds":0.0,"deadline_seconds":null}}}"#,
+            r#"{ "Submit":{"job":{"id":1,"model":"Bert","global_batch":8,"iterations":1.0,"arrival_seconds":0.0,"deadline_seconds":null}}}"#,
+            r#"{"Withdraw":{"job":3,"at_seconds":9.0}}"#,
+            r#"{"Stats":{}}"#,
+        ] {
+            assert!(parse_submit_fast(line).is_none(), "{line}");
+            assert!(parse_request(line).unwrap().is_some(), "{line}");
+        }
+        // Trailing garbage is rejected by both paths.
+        assert!(parse_submit_fast(
+            r#"{"Submit":{"job":{"id":1,"model":"Bert","global_batch":8,"iterations":1.0,"arrival_seconds":0.0,"deadline_seconds":null}}}x"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn line_reader_yields_borrowed_lines_and_tracks_the_queue() {
+        let text = b"alpha\nbeta\r\n\ngamma";
+        let mut reader = LineReader::new(&text[..]);
+        assert_eq!(reader.next_line().unwrap(), Some("alpha"));
+        assert!(reader.has_buffered_line());
+        assert_eq!(reader.buffered_lines(), 2);
+        assert_eq!(reader.next_line().unwrap(), Some("beta"));
+        assert_eq!(reader.next_line().unwrap(), Some(""));
+        assert!(!reader.has_buffered_line());
+        assert_eq!(reader.next_line().unwrap(), Some("gamma"));
+        assert_eq!(reader.next_line().unwrap(), None);
+        assert_eq!(reader.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn line_reader_handles_lines_longer_than_one_refill() {
+        let long = "x".repeat(100_000);
+        let text = format!("{long}\nshort\n");
+        let mut reader = LineReader::new(text.as_bytes());
+        assert_eq!(reader.next_line().unwrap(), Some(long.as_str()));
+        assert_eq!(reader.next_line().unwrap(), Some("short"));
+        assert_eq!(reader.next_line().unwrap(), None);
     }
 }

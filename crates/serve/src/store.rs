@@ -32,10 +32,12 @@ use elasticflow_persist::frame::{
 };
 use elasticflow_persist::records::{self, LogKind, RecordLog};
 use elasticflow_persist::PersistError;
-use elasticflow_telemetry::{JOURNAL_MAGIC, JOURNAL_VERSION};
+use elasticflow_sched::{CapacityShortfall, DecisionRecord, DeclineReason};
+use elasticflow_telemetry::{JournalEntry, JOURNAL_MAGIC, JOURNAL_VERSION};
 use serde::{Deserialize, Serialize};
 
 use crate::gateway::{GatewayConfig, GatewayStats, SnapshotJob};
+use crate::proto::push_f64;
 
 /// Magic bytes of a gateway snapshot file.
 pub const GATEWAY_SNAPSHOT_MAGIC: &[u8; 4] = b"EFGS";
@@ -113,6 +115,83 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<GatewaySnapshot, PersistError> {
 /// file stays loadable by `experiments -- explain --journal`.
 pub fn journal_header() -> String {
     format!("{{\"journal\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION}}}")
+}
+
+/// Appends one journal entry line (no trailing newline) to `out`,
+/// byte-for-byte what `serde_json::to_string(&JournalEntry { t,
+/// decision })` produces — without building a `Value` tree. The admit
+/// and decline shapes the gateway emits are rendered by hand; the
+/// simulator-only variants (resize, preempt, migrate, pause) fall back
+/// to serde, keeping the function total. Equality with serde is pinned
+/// by tests over every shape.
+pub fn render_journal_entry_into(t: f64, decision: &DecisionRecord, out: &mut String) {
+    use std::fmt::Write;
+
+    fn push_shortfall(out: &mut String, s: &CapacityShortfall) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"window_slots\":{},\"demand_gpu_slots\":",
+            s.window_slots
+        );
+        push_f64(out, s.demand_gpu_slots);
+        out.push_str(",\"free_gpu_slots\":");
+        push_f64(out, s.free_gpu_slots);
+        out.push('}');
+    }
+
+    if !matches!(
+        decision,
+        DecisionRecord::Admit { .. } | DecisionRecord::Decline { .. }
+    ) {
+        // Simulator-only variants: not on the gateway's hot path, so a
+        // serde round through the `Value` tree is fine.
+        if let Ok(line) = serde_json::to_string(&JournalEntry {
+            t,
+            decision: *decision,
+        }) {
+            out.push_str(&line);
+        }
+        return;
+    }
+
+    out.push_str("{\"t\":");
+    push_f64(out, t);
+    out.push_str(",\"decision\":");
+    match decision {
+        DecisionRecord::Admit { job } => {
+            let _ = write!(out, "{{\"Admit\":{{\"job\":{}}}}}", job.raw());
+        }
+        DecisionRecord::Decline { job, reason } => {
+            let _ = write!(out, "{{\"Decline\":{{\"job\":{},\"reason\":", job.raw());
+            match reason {
+                DeclineReason::CandidateInfeasible { shortfall } => {
+                    out.push_str("{\"CandidateInfeasible\":{\"shortfall\":");
+                    push_shortfall(out, shortfall);
+                    out.push_str("}}");
+                }
+                DeclineReason::WouldDisplace {
+                    blocking_job,
+                    shortfall,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"WouldDisplace\":{{\"blocking_job\":{},\"shortfall\":",
+                        blocking_job.raw()
+                    );
+                    push_shortfall(out, shortfall);
+                    out.push_str("}}");
+                }
+                DeclineReason::Unexplained => out.push_str("\"Unexplained\""),
+            }
+            out.push_str("}}");
+        }
+        DecisionRecord::Resize { .. }
+        | DecisionRecord::Preempt { .. }
+        | DecisionRecord::Migrate { .. }
+        | DecisionRecord::Pause { .. } => unreachable!("handled above"),
+    }
+    out.push('}');
 }
 
 /// A gateway persistence root directory.
@@ -356,6 +435,75 @@ mod tests {
             dir.rewind_journal(10),
             Err(PersistError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn journal_entry_renderer_matches_serde_byte_for_byte() {
+        use elasticflow_sched::PauseCause;
+        use elasticflow_trace::JobId;
+
+        let shortfall = CapacityShortfall {
+            window_slots: u64::MAX,
+            demand_gpu_slots: 123.456789,
+            free_gpu_slots: 0.25,
+        };
+        let cases = [
+            (0.0, DecisionRecord::Admit { job: JobId::new(0) }),
+            (
+                3600.5,
+                DecisionRecord::Admit {
+                    job: JobId::new(u64::MAX),
+                },
+            ),
+            (
+                1e-9,
+                DecisionRecord::Decline {
+                    job: JobId::new(7),
+                    reason: DeclineReason::CandidateInfeasible { shortfall },
+                },
+            ),
+            (
+                9.87e12,
+                DecisionRecord::Decline {
+                    job: JobId::new(8),
+                    reason: DeclineReason::WouldDisplace {
+                        blocking_job: JobId::new(3),
+                        shortfall,
+                    },
+                },
+            ),
+            (
+                42.0,
+                DecisionRecord::Decline {
+                    job: JobId::new(9),
+                    reason: DeclineReason::Unexplained,
+                },
+            ),
+            // Simulator-only shapes exercise the serde fallback.
+            (
+                1.5,
+                DecisionRecord::Resize {
+                    job: JobId::new(1),
+                    from: 2,
+                    to: 4,
+                },
+            ),
+            (
+                2.5,
+                DecisionRecord::Pause {
+                    job: JobId::new(2),
+                    seconds: 35.0,
+                    cause: PauseCause::Recovery,
+                },
+            ),
+        ];
+        let mut out = String::new();
+        for (t, decision) in cases {
+            out.clear();
+            render_journal_entry_into(t, &decision, &mut out);
+            let reference = serde_json::to_string(&JournalEntry { t, decision }).unwrap();
+            assert_eq!(out, reference, "shape {decision:?}");
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use std::path::{Path, PathBuf};
 
 use elasticflow_serve::{
-    gateway_registry, loadgen_stream, Daemon, DaemonConfig, GatewayConfig, LoadgenConfig,
+    gateway_registry, loadgen_stream, Daemon, DaemonConfig, FsyncPolicy, GatewayConfig,
+    LoadgenConfig, Request,
 };
 use elasticflow_telemetry::TickClock;
 
@@ -29,6 +30,7 @@ fn daemon_config() -> DaemonConfig {
             slot_seconds: 60.0,
         },
         snapshot_every: 16,
+        fsync: FsyncPolicy::Never,
     }
 }
 
@@ -172,6 +174,75 @@ fn double_crash_during_recovery_window_still_converges() {
     assert_eq!(wal, ref_wal);
 }
 
+/// Kill the daemon so that the WAL's tail lands *inside* a
+/// group-committed frame run: batched feeding appends many frames with
+/// one write, and a crash can cut that write at any byte. Recovery must
+/// keep the run's clean frame prefix, drop the torn frame, and re-earn
+/// the lost records on re-feed — converging byte-identically to the
+/// unbatched reference.
+#[test]
+fn torn_tail_inside_a_group_commit_run_recovers_bit_identically() {
+    let lines = request_lines(120);
+    let (ref_journal, ref_wal, ref_stats) = reference_run(&lines);
+    let requests: Vec<Request> = lines
+        .iter()
+        .map(|l| {
+            elasticflow_serve::parse_request(l)
+                .expect("line parses")
+                .expect("line is a request")
+        })
+        .collect();
+
+    // Cut depths chosen to land mid-frame at varying distances into the
+    // final batch's frame run (records are ~170 framed bytes). Chunks
+    // of 56 put the last snapshot at submission 112, so the cuts only
+    // ever reach the final 8-record run — a run no snapshot covers,
+    // exactly the window a real crash can tear.
+    for cut_back in [5usize, 200, 700] {
+        let root = tmp(&format!("midbatch-{cut_back}"));
+        {
+            let mut daemon = open(&root);
+            let mut responses = Vec::new();
+            for chunk in requests.chunks(56) {
+                responses.clear();
+                daemon.handle_batch(chunk, &mut responses);
+            }
+            // Dropped without a graceful snapshot: the crash.
+        }
+        let wal_path = root.join("gateway.wal");
+        let bytes = std::fs::read(&wal_path).expect("wal exists");
+        assert!(bytes.len() > cut_back);
+        std::fs::write(&wal_path, &bytes[..bytes.len() - cut_back]).expect("wal cut");
+        {
+            use std::io::Write;
+            let mut journal = std::fs::OpenOptions::new()
+                .append(true)
+                .open(root.join("decisions.jsonl"))
+                .expect("journal opens");
+            journal
+                .write_all(b"{\"t\":999.0,\"deci")
+                .expect("torn line");
+        }
+
+        let mut daemon = open(&root);
+        let survived = usize::try_from(daemon.wal_records()).expect("fits");
+        assert!(
+            survived < lines.len(),
+            "the cut must have cost at least one record (cut {cut_back})"
+        );
+        feed(&mut daemon, &lines[survived..]);
+        assert_eq!(
+            daemon.stats(),
+            ref_stats,
+            "stats diverged at cut {cut_back}"
+        );
+        drop(daemon);
+        let (journal, wal) = durable_files(&root);
+        assert_eq!(journal, ref_journal, "journal diverged at cut {cut_back}");
+        assert_eq!(wal, ref_wal, "wal diverged at cut {cut_back}");
+    }
+}
+
 /// Crash the *real binary* mid-stream with `--die-after`, then resume
 /// it and re-feed the entire stream: already-logged ids are rejected
 /// without effect, the rest are served, and the journal converges to
@@ -228,4 +299,65 @@ fn binary_die_after_crash_then_resume_is_bit_identical() {
     let (journal, wal) = durable_files(&crash_dir);
     assert_eq!(journal, ref_journal, "binary journals diverged");
     assert_eq!(wal, ref_wal, "binary WALs diverged");
+}
+
+/// The batched drain loop under the same crash drill: the binary runs
+/// with `--batch 64 --fsync batch`, dies mid-stream, and resumes with a
+/// full idempotent re-feed. The durable files must converge to the
+/// *unbatched* reference run's bytes — batch boundaries and fsync
+/// cadence are runtime artifacts that leave no trace in either log.
+#[cfg(unix)]
+#[test]
+fn binary_batched_crash_then_resume_matches_the_unbatched_reference() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    let lines = request_lines(150);
+    let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    let binary = env!("CARGO_BIN_EXE_elasticflow-serve");
+    let run = |dir: &Path, extra: &[&str], stdin_text: &str| {
+        let mut child = Command::new(binary)
+            .arg("--state-dir")
+            .arg(dir)
+            .args([
+                "--servers",
+                "2",
+                "--gpus-per-server",
+                "8",
+                "--snapshot-every",
+                "16",
+                "--latency-clock",
+                "tick",
+            ])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("binary spawns");
+        if let Some(mut stdin) = child.stdin.take() {
+            let _ = stdin.write_all(stdin_text.as_bytes());
+        }
+        child.wait().expect("binary exits")
+    };
+
+    let ref_dir = tmp("bin-batch-reference");
+    let status = run(&ref_dir, &[], &input);
+    assert!(status.success(), "reference run failed: {status:?}");
+
+    let crash_dir = tmp("bin-batch-crash");
+    let status = run(
+        &crash_dir,
+        &["--batch", "64", "--fsync", "batch", "--die-after", "60"],
+        &input,
+    );
+    assert_eq!(status.code(), Some(17), "--die-after must hard-exit 17");
+
+    let status = run(&crash_dir, &["--resume", "--batch", "64"], &input);
+    assert!(status.success(), "resume run failed: {status:?}");
+
+    let (ref_journal, ref_wal) = durable_files(&ref_dir);
+    let (journal, wal) = durable_files(&crash_dir);
+    assert_eq!(journal, ref_journal, "batched binary journal diverged");
+    assert_eq!(wal, ref_wal, "batched binary WAL diverged");
 }
